@@ -1,0 +1,50 @@
+//===- bench/ablation_lazy_broadcast.cpp ---------------------------------------===//
+//
+// Part of expresso-cpp, a reproduction of "Symbolic Reasoning for Automatic
+// Signal Placement" (PLDI 2018).
+//
+// Ablation: the §6 lazy-broadcast option ("enabled by default to minimize
+// context switches"). Measures ms/op for eager signalAll vs chained wakes
+// on the broadcast-heavy benchmarks.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/Harness.h"
+
+#include <cstdio>
+
+using namespace expresso;
+using namespace expresso::bench;
+
+int main(int argc, char **argv) {
+  HarnessOptions Opts = HarnessOptions::fromArgs(argc, argv);
+  if (!Opts.MaxThreads)
+    Opts.MaxThreads = 64; // keep the ablation quick
+  const char *Names[] = {"ReadersWriters", "DiningPhilosophers",
+                         "ParamBoundedBuffer"};
+  std::printf("# Ablation: §6 lazy broadcast on vs off (expresso plan)\n");
+  std::printf("%-22s %-8s %14s %14s\n", "benchmark", "threads",
+              "lazy ms/op", "eager ms/op");
+  for (const char *Name : Names) {
+    const BenchmarkDef *Def = findBenchmark(Name);
+    if (!Def)
+      return 1;
+    HarnessOptions Lazy = Opts;
+    Lazy.Placement.LazyBroadcast = true;
+    HarnessOptions Eager = Opts;
+    Eager.Placement.LazyBroadcast = false;
+    BenchContext LazyCtx(*Def, Lazy.Placement);
+    BenchContext EagerCtx(*Def, Eager.Placement);
+    for (unsigned Threads : Def->ThreadCounts) {
+      if (Opts.MaxThreads && Threads > Opts.MaxThreads)
+        continue;
+      CellResult L = runCell(*Def, LazyCtx, EngineKind::Expresso, Threads, Lazy);
+      CellResult E =
+          runCell(*Def, EagerCtx, EngineKind::Expresso, Threads, Eager);
+      std::printf("%-22s %-8u %14.5f %14.5f\n", Name, Threads, L.MsPerOp,
+                  E.MsPerOp);
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}

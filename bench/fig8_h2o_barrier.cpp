@@ -1,0 +1,16 @@
+//===- bench/fig8_h2o_barrier.cpp -----------------------------------------------------------===//
+//
+// Part of expresso-cpp, a reproduction of "Symbolic Reasoning for Automatic
+// Signal Placement" (PLDI 2018).
+//
+// Regenerates the H2OBarrier series of the paper's evaluation:
+// ms/op for Expresso-generated, AutoSynch-style, and hand-written explicit
+// signaling across the paper's thread counts.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/Harness.h"
+
+int main(int argc, char **argv) {
+  return expresso::bench::figureMain("H2OBarrier", argc, argv);
+}

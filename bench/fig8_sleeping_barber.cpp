@@ -1,0 +1,16 @@
+//===- bench/fig8_sleeping_barber.cpp -----------------------------------------------------------===//
+//
+// Part of expresso-cpp, a reproduction of "Symbolic Reasoning for Automatic
+// Signal Placement" (PLDI 2018).
+//
+// Regenerates the SleepingBarber series of the paper's evaluation:
+// ms/op for Expresso-generated, AutoSynch-style, and hand-written explicit
+// signaling across the paper's thread counts.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/Harness.h"
+
+int main(int argc, char **argv) {
+  return expresso::bench::figureMain("SleepingBarber", argc, argv);
+}

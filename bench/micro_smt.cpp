@@ -1,0 +1,129 @@
+//===- bench/micro_smt.cpp - google-benchmark microbenchmarks ------------------===//
+//
+// Part of expresso-cpp, a reproduction of "Symbolic Reasoning for Automatic
+// Signal Placement" (PLDI 2018).
+//
+// Microbenchmarks for the symbolic substrate: MiniSmt satisfiability,
+// Cooper quantifier elimination, weakest preconditions, and the end-to-end
+// readers-writers verification condition. These quantify where the
+// Table-1 analysis time goes.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Hoare.h"
+#include "core/SignalPlacement.h"
+#include "frontend/Parser.h"
+#include "qe/Cooper.h"
+#include "smt/MiniSmt.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace expresso;
+using namespace expresso::logic;
+
+namespace {
+
+const char *RWSource = R"(
+monitor RWLock {
+  int readers = 0;
+  bool writerIn = false;
+  void enterReader() { waituntil (!writerIn) { readers++; } }
+  void exitReader()  { if (readers > 0) readers--; }
+  void enterWriter() { waituntil (readers == 0 && !writerIn) { writerIn = true; } }
+  void exitWriter()  { writerIn = false; }
+}
+)";
+
+void BM_MiniSmtSatBox(benchmark::State &State) {
+  for (auto _ : State) {
+    TermContext C;
+    smt::MiniSmt S(C);
+    const Term *X = C.var("x", Sort::Int);
+    const Term *Y = C.var("y", Sort::Int);
+    const Term *F = C.and_({C.ge(X, C.getZero()), C.le(X, C.intConst(10)),
+                            C.eq(C.add(X, Y), C.intConst(7)),
+                            C.divides(3, Y)});
+    benchmark::DoNotOptimize(S.checkSat(F));
+  }
+}
+BENCHMARK(BM_MiniSmtSatBox);
+
+void BM_MiniSmtUnsatDisequalities(benchmark::State &State) {
+  for (auto _ : State) {
+    TermContext C;
+    smt::MiniSmt S(C);
+    const Term *X = C.var("x", Sort::Int);
+    std::vector<const Term *> Conj{C.ge(X, C.getZero()),
+                                   C.le(X, C.intConst(4))};
+    for (int64_t V = 0; V <= 4; ++V)
+      Conj.push_back(C.ne(X, C.intConst(V)));
+    benchmark::DoNotOptimize(S.checkSat(C.and_(std::move(Conj))));
+  }
+}
+BENCHMARK(BM_MiniSmtUnsatDisequalities);
+
+void BM_Z3ReadersWritersVC(benchmark::State &State) {
+  if (!solver::hasZ3()) {
+    State.SkipWithError("Z3 backend not built");
+    return;
+  }
+  for (auto _ : State) {
+    TermContext C;
+    auto S = solver::createSolver(solver::SolverKind::Z3, C);
+    const Term *Readers = C.var("readers", Sort::Int);
+    const Term *WriterIn = C.var("writerIn", Sort::Bool);
+    const Term *Pw = C.and_(C.eq(Readers, C.getZero()), C.not_(WriterIn));
+    const Term *VC = C.implies(
+        C.and_({C.ge(Readers, C.getZero()), C.not_(WriterIn), C.not_(Pw)}),
+        C.not_(C.and_(C.eq(C.add(Readers, C.getOne()), C.getZero()),
+                      C.not_(WriterIn))));
+    benchmark::DoNotOptimize(S->checkValid(VC));
+  }
+}
+BENCHMARK(BM_Z3ReadersWritersVC);
+
+void BM_CooperEliminate(benchmark::State &State) {
+  for (auto _ : State) {
+    TermContext C;
+    const Term *X = C.var("x", Sort::Int);
+    const Term *Y = C.var("y", Sort::Int);
+    const Term *Z = C.var("z", Sort::Int);
+    const Term *F =
+        C.and_({C.le(Y, X), C.le(X, Z), C.divides(2, X),
+                C.ne(X, C.add(Y, C.getOne()))});
+    benchmark::DoNotOptimize(qe::eliminateExists(C, F, X));
+  }
+}
+BENCHMARK(BM_CooperEliminate);
+
+void BM_WpReadersWriters(benchmark::State &State) {
+  DiagnosticEngine Diags;
+  auto M = frontend::parseMonitor(RWSource, Diags);
+  for (auto _ : State) {
+    TermContext C;
+    DiagnosticEngine D2;
+    auto Sema = frontend::analyze(*M, C, D2);
+    analysis::WpEngine Wp(C, *Sema);
+    const Term *Readers = C.var("readers", Sort::Int);
+    const Term *Q = C.ge(Readers, C.getZero());
+    for (const frontend::CcrInfo &Ccr : Sema->Ccrs)
+      benchmark::DoNotOptimize(Wp.wp(Ccr.W->Body, Ccr.Parent, Q));
+  }
+}
+BENCHMARK(BM_WpReadersWriters);
+
+void BM_FullPipelineReadersWriters(benchmark::State &State) {
+  for (auto _ : State) {
+    TermContext C;
+    DiagnosticEngine Diags;
+    auto M = frontend::parseMonitor(RWSource, Diags);
+    auto Sema = frontend::analyze(*M, C, Diags);
+    auto Solver = solver::createSolver(solver::SolverKind::Default, C);
+    benchmark::DoNotOptimize(core::placeSignals(C, *Sema, *Solver));
+  }
+}
+BENCHMARK(BM_FullPipelineReadersWriters)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,15 @@
+//===- bench/table1_analysis_time.cpp ------------------------------------------===//
+//
+// Part of expresso-cpp, a reproduction of "Symbolic Reasoning for Automatic
+// Signal Placement" (PLDI 2018).
+//
+// Regenerates Table 1: wall-clock time for the full static pipeline
+// (parse -> sema -> invariant inference -> signal placement) per benchmark.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/Harness.h"
+
+int main(int argc, char **argv) {
+  return expresso::bench::tableMain(argc, argv);
+}

@@ -1,0 +1,81 @@
+//===- examples/producer_consumer.cpp - Running a transformed monitor ---------===//
+//
+// Part of expresso-cpp, a reproduction of "Symbolic Reasoning for Automatic
+// Signal Placement" (PLDI 2018).
+//
+// Domain scenario: a bounded producer/consumer queue. The implicit-signal
+// monitor is transformed by PlaceSignals and then EXECUTED with real
+// threads on the runtime substrate, side by side with the AutoSynch-style
+// run-time engine. The printed statistics show why static placement wins:
+// far fewer run-time predicate evaluations.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/SignalPlacement.h"
+#include "frontend/Parser.h"
+#include "runtime/Engine.h"
+
+#include <iostream>
+#include <thread>
+#include <vector>
+
+using namespace expresso;
+
+int main() {
+  const char *Source = R"(
+monitor BoundedBuffer {
+  const int capacity;
+  int count = 0;
+  requires capacity > 0;
+  void put()  { waituntil (count < capacity) { count++; } }
+  void take() { waituntil (count > 0) { count--; } }
+}
+)";
+
+  DiagnosticEngine Diags;
+  auto Monitor = frontend::parseMonitor(Source, Diags);
+  logic::TermContext Terms;
+  auto Sema = frontend::analyze(*Monitor, Terms, Diags);
+  if (!Sema) {
+    std::cerr << Diags.str();
+    return 1;
+  }
+  auto Solver = solver::createSolver(solver::SolverKind::Default, Terms);
+  core::PlacementResult Placement = core::placeSignals(Terms, *Sema, *Solver);
+  std::cout << Placement.summary() << "\n";
+
+  // Run 4 producers + 4 consumers against both engines.
+  logic::Assignment Config{{"capacity", logic::Value::ofInt(4)}};
+  auto runWith = [&](runtime::MonitorEngine &Engine) {
+    constexpr unsigned Threads = 8, Ops = 2000;
+    std::vector<std::thread> Workers;
+    for (unsigned T = 0; T < Threads; ++T) {
+      Workers.emplace_back([&Engine, T] {
+        for (unsigned I = 0; I < Ops; ++I)
+          Engine.call(T % 2 == 0 ? "put" : "take");
+      });
+    }
+    for (auto &W : Workers)
+      W.join();
+    runtime::EngineStats S = Engine.stats();
+    std::cout << "  " << Engine.name() << ": calls=" << S.Calls
+              << " blocks=" << S.Blocks << " wakeups=" << S.Wakeups
+              << " predicate-evals=" << S.PredicateEvals
+              << " (final count=" << Engine.snapshot().at("count").asInt()
+              << ")\n";
+  };
+
+  std::cout << "running 4 producers + 4 consumers, 2000 ops each:\n";
+  auto Expresso = runtime::createExplicitEngine(
+      *Sema, runtime::SignalPlan::fromPlacement(Placement), Config);
+  runWith(*Expresso);
+  auto AutoSynch = runtime::createAutoSynchEngine(*Sema, Config);
+  runWith(*AutoSynch);
+  auto Naive = runtime::createNaiveEngine(*Sema, Config);
+  runWith(*Naive);
+  std::cout << "\nnote how the statically-placed signals need far fewer "
+               "run-time predicate\nevaluations than the AutoSynch-style "
+               "engine, and far fewer wakeups than the\nnaive broadcast "
+               "monitor.\n";
+  return 0;
+}

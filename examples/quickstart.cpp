@@ -1,0 +1,63 @@
+//===- examples/quickstart.cpp - The §2 walkthrough, end to end ---------------===//
+//
+// Part of expresso-cpp, a reproduction of "Symbolic Reasoning for Automatic
+// Signal Placement" (PLDI 2018).
+//
+// Quickstart: feed the paper's Figure 1 (implicit-signal readers-writers
+// lock) through the full pipeline and print (a) the inferred monitor
+// invariant, (b) the placement decisions with their Hoare-triple rationale,
+// (c) the target-language IR, and (d) generated C++ — the analogue of the
+// paper's Figure 2.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/Codegen.h"
+#include "core/SignalPlacement.h"
+#include "frontend/Parser.h"
+#include "logic/Printer.h"
+
+#include <iostream>
+
+using namespace expresso;
+
+int main() {
+  // Figure 1 of the paper, verbatim modulo syntax.
+  const char *Source = R"(
+monitor RWLock {
+  int readers = 0;
+  bool writerIn = false;
+
+  void enterReader() { waituntil (!writerIn) { readers++; } }
+  void exitReader()  { if (readers > 0) readers--; }
+  void enterWriter() { waituntil (readers == 0 && !writerIn) { writerIn = true; } }
+  void exitWriter()  { writerIn = false; }
+}
+)";
+
+  // 1. Parse and analyze.
+  DiagnosticEngine Diags;
+  auto Monitor = frontend::parseMonitor(Source, Diags);
+  if (!Monitor) {
+    std::cerr << Diags.str();
+    return 1;
+  }
+  logic::TermContext Terms;
+  auto Sema = frontend::analyze(*Monitor, Terms, Diags);
+  if (!Sema) {
+    std::cerr << Diags.str();
+    return 1;
+  }
+
+  // 2. Place signals (invariant inference runs inside).
+  auto Solver = solver::createSolver(solver::SolverKind::Default, Terms);
+  core::PlacementResult Result = core::placeSignals(Terms, *Sema, *Solver);
+
+  std::cout << "== inferred monitor invariant ==\n"
+            << logic::printTerm(Result.Invariant) << "\n\n";
+  std::cout << "== placement decisions ==\n" << Result.summary() << "\n";
+  std::cout << "== target-language IR (paper §3.3) ==\n"
+            << codegen::printTargetIr(Result) << "\n";
+  std::cout << "== generated C++ (the Figure 2 analogue) ==\n"
+            << codegen::emitCpp(Result);
+  return 0;
+}

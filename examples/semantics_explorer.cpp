@@ -1,0 +1,80 @@
+//===- examples/semantics_explorer.cpp - §3 trace semantics in action ---------===//
+//
+// Part of expresso-cpp, a reproduction of "Symbolic Reasoning for Automatic
+// Signal Placement" (PLDI 2018).
+//
+// Domain scenario: using the executable §3 semantics to *verify* a signal
+// placement. Checks Definition 3.4 equivalence for the synthesized plan on
+// bounded traces, then sabotages the plan (drops exitWriter's broadcast)
+// and shows the counterexample trace the checker finds.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/SignalPlacement.h"
+#include "frontend/Parser.h"
+#include "trace/Semantics.h"
+
+#include <iostream>
+
+using namespace expresso;
+using namespace expresso::trace;
+
+int main() {
+  const char *Source = R"(
+monitor RWLock {
+  int readers = 0;
+  bool writerIn = false;
+  void enterReader() { waituntil (!writerIn) { readers++; } }
+  void exitReader()  { if (readers > 0) readers--; }
+  void enterWriter() { waituntil (readers == 0 && !writerIn) { writerIn = true; } }
+  void exitWriter()  { writerIn = false; }
+}
+)";
+
+  DiagnosticEngine Diags;
+  auto Monitor = frontend::parseMonitor(Source, Diags);
+  logic::TermContext Terms;
+  auto Sema = frontend::analyze(*Monitor, Terms, Diags);
+  if (!Sema) {
+    std::cerr << Diags.str();
+    return 1;
+  }
+  auto Solver = solver::createSolver(solver::SolverKind::Default, Terms);
+  core::PlacementResult Placement = core::placeSignals(Terms, *Sema, *Solver);
+  runtime::SignalPlan Plan = runtime::SignalPlan::fromPlacement(Placement);
+
+  // Scenario: one reader and one writer want in; a writer currently holds
+  // the lock and will exit.
+  MonitorState Initial;
+  Initial.Shared = frontend::initialState(*Monitor);
+  Initial.Shared["writerIn"] = logic::Value::ofBool(true);
+  std::vector<ThreadTask> Tasks = {
+      {1, Monitor->findMethod("enterReader"), {}},
+      {2, Monitor->findMethod("enterWriter"), {}},
+      {3, Monitor->findMethod("exitWriter"), {}},
+  };
+
+  std::cout << "checking Definition 3.4 equivalence on all bounded traces "
+               "(<= 8 events)...\n";
+  EquivalenceResult Ok =
+      checkEquivalenceBounded(*Sema, Plan, Tasks, Initial, 8);
+  std::cout << "  synthesized plan: "
+            << (Ok.Equivalent ? "EQUIVALENT" : "NOT equivalent") << " ("
+            << Ok.TracesChecked << " traces checked)\n";
+
+  // Sabotage: drop every notification from exitWriter.
+  runtime::SignalPlan Broken = Plan;
+  Broken.Entries.erase(&Monitor->findMethod("exitWriter")->Body[0]);
+  EquivalenceResult Bad =
+      checkEquivalenceBounded(*Sema, Broken, Tasks, Initial, 8);
+  std::cout << "  sabotaged plan:   "
+            << (Bad.Equivalent ? "EQUIVALENT (?!)" : "NOT equivalent")
+            << "\n";
+  if (!Bad.Equivalent)
+    std::cout << "  counterexample: " << Bad.CounterExample << "\n"
+              << "  (a normalized implicit-signal trace the explicit "
+                 "monitor cannot follow:\n   the blocked thread is never "
+                 "notified — exactly the lost-wakeup bug the\n   paper's "
+                 "equivalence theorem rules out)\n";
+  return Bad.Equivalent ? 1 : 0;
+}

@@ -1,0 +1,189 @@
+//===- analysis/Commute.cpp - CCR commutativity (§4.3) --------------------------===//
+//
+// Part of expresso-cpp, a reproduction of "Symbolic Reasoning for Automatic
+// Signal Placement" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Commute.h"
+
+#include "logic/Simplify.h"
+#include "support/Casting.h"
+
+using namespace expresso;
+using namespace expresso::analysis;
+using namespace expresso::frontend;
+using logic::Term;
+
+namespace {
+
+/// Evaluates an expression under a symbolic state: lower, then substitute
+/// current symbolic values for every variable.
+const Term *evalSym(logic::TermContext &C, const SemaInfo &Sema,
+                    const Expr *E, const Method *InMethod,
+                    const SymState &State) {
+  const Term *Lowered = Sema.lowerExpr(E, InMethod);
+  logic::Substitution Subst;
+  for (const Term *V : logic::freeVars(Lowered)) {
+    auto It = State.find(V);
+    if (It != State.end() && It->second != V)
+      Subst.emplace(V, It->second);
+  }
+  return logic::substitute(C, Lowered, Subst);
+}
+
+} // namespace
+
+std::optional<SymState> analysis::symExec(logic::TermContext &C,
+                                          const SemaInfo &Sema, const Stmt *S,
+                                          const Method *InMethod,
+                                          SymState State) {
+  switch (S->kind()) {
+  case Stmt::Kind::Skip:
+    return State;
+  case Stmt::Kind::Assign: {
+    const auto *A = cast<AssignStmt>(S);
+    const Term *V = nullptr;
+    if (InMethod)
+      V = Sema.localVar(*InMethod, A->target());
+    if (!V)
+      V = Sema.fieldVar(A->target());
+    State[V] = evalSym(C, Sema, A->value(), InMethod, State);
+    return State;
+  }
+  case Stmt::Kind::Store: {
+    const auto *St = cast<StoreStmt>(S);
+    const Term *Arr = Sema.fieldVar(St->array());
+    const Term *Cur = State.count(Arr) ? State[Arr] : Arr;
+    const Term *Idx = evalSym(C, Sema, St->index(), InMethod, State);
+    const Term *Val = evalSym(C, Sema, St->value(), InMethod, State);
+    State[Arr] = C.store(Cur, Idx, Val);
+    return State;
+  }
+  case Stmt::Kind::Seq: {
+    for (const Stmt *Sub : cast<SeqStmt>(S)->stmts()) {
+      auto Next = symExec(C, Sema, Sub, InMethod, std::move(State));
+      if (!Next)
+        return std::nullopt;
+      State = std::move(*Next);
+    }
+    return State;
+  }
+  case Stmt::Kind::If: {
+    const auto *I = cast<IfStmt>(S);
+    const Term *Cond = evalSym(C, Sema, I->cond(), InMethod, State);
+    auto ThenState = symExec(C, Sema, I->thenStmt(), InMethod, State);
+    auto ElseState = symExec(C, Sema, I->elseStmt(), InMethod, State);
+    if (!ThenState || !ElseState)
+      return std::nullopt;
+    // Merge: ite per differing variable. Arrays cannot be merged with ite;
+    // bail if a branch-dependent array state differs.
+    SymState Merged = State;
+    std::map<const Term *, const Term *> All;
+    for (const auto &[V, T] : *ThenState)
+      All.emplace(V, T);
+    for (const auto &[V, T] : *ElseState)
+      All.emplace(V, T);
+    for (const auto &[V, Unused] : All) {
+      (void)Unused;
+      const Term *TV = ThenState->count(V) ? (*ThenState)[V]
+                       : State.count(V)    ? State[V]
+                                           : V;
+      const Term *EV = ElseState->count(V) ? (*ElseState)[V]
+                       : State.count(V)    ? State[V]
+                                           : V;
+      if (TV == EV) {
+        Merged[V] = TV;
+        continue;
+      }
+      if (V->sort() == logic::Sort::IntArray ||
+          V->sort() == logic::Sort::BoolArray)
+        return std::nullopt; // branch-dependent array effects
+      Merged[V] = C.ite(Cond, TV, EV);
+    }
+    return Merged;
+  }
+  case Stmt::Kind::While:
+    return std::nullopt; // loops are not loop-free expressible
+  case Stmt::Kind::LocalDecl: {
+    const auto *L = cast<LocalDeclStmt>(S);
+    const Term *V = Sema.localVar(*InMethod, L->name());
+    State[V] = evalSym(C, Sema, L->init(), InMethod, State);
+    return State;
+  }
+  }
+  return std::nullopt;
+}
+
+bool analysis::bodiesCommute(logic::TermContext &C, const SemaInfo &Sema,
+                             solver::SmtSolver &Solver, const CcrInfo &A,
+                             const CcrInfo &B) {
+  // Each role gets its own fresh local seeds: the two executions belong to
+  // different threads even when A and B sit in the same method.
+  auto seedLocals = [&](const Method *M, const char *Tag) {
+    logic::Substitution Seed;
+    for (const auto &[Name, V] : Sema.LocalVars)
+      if (Name.rfind(M->Name + "::", 0) == 0)
+        Seed.emplace(V, C.freshVar(Name + "!" + Tag, V->sort()));
+    return Seed;
+  };
+  logic::Substitution SeedA = seedLocals(A.Parent, "ta");
+  logic::Substitution SeedB = seedLocals(B.Parent, "tb");
+
+  auto runOrder = [&](const CcrInfo &First, const logic::Substitution &FSeed,
+                      const CcrInfo &Second,
+                      const logic::Substitution &SSeed)
+      -> std::optional<SymState> {
+    SymState S0;
+    for (const auto &[V, F] : FSeed)
+      S0[V] = F;
+    auto S1 = symExec(C, Sema, First.W->Body, First.Parent, std::move(S0));
+    if (!S1)
+      return std::nullopt;
+    // Re-seed the second role's locals (overwriting any collision when both
+    // CCRs live in the same method).
+    for (const auto &[V, F] : SSeed)
+      (*S1)[V] = F;
+    return symExec(C, Sema, Second.W->Body, Second.Parent, std::move(*S1));
+  };
+
+  auto AB = runOrder(A, SeedA, B, SeedB);
+  auto BA = runOrder(B, SeedB, A, SeedA);
+  if (!AB || !BA)
+    return false;
+
+  // Compare shared variables.
+  std::vector<const Term *> Eqs;
+  for (const Term *V : Sema.sharedVars()) {
+    const Term *VA = AB->count(V) ? (*AB)[V] : V;
+    const Term *VB = BA->count(V) ? (*BA)[V] : V;
+    if (VA == VB)
+      continue;
+    if (V->sort() == logic::Sort::IntArray ||
+        V->sort() == logic::Sort::BoolArray) {
+      // Extensionality with a fresh index.
+      const Term *K = C.freshVar("comm!k", logic::Sort::Int);
+      const Term *SelA = C.select(VA, K);
+      const Term *SelB = C.select(VB, K);
+      Eqs.push_back(V->sort() == logic::Sort::BoolArray ? C.iff(SelA, SelB)
+                                                        : C.eq(SelA, SelB));
+    } else {
+      Eqs.push_back(V->sort() == logic::Sort::Bool ? C.iff(VA, VB)
+                                                   : C.eq(VA, VB));
+    }
+  }
+  if (Eqs.empty())
+    return true;
+  return Solver.isValid(logic::simplify(C, C.and_(std::move(Eqs))));
+}
+
+bool analysis::commutesWithAll(logic::TermContext &C, const SemaInfo &Sema,
+                               solver::SmtSolver &Solver, const CcrInfo &W) {
+  for (const CcrInfo &Other : Sema.Ccrs) {
+    if (Other.W == W.W)
+      continue;
+    if (!bodiesCommute(C, Sema, Solver, W, Other))
+      return false;
+  }
+  return true;
+}

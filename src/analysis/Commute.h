@@ -1,0 +1,61 @@
+//===- analysis/Commute.h - CCR commutativity (§4.3) ------------*- C++ -*-===//
+//
+// Part of expresso-cpp, a reproduction of "Symbolic Reasoning for Automatic
+// Signal Placement" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The commutativity analysis behind the paper's Section 4.3 improvement:
+///
+///   Comm(w, M)  <=>  forall w' in CCRs(M)\{w}:
+///                       Body(w'); Body(w)  ==  Body(w); Body(w')
+///
+/// Checked by loop-free symbolic execution of both orders from a common
+/// symbolic initial state, comparing the final symbolic values of every
+/// shared variable with the SMT solver (arrays via fresh-index
+/// extensionality). Bodies containing loops are conservatively
+/// non-commuting.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXPRESSO_ANALYSIS_COMMUTE_H
+#define EXPRESSO_ANALYSIS_COMMUTE_H
+
+#include "frontend/Sema.h"
+#include "solver/SmtSolver.h"
+
+#include <map>
+#include <optional>
+
+namespace expresso {
+namespace analysis {
+
+/// Symbolic store: lowered variable -> symbolic value term.
+using SymState = std::map<const logic::Term *, const logic::Term *>;
+
+/// Symbolically executes \p S (scope \p InMethod) from \p State. Returns
+/// nullopt when the body contains a while loop (not expressible loop-free).
+/// Branches merge with ite on the symbolic condition. \p LocalSeed maps the
+/// executing thread's locals to their initial symbolic values.
+std::optional<SymState> symExec(logic::TermContext &C,
+                                const frontend::SemaInfo &Sema,
+                                const frontend::Stmt *S,
+                                const frontend::Method *InMethod,
+                                SymState State);
+
+/// Checks whether the bodies of \p A and \p B commute as shared-state
+/// transformers (executed by *different* threads, so their locals are
+/// independent even within the same method).
+bool bodiesCommute(logic::TermContext &C, const frontend::SemaInfo &Sema,
+                   solver::SmtSolver &Solver, const frontend::CcrInfo &A,
+                   const frontend::CcrInfo &B);
+
+/// The paper's Comm(w, M): Body(w) commutes with every other CCR body.
+bool commutesWithAll(logic::TermContext &C, const frontend::SemaInfo &Sema,
+                     solver::SmtSolver &Solver, const frontend::CcrInfo &W);
+
+} // namespace analysis
+} // namespace expresso
+
+#endif // EXPRESSO_ANALYSIS_COMMUTE_H

@@ -1,0 +1,29 @@
+//===- analysis/Hoare.cpp - Hoare triple checking -------------------------------===//
+//
+// Part of expresso-cpp, a reproduction of "Symbolic Reasoning for Automatic
+// Signal Placement" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Hoare.h"
+
+#include "logic/Simplify.h"
+
+using namespace expresso;
+using namespace expresso::analysis;
+using logic::Term;
+
+const Term *HoareChecker::verificationCondition(const HoareTriple &T) {
+  const Term *WpPost = Wp.wp(T.Body, T.InMethod, T.Post, T.LocalRename);
+  return logic::simplify(C, C.implies(T.Pre, WpPost));
+}
+
+solver::Validity HoareChecker::check(const HoareTriple &T) {
+  ++Checks;
+  const Term *VC = verificationCondition(T);
+  if (VC->isTrue())
+    return solver::Validity::Valid;
+  if (VC->isFalse())
+    return solver::Validity::Invalid;
+  return Solver.checkValid(VC);
+}

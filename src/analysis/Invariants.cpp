@@ -1,0 +1,183 @@
+//===- analysis/Invariants.cpp - Monitor invariant inference --------------------===//
+//
+// Part of expresso-cpp, a reproduction of "Symbolic Reasoning for Automatic
+// Signal Placement" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Invariants.h"
+
+#include "logic/Simplify.h"
+#include "logic/TermOps.h"
+
+#include <set>
+
+using namespace expresso;
+using namespace expresso::analysis;
+using namespace expresso::frontend;
+using logic::Term;
+
+namespace {
+
+/// The lowered conjunction of the monitor's requires clauses.
+const Term *requiresTerm(logic::TermContext &C, const SemaInfo &Sema) {
+  std::vector<const Term *> Parts;
+  for (const Expr *R : Sema.M->Requires)
+    Parts.push_back(Sema.lowerExpr(R, nullptr));
+  return C.and_(std::move(Parts));
+}
+
+/// Fresh renaming of a predicate class: placeholders -> fresh variables
+/// representing the blocked thread's locals.
+const Term *renameClassFresh(logic::TermContext &C, const PredicateClass &Q) {
+  logic::Substitution Subst;
+  for (const Term *P : Q.Placeholders)
+    Subst.emplace(P, C.freshVar(P->varName() + "!blk", P->sort()));
+  return logic::substitute(C, Q.Canonical, Subst);
+}
+
+/// Abducible vocabulary: shared scalar fields (an invariant must hold for
+/// every thread, so locals are excluded; arrays are outside the QE
+/// fragment).
+std::vector<const Term *> abducibles(const SemaInfo &Sema) {
+  std::vector<const Term *> Result;
+  for (const Term *V : Sema.sharedVars())
+    if (V->sort() == logic::Sort::Int || V->sort() == logic::Sort::Bool)
+      Result.push_back(V);
+  return Result;
+}
+
+} // namespace
+
+bool analysis::isMonitorInvariant(logic::TermContext &C, const SemaInfo &Sema,
+                                  solver::SmtSolver &Solver, const Term *I) {
+  HoareChecker Checker(C, Sema, Solver);
+  // Initiation: {requires} Ctr(M) {I}.
+  const Term *InitVc = C.implies(requiresTerm(C, Sema),
+                                 Checker.wpEngine().wpConstructor(I));
+  if (!Solver.isValid(logic::simplify(C, InitVc)))
+    return false;
+  // Consecution: {I and Guard(w)} Body(w) {I} for every CCR.
+  for (const CcrInfo &W : Sema.Ccrs) {
+    HoareTriple T;
+    T.Pre = C.and_(I, W.Guard);
+    T.Body = W.W->Body;
+    T.InMethod = W.Parent;
+    T.Post = I;
+    if (!Checker.proves(T))
+      return false;
+  }
+  return true;
+}
+
+InvariantResult analysis::inferMonitorInvariant(logic::TermContext &C,
+                                                const SemaInfo &Sema,
+                                                solver::SmtSolver &Solver,
+                                                const InvariantConfig &Cfg) {
+  InvariantResult Result;
+  HoareChecker Checker(C, Sema, Solver);
+  WpEngine &Wp = Checker.wpEngine();
+  std::vector<const Term *> Vocab = abducibles(Sema);
+
+  // --- Phase 1: candidate universe Φ from abduction over Θ. --------------
+  // Θ is the triple set PlaceSignals generates with I = true (paper, §5).
+  std::vector<std::pair<const Term *, const Term *>> Theta; // (Pre, Goal=wp)
+  for (const CcrInfo &W : Sema.Ccrs) {
+    for (const auto &QPtr : Sema.Classes) {
+      const PredicateClass &Q = *QPtr;
+      const Term *P = renameClassFresh(C, Q);
+      const Term *NoSignalPost = Wp.wp(W.W->Body, W.Parent, C.not_(P));
+      const Term *UncondPost = Wp.wp(W.W->Body, W.Parent, P);
+      const Term *Pre = C.and_(W.Guard, C.not_(P));
+      Theta.emplace_back(Pre, NoSignalPost);
+      Theta.emplace_back(Pre, UncondPost);
+    }
+  }
+  // Single-signal triples: {p} Body(w') {not p} per class.
+  for (const auto &QPtr : Sema.Classes) {
+    const PredicateClass &Q = *QPtr;
+    const Term *P = renameClassFresh(C, Q);
+    for (const CcrInfo &W : Sema.Ccrs) {
+      if (W.Class != &Q)
+        continue;
+      const Term *Post = Wp.wp(W.W->Body, W.Parent, C.not_(P));
+      Theta.emplace_back(C.and_(W.Guard, P), Post);
+    }
+  }
+
+  std::set<const Term *> Universe;
+  size_t Queries = 0;
+  for (const auto &[Pre, Goal] : Theta) {
+    if (Queries >= Cfg.MaxAbductionQueries ||
+        Universe.size() >= Cfg.MaxCandidates)
+      break;
+    const Term *VC = logic::simplify(C, C.implies(Pre, Goal));
+    if (VC->isTrue())
+      continue; // already provable without an invariant
+    ++Queries;
+    for (const Term *Psi :
+         abduce(C, Solver, Pre, Goal, Vocab, Cfg.Abduction)) {
+      if (Universe.size() >= Cfg.MaxCandidates)
+        break;
+      Universe.insert(Psi);
+    }
+  }
+  Result.NumCandidates = Universe.size();
+
+  // --- Phase 2: Houdini fixpoint. -----------------------------------------
+  // Initiation is independent of Φ: filter once.
+  const Term *Req = requiresTerm(C, Sema);
+  std::vector<const Term *> Phi;
+  for (const Term *Psi : Universe) {
+    const Term *InitVc =
+        logic::simplify(C, C.implies(Req, Wp.wpConstructor(Psi)));
+    if (Solver.isValid(InitVc))
+      Phi.push_back(Psi);
+  }
+
+  for (;;) {
+    ++Result.NumIterations;
+    const Term *I = C.and_(Phi);
+    std::vector<const Term *> Survivors;
+    for (const Term *Psi : Phi) {
+      bool Preserved = true;
+      for (const CcrInfo &W : Sema.Ccrs) {
+        HoareTriple T;
+        T.Pre = C.and_(I, W.Guard);
+        T.Body = W.W->Body;
+        T.InMethod = W.Parent;
+        T.Post = Psi;
+        if (!Checker.proves(T)) {
+          Preserved = false;
+          break;
+        }
+      }
+      if (Preserved)
+        Survivors.push_back(Psi);
+    }
+    bool Stable = Survivors.size() == Phi.size();
+    Phi = std::move(Survivors);
+    if (Stable)
+      break;
+  }
+
+  // Minimize: greedily drop predicates implied by the remaining ones. This
+  // keeps the invariant presentable (e.g. plain `readers >= 0` for the
+  // readers-writers monitor) without weakening it.
+  for (size_t I = 0; I < Phi.size();) {
+    std::vector<const Term *> Others;
+    for (size_t K = 0; K < Phi.size(); ++K)
+      if (K != I)
+        Others.push_back(Phi[K]);
+    const Term *Rest = C.and_(Others);
+    if (Solver.isValid(C.implies(Rest, Phi[I]))) {
+      Phi.erase(Phi.begin() + static_cast<long>(I));
+      continue;
+    }
+    ++I;
+  }
+
+  Result.Predicates = Phi;
+  Result.Invariant = logic::simplify(C, C.and_(Phi));
+  return Result;
+}

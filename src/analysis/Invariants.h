@@ -1,0 +1,68 @@
+//===- analysis/Invariants.h - Monitor invariant inference ------*- C++ -*-===//
+//
+// Part of expresso-cpp, a reproduction of "Symbolic Reasoning for Automatic
+// Signal Placement" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Algorithm 2 (InferMonitorInv): property-directed inference of monitor
+/// invariants — assertions that hold whenever a thread enters or exits the
+/// monitor.
+///
+/// Phase 1 runs abduction on every Hoare triple the placement algorithm
+/// would generate with I = true, producing a candidate universe Φ.
+/// Phase 2 is a Houdini-style fixpoint (monomial predicate abstraction over
+/// the abduced predicates): drop every ψ ∈ Φ that fails initiation
+/// ({requires} Ctr(M) {ψ}) or consecution ({∧Φ ∧ Guard(w)} Body(w) {ψ});
+/// repeat until stable. The conjunction of survivors is a valid monitor
+/// invariant by construction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXPRESSO_ANALYSIS_INVARIANTS_H
+#define EXPRESSO_ANALYSIS_INVARIANTS_H
+
+#include "analysis/Abduction.h"
+#include "analysis/Hoare.h"
+#include "frontend/Sema.h"
+
+#include <vector>
+
+namespace expresso {
+namespace analysis {
+
+struct InvariantConfig {
+  AbductionConfig Abduction;
+  /// Cap on total abduction queries (one per failing triple).
+  size_t MaxAbductionQueries = 64;
+  /// Cap on the candidate universe |Φ|.
+  size_t MaxCandidates = 48;
+};
+
+/// Result of invariant inference with simple provenance for tests/benches.
+struct InvariantResult {
+  const logic::Term *Invariant = nullptr; ///< Conjunction of survivors.
+  std::vector<const logic::Term *> Predicates; ///< Surviving ψ's.
+  size_t NumCandidates = 0; ///< |Φ| before the fixpoint.
+  size_t NumIterations = 0; ///< Fixpoint rounds.
+};
+
+/// Runs Algorithm 2 for monitor \p Sema. The triples in Θ are exactly those
+/// of PlaceSignals with I = true (no-signal, unconditionality, and
+/// single-signal checks).
+InvariantResult inferMonitorInvariant(logic::TermContext &C,
+                                      const frontend::SemaInfo &Sema,
+                                      solver::SmtSolver &Solver,
+                                      const InvariantConfig &Cfg =
+                                          InvariantConfig());
+
+/// Verifies that \p I is a valid monitor invariant (initiation +
+/// consecution). Exposed for tests and for user-supplied invariants.
+bool isMonitorInvariant(logic::TermContext &C, const frontend::SemaInfo &Sema,
+                        solver::SmtSolver &Solver, const logic::Term *I);
+
+} // namespace analysis
+} // namespace expresso
+
+#endif // EXPRESSO_ANALYSIS_INVARIANTS_H

@@ -1,0 +1,176 @@
+//===- analysis/Wp.cpp - Weakest preconditions ----------------------------------===//
+//
+// Part of expresso-cpp, a reproduction of "Symbolic Reasoning for Automatic
+// Signal Placement" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Wp.h"
+
+#include "support/Casting.h"
+
+using namespace expresso;
+using namespace expresso::analysis;
+using namespace expresso::frontend;
+using logic::Substitution;
+using logic::Term;
+
+const Term *WpEngine::lower(const Expr *E, const Method *InMethod,
+                            const Substitution *LocalRename) {
+  const Term *T = Sema.lowerExpr(E, InMethod);
+  if (LocalRename && !LocalRename->empty())
+    T = logic::substitute(C, T, *LocalRename);
+  return T;
+}
+
+const Term *WpEngine::targetVar(const std::string &Name,
+                                const Method *InMethod,
+                                const Substitution *LocalRename) {
+  const Term *V = nullptr;
+  if (InMethod)
+    V = Sema.localVar(*InMethod, Name);
+  if (!V)
+    V = Sema.fieldVar(Name);
+  if (LocalRename) {
+    auto It = LocalRename->find(V);
+    if (It != LocalRename->end())
+      V = It->second;
+  }
+  return V;
+}
+
+const Term *WpEngine::wp(const Stmt *S, const Method *InMethod, const Term *Q,
+                         const Substitution *LocalRename) {
+  switch (S->kind()) {
+  case Stmt::Kind::Skip:
+    return Q;
+  case Stmt::Kind::Assign: {
+    const auto *A = cast<AssignStmt>(S);
+    const Term *V = targetVar(A->target(), InMethod, LocalRename);
+    const Term *E = lower(A->value(), InMethod, LocalRename);
+    return logic::substitute(C, Q, V, E);
+  }
+  case Stmt::Kind::Store: {
+    const auto *St = cast<StoreStmt>(S);
+    const Term *Arr = Sema.fieldVar(St->array());
+    const Term *Idx = lower(St->index(), InMethod, LocalRename);
+    const Term *Val = lower(St->value(), InMethod, LocalRename);
+    return logic::substitute(C, Q, Arr, C.store(Arr, Idx, Val));
+  }
+  case Stmt::Kind::Seq: {
+    const auto &Stmts = cast<SeqStmt>(S)->stmts();
+    const Term *Cur = Q;
+    for (auto It = Stmts.rbegin(); It != Stmts.rend(); ++It)
+      Cur = wp(*It, InMethod, Cur, LocalRename);
+    return Cur;
+  }
+  case Stmt::Kind::If: {
+    const auto *I = cast<IfStmt>(S);
+    const Term *Cond = lower(I->cond(), InMethod, LocalRename);
+    const Term *ThenWp = wp(I->thenStmt(), InMethod, Q, LocalRename);
+    const Term *ElseWp = wp(I->elseStmt(), InMethod, Q, LocalRename);
+    return C.and_(C.implies(Cond, ThenWp), C.implies(C.not_(Cond), ElseWp));
+  }
+  case Stmt::Kind::While: {
+    // havoc(modified); assume(!cond): rename modified vars fresh in
+    // (!cond => Q). The fresh variables are implicitly universally
+    // quantified — free fresh variables on the consequent side of a
+    // validity check mean exactly that.
+    const auto *W = cast<WhileStmt>(S);
+    Substitution Havoc;
+    for (const Term *V : modifiedVars(W->body(), InMethod, LocalRename))
+      Havoc.emplace(V, C.freshVar(V->varName() + "!havoc", V->sort()));
+    const Term *Cond = lower(W->cond(), InMethod, LocalRename);
+    const Term *Exit = C.implies(C.not_(Cond), Q);
+    return logic::substitute(C, Exit, Havoc);
+  }
+  case Stmt::Kind::LocalDecl: {
+    const auto *L = cast<LocalDeclStmt>(S);
+    const Term *V = targetVar(L->name(), InMethod, LocalRename);
+    const Term *E = lower(L->init(), InMethod, LocalRename);
+    return logic::substitute(C, Q, V, E);
+  }
+  }
+  return Q;
+}
+
+std::set<const Term *> WpEngine::modifiedVars(const Stmt *S,
+                                              const Method *InMethod,
+                                              const Substitution *LocalRename) {
+  std::set<const Term *> Result;
+  switch (S->kind()) {
+  case Stmt::Kind::Skip:
+    break;
+  case Stmt::Kind::Assign:
+    Result.insert(
+        targetVar(cast<AssignStmt>(S)->target(), InMethod, LocalRename));
+    break;
+  case Stmt::Kind::Store:
+    Result.insert(Sema.fieldVar(cast<StoreStmt>(S)->array()));
+    break;
+  case Stmt::Kind::Seq:
+    for (const Stmt *Sub : cast<SeqStmt>(S)->stmts()) {
+      auto Sub2 = modifiedVars(Sub, InMethod, LocalRename);
+      Result.insert(Sub2.begin(), Sub2.end());
+    }
+    break;
+  case Stmt::Kind::If: {
+    const auto *I = cast<IfStmt>(S);
+    auto T = modifiedVars(I->thenStmt(), InMethod, LocalRename);
+    auto E = modifiedVars(I->elseStmt(), InMethod, LocalRename);
+    Result.insert(T.begin(), T.end());
+    Result.insert(E.begin(), E.end());
+    break;
+  }
+  case Stmt::Kind::While: {
+    auto B = modifiedVars(cast<WhileStmt>(S)->body(), InMethod, LocalRename);
+    Result.insert(B.begin(), B.end());
+    break;
+  }
+  case Stmt::Kind::LocalDecl:
+    Result.insert(
+        targetVar(cast<LocalDeclStmt>(S)->name(), InMethod, LocalRename));
+    break;
+  }
+  return Result;
+}
+
+const Term *WpEngine::wpConstructor(const Term *Q) {
+  // The constructor model, in execution order:
+  //   1. every non-const field gets its declared initializer, or the
+  //      default (0 / false / empty array);
+  //   2. const fields with initializers get them; const fields without
+  //      stay symbolic (configuration values constrained by `requires`);
+  //   3. the init block runs.
+  // wp is computed backwards.
+  const Term *Cur = Q;
+  if (Sema.M->InitBody)
+    Cur = wp(Sema.M->InitBody, nullptr, Cur);
+  for (auto It = Sema.M->Fields.rbegin(); It != Sema.M->Fields.rend(); ++It) {
+    const frontend::Field &F = *It;
+    const Term *V = Sema.fieldVar(F.Name);
+    if (F.Init) {
+      const Term *InitVal = Sema.lowerExpr(F.Init, nullptr);
+      Cur = logic::substitute(C, Cur, V, InitVal);
+      continue;
+    }
+    if (F.IsConst)
+      continue; // configuration: stays symbolic
+    switch (F.Type) {
+    case frontend::TypeKind::Int:
+      Cur = logic::substitute(C, Cur, V, C.getZero());
+      break;
+    case frontend::TypeKind::Bool:
+      Cur = logic::substitute(C, Cur, V, C.getFalse());
+      break;
+    case frontend::TypeKind::IntArray:
+    case frontend::TypeKind::BoolArray:
+      // Arrays start all-default; model as a fresh symbolic array (sound
+      // over-approximation of the all-zero array).
+      Cur = logic::substitute(C, Cur, V,
+                              C.freshVar(F.Name + "!init", V->sort()));
+      break;
+    }
+  }
+  return Cur;
+}

@@ -1,0 +1,82 @@
+//===- analysis/Wp.h - Weakest preconditions --------------------*- C++ -*-===//
+//
+// Part of expresso-cpp, a reproduction of "Symbolic Reasoning for Automatic
+// Signal Placement" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Weakest-precondition computation over monitor statements, the engine
+/// behind every Hoare triple in the paper ("Expresso discharges any Hoare
+/// triple {P} s {Q} by computing the weakest precondition of Q with respect
+/// to s and performing a validity check", §6).
+///
+/// Rules:
+///   wp(skip, Q)        = Q
+///   wp(x = e, Q)       = Q[e/x]
+///   wp(a[i] = e, Q)    = Q[store(a,i,e)/a]     (selects push through stores)
+///   wp(s1; s2, Q)      = wp(s1, wp(s2, Q))
+///   wp(if c s1 s2, Q)  = (c => wp(s1,Q)) and (!c => wp(s2,Q))
+///   wp(while c s, Q)   = (!c => Q)[fresh/modified(s)]
+///
+/// The while rule is the sound `havoc; assume !c` over-approximation: any
+/// terminating loop execution ends in a state with !c and arbitrary values
+/// for modified variables. Because every placement check treats validity as
+/// a license to optimize, over-approximation can only cost extra signals,
+/// never correctness (paper §9's conservative posture).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXPRESSO_ANALYSIS_WP_H
+#define EXPRESSO_ANALYSIS_WP_H
+
+#include "frontend/Sema.h"
+#include "logic/TermOps.h"
+
+#include <set>
+
+namespace expresso {
+namespace analysis {
+
+/// Weakest-precondition engine bound to one analyzed monitor.
+class WpEngine {
+public:
+  WpEngine(logic::TermContext &C, const frontend::SemaInfo &Sema)
+      : C(C), Sema(Sema) {}
+
+  /// Weakest precondition of \p Q with respect to \p S, which executes in
+  /// the scope of \p InMethod (null for the init block). If \p LocalRename
+  /// is non-null, thread-local variables read or written by \p S are renamed
+  /// through it first — used when the executing thread is *not* the one
+  /// whose locals appear in Q (Section 4.2 / Equation 2 of the paper).
+  const logic::Term *wp(const frontend::Stmt *S,
+                        const frontend::Method *InMethod,
+                        const logic::Term *Q,
+                        const logic::Substitution *LocalRename = nullptr);
+
+  /// The variables (lowered) that \p S may modify, after renaming.
+  std::set<const logic::Term *>
+  modifiedVars(const frontend::Stmt *S, const frontend::Method *InMethod,
+               const logic::Substitution *LocalRename = nullptr);
+
+  /// wp over the whole constructor: declared field initializers (defaults
+  /// for non-const uninitialized fields), then the init block. Const fields
+  /// without initializers stay symbolic (they are configuration).
+  const logic::Term *wpConstructor(const logic::Term *Q);
+
+private:
+  const logic::Term *lower(const frontend::Expr *E,
+                           const frontend::Method *InMethod,
+                           const logic::Substitution *LocalRename);
+  const logic::Term *targetVar(const std::string &Name,
+                               const frontend::Method *InMethod,
+                               const logic::Substitution *LocalRename);
+
+  logic::TermContext &C;
+  const frontend::SemaInfo &Sema;
+};
+
+} // namespace analysis
+} // namespace expresso
+
+#endif // EXPRESSO_ANALYSIS_WP_H

@@ -1,0 +1,241 @@
+//===- bench/Harness.cpp - Saturation-test harness ------------------------------===//
+//
+// Part of expresso-cpp, a reproduction of "Symbolic Reasoning for Automatic
+// Signal Placement" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/Harness.h"
+
+#include "frontend/Parser.h"
+#include "logic/Printer.h"
+#include "support/Timer.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+using namespace expresso;
+using namespace expresso::bench;
+using namespace expresso::runtime;
+
+const char *bench::engineKindName(EngineKind K) {
+  switch (K) {
+  case EngineKind::Expresso:
+    return "expresso";
+  case EngineKind::AutoSynch:
+    return "autosynch";
+  case EngineKind::Explicit:
+    return "explicit";
+  case EngineKind::Naive:
+    return "naive";
+  }
+  return "?";
+}
+
+HarnessOptions HarnessOptions::fromArgs(int Argc, char **Argv) {
+  HarnessOptions Opts;
+  for (int I = 1; I < Argc; ++I) {
+    const char *Arg = Argv[I];
+    if (std::strcmp(Arg, "--quick") == 0) {
+      Opts.Quick = true;
+      Opts.TargetTotalCycles = 3000;
+      Opts.MaxThreads = 16;
+    } else if (std::strncmp(Arg, "--cycles=", 9) == 0) {
+      Opts.TargetTotalCycles = static_cast<unsigned>(std::atoi(Arg + 9));
+    } else if (std::strncmp(Arg, "--max-threads=", 14) == 0) {
+      Opts.MaxThreads = static_cast<unsigned>(std::atoi(Arg + 14));
+    } else if (std::strncmp(Arg, "--reps=", 7) == 0) {
+      Opts.Repetitions = static_cast<unsigned>(std::atoi(Arg + 7));
+    } else if (std::strcmp(Arg, "--naive") == 0) {
+      Opts.IncludeNaive = true;
+    } else if (std::strcmp(Arg, "--no-lazy-broadcast") == 0) {
+      Opts.Placement.LazyBroadcast = false;
+    } else if (std::strcmp(Arg, "--no-invariant") == 0) {
+      Opts.Placement.UseInvariant = false;
+    } else if (std::strcmp(Arg, "--no-commutativity") == 0) {
+      Opts.Placement.UseCommutativity = false;
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", Arg);
+    }
+  }
+  return Opts;
+}
+
+BenchContext::BenchContext(const BenchmarkDef &Def,
+                           const core::PlacementOptions &Opts)
+    : Def(Def) {
+  WallTimer Timer;
+  DiagnosticEngine Diags;
+  M = frontend::parseMonitor(Def.Source, Diags);
+  if (!M) {
+    std::fprintf(stderr, "benchmark %s failed to parse:\n%s\n",
+                 Def.Name.c_str(), Diags.str().c_str());
+    std::abort();
+  }
+  Sema = frontend::analyze(*M, C, Diags);
+  if (!Sema) {
+    std::fprintf(stderr, "benchmark %s failed sema:\n%s\n", Def.Name.c_str(),
+                 Diags.str().c_str());
+    std::abort();
+  }
+  Solver = solver::createSolver(solver::SolverKind::Default, C);
+  Placement = core::placeSignals(C, *Sema, *Solver, Opts);
+  AnalysisSeconds = Timer.elapsedSeconds();
+  ExpressoPlan = SignalPlan::fromPlacement(Placement);
+  GoldPlan = Def.GoldPlan(*Sema);
+  GoldPlan.LazyBroadcast = Opts.LazyBroadcast;
+}
+
+std::unique_ptr<MonitorEngine> BenchContext::makeEngine(EngineKind Kind,
+                                                        unsigned Threads) const {
+  logic::Assignment Config = Def.Config(Threads);
+  switch (Kind) {
+  case EngineKind::Expresso:
+    return createExplicitEngine(*Sema, ExpressoPlan, Config);
+  case EngineKind::Explicit:
+    return createExplicitEngine(*Sema, GoldPlan, Config);
+  case EngineKind::AutoSynch:
+    return createAutoSynchEngine(*Sema, Config);
+  case EngineKind::Naive:
+    return createNaiveEngine(*Sema, Config);
+  }
+  return nullptr;
+}
+
+CellResult bench::runCell(const BenchmarkDef &Def, const BenchContext &Ctx,
+                          EngineKind Kind, unsigned Threads,
+                          const HarnessOptions &Opts) {
+  unsigned Cycles = std::max(Opts.MinCyclesPerThread,
+                             Opts.TargetTotalCycles / std::max(1u, Threads));
+  CellResult Best;
+  Best.MsPerOp = -1;
+
+  for (unsigned Rep = 0; Rep < std::max(1u, Opts.Repetitions); ++Rep) {
+    auto Engine = Ctx.makeEngine(Kind, Threads);
+    std::atomic<unsigned> Ready{0};
+    std::atomic<bool> Go{false};
+    std::atomic<bool> Done{false};
+
+    std::vector<std::thread> Workers;
+    Workers.reserve(Threads);
+    for (unsigned T = 0; T < Threads; ++T) {
+      Workers.emplace_back([&, T] {
+        Ready.fetch_add(1);
+        while (!Go.load(std::memory_order_acquire))
+          std::this_thread::yield();
+        Def.Worker(*Engine, T, Threads, Cycles);
+      });
+    }
+    while (Ready.load() != Threads)
+      std::this_thread::yield();
+
+    // Watchdog: abort with a diagnostic if the monitor stops progressing.
+    std::thread Watchdog([&] {
+      uint64_t LastCalls = 0;
+      int Stalls = 0;
+      while (!Done.load()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(500));
+        if (Done.load())
+          return;
+        uint64_t Calls = Engine->stats().Calls;
+        if (Calls == LastCalls) {
+          if (++Stalls >= 40) {
+            std::fprintf(stderr,
+                         "DEADLOCK suspected: %s / %s / %u threads stuck at "
+                         "%llu calls\n",
+                         Def.Name.c_str(), engineKindName(Kind), Threads,
+                         static_cast<unsigned long long>(Calls));
+            std::abort();
+          }
+        } else {
+          Stalls = 0;
+          LastCalls = Calls;
+        }
+      }
+    });
+
+    WallTimer Timer;
+    Go.store(true, std::memory_order_release);
+    for (std::thread &W : Workers)
+      W.join();
+    double ElapsedMs = Timer.elapsedMillis();
+    Done.store(true);
+    Watchdog.join();
+
+    CellResult R;
+    R.Stats = Engine->stats();
+    R.TotalOps = R.Stats.Calls;
+    // JMH-style average time per operation under N threads.
+    R.MsPerOp = ElapsedMs * Threads / static_cast<double>(R.TotalOps);
+    R.StateOk = !Def.FinalStateOk || Def.FinalStateOk(Engine->snapshot());
+    if (!R.StateOk) {
+      std::fprintf(stderr, "FINAL STATE CHECK FAILED: %s / %s / %u threads\n",
+                   Def.Name.c_str(), engineKindName(Kind), Threads);
+    }
+    if (Best.MsPerOp < 0 || R.MsPerOp < Best.MsPerOp)
+      Best = R;
+  }
+  return Best;
+}
+
+int bench::figureMain(const std::string &BenchName, int Argc, char **Argv) {
+  const BenchmarkDef *Def = findBenchmark(BenchName);
+  if (!Def) {
+    std::fprintf(stderr, "unknown benchmark: %s\n", BenchName.c_str());
+    return 1;
+  }
+  HarnessOptions Opts = HarnessOptions::fromArgs(Argc, Argv);
+  BenchContext Ctx(*Def, Opts.Placement);
+
+  std::printf("# %s (%s) — %s\n", Def->Name.c_str(), Def->Figure.c_str(),
+              Def->Origin.c_str());
+  std::printf("# ms/op (avg time per monitor operation, JMH-style), lower "
+              "is better\n");
+  std::printf("# invariant: %s\n",
+              logic::printTerm(Ctx.placement().Invariant).c_str());
+  std::printf("# plan: %zu signals, %zu broadcasts, analysis %.2fs\n",
+              runtime::SignalPlan::fromPlacement(Ctx.placement()).numSignals(),
+              runtime::SignalPlan::fromPlacement(Ctx.placement())
+                  .numBroadcasts(),
+              Ctx.analysisSeconds());
+  std::printf("%-8s %12s %12s %12s%s\n", "threads", "expresso", "autosynch",
+              "explicit", Opts.IncludeNaive ? "        naive" : "");
+
+  std::vector<EngineKind> Kinds = {EngineKind::Expresso, EngineKind::AutoSynch,
+                                   EngineKind::Explicit};
+  if (Opts.IncludeNaive)
+    Kinds.push_back(EngineKind::Naive);
+
+  for (unsigned Threads : Def->ThreadCounts) {
+    if (Opts.MaxThreads && Threads > Opts.MaxThreads)
+      continue;
+    std::printf("%-8u", Threads);
+    for (EngineKind Kind : Kinds) {
+      CellResult R = runCell(*Def, Ctx, Kind, Threads, Opts);
+      std::printf(" %12.5f", R.MsPerOp);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int bench::tableMain(int Argc, char **Argv) {
+  HarnessOptions Opts = HarnessOptions::fromArgs(Argc, Argv);
+  std::printf("# Table 1: compilation (analysis) time per benchmark\n");
+  std::printf("%-28s %12s %10s %12s %12s\n", "benchmark", "time (sec)",
+              "#checks", "signals", "broadcasts");
+  for (const BenchmarkDef &Def : allBenchmarks()) {
+    BenchContext Ctx(Def, Opts.Placement);
+    const core::PlacementStats &S = Ctx.placement().Stats;
+    std::printf("%-28s %12.2f %10zu %12zu %12zu\n", Def.Name.c_str(),
+                Ctx.analysisSeconds(), S.HoareChecks, S.Signals,
+                S.Broadcasts);
+    std::fflush(stdout);
+  }
+  return 0;
+}

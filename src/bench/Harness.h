@@ -1,0 +1,99 @@
+//===- bench/Harness.h - Saturation-test harness ----------------*- C++ -*-===//
+//
+// Part of expresso-cpp, a reproduction of "Symbolic Reasoning for Automatic
+// Signal Placement" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduces the paper's measurement methodology (§7): saturation tests in
+/// which threads only access the monitor, one series per signaling engine,
+/// ms/op on the y-axis and thread count on the x-axis. Each fig8_*/fig9_*
+/// binary calls figureMain() with its benchmark name and prints one row per
+/// thread count with expresso / autosynch / explicit columns — the same
+/// series as the paper's Figures 8 and 9.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXPRESSO_BENCH_HARNESS_H
+#define EXPRESSO_BENCH_HARNESS_H
+
+#include "bench/Workloads.h"
+#include "core/SignalPlacement.h"
+
+#include <iosfwd>
+#include <memory>
+#include <optional>
+
+namespace expresso {
+namespace bench {
+
+/// Which signaling strategy to run on the shared substrate.
+enum class EngineKind { Expresso, AutoSynch, Explicit, Naive };
+
+const char *engineKindName(EngineKind K);
+
+/// Command-line options shared by all bench binaries.
+struct HarnessOptions {
+  /// Total operation cycles across all threads (split per thread).
+  unsigned TargetTotalCycles = 20000;
+  unsigned MinCyclesPerThread = 8;
+  unsigned MaxThreads = 0;  ///< 0 = benchmark's full series
+  unsigned Repetitions = 1; ///< best-of-N timing
+  bool Quick = false;       ///< --quick: fewer cycles, capped threads
+  bool IncludeNaive = false;///< add the naive-broadcast series
+  core::PlacementOptions Placement;
+
+  static HarnessOptions fromArgs(int Argc, char **Argv);
+};
+
+/// A compiled benchmark: parsed monitor, sema, placement, and both plans.
+class BenchContext {
+public:
+  BenchContext(const BenchmarkDef &Def, const core::PlacementOptions &Opts);
+
+  std::unique_ptr<runtime::MonitorEngine> makeEngine(EngineKind Kind,
+                                                     unsigned Threads) const;
+
+  const core::PlacementResult &placement() const { return Placement; }
+  /// Wall-clock seconds for the full static pipeline (Table 1's metric).
+  double analysisSeconds() const { return AnalysisSeconds; }
+  const frontend::SemaInfo &sema() const { return *Sema; }
+
+private:
+  const BenchmarkDef &Def;
+  logic::TermContext C;
+  std::unique_ptr<frontend::Monitor> M;
+  std::unique_ptr<frontend::SemaInfo> Sema;
+  std::unique_ptr<solver::SmtSolver> Solver;
+  core::PlacementResult Placement;
+  runtime::SignalPlan ExpressoPlan;
+  runtime::SignalPlan GoldPlan;
+  double AnalysisSeconds = 0;
+};
+
+/// One measured cell of a figure.
+struct CellResult {
+  double MsPerOp = 0;
+  uint64_t TotalOps = 0;
+  runtime::EngineStats Stats;
+  bool StateOk = true;
+};
+
+/// Runs one (engine, thread-count) cell. Aborts with a diagnostic if the
+/// monitor stops making progress (watchdog).
+CellResult runCell(const BenchmarkDef &Def, const BenchContext &Ctx,
+                   EngineKind Kind, unsigned Threads,
+                   const HarnessOptions &Opts);
+
+/// Entry point for fig8_* / fig9_* binaries: prints the paper-style series
+/// for \p BenchName. Returns a process exit code.
+int figureMain(const std::string &BenchName, int Argc, char **Argv);
+
+/// Entry point for the Table-1 binary: per-benchmark analysis time.
+int tableMain(int Argc, char **Argv);
+
+} // namespace bench
+} // namespace expresso
+
+#endif // EXPRESSO_BENCH_HARNESS_H

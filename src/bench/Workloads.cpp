@@ -1,0 +1,667 @@
+//===- bench/Workloads.cpp - The paper's 14 evaluation monitors ----------------===//
+//
+// Part of expresso-cpp, a reproduction of "Symbolic Reasoning for Automatic
+// Signal Placement" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/Workloads.h"
+
+#include <cassert>
+
+using namespace expresso;
+using namespace expresso::bench;
+using namespace expresso::runtime;
+using logic::Assignment;
+using logic::Value;
+
+namespace {
+
+Assignment noConfig(unsigned) { return {}; }
+
+/// Fixed-capacity configuration helper.
+std::function<Assignment(unsigned)> intConfig(const char *Name, int64_t V) {
+  std::string N = Name;
+  return [N, V](unsigned) {
+    Assignment A;
+    A[N] = Value::ofInt(V);
+    return A;
+  };
+}
+
+const std::vector<unsigned> Pow2Counts = {2, 4, 8, 16, 32, 64, 128};
+const std::vector<unsigned> TriadCounts = {3, 6, 9, 18, 33, 66, 129};
+
+std::vector<BenchmarkDef> buildAll() {
+  std::vector<BenchmarkDef> Defs;
+
+  //===------------------------------------------------------------------===//
+  // Figure 8: AutoSynch-suite benchmarks + the motivating example.
+  //===------------------------------------------------------------------===//
+
+  // --- BoundedBuffer -----------------------------------------------------
+  {
+    BenchmarkDef D;
+    D.Name = "BoundedBuffer";
+    D.Figure = "fig8";
+    D.Origin = "AutoSynch suite";
+    D.Source = R"(
+monitor BoundedBuffer {
+  const int capacity;
+  int count = 0;
+  requires capacity > 0;
+  void put()  { waituntil (count < capacity) { count++; } }
+  void take() { waituntil (count > 0) { count--; } }
+}
+)";
+    D.Config = intConfig("capacity", 64);
+    D.ThreadCounts = Pow2Counts;
+    D.Worker = [](MonitorEngine &E, unsigned, unsigned, unsigned Ops) {
+      for (unsigned I = 0; I < Ops; ++I) {
+        E.call("put");
+        E.call("take");
+      }
+    };
+    D.GoldPlan = [](const frontend::SemaInfo &S) {
+      return SignalPlanBuilder(S)
+          .notify("put", 0, "take", 0, /*Conditional=*/false, /*Broadcast=*/false)
+          .notify("take", 0, "put", 0, false, false)
+          .build();
+    };
+    D.FinalStateOk = [](const Assignment &A) {
+      return A.at("count").asInt() == 0;
+    };
+    Defs.push_back(std::move(D));
+  }
+
+  // --- H2O Barrier ---------------------------------------------------------
+  {
+    BenchmarkDef D;
+    D.Name = "H2OBarrier";
+    D.Figure = "fig8";
+    D.Origin = "AutoSynch suite";
+    // A bounded hydrogen pool: hydrogens deposit into a pool of capacity
+    // maxPool, each oxygen withdraws a pair. (The classic unbounded
+    // formulation can strand the final oxygen under a fixed per-thread op
+    // budget — this bounded variant keeps both directions of blocking while
+    // guaranteeing balanced runs terminate.)
+    D.Source = R"(
+monitor H2OBarrier {
+  const int maxPool;
+  int hAvail = 0;
+  requires maxPool >= 2;
+  void hydrogen() { waituntil (hAvail < maxPool) { hAvail++; } }
+  void oxygen()   { waituntil (hAvail >= 2) { hAvail = hAvail - 2; } }
+}
+)";
+    D.Config = intConfig("maxPool", 8);
+    D.ThreadCounts = TriadCounts;
+    D.Worker = [](MonitorEngine &E, unsigned Idx, unsigned, unsigned Ops) {
+      bool IsOxygen = Idx % 3 == 0;
+      for (unsigned I = 0; I < Ops; ++I)
+        E.call(IsOxygen ? "oxygen" : "hydrogen");
+    };
+    D.GoldPlan = [](const frontend::SemaInfo &S) {
+      return SignalPlanBuilder(S)
+          // A new hydrogen may complete an oxygen's pair.
+          .notify("hydrogen", 0, "oxygen", 0, true, false)
+          // Withdrawing a pair frees two pool slots.
+          .notify("oxygen", 0, "hydrogen", 0, true, true)
+          .build();
+    };
+    D.FinalStateOk = [](const Assignment &A) {
+      return A.at("hAvail").asInt() == 0;
+    };
+    Defs.push_back(std::move(D));
+  }
+
+  // --- Sleeping Barber -----------------------------------------------------
+  {
+    BenchmarkDef D;
+    D.Name = "SleepingBarber";
+    D.Figure = "fig8";
+    D.Origin = "AutoSynch suite";
+    D.Source = R"(
+monitor SleepingBarber {
+  const int chairs;
+  int waiting = 0;
+  int available = 0;
+  requires chairs > 0;
+  void customer() {
+    waituntil (waiting < chairs) { waiting++; }
+    waituntil (available > 0) { available--; }
+  }
+  void barber() {
+    waituntil (waiting > 0) { waiting--; available++; }
+  }
+}
+)";
+    D.Config = intConfig("chairs", 8);
+    D.ThreadCounts = Pow2Counts;
+    D.Worker = [](MonitorEngine &E, unsigned Idx, unsigned, unsigned Ops) {
+      bool IsBarber = Idx % 2 == 0;
+      for (unsigned I = 0; I < Ops; ++I)
+        E.call(IsBarber ? "barber" : "customer");
+    };
+    D.GoldPlan = [](const frontend::SemaInfo &S) {
+      return SignalPlanBuilder(S)
+          .notify("customer", 0, "barber", 0, false, false)
+          .notify("barber", 0, "customer", 0, false, false)
+          .notify("barber", 0, "customer", 1, false, false)
+          .build();
+    };
+    D.FinalStateOk = [](const Assignment &A) {
+      return A.at("waiting").asInt() == 0 && A.at("available").asInt() == 0;
+    };
+    Defs.push_back(std::move(D));
+  }
+
+  // --- Round Robin -----------------------------------------------------------
+  {
+    BenchmarkDef D;
+    D.Name = "RoundRobin";
+    D.Figure = "fig8";
+    D.Origin = "AutoSynch suite";
+    D.Source = R"(
+monitor RoundRobin {
+  const int n;
+  int turn = 0;
+  requires n > 0;
+  void access(int id) {
+    waituntil (turn == id) {
+      turn = turn + 1;
+      if (turn == n) turn = 0;
+    }
+  }
+}
+)";
+    D.Config = [](unsigned Threads) {
+      Assignment A;
+      A["n"] = Value::ofInt(Threads);
+      return A;
+    };
+    D.ThreadCounts = Pow2Counts;
+    D.Worker = [](MonitorEngine &E, unsigned Idx, unsigned, unsigned Ops) {
+      Assignment L;
+      L["id"] = Value::ofInt(Idx);
+      for (unsigned I = 0; I < Ops; ++I)
+        E.call("access", L);
+    };
+    D.GoldPlan = [](const frontend::SemaInfo &S) {
+      // The expert wakes exactly the successor: conditional single signal.
+      return SignalPlanBuilder(S)
+          .notify("access", 0, "access", 0, true, false)
+          .build();
+    };
+    D.FinalStateOk = [](const Assignment &A) {
+      return A.at("turn").asInt() == 0;
+    };
+    Defs.push_back(std::move(D));
+  }
+
+  // --- Ticketed Readers-Writers ---------------------------------------------
+  {
+    BenchmarkDef D;
+    D.Name = "TicketedRW";
+    D.Figure = "fig8";
+    D.Origin = "AutoSynch suite";
+    D.Source = R"(
+monitor TicketedRW {
+  int nextTicket = 0;
+  int nowServing = 0;
+  int readers = 0;
+  bool writerIn = false;
+  void enterReader() {
+    int t = nextTicket;
+    nextTicket++;
+    waituntil (nowServing == t && !writerIn) { readers++; nowServing++; }
+  }
+  void exitReader() { if (readers > 0) readers--; }
+  void enterWriter() {
+    int t = nextTicket;
+    nextTicket++;
+    waituntil (nowServing == t && readers == 0 && !writerIn) {
+      writerIn = true;
+      nowServing++;
+    }
+  }
+  void exitWriter() { writerIn = false; }
+}
+)";
+    D.Config = noConfig;
+    D.ThreadCounts = {7, 14, 28, 56, 112}; // paper's 5/2 .. 80/32 mix
+    D.Worker = [](MonitorEngine &E, unsigned Idx, unsigned, unsigned Ops) {
+      bool IsReader = Idx % 7 < 5;
+      for (unsigned I = 0; I < Ops; ++I) {
+        if (IsReader) {
+          E.call("enterReader");
+          E.call("exitReader");
+        } else {
+          E.call("enterWriter");
+          E.call("exitWriter");
+        }
+      }
+    };
+    D.GoldPlan = [](const frontend::SemaInfo &S) {
+      return SignalPlanBuilder(S)
+          // nowServing++ passes the baton to the next ticket holder.
+          .notify("enterReader", 2, "enterReader", 2, true, false)
+          .notify("enterReader", 2, "enterWriter", 2, true, false)
+          .notify("exitReader", 0, "enterWriter", 2, true, false)
+          .notify("exitWriter", 0, "enterReader", 2, true, false)
+          .notify("exitWriter", 0, "enterWriter", 2, true, false)
+          .build();
+    };
+    D.FinalStateOk = [](const Assignment &A) {
+      return A.at("readers").asInt() == 0 && !A.at("writerIn").asBool() &&
+             A.at("nextTicket").asInt() == A.at("nowServing").asInt();
+    };
+    Defs.push_back(std::move(D));
+  }
+
+  // --- Parameterized Bounded Buffer ------------------------------------------
+  {
+    BenchmarkDef D;
+    D.Name = "ParamBoundedBuffer";
+    D.Figure = "fig8";
+    D.Origin = "AutoSynch suite";
+    D.Source = R"(
+monitor ParamBoundedBuffer {
+  const int capacity;
+  int count = 0;
+  requires capacity > 0;
+  void put(int n)  { waituntil (count + n <= capacity) { count = count + n; } }
+  void take(int n) { waituntil (count >= n) { count = count - n; } }
+}
+)";
+    D.Config = intConfig("capacity", 64);
+    D.ThreadCounts = {4, 8, 16, 32, 64, 128};
+    D.Worker = [](MonitorEngine &E, unsigned Idx, unsigned, unsigned Ops) {
+      Assignment L;
+      L["n"] = Value::ofInt(1 + (Idx % 3));
+      for (unsigned I = 0; I < Ops; ++I) {
+        E.call("put", L);
+        E.call("take", L);
+      }
+    };
+    D.GoldPlan = [](const frontend::SemaInfo &S) {
+      return SignalPlanBuilder(S)
+          .notify("put", 0, "take", 0, true, true)
+          .notify("take", 0, "put", 0, true, true)
+          .build();
+    };
+    D.FinalStateOk = [](const Assignment &A) {
+      return A.at("count").asInt() == 0;
+    };
+    Defs.push_back(std::move(D));
+  }
+
+  // --- Dining Philosophers -----------------------------------------------------
+  {
+    BenchmarkDef D;
+    D.Name = "DiningPhilosophers";
+    D.Figure = "fig8";
+    D.Origin = "AutoSynch suite";
+    D.Source = R"(
+monitor DiningPhilosophers {
+  bool[] forks;
+  void pickup(int left, int right) {
+    waituntil (!forks[left] && !forks[right]) {
+      forks[left] = true;
+      forks[right] = true;
+    }
+  }
+  void putdown(int left, int right) {
+    forks[left] = false;
+    forks[right] = false;
+  }
+}
+)";
+    D.Config = noConfig;
+    D.ThreadCounts = {4, 8, 16, 32, 64, 128};
+    D.Worker = [](MonitorEngine &E, unsigned Idx, unsigned Threads,
+                  unsigned Ops) {
+      Assignment L;
+      L["left"] = Value::ofInt(Idx);
+      L["right"] = Value::ofInt((Idx + 1) % Threads);
+      for (unsigned I = 0; I < Ops; ++I) {
+        E.call("pickup", L);
+        E.call("putdown", L);
+      }
+    };
+    D.GoldPlan = [](const frontend::SemaInfo &S) {
+      // The hand-written code in the paper exploits problem structure; on
+      // this substrate the expert choice is a conditional broadcast (only
+      // neighbours can become eligible). putdown releases the two forks in
+      // two top-level statements (two CCRs), and BOTH must signal: a waiter
+      // may be blocked on exactly the second fork.
+      return SignalPlanBuilder(S)
+          .notify("putdown", 0, "pickup", 0, true, true)
+          .notify("putdown", 1, "pickup", 0, true, true)
+          .build();
+    };
+    D.FinalStateOk = [](const Assignment &A) {
+      for (const auto &[Idx, V] : A.at("forks").A)
+        if (V != 0)
+          return false;
+      return true;
+    };
+    Defs.push_back(std::move(D));
+  }
+
+  // --- Readers-Writers (motivating example) -----------------------------------
+  {
+    BenchmarkDef D;
+    D.Name = "ReadersWriters";
+    D.Figure = "fig8";
+    D.Origin = "paper §2 (Figure 1)";
+    D.Source = R"(
+monitor RWLock {
+  int readers = 0;
+  bool writerIn = false;
+  void enterReader() { waituntil (!writerIn) { readers++; } }
+  void exitReader()  { if (readers > 0) readers--; }
+  void enterWriter() { waituntil (readers == 0 && !writerIn) { writerIn = true; } }
+  void exitWriter()  { writerIn = false; }
+}
+)";
+    D.Config = noConfig;
+    D.ThreadCounts = {12, 24, 48, 96, 192}; // paper's 10/2 .. 160/32 mix
+    D.Worker = [](MonitorEngine &E, unsigned Idx, unsigned, unsigned Ops) {
+      bool IsReader = Idx % 6 < 5;
+      for (unsigned I = 0; I < Ops; ++I) {
+        if (IsReader) {
+          E.call("enterReader");
+          E.call("exitReader");
+        } else {
+          E.call("enterWriter");
+          E.call("exitWriter");
+        }
+      }
+    };
+    D.GoldPlan = [](const frontend::SemaInfo &S) {
+      // Figure 2, verbatim.
+      return SignalPlanBuilder(S)
+          .notify("exitReader", 0, "enterWriter", 0, true, false)
+          .notify("exitWriter", 0, "enterWriter", 0, true, false)
+          .notify("exitWriter", 0, "enterReader", 0, false, true)
+          .build();
+    };
+    D.FinalStateOk = [](const Assignment &A) {
+      return A.at("readers").asInt() == 0 && !A.at("writerIn").asBool();
+    };
+    Defs.push_back(std::move(D));
+  }
+
+  //===------------------------------------------------------------------===//
+  // Figure 9: monitors from popular GitHub projects.
+  //===------------------------------------------------------------------===//
+
+  // --- ConcurrencyThrottle (Spring framework) ---------------------------------
+  {
+    BenchmarkDef D;
+    D.Name = "ConcurrencyThrottle";
+    D.Figure = "fig9";
+    D.Origin = "Spring framework";
+    D.Source = R"(
+monitor ConcurrencyThrottle {
+  const int threadLimit;
+  int threadCount = 0;
+  requires threadLimit > 0;
+  void beforeAccess() {
+    waituntil (threadCount < threadLimit) { threadCount++; }
+  }
+  void afterAccess() { threadCount--; }
+}
+)";
+    D.Config = intConfig("threadLimit", 4);
+    D.ThreadCounts = Pow2Counts;
+    D.Worker = [](MonitorEngine &E, unsigned, unsigned, unsigned Ops) {
+      for (unsigned I = 0; I < Ops; ++I) {
+        E.call("beforeAccess");
+        E.call("afterAccess");
+      }
+    };
+    D.GoldPlan = [](const frontend::SemaInfo &S) {
+      return SignalPlanBuilder(S)
+          .notify("afterAccess", 0, "beforeAccess", 0, false, false)
+          .build();
+    };
+    D.FinalStateOk = [](const Assignment &A) {
+      return A.at("threadCount").asInt() == 0;
+    };
+    Defs.push_back(std::move(D));
+  }
+
+  // --- PendingPostQueue (EventBus) --------------------------------------------
+  {
+    BenchmarkDef D;
+    D.Name = "PendingPostQueue";
+    D.Figure = "fig9";
+    D.Origin = "greenrobot EventBus";
+    D.Source = R"(
+monitor PendingPostQueue {
+  int size = 0;
+  void enqueue() { size++; }
+  void poll()    { waituntil (size > 0) { size--; } }
+}
+)";
+    D.Config = noConfig;
+    D.ThreadCounts = TriadCounts;
+    D.Worker = [](MonitorEngine &E, unsigned, unsigned, unsigned Ops) {
+      for (unsigned I = 0; I < Ops; ++I) {
+        E.call("enqueue");
+        E.call("poll");
+      }
+    };
+    D.GoldPlan = [](const frontend::SemaInfo &S) {
+      return SignalPlanBuilder(S)
+          .notify("enqueue", 0, "poll", 0, false, false)
+          .build();
+    };
+    D.FinalStateOk = [](const Assignment &A) {
+      return A.at("size").asInt() == 0;
+    };
+    Defs.push_back(std::move(D));
+  }
+
+  // --- AsyncDispatch (Gradle) ---------------------------------------------------
+  {
+    BenchmarkDef D;
+    D.Name = "AsyncDispatch";
+    D.Figure = "fig9";
+    D.Origin = "Gradle";
+    D.Source = R"(
+monitor AsyncDispatch {
+  const int maxQueueSize;
+  int size = 0;
+  bool stopped = false;
+  requires maxQueueSize > 0;
+  void dispatch() {
+    waituntil (size < maxQueueSize || stopped) {
+      if (!stopped) size++;
+    }
+  }
+  void take() {
+    waituntil (size > 0 || stopped) {
+      if (size > 0) size--;
+    }
+  }
+  void stop() { stopped = true; }
+}
+)";
+    D.Config = intConfig("maxQueueSize", 4);
+    D.ThreadCounts = Pow2Counts;
+    D.Worker = [](MonitorEngine &E, unsigned, unsigned, unsigned Ops) {
+      for (unsigned I = 0; I < Ops; ++I) {
+        E.call("dispatch");
+        E.call("take");
+      }
+    };
+    D.GoldPlan = [](const frontend::SemaInfo &S) {
+      return SignalPlanBuilder(S)
+          .notify("dispatch", 0, "take", 0, false, false)
+          .notify("take", 0, "dispatch", 0, false, false)
+          .notify("stop", 0, "dispatch", 0, false, true)
+          .notify("stop", 0, "take", 0, false, true)
+          .build();
+    };
+    D.FinalStateOk = [](const Assignment &A) {
+      return A.at("size").asInt() == 0;
+    };
+    Defs.push_back(std::move(D));
+  }
+
+  // --- SimpleBlockingDeployment (Gradle) -----------------------------------------
+  {
+    BenchmarkDef D;
+    D.Name = "SimpleBlockingDeployment";
+    D.Figure = "fig9";
+    D.Origin = "Gradle";
+    D.Source = R"(
+monitor SimpleBlockingDeployment {
+  bool busy = false;
+  void deploy()  { waituntil (!busy) { busy = true; } }
+  void release() { busy = false; }
+}
+)";
+    D.Config = noConfig;
+    D.ThreadCounts = Pow2Counts;
+    D.Worker = [](MonitorEngine &E, unsigned, unsigned, unsigned Ops) {
+      for (unsigned I = 0; I < Ops; ++I) {
+        E.call("deploy");
+        E.call("release");
+      }
+    };
+    D.GoldPlan = [](const frontend::SemaInfo &S) {
+      return SignalPlanBuilder(S)
+          .notify("release", 0, "deploy", 0, false, false)
+          .build();
+    };
+    D.FinalStateOk = [](const Assignment &A) {
+      return !A.at("busy").asBool();
+    };
+    Defs.push_back(std::move(D));
+  }
+
+  // --- SimpleDecoder (ExoPlayer) ---------------------------------------------------
+  {
+    BenchmarkDef D;
+    D.Name = "SimpleDecoder";
+    D.Figure = "fig9";
+    D.Origin = "Google ExoPlayer";
+    D.Source = R"(
+monitor SimpleDecoder {
+  const int inputBuffers;
+  const int outputBuffers;
+  int availIn = 0;
+  int availOut = 0;
+  int pending = 0;
+  requires inputBuffers > 0;
+  requires outputBuffers > 0;
+  init { availIn = inputBuffers; availOut = outputBuffers; }
+  void dequeueInput()  { waituntil (availIn > 0) { availIn--; } }
+  void queueInput()    { pending++; }
+  void decodeOne() {
+    waituntil (pending > 0 && availOut > 0) {
+      pending--;
+      availOut--;
+      availIn++;
+    }
+  }
+  void releaseOutput() { availOut++; }
+}
+)";
+    D.Config = [](unsigned) {
+      Assignment A;
+      A["inputBuffers"] = Value::ofInt(8);
+      A["outputBuffers"] = Value::ofInt(8);
+      return A;
+    };
+    D.ThreadCounts = TriadCounts;
+    D.Worker = [](MonitorEngine &E, unsigned Idx, unsigned, unsigned Ops) {
+      bool IsProducer = Idx % 3 == 0;
+      for (unsigned I = 0; I < Ops; ++I) {
+        if (IsProducer) {
+          // Producers feed two units per cycle to balance the 1:2 role mix.
+          E.call("dequeueInput");
+          E.call("queueInput");
+          E.call("dequeueInput");
+          E.call("queueInput");
+        } else {
+          E.call("decodeOne");
+          E.call("releaseOutput");
+        }
+      }
+    };
+    D.GoldPlan = [](const frontend::SemaInfo &S) {
+      return SignalPlanBuilder(S)
+          .notify("queueInput", 0, "decodeOne", 0, true, false)
+          .notify("decodeOne", 0, "dequeueInput", 0, false, false)
+          .notify("releaseOutput", 0, "decodeOne", 0, true, false)
+          .build();
+    };
+    D.FinalStateOk = [](const Assignment &A) {
+      return A.at("pending").asInt() == 0 &&
+             A.at("availIn").asInt() == 8 && A.at("availOut").asInt() == 8;
+    };
+    Defs.push_back(std::move(D));
+  }
+
+  // --- AsyncOperationExecutor (greenDAO) ---------------------------------------------
+  {
+    BenchmarkDef D;
+    D.Name = "AsyncOperationExecutor";
+    D.Figure = "fig9";
+    D.Origin = "greenDAO";
+    D.Source = R"(
+monitor AsyncOperationExecutor {
+  const int maxPending;
+  int pending = 0;
+  requires maxPending > 0;
+  void enqueue()        { waituntil (pending < maxPending) { pending++; } }
+  void complete()       { waituntil (pending > 0) { pending--; } }
+  void waitToComplete() { waituntil (pending == 0) { ; } }
+}
+)";
+    D.Config = intConfig("maxPending", 16);
+    D.ThreadCounts = Pow2Counts;
+    D.Worker = [](MonitorEngine &E, unsigned Idx, unsigned, unsigned Ops) {
+      for (unsigned I = 0; I < Ops; ++I) {
+        E.call("enqueue");
+        E.call("complete");
+      }
+      // One observer thread verifies quiescence at the end, exercising the
+      // pending == 0 predicate class.
+      if (Idx == 0)
+        E.call("waitToComplete");
+    };
+    D.GoldPlan = [](const frontend::SemaInfo &S) {
+      return SignalPlanBuilder(S)
+          .notify("enqueue", 0, "complete", 0, false, false)
+          .notify("complete", 0, "enqueue", 0, false, false)
+          .notify("complete", 0, "waitToComplete", 0, true, true)
+          .build();
+    };
+    D.FinalStateOk = [](const Assignment &A) {
+      return A.at("pending").asInt() == 0;
+    };
+    Defs.push_back(std::move(D));
+  }
+
+  return Defs;
+}
+
+} // namespace
+
+const std::vector<BenchmarkDef> &bench::allBenchmarks() {
+  static const std::vector<BenchmarkDef> All = buildAll();
+  return All;
+}
+
+const BenchmarkDef *bench::findBenchmark(const std::string &Name) {
+  for (const BenchmarkDef &D : allBenchmarks())
+    if (D.Name == Name)
+      return &D;
+  return nullptr;
+}

@@ -1,0 +1,72 @@
+//===- bench/Workloads.h - The paper's 14 evaluation monitors ---*- C++ -*-===//
+//
+// Part of expresso-cpp, a reproduction of "Symbolic Reasoning for Automatic
+// Signal Placement" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Benchmark definitions for every monitor in the paper's evaluation (§7):
+/// the eight AutoSynch-suite benchmarks of Figure 8 (including the
+/// readers-writers motivating example) and the six GitHub monitors of
+/// Figure 9 (Spring ConcurrencyThrottle, EventBus PendingPostQueue, Gradle
+/// AsyncDispatch and SimpleBlockingDeployment, ExoPlayer SimpleDecoder,
+/// greenDAO AsyncOperationExecutor).
+///
+/// Each definition carries: the implicit-signal DSL source, the
+/// configuration (const fields) as a function of the thread count, the
+/// paper's thread-count series (x-axis), a saturation worker (threads call
+/// only monitor operations — the paper's methodology, following [8]), and a
+/// hand-written gold signal plan representing the "Explicit" competitor.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXPRESSO_BENCH_WORKLOADS_H
+#define EXPRESSO_BENCH_WORKLOADS_H
+
+#include "runtime/Engine.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace expresso {
+namespace bench {
+
+/// A complete benchmark definition.
+struct BenchmarkDef {
+  std::string Name;
+  std::string Figure; ///< "fig8" or "fig9"
+  std::string Origin; ///< provenance note (AutoSynch suite / GitHub project)
+  std::string Source; ///< implicit-signal monitor (DSL)
+
+  /// Const-field configuration, possibly thread-count dependent.
+  std::function<logic::Assignment(unsigned Threads)> Config;
+
+  /// Thread counts reported in the paper's figure (x-axis).
+  std::vector<unsigned> ThreadCounts;
+
+  /// Saturation worker: thread \p Idx of \p Threads performs \p Ops
+  /// operation cycles against the engine.
+  std::function<void(runtime::MonitorEngine &, unsigned Idx, unsigned Threads,
+                     unsigned Ops)>
+      Worker;
+
+  /// Hand-written explicit-signal plan (the "Explicit" series).
+  std::function<runtime::SignalPlan(const frontend::SemaInfo &)> GoldPlan;
+
+  /// Sanity predicate on the final shared state after a balanced run
+  /// (empty = no check).
+  std::function<bool(const logic::Assignment &)> FinalStateOk;
+};
+
+/// All fourteen benchmarks, in paper order (Figure 8 then Figure 9).
+const std::vector<BenchmarkDef> &allBenchmarks();
+
+/// Benchmark by name; null if unknown.
+const BenchmarkDef *findBenchmark(const std::string &Name);
+
+} // namespace bench
+} // namespace expresso
+
+#endif // EXPRESSO_BENCH_WORKLOADS_H

@@ -1,0 +1,56 @@
+//===- codegen/IrPrinter.cpp - Target-language IR printer -----------------------===//
+//
+// Part of expresso-cpp, a reproduction of "Symbolic Reasoning for Automatic
+// Signal Placement" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/Codegen.h"
+
+#include "logic/Printer.h"
+
+#include <sstream>
+
+using namespace expresso;
+using namespace expresso::codegen;
+using namespace expresso::frontend;
+
+std::string codegen::printTargetIr(const core::PlacementResult &R) {
+  const SemaInfo &Sema = *R.Sema;
+  std::ostringstream OS;
+  OS << "monitor " << Sema.M->Name << "  // explicit-signal target IR\n";
+  OS << "// invariant: " << logic::printTerm(R.Invariant) << "\n";
+  for (const Method &M : Sema.M->Methods) {
+    OS << "atomic " << M.Name << "(";
+    bool First = true;
+    for (const Param &P : M.Params) {
+      if (!First)
+        OS << ", ";
+      First = false;
+      OS << typeName(P.Type) << " " << P.Name;
+    }
+    OS << ") {\n";
+    for (const WaitUntil &W : M.Body) {
+      const core::CcrPlacement &CP = R.placementFor(&W);
+      OS << "  waituntil (" << printExpr(W.Guard) << ") {\n";
+      std::string Body = printStmt(W.Body, 2);
+      OS << Body;
+      // signal(S1) and broadcast(S2) sets with the paper's ✓/? marks.
+      std::ostringstream Signals, Broadcasts;
+      for (const core::SignalDecision &D : CP.Decisions) {
+        std::ostringstream &Target = D.Broadcast ? Broadcasts : Signals;
+        if (Target.tellp() > 0)
+          Target << ", ";
+        Target << "(" << logic::printTerm(D.Target->Canonical) << ", "
+               << (D.Conditional ? "?" : "\xE2\x9C\x93") << ")";
+      }
+      if (Signals.tellp() > 0)
+        OS << "    signal({" << Signals.str() << "});\n";
+      if (Broadcasts.tellp() > 0)
+        OS << "    broadcast({" << Broadcasts.str() << "});\n";
+      OS << "  }\n";
+    }
+    OS << "}\n";
+  }
+  return OS.str();
+}

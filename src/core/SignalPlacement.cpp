@@ -1,0 +1,204 @@
+//===- core/SignalPlacement.cpp - Algorithm 1: PlaceSignals -------------------===//
+//
+// Part of expresso-cpp, a reproduction of "Symbolic Reasoning for Automatic
+// Signal Placement" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/SignalPlacement.h"
+
+#include "analysis/Commute.h"
+#include "analysis/Hoare.h"
+#include "logic/Printer.h"
+#include "logic/Simplify.h"
+#include "support/Timer.h"
+
+#include <map>
+#include <sstream>
+
+using namespace expresso;
+using namespace expresso::core;
+using namespace expresso::frontend;
+using namespace expresso::analysis;
+using logic::Term;
+
+const CcrPlacement &
+PlacementResult::placementFor(const WaitUntil *W) const {
+  for (const CcrPlacement &P : Placements)
+    if (P.W == W)
+      return P;
+  assert(false && "CCR not in placement result");
+  return Placements.front();
+}
+
+std::string PlacementResult::summary() const {
+  std::ostringstream OS;
+  OS << "monitor " << Sema->M->Name << ": invariant = "
+     << logic::printTerm(Invariant) << "\n";
+  for (const CcrPlacement &P : Placements) {
+    const CcrInfo &CI = Sema->info(P.W);
+    OS << "  " << CI.Parent->Name << " / ccr#" << P.W->Id << " guard ["
+       << logic::printTerm(CI.Guard) << "]:";
+    if (P.Decisions.empty()) {
+      OS << " no signals\n";
+      continue;
+    }
+    OS << "\n";
+    for (const SignalDecision &D : P.Decisions) {
+      OS << "    " << (D.Broadcast ? "broadcast" : "signal") << "("
+         << logic::printTerm(D.Target->Canonical) << ", "
+         << (D.Conditional ? "?" : "\xE2\x9C\x93") << ")\n";
+    }
+  }
+  return OS.str();
+}
+
+PlacementResult core::placeSignals(logic::TermContext &C,
+                                   const SemaInfo &Sema,
+                                   solver::SmtSolver &Solver,
+                                   const PlacementOptions &Options,
+                                   const Term *ProvidedInvariant) {
+  PlacementResult Result;
+  Result.Sema = &Sema;
+  Result.Options = Options;
+
+  // --- Monitor invariant (Algorithm 2). -----------------------------------
+  WallTimer InvTimer;
+  if (ProvidedInvariant) {
+    Result.Invariant = ProvidedInvariant;
+  } else if (Options.UseInvariant) {
+    InvariantResult IR =
+        inferMonitorInvariant(C, Sema, Solver, Options.Invariants);
+    Result.Invariant = IR.Invariant;
+  } else {
+    Result.Invariant = C.getTrue();
+  }
+  Result.Stats.InvariantSeconds = InvTimer.elapsedSeconds();
+  const Term *I = Result.Invariant;
+
+  WallTimer PlaceTimer;
+  HoareChecker Checker(C, Sema, Solver);
+  WpEngine &Wp = Checker.wpEngine();
+
+  // Fresh instance of each predicate class: the blocked thread's predicate
+  // p' (§4.2). One instance per class suffices; the variables are fresh
+  // with respect to every method's locals.
+  std::map<const PredicateClass *, const Term *> BlockedPred;
+  std::map<const PredicateClass *, std::vector<const Term *>> BlockedArgs;
+  for (const auto &QPtr : Sema.Classes) {
+    logic::Substitution Subst;
+    std::vector<const Term *> Args;
+    for (const Term *P : QPtr->Placeholders) {
+      const Term *F = C.freshVar(P->varName() + "!blk", P->sort());
+      Subst.emplace(P, F);
+      Args.push_back(F);
+    }
+    BlockedPred[QPtr.get()] = logic::substitute(C, QPtr->Canonical, Subst);
+    BlockedArgs[QPtr.get()] = std::move(Args);
+  }
+
+  // Lazy cache of Comm(w, M) (§4.3).
+  std::map<const WaitUntil *, bool> CommCache;
+  auto commutes = [&](const CcrInfo &W) {
+    auto It = CommCache.find(W.W);
+    if (It != CommCache.end())
+      return It->second;
+    bool R = Options.UseCommutativity &&
+             commutesWithAll(C, Sema, Solver, W);
+    CommCache.emplace(W.W, R);
+    return R;
+  };
+
+  // Renaming of a woken CCR's locals for the §4.3 sequential composition
+  // Body(w); Body(w'). The woken executor is a *third* thread, distinct
+  // from both the signaller (w's unrenamed locals) and the still-blocked
+  // thread whose predicate instance appears in the postcondition (the
+  // BlockedArgs variables) — so all of its locals become fresh unknowns.
+  auto wokenRename = [&](const CcrInfo &Woken) {
+    logic::Substitution Rename;
+    for (const auto &[Name, V] : Sema.LocalVars)
+      if (Name.rfind(Woken.Parent->Name + "::", 0) == 0)
+        Rename.emplace(V, C.freshVar(Name + "!wk", V->sort()));
+    return Rename;
+  };
+
+  // --- Main loop: (w, p) in CCRs(M) x Guards(M). ---------------------------
+  for (const CcrInfo &W : Sema.Ccrs) {
+    CcrPlacement Placement;
+    Placement.W = W.W;
+
+    for (const auto &QPtr : Sema.Classes) {
+      const PredicateClass *Q = QPtr.get();
+      const Term *P = BlockedPred[Q];
+      ++Result.Stats.PairsConsidered;
+
+      // (a) No-signal check: {I ∧ Guard(w) ∧ ¬p'} Body(w) {¬p'}.
+      HoareTriple NoSig;
+      NoSig.Pre = C.and_({I, W.Guard, C.not_(P)});
+      NoSig.Body = W.W->Body;
+      NoSig.InMethod = W.Parent;
+      NoSig.Post = C.not_(P);
+      ++Result.Stats.HoareChecks;
+      if (Checker.proves(NoSig)) {
+        ++Result.Stats.NoSignalProved;
+        continue;
+      }
+
+      SignalDecision D;
+      D.Target = Q;
+
+      // (b) Unconditional check: {I ∧ Guard(w) ∧ ¬p'} Body(w) {p'}.
+      HoareTriple Uncond = NoSig;
+      Uncond.Post = P;
+      ++Result.Stats.HoareChecks;
+      D.Conditional = !Checker.proves(Uncond);
+
+      // (c) Signal-vs-broadcast: every CCR guarded by p must falsify p when
+      // it runs — or commute, with the §4.3 sequential-composition check.
+      bool SingleSuffices = true;
+      for (const CcrInfo &Woken : Sema.Ccrs) {
+        if (Woken.Class != Q)
+          continue;
+        HoareTriple OneWake;
+        OneWake.Pre = C.and_({I, Woken.Guard, P});
+        OneWake.Body = Woken.W->Body;
+        OneWake.InMethod = Woken.Parent;
+        OneWake.Post = C.not_(P);
+        ++Result.Stats.HoareChecks;
+        if (Checker.proves(OneWake))
+          continue;
+        // §4.3: Comm(w', M) ∧ {I ∧ Guard(w) ∧ ¬p'} Body(w); Body(w') {¬p'}.
+        bool Saved = false;
+        if (Options.UseCommutativity && commutes(Woken)) {
+          logic::Substitution Rename = wokenRename(Woken);
+          const Term *Inner =
+              Wp.wp(Woken.W->Body, Woken.Parent, C.not_(P), &Rename);
+          const Term *Outer = Wp.wp(W.W->Body, W.Parent, Inner);
+          const Term *VC = logic::simplify(
+              C, C.implies(C.and_({I, W.Guard, C.not_(P)}), Outer));
+          ++Result.Stats.HoareChecks;
+          if (Solver.isValid(VC)) {
+            Saved = true;
+            ++Result.Stats.CommutativityWins;
+          }
+        }
+        if (!Saved) {
+          SingleSuffices = false;
+          break;
+        }
+      }
+      D.Broadcast = !SingleSuffices;
+
+      if (D.Broadcast)
+        ++Result.Stats.Broadcasts;
+      else
+        ++Result.Stats.Signals;
+      if (!D.Conditional)
+        ++Result.Stats.Unconditional;
+      Placement.Decisions.push_back(D);
+    }
+    Result.Placements.push_back(std::move(Placement));
+  }
+  Result.Stats.PlacementSeconds = PlaceTimer.elapsedSeconds();
+  return Result;
+}

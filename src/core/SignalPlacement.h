@@ -1,0 +1,108 @@
+//===- core/SignalPlacement.h - Algorithm 1: PlaceSignals -------*- C++ -*-===//
+//
+// Part of expresso-cpp, a reproduction of "Symbolic Reasoning for Automatic
+// Signal Placement" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's primary contribution: given an implicit-signal monitor and a
+/// monitor invariant I, decide for every CCR w and every guard predicate
+/// class p
+///
+///   (a) whether w must notify threads blocked on p at all
+///         skip iff  |= {I ∧ Guard(w) ∧ ¬p'} Body(w) {¬p'}
+///   (b) whether the notification can be unconditional
+///         ✓   iff  |= {I ∧ Guard(w) ∧ ¬p'} Body(w) {p'}
+///   (c) whether one thread suffices (signal) or all must wake (broadcast)
+///         signal iff for every CCR w' guarded by p:
+///              |= {I ∧ Guard(w') ∧ p'} Body(w') {¬p'}
+///           or (§4.3)  Comm(w',M) ∧
+///              |= {I ∧ Guard(w) ∧ ¬p'} Body(w); Body(w') {¬p'}
+///
+/// where p' is the predicate class with its thread-local variables renamed
+/// to fresh ones (§4.2) — the blocked thread is never the executing thread.
+/// Every Unknown from the solver resolves in the conservative direction
+/// (signal rather than skip, conditional rather than unconditional,
+/// broadcast rather than signal), so incompleteness costs performance only.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXPRESSO_CORE_SIGNALPLACEMENT_H
+#define EXPRESSO_CORE_SIGNALPLACEMENT_H
+
+#include "analysis/Invariants.h"
+#include "frontend/Sema.h"
+#include "solver/SmtSolver.h"
+
+#include <string>
+#include <vector>
+
+namespace expresso {
+namespace core {
+
+/// One notification emitted after a CCR body: the (p, cond, bcast) triples
+/// of Algorithm 1's Σ map.
+struct SignalDecision {
+  const frontend::PredicateClass *Target = nullptr;
+  bool Conditional = true; ///< '?' — evaluate p at run time before waking.
+  bool Broadcast = false;  ///< notify all threads blocked on p.
+};
+
+/// Decisions for one CCR.
+struct CcrPlacement {
+  const frontend::WaitUntil *W = nullptr;
+  std::vector<SignalDecision> Decisions;
+};
+
+/// Tuning knobs (each is an ablation axis; see bench/ablation_*).
+struct PlacementOptions {
+  bool UseInvariant = true;      ///< infer and use a monitor invariant
+  bool UseCommutativity = true;  ///< §4.3 Equation-2 weakening
+  bool LazyBroadcast = true;     ///< §6 chained broadcasts (runtime/codegen)
+  analysis::InvariantConfig Invariants;
+};
+
+/// Aggregate statistics, used by Table-1 style reporting and ablations.
+struct PlacementStats {
+  size_t HoareChecks = 0;
+  size_t PairsConsidered = 0;
+  size_t NoSignalProved = 0;
+  size_t Signals = 0;            ///< notify-one decisions
+  size_t Broadcasts = 0;         ///< notify-all decisions
+  size_t Unconditional = 0;
+  size_t CommutativityWins = 0;  ///< broadcasts avoided via §4.3
+  double InvariantSeconds = 0;
+  double PlacementSeconds = 0;
+};
+
+/// The output of PlaceSignals: Σ plus provenance.
+struct PlacementResult {
+  const frontend::SemaInfo *Sema = nullptr;
+  const logic::Term *Invariant = nullptr;
+  PlacementOptions Options;
+  /// Aligned with Sema->Ccrs.
+  std::vector<CcrPlacement> Placements;
+  PlacementStats Stats;
+
+  const CcrPlacement &placementFor(const frontend::WaitUntil *W) const;
+
+  /// Human-readable summary (used by the CLI and EXPERIMENTS.md artifacts).
+  std::string summary() const;
+};
+
+/// Runs Algorithm 1 (with the §4.2/§4.3 refinements). If \p
+/// ProvidedInvariant is non-null it is used as I (callers must ensure it is
+/// a real monitor invariant); otherwise Algorithm 2 infers one (or `true`
+/// when Options.UseInvariant is off).
+PlacementResult placeSignals(logic::TermContext &C,
+                             const frontend::SemaInfo &Sema,
+                             solver::SmtSolver &Solver,
+                             const PlacementOptions &Options =
+                                 PlacementOptions(),
+                             const logic::Term *ProvidedInvariant = nullptr);
+
+} // namespace core
+} // namespace expresso
+
+#endif // EXPRESSO_CORE_SIGNALPLACEMENT_H

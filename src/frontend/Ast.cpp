@@ -1,0 +1,207 @@
+//===- frontend/Ast.cpp - Monitor-language AST --------------------------------===//
+//
+// Part of expresso-cpp, a reproduction of "Symbolic Reasoning for Automatic
+// Signal Placement" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Ast.h"
+
+#include <sstream>
+
+using namespace expresso;
+using namespace expresso::frontend;
+
+const char *frontend::typeName(TypeKind T) {
+  switch (T) {
+  case TypeKind::Int:
+    return "int";
+  case TypeKind::Bool:
+    return "bool";
+  case TypeKind::IntArray:
+    return "int[]";
+  case TypeKind::BoolArray:
+    return "bool[]";
+  }
+  return "?";
+}
+
+const char *frontend::binaryOpSpelling(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::Add:
+    return "+";
+  case BinaryOp::Sub:
+    return "-";
+  case BinaryOp::Mul:
+    return "*";
+  case BinaryOp::Mod:
+    return "%";
+  case BinaryOp::Eq:
+    return "==";
+  case BinaryOp::Ne:
+    return "!=";
+  case BinaryOp::Lt:
+    return "<";
+  case BinaryOp::Le:
+    return "<=";
+  case BinaryOp::Gt:
+    return ">";
+  case BinaryOp::Ge:
+    return ">=";
+  case BinaryOp::And:
+    return "&&";
+  case BinaryOp::Or:
+    return "||";
+  }
+  return "?";
+}
+
+const Field *Monitor::findField(const std::string &FieldName) const {
+  for (const Field &F : Fields)
+    if (F.Name == FieldName)
+      return &F;
+  return nullptr;
+}
+
+const Method *Monitor::findMethod(const std::string &MethodName) const {
+  for (const Method &M : Methods)
+    if (M.Name == MethodName)
+      return &M;
+  return nullptr;
+}
+
+std::vector<const WaitUntil *> Monitor::ccrs() const {
+  std::vector<const WaitUntil *> Result;
+  for (const Method &M : Methods)
+    for (const WaitUntil &W : M.Body)
+      Result.push_back(&W);
+  return Result;
+}
+
+namespace {
+
+int precedenceOf(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::Or:
+    return 1;
+  case BinaryOp::And:
+    return 2;
+  case BinaryOp::Eq:
+  case BinaryOp::Ne:
+    return 3;
+  case BinaryOp::Lt:
+  case BinaryOp::Le:
+  case BinaryOp::Gt:
+  case BinaryOp::Ge:
+    return 4;
+  case BinaryOp::Add:
+  case BinaryOp::Sub:
+    return 5;
+  case BinaryOp::Mul:
+  case BinaryOp::Mod:
+    return 6;
+  }
+  return 0;
+}
+
+void printExprPrec(std::ostringstream &OS, const Expr *E, int Parent) {
+  switch (E->kind()) {
+  case Expr::Kind::IntLit:
+    OS << cast<IntLit>(E)->value();
+    return;
+  case Expr::Kind::BoolLit:
+    OS << (cast<BoolLit>(E)->value() ? "true" : "false");
+    return;
+  case Expr::Kind::VarRef:
+    OS << cast<VarRef>(E)->name();
+    return;
+  case Expr::Kind::ArrayRef: {
+    const auto *A = cast<ArrayRef>(E);
+    OS << A->array() << "[";
+    printExprPrec(OS, A->index(), 0);
+    OS << "]";
+    return;
+  }
+  case Expr::Kind::Unary: {
+    const auto *U = cast<Unary>(E);
+    OS << (U->op() == UnaryOp::Not ? "!" : "-");
+    printExprPrec(OS, U->operand(), 7);
+    return;
+  }
+  case Expr::Kind::Binary: {
+    const auto *B = cast<Binary>(E);
+    int Prec = precedenceOf(B->op());
+    if (Parent > Prec)
+      OS << "(";
+    printExprPrec(OS, B->lhs(), Prec);
+    OS << " " << binaryOpSpelling(B->op()) << " ";
+    printExprPrec(OS, B->rhs(), Prec + 1);
+    if (Parent > Prec)
+      OS << ")";
+    return;
+  }
+  }
+}
+
+void printStmtIndent(std::ostringstream &OS, const Stmt *S, unsigned Indent) {
+  std::string Pad(Indent * 2, ' ');
+  switch (S->kind()) {
+  case Stmt::Kind::Skip:
+    OS << Pad << ";\n";
+    return;
+  case Stmt::Kind::Assign: {
+    const auto *A = cast<AssignStmt>(S);
+    OS << Pad << A->target() << " = " << printExpr(A->value()) << ";\n";
+    return;
+  }
+  case Stmt::Kind::Store: {
+    const auto *St = cast<StoreStmt>(S);
+    OS << Pad << St->array() << "[" << printExpr(St->index())
+       << "] = " << printExpr(St->value()) << ";\n";
+    return;
+  }
+  case Stmt::Kind::Seq: {
+    for (const Stmt *Sub : cast<SeqStmt>(S)->stmts())
+      printStmtIndent(OS, Sub, Indent);
+    return;
+  }
+  case Stmt::Kind::If: {
+    const auto *I = cast<IfStmt>(S);
+    OS << Pad << "if (" << printExpr(I->cond()) << ") {\n";
+    printStmtIndent(OS, I->thenStmt(), Indent + 1);
+    if (I->elseStmt() && !isa<SkipStmt>(I->elseStmt())) {
+      OS << Pad << "} else {\n";
+      printStmtIndent(OS, I->elseStmt(), Indent + 1);
+    }
+    OS << Pad << "}\n";
+    return;
+  }
+  case Stmt::Kind::While: {
+    const auto *W = cast<WhileStmt>(S);
+    OS << Pad << "while (" << printExpr(W->cond()) << ") {\n";
+    printStmtIndent(OS, W->body(), Indent + 1);
+    OS << Pad << "}\n";
+    return;
+  }
+  case Stmt::Kind::LocalDecl: {
+    const auto *L = cast<LocalDeclStmt>(S);
+    OS << Pad << typeName(L->type()) << " " << L->name() << " = "
+       << printExpr(L->init()) << ";\n";
+    return;
+  }
+  }
+}
+
+} // namespace
+
+std::string frontend::printExpr(const Expr *E) {
+  std::ostringstream OS;
+  printExprPrec(OS, E, 0);
+  return OS.str();
+}
+
+std::string frontend::printStmt(const Stmt *S, unsigned Indent) {
+  std::ostringstream OS;
+  printStmtIndent(OS, S, Indent);
+  return OS.str();
+}

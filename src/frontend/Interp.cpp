@@ -1,0 +1,186 @@
+//===- frontend/Interp.cpp - Concrete AST interpreter ---------------------------===//
+//
+// Part of expresso-cpp, a reproduction of "Symbolic Reasoning for Automatic
+// Signal Placement" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Interp.h"
+
+#include "logic/Linear.h"
+
+#include <cassert>
+
+using namespace expresso;
+using namespace expresso::frontend;
+using logic::Value;
+
+Value frontend::evalExpr(const Expr *E, const Env &Env) {
+  switch (E->kind()) {
+  case Expr::Kind::IntLit:
+    return Value::ofInt(cast<IntLit>(E)->value());
+  case Expr::Kind::BoolLit:
+    return Value::ofBool(cast<BoolLit>(E)->value());
+  case Expr::Kind::VarRef: {
+    const std::string &Name = cast<VarRef>(E)->name();
+    if (Env.Locals) {
+      auto It = Env.Locals->find(Name);
+      if (It != Env.Locals->end())
+        return It->second;
+    }
+    auto It = Env.Shared->find(Name);
+    assert(It != Env.Shared->end() && "unbound variable in evaluation");
+    return It->second;
+  }
+  case Expr::Kind::ArrayRef: {
+    const auto *A = cast<ArrayRef>(E);
+    auto It = Env.Shared->find(A->array());
+    assert(It != Env.Shared->end() && "unbound array in evaluation");
+    int64_t Idx = evalExpr(A->index(), Env).asInt();
+    int64_t Raw = It->second.arrayAt(Idx);
+    return It->second.S == logic::Sort::BoolArray ? Value::ofBool(Raw != 0)
+                                                  : Value::ofInt(Raw);
+  }
+  case Expr::Kind::Unary: {
+    const auto *U = cast<Unary>(E);
+    Value V = evalExpr(U->operand(), Env);
+    return U->op() == UnaryOp::Not ? Value::ofBool(!V.asBool())
+                                   : Value::ofInt(-V.asInt());
+  }
+  case Expr::Kind::Binary: {
+    const auto *B = cast<Binary>(E);
+    switch (B->op()) {
+    case BinaryOp::And: {
+      // Short-circuit.
+      if (!evalExpr(B->lhs(), Env).asBool())
+        return Value::ofBool(false);
+      return evalExpr(B->rhs(), Env);
+    }
+    case BinaryOp::Or: {
+      if (evalExpr(B->lhs(), Env).asBool())
+        return Value::ofBool(true);
+      return evalExpr(B->rhs(), Env);
+    }
+    default:
+      break;
+    }
+    Value L = evalExpr(B->lhs(), Env);
+    Value R = evalExpr(B->rhs(), Env);
+    switch (B->op()) {
+    case BinaryOp::Add:
+      return Value::ofInt(L.asInt() + R.asInt());
+    case BinaryOp::Sub:
+      return Value::ofInt(L.asInt() - R.asInt());
+    case BinaryOp::Mul:
+      return Value::ofInt(L.asInt() * R.asInt());
+    case BinaryOp::Mod:
+      return Value::ofInt(logic::mathMod(L.asInt(), R.asInt()));
+    case BinaryOp::Eq:
+      return Value::ofBool(L.I == R.I);
+    case BinaryOp::Ne:
+      return Value::ofBool(L.I != R.I);
+    case BinaryOp::Lt:
+      return Value::ofBool(L.asInt() < R.asInt());
+    case BinaryOp::Le:
+      return Value::ofBool(L.asInt() <= R.asInt());
+    case BinaryOp::Gt:
+      return Value::ofBool(L.asInt() > R.asInt());
+    case BinaryOp::Ge:
+      return Value::ofBool(L.asInt() >= R.asInt());
+    case BinaryOp::And:
+    case BinaryOp::Or:
+      break; // handled above
+    }
+    assert(false && "unhandled binary operator");
+    return Value::ofInt(0);
+  }
+  }
+  assert(false && "unhandled expression kind");
+  return Value::ofInt(0);
+}
+
+void frontend::execStmt(const Stmt *S, Env &Env) {
+  switch (S->kind()) {
+  case Stmt::Kind::Skip:
+    return;
+  case Stmt::Kind::Assign: {
+    const auto *A = cast<AssignStmt>(S);
+    Value V = evalExpr(A->value(), Env);
+    if (Env.Locals) {
+      auto It = Env.Locals->find(A->target());
+      if (It != Env.Locals->end()) {
+        It->second = V;
+        return;
+      }
+    }
+    (*Env.Shared)[A->target()] = V;
+    return;
+  }
+  case Stmt::Kind::Store: {
+    const auto *St = cast<StoreStmt>(S);
+    int64_t Idx = evalExpr(St->index(), Env).asInt();
+    Value V = evalExpr(St->value(), Env);
+    auto It = Env.Shared->find(St->array());
+    assert(It != Env.Shared->end() && "unbound array in store");
+    It->second.A[Idx] = V.I;
+    return;
+  }
+  case Stmt::Kind::Seq: {
+    for (const Stmt *Sub : cast<SeqStmt>(S)->stmts())
+      execStmt(Sub, Env);
+    return;
+  }
+  case Stmt::Kind::If: {
+    const auto *I = cast<IfStmt>(S);
+    if (evalExpr(I->cond(), Env).asBool())
+      execStmt(I->thenStmt(), Env);
+    else
+      execStmt(I->elseStmt(), Env);
+    return;
+  }
+  case Stmt::Kind::While: {
+    const auto *W = cast<WhileStmt>(S);
+    while (evalExpr(W->cond(), Env).asBool())
+      execStmt(W->body(), Env);
+    return;
+  }
+  case Stmt::Kind::LocalDecl: {
+    const auto *L = cast<LocalDeclStmt>(S);
+    assert(Env.Locals && "local declaration outside a method");
+    (*Env.Locals)[L->name()] = evalExpr(L->init(), Env);
+    return;
+  }
+  }
+}
+
+logic::Assignment frontend::initialState(const Monitor &M,
+                                         const logic::Assignment &Overrides) {
+  logic::Assignment State;
+  for (const Field &F : M.Fields) {
+    switch (F.Type) {
+    case TypeKind::Int:
+      State[F.Name] = Value::ofInt(0);
+      break;
+    case TypeKind::Bool:
+      State[F.Name] = Value::ofBool(false);
+      break;
+    case TypeKind::IntArray:
+      State[F.Name] = Value::ofArray(logic::Sort::IntArray, {}, 0);
+      break;
+    case TypeKind::BoolArray:
+      State[F.Name] = Value::ofArray(logic::Sort::BoolArray, {}, 0);
+      break;
+    }
+    if (F.Init) {
+      Env E{&State, nullptr};
+      State[F.Name] = evalExpr(F.Init, E);
+    }
+  }
+  for (const auto &[Name, V] : Overrides)
+    State[Name] = V;
+  if (M.InitBody) {
+    Env E{&State, nullptr};
+    execStmt(M.InitBody, E);
+  }
+  return State;
+}

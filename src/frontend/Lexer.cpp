@@ -1,0 +1,293 @@
+//===- frontend/Lexer.cpp - Monitor-language lexer -----------------------------===//
+//
+// Part of expresso-cpp, a reproduction of "Symbolic Reasoning for Automatic
+// Signal Placement" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Lexer.h"
+
+#include <cctype>
+#include <map>
+
+using namespace expresso;
+using namespace expresso::frontend;
+
+const char *frontend::tokenKindName(TokenKind K) {
+  switch (K) {
+  case TokenKind::Identifier:
+    return "identifier";
+  case TokenKind::IntLiteral:
+    return "integer literal";
+  case TokenKind::KwMonitor:
+    return "'monitor'";
+  case TokenKind::KwConst:
+    return "'const'";
+  case TokenKind::KwInt:
+    return "'int'";
+  case TokenKind::KwBool:
+    return "'bool'";
+  case TokenKind::KwVoid:
+    return "'void'";
+  case TokenKind::KwAtomic:
+    return "'atomic'";
+  case TokenKind::KwInit:
+    return "'init'";
+  case TokenKind::KwRequires:
+    return "'requires'";
+  case TokenKind::KwWaituntil:
+    return "'waituntil'";
+  case TokenKind::KwIf:
+    return "'if'";
+  case TokenKind::KwElse:
+    return "'else'";
+  case TokenKind::KwWhile:
+    return "'while'";
+  case TokenKind::KwTrue:
+    return "'true'";
+  case TokenKind::KwFalse:
+    return "'false'";
+  case TokenKind::KwSkip:
+    return "'skip'";
+  case TokenKind::LBrace:
+    return "'{'";
+  case TokenKind::RBrace:
+    return "'}'";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::LBracket:
+    return "'['";
+  case TokenKind::RBracket:
+    return "']'";
+  case TokenKind::Semi:
+    return "';'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::Assign:
+    return "'='";
+  case TokenKind::Plus:
+    return "'+'";
+  case TokenKind::Minus:
+    return "'-'";
+  case TokenKind::Star:
+    return "'*'";
+  case TokenKind::Percent:
+    return "'%'";
+  case TokenKind::Bang:
+    return "'!'";
+  case TokenKind::EqEq:
+    return "'=='";
+  case TokenKind::BangEq:
+    return "'!='";
+  case TokenKind::Lt:
+    return "'<'";
+  case TokenKind::Le:
+    return "'<='";
+  case TokenKind::Gt:
+    return "'>'";
+  case TokenKind::Ge:
+    return "'>='";
+  case TokenKind::AmpAmp:
+    return "'&&'";
+  case TokenKind::PipePipe:
+    return "'||'";
+  case TokenKind::PlusPlus:
+    return "'++'";
+  case TokenKind::MinusMinus:
+    return "'--'";
+  case TokenKind::EndOfFile:
+    return "end of file";
+  case TokenKind::Error:
+    return "invalid token";
+  }
+  return "?";
+}
+
+std::vector<Token> frontend::lex(const std::string &Source,
+                                 DiagnosticEngine &Diags) {
+  static const std::map<std::string, TokenKind> Keywords = {
+      {"monitor", TokenKind::KwMonitor}, {"const", TokenKind::KwConst},
+      {"int", TokenKind::KwInt},         {"bool", TokenKind::KwBool},
+      {"boolean", TokenKind::KwBool},    {"void", TokenKind::KwVoid},
+      {"atomic", TokenKind::KwAtomic},   {"init", TokenKind::KwInit},
+      {"requires", TokenKind::KwRequires},
+      {"waituntil", TokenKind::KwWaituntil},
+      {"if", TokenKind::KwIf},           {"else", TokenKind::KwElse},
+      {"while", TokenKind::KwWhile},     {"true", TokenKind::KwTrue},
+      {"false", TokenKind::KwFalse},     {"skip", TokenKind::KwSkip},
+  };
+
+  std::vector<Token> Tokens;
+  size_t I = 0, N = Source.size();
+  unsigned Line = 1, Col = 1;
+
+  auto cur = [&]() -> char { return I < N ? Source[I] : '\0'; };
+  auto peek = [&]() -> char { return I + 1 < N ? Source[I + 1] : '\0'; };
+  auto advance = [&]() {
+    if (cur() == '\n') {
+      ++Line;
+      Col = 1;
+    } else {
+      ++Col;
+    }
+    ++I;
+  };
+  auto push = [&](TokenKind K, std::string Text, SourceLoc Loc,
+                  int64_t Value = 0) {
+    Tokens.push_back({K, std::move(Text), Value, Loc});
+  };
+
+  while (I < N) {
+    char Ch = cur();
+    SourceLoc Loc{Line, Col};
+    if (std::isspace(static_cast<unsigned char>(Ch))) {
+      advance();
+      continue;
+    }
+    // Comments.
+    if (Ch == '/' && peek() == '/') {
+      while (I < N && cur() != '\n')
+        advance();
+      continue;
+    }
+    if (Ch == '/' && peek() == '*') {
+      advance();
+      advance();
+      while (I < N && !(cur() == '*' && peek() == '/'))
+        advance();
+      if (I < N) {
+        advance();
+        advance();
+      } else {
+        Diags.error(Loc, "unterminated block comment");
+      }
+      continue;
+    }
+    // Identifiers / keywords.
+    if (std::isalpha(static_cast<unsigned char>(Ch)) || Ch == '_') {
+      std::string Text;
+      while (I < N && (std::isalnum(static_cast<unsigned char>(cur())) ||
+                       cur() == '_')) {
+        Text += cur();
+        advance();
+      }
+      auto It = Keywords.find(Text);
+      push(It != Keywords.end() ? It->second : TokenKind::Identifier, Text,
+           Loc);
+      continue;
+    }
+    // Integer literals.
+    if (std::isdigit(static_cast<unsigned char>(Ch))) {
+      std::string Text;
+      while (I < N && std::isdigit(static_cast<unsigned char>(cur()))) {
+        Text += cur();
+        advance();
+      }
+      push(TokenKind::IntLiteral, Text, Loc, std::stoll(Text));
+      continue;
+    }
+    // Punctuation.
+    auto two = [&](char Second, TokenKind TwoK, TokenKind OneK) {
+      if (peek() == Second) {
+        std::string Text{Ch, Second};
+        advance();
+        advance();
+        push(TwoK, Text, Loc);
+      } else {
+        advance();
+        push(OneK, std::string(1, Ch), Loc);
+      }
+    };
+    switch (Ch) {
+    case '{':
+      advance();
+      push(TokenKind::LBrace, "{", Loc);
+      break;
+    case '}':
+      advance();
+      push(TokenKind::RBrace, "}", Loc);
+      break;
+    case '(':
+      advance();
+      push(TokenKind::LParen, "(", Loc);
+      break;
+    case ')':
+      advance();
+      push(TokenKind::RParen, ")", Loc);
+      break;
+    case '[':
+      advance();
+      push(TokenKind::LBracket, "[", Loc);
+      break;
+    case ']':
+      advance();
+      push(TokenKind::RBracket, "]", Loc);
+      break;
+    case ';':
+      advance();
+      push(TokenKind::Semi, ";", Loc);
+      break;
+    case ',':
+      advance();
+      push(TokenKind::Comma, ",", Loc);
+      break;
+    case '%':
+      advance();
+      push(TokenKind::Percent, "%", Loc);
+      break;
+    case '*':
+      advance();
+      push(TokenKind::Star, "*", Loc);
+      break;
+    case '+':
+      two('+', TokenKind::PlusPlus, TokenKind::Plus);
+      break;
+    case '-':
+      two('-', TokenKind::MinusMinus, TokenKind::Minus);
+      break;
+    case '=':
+      two('=', TokenKind::EqEq, TokenKind::Assign);
+      break;
+    case '!':
+      two('=', TokenKind::BangEq, TokenKind::Bang);
+      break;
+    case '<':
+      two('=', TokenKind::Le, TokenKind::Lt);
+      break;
+    case '>':
+      two('=', TokenKind::Ge, TokenKind::Gt);
+      break;
+    case '&':
+      if (peek() == '&') {
+        advance();
+        advance();
+        push(TokenKind::AmpAmp, "&&", Loc);
+      } else {
+        Diags.error(Loc, "expected '&&'");
+        advance();
+        push(TokenKind::Error, "&", Loc);
+      }
+      break;
+    case '|':
+      if (peek() == '|') {
+        advance();
+        advance();
+        push(TokenKind::PipePipe, "||", Loc);
+      } else {
+        Diags.error(Loc, "expected '||'");
+        advance();
+        push(TokenKind::Error, "|", Loc);
+      }
+      break;
+    default:
+      Diags.error(Loc, std::string("unexpected character '") + Ch + "'");
+      advance();
+      push(TokenKind::Error, std::string(1, Ch), Loc);
+      break;
+    }
+  }
+  Tokens.push_back({TokenKind::EndOfFile, "", 0, SourceLoc{Line, Col}});
+  return Tokens;
+}

@@ -1,0 +1,95 @@
+//===- frontend/Lexer.h - Monitor-language lexer ----------------*- C++ -*-===//
+//
+// Part of expresso-cpp, a reproduction of "Symbolic Reasoning for Automatic
+// Signal Placement" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-written lexer for the monitor DSL. Supports `//` line comments and
+/// `/* */` block comments, Java-style.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXPRESSO_FRONTEND_LEXER_H
+#define EXPRESSO_FRONTEND_LEXER_H
+
+#include "support/Diagnostics.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace expresso {
+namespace frontend {
+
+/// Token kinds of the monitor language.
+enum class TokenKind {
+  // Literals / identifiers
+  Identifier,
+  IntLiteral,
+  // Keywords
+  KwMonitor,
+  KwConst,
+  KwInt,
+  KwBool,
+  KwVoid,
+  KwAtomic,
+  KwInit,
+  KwRequires,
+  KwWaituntil,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwTrue,
+  KwFalse,
+  KwSkip,
+  // Punctuation
+  LBrace,
+  RBrace,
+  LParen,
+  RParen,
+  LBracket,
+  RBracket,
+  Semi,
+  Comma,
+  Assign,  // =
+  Plus,
+  Minus,
+  Star,
+  Percent,
+  Bang,    // !
+  EqEq,
+  BangEq,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  AmpAmp,
+  PipePipe,
+  PlusPlus,   // ++ sugar: v++ => v = v + 1
+  MinusMinus, // -- sugar
+  EndOfFile,
+  Error,
+};
+
+const char *tokenKindName(TokenKind K);
+
+/// A lexed token.
+struct Token {
+  TokenKind Kind = TokenKind::Error;
+  std::string Text;
+  int64_t IntValue = 0;
+  SourceLoc Loc;
+
+  bool is(TokenKind K) const { return Kind == K; }
+};
+
+/// Tokenizes \p Source; lexical errors are reported to \p Diags and yield
+/// Error tokens. Always ends with an EndOfFile token.
+std::vector<Token> lex(const std::string &Source, DiagnosticEngine &Diags);
+
+} // namespace frontend
+} // namespace expresso
+
+#endif // EXPRESSO_FRONTEND_LEXER_H

@@ -1,0 +1,522 @@
+//===- frontend/Parser.cpp - Monitor-language parser ---------------------------===//
+//
+// Part of expresso-cpp, a reproduction of "Symbolic Reasoning for Automatic
+// Signal Placement" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Parser.h"
+
+#include "frontend/Lexer.h"
+
+#include <optional>
+
+using namespace expresso;
+using namespace expresso::frontend;
+
+namespace {
+
+class Parser {
+public:
+  Parser(std::vector<Token> Tokens, DiagnosticEngine &Diags)
+      : Tokens(std::move(Tokens)), Diags(Diags) {}
+
+  std::unique_ptr<Monitor> parse() {
+    auto M = std::make_unique<Monitor>();
+    Mon = M.get();
+    if (!expect(TokenKind::KwMonitor))
+      return nullptr;
+    if (!cur().is(TokenKind::Identifier)) {
+      error("expected monitor name");
+      return nullptr;
+    }
+    M->Name = cur().Text;
+    next();
+    if (!expect(TokenKind::LBrace))
+      return nullptr;
+    while (!cur().is(TokenKind::RBrace) && !cur().is(TokenKind::EndOfFile)) {
+      if (!parseMember())
+        return nullptr;
+    }
+    if (!expect(TokenKind::RBrace))
+      return nullptr;
+    if (Diags.hasErrors())
+      return nullptr;
+    return M;
+  }
+
+private:
+  const Token &cur() const { return Tokens[Pos]; }
+  const Token &peek(size_t Ahead = 1) const {
+    size_t P = Pos + Ahead;
+    return P < Tokens.size() ? Tokens[P] : Tokens.back();
+  }
+  void next() {
+    if (Pos + 1 < Tokens.size())
+      ++Pos;
+  }
+  void error(const std::string &Msg) { Diags.error(cur().Loc, Msg); }
+  bool expect(TokenKind K) {
+    if (cur().is(K)) {
+      next();
+      return true;
+    }
+    error(std::string("expected ") + tokenKindName(K) + " but found " +
+          tokenKindName(cur().Kind));
+    return false;
+  }
+  bool accept(TokenKind K) {
+    if (!cur().is(K))
+      return false;
+    next();
+    return true;
+  }
+
+  std::optional<TypeKind> parseType() {
+    TypeKind Base;
+    if (accept(TokenKind::KwInt)) {
+      Base = TypeKind::Int;
+    } else if (accept(TokenKind::KwBool)) {
+      Base = TypeKind::Bool;
+    } else {
+      error("expected a type ('int' or 'bool')");
+      return std::nullopt;
+    }
+    if (accept(TokenKind::LBracket)) {
+      if (!expect(TokenKind::RBracket))
+        return std::nullopt;
+      return Base == TypeKind::Int ? TypeKind::IntArray : TypeKind::BoolArray;
+    }
+    return Base;
+  }
+
+  bool parseMember() {
+    SourceLoc Loc = cur().Loc;
+    // Configuration contract.
+    if (accept(TokenKind::KwRequires)) {
+      const Expr *E = parseExpr();
+      if (!E || !expect(TokenKind::Semi))
+        return false;
+      Mon->Requires.push_back(E);
+      return true;
+    }
+    // Constructor.
+    if (accept(TokenKind::KwInit)) {
+      const Stmt *Body = parseBlock();
+      if (!Body)
+        return false;
+      if (Mon->InitBody) {
+        Diags.error(Loc, "duplicate init block");
+        return false;
+      }
+      Mon->InitBody = Body;
+      return true;
+    }
+    // Method: [atomic] void name(...) {...}
+    if (cur().is(TokenKind::KwAtomic) || cur().is(TokenKind::KwVoid))
+      return parseMethod();
+    // Field: [const] type name [= lit];
+    return parseField();
+  }
+
+  bool parseField() {
+    Field F;
+    F.Loc = cur().Loc;
+    F.IsConst = accept(TokenKind::KwConst);
+    auto Ty = parseType();
+    if (!Ty)
+      return false;
+    F.Type = *Ty;
+    if (!cur().is(TokenKind::Identifier)) {
+      error("expected field name");
+      return false;
+    }
+    F.Name = cur().Text;
+    next();
+    if (accept(TokenKind::Assign)) {
+      const Expr *Init = parseExpr();
+      if (!Init)
+        return false;
+      F.Init = Init;
+    }
+    if (!expect(TokenKind::Semi))
+      return false;
+    Mon->Fields.push_back(std::move(F));
+    return true;
+  }
+
+  bool parseMethod() {
+    Method M;
+    M.Loc = cur().Loc;
+    accept(TokenKind::KwAtomic); // the keyword is implied in this language
+    if (!expect(TokenKind::KwVoid))
+      return false;
+    if (!cur().is(TokenKind::Identifier)) {
+      error("expected method name");
+      return false;
+    }
+    M.Name = cur().Text;
+    next();
+    if (!expect(TokenKind::LParen))
+      return false;
+    if (!cur().is(TokenKind::RParen)) {
+      do {
+        auto Ty = parseType();
+        if (!Ty)
+          return false;
+        if (*Ty != TypeKind::Int && *Ty != TypeKind::Bool) {
+          error("array parameters are not supported");
+          return false;
+        }
+        if (!cur().is(TokenKind::Identifier)) {
+          error("expected parameter name");
+          return false;
+        }
+        M.Params.push_back({cur().Text, *Ty});
+        next();
+      } while (accept(TokenKind::Comma));
+    }
+    if (!expect(TokenKind::RParen))
+      return false;
+    if (!expect(TokenKind::LBrace))
+      return false;
+    while (!cur().is(TokenKind::RBrace) && !cur().is(TokenKind::EndOfFile)) {
+      WaitUntil W;
+      W.Loc = cur().Loc;
+      W.Id = NextCcrId++;
+      if (accept(TokenKind::KwWaituntil)) {
+        if (!expect(TokenKind::LParen))
+          return false;
+        W.Guard = parseExpr();
+        if (!W.Guard)
+          return false;
+        if (!expect(TokenKind::RParen))
+          return false;
+        if (cur().is(TokenKind::LBrace)) {
+          W.Body = parseBlock();
+        } else if (accept(TokenKind::Semi)) {
+          W.Body = Mon->make<SkipStmt>(W.Loc);
+        } else {
+          W.Body = parseStmt();
+        }
+        if (!W.Body)
+          return false;
+      } else {
+        // Bare statement: waituntil(true){ s }.
+        W.Guard = Mon->make<BoolLit>(true, W.Loc);
+        W.Body = parseStmt();
+        if (!W.Body)
+          return false;
+      }
+      M.Body.push_back(std::move(W));
+    }
+    if (!expect(TokenKind::RBrace))
+      return false;
+    Mon->Methods.push_back(std::move(M));
+    return true;
+  }
+
+  const Stmt *parseBlock() {
+    SourceLoc Loc = cur().Loc;
+    if (!expect(TokenKind::LBrace))
+      return nullptr;
+    std::vector<const Stmt *> Stmts;
+    while (!cur().is(TokenKind::RBrace) && !cur().is(TokenKind::EndOfFile)) {
+      const Stmt *S = parseStmt();
+      if (!S)
+        return nullptr;
+      Stmts.push_back(S);
+    }
+    if (!expect(TokenKind::RBrace))
+      return nullptr;
+    return Mon->make<SeqStmt>(std::move(Stmts), Loc);
+  }
+
+  const Stmt *parseStmt() {
+    SourceLoc Loc = cur().Loc;
+    switch (cur().Kind) {
+    case TokenKind::LBrace:
+      return parseBlock();
+    case TokenKind::Semi:
+      next();
+      return Mon->make<SkipStmt>(Loc);
+    case TokenKind::KwSkip: {
+      next();
+      if (!expect(TokenKind::Semi))
+        return nullptr;
+      return Mon->make<SkipStmt>(Loc);
+    }
+    case TokenKind::KwIf: {
+      next();
+      if (!expect(TokenKind::LParen))
+        return nullptr;
+      const Expr *Cond = parseExpr();
+      if (!Cond || !expect(TokenKind::RParen))
+        return nullptr;
+      const Stmt *Then = parseStmt();
+      if (!Then)
+        return nullptr;
+      const Stmt *Else = nullptr;
+      if (accept(TokenKind::KwElse)) {
+        Else = parseStmt();
+        if (!Else)
+          return nullptr;
+      } else {
+        Else = Mon->make<SkipStmt>(Loc);
+      }
+      return Mon->make<IfStmt>(Cond, Then, Else, Loc);
+    }
+    case TokenKind::KwWhile: {
+      next();
+      if (!expect(TokenKind::LParen))
+        return nullptr;
+      const Expr *Cond = parseExpr();
+      if (!Cond || !expect(TokenKind::RParen))
+        return nullptr;
+      const Stmt *Body = parseStmt();
+      if (!Body)
+        return nullptr;
+      return Mon->make<WhileStmt>(Cond, Body, Loc);
+    }
+    case TokenKind::KwWaituntil:
+      error("nested waituntil statements are not supported (see paper §9)");
+      return nullptr;
+    case TokenKind::KwInt:
+    case TokenKind::KwBool: {
+      auto Ty = parseType();
+      if (!Ty)
+        return nullptr;
+      if (*Ty != TypeKind::Int && *Ty != TypeKind::Bool) {
+        error("array-typed locals are not supported");
+        return nullptr;
+      }
+      if (!cur().is(TokenKind::Identifier)) {
+        error("expected local variable name");
+        return nullptr;
+      }
+      std::string Name = cur().Text;
+      next();
+      if (!expect(TokenKind::Assign))
+        return nullptr;
+      const Expr *Init = parseExpr();
+      if (!Init || !expect(TokenKind::Semi))
+        return nullptr;
+      return Mon->make<LocalDeclStmt>(*Ty, std::move(Name), Init, Loc);
+    }
+    case TokenKind::Identifier: {
+      std::string Name = cur().Text;
+      next();
+      if (accept(TokenKind::LBracket)) {
+        const Expr *Index = parseExpr();
+        if (!Index || !expect(TokenKind::RBracket))
+          return nullptr;
+        if (!expect(TokenKind::Assign))
+          return nullptr;
+        const Expr *Value = parseExpr();
+        if (!Value || !expect(TokenKind::Semi))
+          return nullptr;
+        return Mon->make<StoreStmt>(std::move(Name), Index, Value, Loc);
+      }
+      if (accept(TokenKind::PlusPlus)) {
+        if (!expect(TokenKind::Semi))
+          return nullptr;
+        const Expr *Inc = Mon->make<Binary>(
+            BinaryOp::Add, Mon->make<VarRef>(Name, Loc),
+            Mon->make<IntLit>(1, Loc), Loc);
+        return Mon->make<AssignStmt>(std::move(Name), Inc, Loc);
+      }
+      if (accept(TokenKind::MinusMinus)) {
+        if (!expect(TokenKind::Semi))
+          return nullptr;
+        const Expr *Dec = Mon->make<Binary>(
+            BinaryOp::Sub, Mon->make<VarRef>(Name, Loc),
+            Mon->make<IntLit>(1, Loc), Loc);
+        return Mon->make<AssignStmt>(std::move(Name), Dec, Loc);
+      }
+      if (!expect(TokenKind::Assign))
+        return nullptr;
+      const Expr *Value = parseExpr();
+      if (!Value || !expect(TokenKind::Semi))
+        return nullptr;
+      return Mon->make<AssignStmt>(std::move(Name), Value, Loc);
+    }
+    default:
+      error(std::string("expected a statement but found ") +
+            tokenKindName(cur().Kind));
+      return nullptr;
+    }
+  }
+
+  //===--------------------------------------------------------------------===
+  // Expressions (precedence climbing)
+  //===--------------------------------------------------------------------===
+
+  const Expr *parseExpr() { return parseOr(); }
+
+  const Expr *parseOr() {
+    const Expr *L = parseAnd();
+    while (L && cur().is(TokenKind::PipePipe)) {
+      SourceLoc Loc = cur().Loc;
+      next();
+      const Expr *R = parseAnd();
+      if (!R)
+        return nullptr;
+      L = Mon->make<Binary>(BinaryOp::Or, L, R, Loc);
+    }
+    return L;
+  }
+
+  const Expr *parseAnd() {
+    const Expr *L = parseEquality();
+    while (L && cur().is(TokenKind::AmpAmp)) {
+      SourceLoc Loc = cur().Loc;
+      next();
+      const Expr *R = parseEquality();
+      if (!R)
+        return nullptr;
+      L = Mon->make<Binary>(BinaryOp::And, L, R, Loc);
+    }
+    return L;
+  }
+
+  const Expr *parseEquality() {
+    const Expr *L = parseRelational();
+    while (L && (cur().is(TokenKind::EqEq) || cur().is(TokenKind::BangEq))) {
+      BinaryOp Op =
+          cur().is(TokenKind::EqEq) ? BinaryOp::Eq : BinaryOp::Ne;
+      SourceLoc Loc = cur().Loc;
+      next();
+      const Expr *R = parseRelational();
+      if (!R)
+        return nullptr;
+      L = Mon->make<Binary>(Op, L, R, Loc);
+    }
+    return L;
+  }
+
+  const Expr *parseRelational() {
+    const Expr *L = parseAdditive();
+    for (;;) {
+      BinaryOp Op;
+      if (cur().is(TokenKind::Lt)) {
+        Op = BinaryOp::Lt;
+      } else if (cur().is(TokenKind::Le)) {
+        Op = BinaryOp::Le;
+      } else if (cur().is(TokenKind::Gt)) {
+        Op = BinaryOp::Gt;
+      } else if (cur().is(TokenKind::Ge)) {
+        Op = BinaryOp::Ge;
+      } else {
+        return L;
+      }
+      if (!L)
+        return nullptr;
+      SourceLoc Loc = cur().Loc;
+      next();
+      const Expr *R = parseAdditive();
+      if (!R)
+        return nullptr;
+      L = Mon->make<Binary>(Op, L, R, Loc);
+    }
+  }
+
+  const Expr *parseAdditive() {
+    const Expr *L = parseMultiplicative();
+    while (L && (cur().is(TokenKind::Plus) || cur().is(TokenKind::Minus))) {
+      BinaryOp Op = cur().is(TokenKind::Plus) ? BinaryOp::Add : BinaryOp::Sub;
+      SourceLoc Loc = cur().Loc;
+      next();
+      const Expr *R = parseMultiplicative();
+      if (!R)
+        return nullptr;
+      L = Mon->make<Binary>(Op, L, R, Loc);
+    }
+    return L;
+  }
+
+  const Expr *parseMultiplicative() {
+    const Expr *L = parseUnary();
+    while (L && (cur().is(TokenKind::Star) || cur().is(TokenKind::Percent))) {
+      BinaryOp Op = cur().is(TokenKind::Star) ? BinaryOp::Mul : BinaryOp::Mod;
+      SourceLoc Loc = cur().Loc;
+      next();
+      const Expr *R = parseUnary();
+      if (!R)
+        return nullptr;
+      L = Mon->make<Binary>(Op, L, R, Loc);
+    }
+    return L;
+  }
+
+  const Expr *parseUnary() {
+    SourceLoc Loc = cur().Loc;
+    if (accept(TokenKind::Bang)) {
+      const Expr *E = parseUnary();
+      if (!E)
+        return nullptr;
+      return Mon->make<Unary>(UnaryOp::Not, E, Loc);
+    }
+    if (accept(TokenKind::Minus)) {
+      const Expr *E = parseUnary();
+      if (!E)
+        return nullptr;
+      return Mon->make<Unary>(UnaryOp::Neg, E, Loc);
+    }
+    return parsePrimary();
+  }
+
+  const Expr *parsePrimary() {
+    SourceLoc Loc = cur().Loc;
+    switch (cur().Kind) {
+    case TokenKind::IntLiteral: {
+      int64_t V = cur().IntValue;
+      next();
+      return Mon->make<IntLit>(V, Loc);
+    }
+    case TokenKind::KwTrue:
+      next();
+      return Mon->make<BoolLit>(true, Loc);
+    case TokenKind::KwFalse:
+      next();
+      return Mon->make<BoolLit>(false, Loc);
+    case TokenKind::LParen: {
+      next();
+      const Expr *E = parseExpr();
+      if (!E || !expect(TokenKind::RParen))
+        return nullptr;
+      return E;
+    }
+    case TokenKind::Identifier: {
+      std::string Name = cur().Text;
+      next();
+      if (accept(TokenKind::LBracket)) {
+        const Expr *Index = parseExpr();
+        if (!Index || !expect(TokenKind::RBracket))
+          return nullptr;
+        return Mon->make<ArrayRef>(std::move(Name), Index, Loc);
+      }
+      return Mon->make<VarRef>(std::move(Name), Loc);
+    }
+    default:
+      error(std::string("expected an expression but found ") +
+            tokenKindName(cur().Kind));
+      return nullptr;
+    }
+  }
+
+  std::vector<Token> Tokens;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+  Monitor *Mon = nullptr;
+  unsigned NextCcrId = 0;
+};
+
+} // namespace
+
+std::unique_ptr<Monitor> frontend::parseMonitor(const std::string &Source,
+                                                DiagnosticEngine &Diags) {
+  std::vector<Token> Tokens = lex(Source, Diags);
+  if (Diags.hasErrors())
+    return nullptr;
+  return Parser(std::move(Tokens), Diags).parse();
+}

@@ -1,0 +1,35 @@
+//===- frontend/Parser.h - Monitor-language parser --------------*- C++ -*-===//
+//
+// Part of expresso-cpp, a reproduction of "Symbolic Reasoning for Automatic
+// Signal Placement" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for the Figure-3 monitor language. Bare
+/// statements at method top level are wrapped into `waituntil(true){s}`
+/// exactly as the paper specifies ("a statement s is a special case of a
+/// waituntil statement whose corresponding predicate is true").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXPRESSO_FRONTEND_PARSER_H
+#define EXPRESSO_FRONTEND_PARSER_H
+
+#include "frontend/Ast.h"
+
+#include <memory>
+#include <string>
+
+namespace expresso {
+namespace frontend {
+
+/// Parses \p Source into a Monitor. Returns nullptr (with diagnostics in
+/// \p Diags) on syntax errors.
+std::unique_ptr<Monitor> parseMonitor(const std::string &Source,
+                                      DiagnosticEngine &Diags);
+
+} // namespace frontend
+} // namespace expresso
+
+#endif // EXPRESSO_FRONTEND_PARSER_H

@@ -1,0 +1,636 @@
+//===- frontend/Sema.cpp - Semantic analysis and lowering ----------------------===//
+//
+// Part of expresso-cpp, a reproduction of "Symbolic Reasoning for Automatic
+// Signal Placement" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Sema.h"
+
+#include "logic/TermOps.h"
+
+#include <cassert>
+#include <set>
+
+using namespace expresso;
+using namespace expresso::frontend;
+using logic::Sort;
+using logic::Term;
+
+namespace {
+
+Sort sortOf(TypeKind T) {
+  switch (T) {
+  case TypeKind::Int:
+    return Sort::Int;
+  case TypeKind::Bool:
+    return Sort::Bool;
+  case TypeKind::IntArray:
+    return Sort::IntArray;
+  case TypeKind::BoolArray:
+    return Sort::BoolArray;
+  }
+  return Sort::Int;
+}
+
+/// Type checker + lowering validator. Works per method with a local scope.
+class Checker {
+public:
+  Checker(const Monitor &M, SemaInfo &Info, DiagnosticEngine &Diags)
+      : M(M), Info(Info), Diags(Diags) {}
+
+  bool run() {
+    // Declare fields.
+    std::set<std::string> Names;
+    for (const Field &F : M.Fields) {
+      if (!Names.insert(F.Name).second) {
+        Diags.error(F.Loc, "duplicate field '" + F.Name + "'");
+        return false;
+      }
+      Info.FieldVars[F.Name] = Info.C->var(F.Name, sortOf(F.Type));
+      if (F.Init) {
+        TypeKind InitTy;
+        if (!typeOfLiteralInit(F.Init, InitTy))
+          return false;
+        if (InitTy != F.Type) {
+          Diags.error(F.Loc, "initializer type mismatch for field '" +
+                                 F.Name + "'");
+          return false;
+        }
+      }
+    }
+    // Check init block (field scope only).
+    if (M.InitBody && !checkStmt(M.InitBody, nullptr, /*InInit=*/true))
+      return false;
+    // Check requires clauses: boolean, const fields only.
+    for (const Expr *R : M.Requires) {
+      TypeKind Ty;
+      if (!checkExpr(R, nullptr, Ty))
+        return false;
+      if (Ty != TypeKind::Bool) {
+        Diags.error(R->loc(), "requires clause must be boolean");
+        return false;
+      }
+      if (!constFieldsOnly(R)) {
+        Diags.error(R->loc(),
+                    "requires clauses may reference const fields only");
+        return false;
+      }
+    }
+    // Check methods.
+    std::set<std::string> MethodNames;
+    for (const Method &Me : M.Methods) {
+      if (!MethodNames.insert(Me.Name).second) {
+        Diags.error(Me.Loc, "duplicate method '" + Me.Name + "'");
+        return false;
+      }
+      Locals.clear();
+      for (const Param &P : Me.Params) {
+        if (Info.FieldVars.count(P.Name)) {
+          Diags.error(Me.Loc, "parameter '" + P.Name + "' shadows a field");
+          return false;
+        }
+        if (!Locals.emplace(P.Name, P.Type).second) {
+          Diags.error(Me.Loc, "duplicate parameter '" + P.Name + "'");
+          return false;
+        }
+        Info.LocalVars[Me.Name + "::" + P.Name] =
+            Info.C->var(Me.Name + "::" + P.Name, sortOf(P.Type));
+      }
+      for (const WaitUntil &W : Me.Body) {
+        TypeKind GuardTy;
+        if (!checkExpr(W.Guard, &Me, GuardTy))
+          return false;
+        if (GuardTy != TypeKind::Bool) {
+          Diags.error(W.Loc, "waituntil guard must be boolean");
+          return false;
+        }
+        if (!checkStmt(W.Body, &Me, /*InInit=*/false))
+          return false;
+      }
+    }
+    return true;
+  }
+
+private:
+  bool typeOfLiteralInit(const Expr *E, TypeKind &Out) {
+    if (isa<IntLit>(E)) {
+      Out = TypeKind::Int;
+      return true;
+    }
+    if (isa<BoolLit>(E)) {
+      Out = TypeKind::Bool;
+      return true;
+    }
+    if (const auto *U = dyn_cast<Unary>(E);
+        U && U->op() == UnaryOp::Neg && isa<IntLit>(U->operand())) {
+      Out = TypeKind::Int;
+      return true;
+    }
+    Diags.error(E->loc(), "field initializers must be literals");
+    return false;
+  }
+
+  bool lookup(const std::string &Name, const Method *InMethod, TypeKind &Out,
+              bool &IsLocal, bool &IsConst) {
+    if (InMethod) {
+      auto It = Locals.find(Name);
+      if (It != Locals.end()) {
+        Out = It->second;
+        IsLocal = true;
+        IsConst = false;
+        return true;
+      }
+    }
+    if (const Field *F = M.findField(Name)) {
+      Out = F->Type;
+      IsLocal = false;
+      IsConst = F->IsConst;
+      return true;
+    }
+    return false;
+  }
+
+  bool checkExpr(const Expr *E, const Method *InMethod, TypeKind &Out) {
+    switch (E->kind()) {
+    case Expr::Kind::IntLit:
+      Out = TypeKind::Int;
+      return true;
+    case Expr::Kind::BoolLit:
+      Out = TypeKind::Bool;
+      return true;
+    case Expr::Kind::VarRef: {
+      const auto *V = cast<VarRef>(E);
+      bool IsLocal, IsConst;
+      if (!lookup(V->name(), InMethod, Out, IsLocal, IsConst)) {
+        Diags.error(E->loc(), "unknown variable '" + V->name() + "'");
+        return false;
+      }
+      if (Out == TypeKind::IntArray || Out == TypeKind::BoolArray) {
+        Diags.error(E->loc(),
+                    "arrays may only be used with an index expression");
+        return false;
+      }
+      return true;
+    }
+    case Expr::Kind::ArrayRef: {
+      const auto *A = cast<ArrayRef>(E);
+      bool IsLocal, IsConst;
+      TypeKind ArrTy;
+      if (!lookup(A->array(), InMethod, ArrTy, IsLocal, IsConst)) {
+        Diags.error(E->loc(), "unknown array '" + A->array() + "'");
+        return false;
+      }
+      if (ArrTy != TypeKind::IntArray && ArrTy != TypeKind::BoolArray) {
+        Diags.error(E->loc(), "'" + A->array() + "' is not an array");
+        return false;
+      }
+      TypeKind IdxTy;
+      if (!checkExpr(A->index(), InMethod, IdxTy))
+        return false;
+      if (IdxTy != TypeKind::Int) {
+        Diags.error(E->loc(), "array index must be an integer");
+        return false;
+      }
+      Out = ArrTy == TypeKind::IntArray ? TypeKind::Int : TypeKind::Bool;
+      return true;
+    }
+    case Expr::Kind::Unary: {
+      const auto *U = cast<Unary>(E);
+      TypeKind OpTy;
+      if (!checkExpr(U->operand(), InMethod, OpTy))
+        return false;
+      if (U->op() == UnaryOp::Not) {
+        if (OpTy != TypeKind::Bool) {
+          Diags.error(E->loc(), "'!' requires a boolean operand");
+          return false;
+        }
+        Out = TypeKind::Bool;
+        return true;
+      }
+      if (OpTy != TypeKind::Int) {
+        Diags.error(E->loc(), "unary '-' requires an integer operand");
+        return false;
+      }
+      Out = TypeKind::Int;
+      return true;
+    }
+    case Expr::Kind::Binary: {
+      const auto *B = cast<Binary>(E);
+      TypeKind L, R;
+      if (!checkExpr(B->lhs(), InMethod, L) ||
+          !checkExpr(B->rhs(), InMethod, R))
+        return false;
+      switch (B->op()) {
+      case BinaryOp::Add:
+      case BinaryOp::Sub:
+        if (L != TypeKind::Int || R != TypeKind::Int) {
+          Diags.error(E->loc(), "arithmetic requires integer operands");
+          return false;
+        }
+        Out = TypeKind::Int;
+        return true;
+      case BinaryOp::Mul: {
+        if (L != TypeKind::Int || R != TypeKind::Int) {
+          Diags.error(E->loc(), "arithmetic requires integer operands");
+          return false;
+        }
+        if (!isConstantExpr(B->lhs()) && !isConstantExpr(B->rhs())) {
+          Diags.error(E->loc(), "multiplication must have a constant operand "
+                                "(linear arithmetic only, see paper §9)");
+          return false;
+        }
+        Out = TypeKind::Int;
+        return true;
+      }
+      case BinaryOp::Mod: {
+        if (L != TypeKind::Int || !isa<IntLit>(B->rhs())) {
+          Diags.error(E->loc(),
+                      "'%' requires an integer literal divisor; only the "
+                      "pattern 'e % d == c' is supported");
+          return false;
+        }
+        Out = TypeKind::Int;
+        return true;
+      }
+      case BinaryOp::Eq:
+      case BinaryOp::Ne:
+        if (L != R) {
+          Diags.error(E->loc(), "'==' operands must have the same type");
+          return false;
+        }
+        if (isModExpr(B->lhs()) || isModExpr(B->rhs())) {
+          // Pattern e % d == c: the constant side must be a literal.
+          const Expr *Other = isModExpr(B->lhs()) ? B->rhs() : B->lhs();
+          if (!isa<IntLit>(Other)) {
+            Diags.error(E->loc(), "'%' comparisons must be against an "
+                                  "integer literal");
+            return false;
+          }
+        }
+        Out = TypeKind::Bool;
+        return true;
+      case BinaryOp::Lt:
+      case BinaryOp::Le:
+      case BinaryOp::Gt:
+      case BinaryOp::Ge:
+        if (L != TypeKind::Int || R != TypeKind::Int) {
+          Diags.error(E->loc(), "comparison requires integer operands");
+          return false;
+        }
+        if (isModExpr(B->lhs()) || isModExpr(B->rhs())) {
+          Diags.error(E->loc(), "'%' may only be used with '==' or '!='");
+          return false;
+        }
+        Out = TypeKind::Bool;
+        return true;
+      case BinaryOp::And:
+      case BinaryOp::Or:
+        if (L != TypeKind::Bool || R != TypeKind::Bool) {
+          Diags.error(E->loc(), "'&&'/'||' require boolean operands");
+          return false;
+        }
+        Out = TypeKind::Bool;
+        return true;
+      }
+      return false;
+    }
+    }
+    return false;
+  }
+
+  static bool isModExpr(const Expr *E) {
+    const auto *B = dyn_cast<Binary>(E);
+    return B && B->op() == BinaryOp::Mod;
+  }
+
+  bool constFieldsOnly(const Expr *E) {
+    switch (E->kind()) {
+    case Expr::Kind::IntLit:
+    case Expr::Kind::BoolLit:
+      return true;
+    case Expr::Kind::VarRef: {
+      const Field *F = M.findField(cast<VarRef>(E)->name());
+      return F && F->IsConst;
+    }
+    case Expr::Kind::ArrayRef:
+      return false;
+    case Expr::Kind::Unary:
+      return constFieldsOnly(cast<Unary>(E)->operand());
+    case Expr::Kind::Binary:
+      return constFieldsOnly(cast<Binary>(E)->lhs()) &&
+             constFieldsOnly(cast<Binary>(E)->rhs());
+    }
+    return false;
+  }
+
+  /// Conservatively: literals and negated literals are constants.
+  static bool isConstantExpr(const Expr *E) {
+    if (isa<IntLit>(E))
+      return true;
+    if (const auto *U = dyn_cast<Unary>(E))
+      return U->op() == UnaryOp::Neg && isConstantExpr(U->operand());
+    return false;
+  }
+
+  bool checkStmt(const Stmt *S, const Method *InMethod, bool InInit) {
+    switch (S->kind()) {
+    case Stmt::Kind::Skip:
+      return true;
+    case Stmt::Kind::Assign: {
+      const auto *A = cast<AssignStmt>(S);
+      bool IsLocal, IsConst;
+      TypeKind TargetTy;
+      if (!lookup(A->target(), InMethod, TargetTy, IsLocal, IsConst)) {
+        Diags.error(S->loc(), "unknown variable '" + A->target() + "'");
+        return false;
+      }
+      if (IsConst && !InInit) {
+        Diags.error(S->loc(),
+                    "const field '" + A->target() + "' assigned outside init");
+        return false;
+      }
+      if (TargetTy == TypeKind::IntArray || TargetTy == TypeKind::BoolArray) {
+        Diags.error(S->loc(), "whole-array assignment is not supported");
+        return false;
+      }
+      TypeKind ValTy;
+      if (!checkExpr(A->value(), InMethod, ValTy))
+        return false;
+      if (ValTy != TargetTy) {
+        Diags.error(S->loc(), "assignment type mismatch");
+        return false;
+      }
+      return true;
+    }
+    case Stmt::Kind::Store: {
+      const auto *St = cast<StoreStmt>(S);
+      bool IsLocal, IsConst;
+      TypeKind ArrTy;
+      if (!lookup(St->array(), InMethod, ArrTy, IsLocal, IsConst)) {
+        Diags.error(S->loc(), "unknown array '" + St->array() + "'");
+        return false;
+      }
+      if (ArrTy != TypeKind::IntArray && ArrTy != TypeKind::BoolArray) {
+        Diags.error(S->loc(), "'" + St->array() + "' is not an array");
+        return false;
+      }
+      TypeKind IdxTy, ValTy;
+      if (!checkExpr(St->index(), InMethod, IdxTy) ||
+          !checkExpr(St->value(), InMethod, ValTy))
+        return false;
+      if (IdxTy != TypeKind::Int) {
+        Diags.error(S->loc(), "array index must be an integer");
+        return false;
+      }
+      TypeKind ElemTy =
+          ArrTy == TypeKind::IntArray ? TypeKind::Int : TypeKind::Bool;
+      if (ValTy != ElemTy) {
+        Diags.error(S->loc(), "stored value type mismatch");
+        return false;
+      }
+      return true;
+    }
+    case Stmt::Kind::Seq: {
+      for (const Stmt *Sub : cast<SeqStmt>(S)->stmts())
+        if (!checkStmt(Sub, InMethod, InInit))
+          return false;
+      return true;
+    }
+    case Stmt::Kind::If: {
+      const auto *I = cast<IfStmt>(S);
+      TypeKind CondTy;
+      if (!checkExpr(I->cond(), InMethod, CondTy))
+        return false;
+      if (CondTy != TypeKind::Bool) {
+        Diags.error(S->loc(), "if condition must be boolean");
+        return false;
+      }
+      return checkStmt(I->thenStmt(), InMethod, InInit) &&
+             checkStmt(I->elseStmt(), InMethod, InInit);
+    }
+    case Stmt::Kind::While: {
+      const auto *W = cast<WhileStmt>(S);
+      TypeKind CondTy;
+      if (!checkExpr(W->cond(), InMethod, CondTy))
+        return false;
+      if (CondTy != TypeKind::Bool) {
+        Diags.error(S->loc(), "while condition must be boolean");
+        return false;
+      }
+      return checkStmt(W->body(), InMethod, InInit);
+    }
+    case Stmt::Kind::LocalDecl: {
+      const auto *L = cast<LocalDeclStmt>(S);
+      if (!InMethod) {
+        Diags.error(S->loc(), "local declarations are not allowed in init");
+        return false;
+      }
+      if (Info.FieldVars.count(L->name())) {
+        Diags.error(S->loc(), "local '" + L->name() + "' shadows a field");
+        return false;
+      }
+      TypeKind InitTy;
+      if (!checkExpr(L->init(), InMethod, InitTy))
+        return false;
+      if (InitTy != L->type()) {
+        Diags.error(S->loc(), "local initializer type mismatch");
+        return false;
+      }
+      if (!Locals.emplace(L->name(), L->type()).second) {
+        Diags.error(S->loc(), "duplicate local '" + L->name() + "'");
+        return false;
+      }
+      Info.LocalVars[InMethod->Name + "::" + L->name()] = Info.C->var(
+          InMethod->Name + "::" + L->name(), sortOf(L->type()));
+      return true;
+    }
+    }
+    return false;
+  }
+
+  const Monitor &M;
+  SemaInfo &Info;
+  DiagnosticEngine &Diags;
+  std::map<std::string, TypeKind> Locals;
+};
+
+} // namespace
+
+const Term *SemaInfo::fieldVar(const std::string &Name) const {
+  auto It = FieldVars.find(Name);
+  assert(It != FieldVars.end() && "unknown field");
+  return It->second;
+}
+
+const Term *SemaInfo::localVar(const Method &InMethod,
+                               const std::string &Name) const {
+  auto It = LocalVars.find(InMethod.Name + "::" + Name);
+  return It == LocalVars.end() ? nullptr : It->second;
+}
+
+bool SemaInfo::isLocalVar(const Term *V) const {
+  return V->isVar() && V->varName().find("::") != std::string::npos;
+}
+
+std::vector<const Term *> SemaInfo::sharedVars() const {
+  std::vector<const Term *> Result;
+  Result.reserve(M->Fields.size());
+  for (const Field &F : M->Fields)
+    Result.push_back(fieldVar(F.Name));
+  return Result;
+}
+
+const CcrInfo &SemaInfo::info(const WaitUntil *W) const {
+  for (const CcrInfo &CI : Ccrs)
+    if (CI.W == W)
+      return CI;
+  assert(false && "waituntil not part of this monitor");
+  return Ccrs.front();
+}
+
+std::vector<const PredicateClass *> SemaInfo::classes() const {
+  std::vector<const PredicateClass *> Result;
+  Result.reserve(Classes.size());
+  for (const auto &P : Classes)
+    Result.push_back(P.get());
+  return Result;
+}
+
+const Term *SemaInfo::lowerExpr(const Expr *E, const Method *InMethod) const {
+  logic::TermContext &TC = *C;
+  switch (E->kind()) {
+  case Expr::Kind::IntLit:
+    return TC.intConst(cast<IntLit>(E)->value());
+  case Expr::Kind::BoolLit:
+    return TC.boolConst(cast<BoolLit>(E)->value());
+  case Expr::Kind::VarRef: {
+    const std::string &Name = cast<VarRef>(E)->name();
+    if (InMethod)
+      if (const Term *L = localVar(*InMethod, Name))
+        return L;
+    return fieldVar(Name);
+  }
+  case Expr::Kind::ArrayRef: {
+    const auto *A = cast<ArrayRef>(E);
+    return TC.select(fieldVar(A->array()), lowerExpr(A->index(), InMethod));
+  }
+  case Expr::Kind::Unary: {
+    const auto *U = cast<Unary>(E);
+    const Term *Op = lowerExpr(U->operand(), InMethod);
+    return U->op() == UnaryOp::Not ? TC.not_(Op) : TC.neg(Op);
+  }
+  case Expr::Kind::Binary: {
+    const auto *B = cast<Binary>(E);
+    // Divisibility pattern: (e % d) == c  /  != c.
+    if (B->op() == BinaryOp::Eq || B->op() == BinaryOp::Ne) {
+      const Expr *ModSide = nullptr;
+      const Expr *ConstSide = nullptr;
+      if (const auto *LB = dyn_cast<Binary>(B->lhs());
+          LB && LB->op() == BinaryOp::Mod) {
+        ModSide = B->lhs();
+        ConstSide = B->rhs();
+      } else if (const auto *RB = dyn_cast<Binary>(B->rhs());
+                 RB && RB->op() == BinaryOp::Mod) {
+        ModSide = B->rhs();
+        ConstSide = B->lhs();
+      }
+      if (ModSide) {
+        const auto *MB = cast<Binary>(ModSide);
+        int64_t D = cast<IntLit>(MB->rhs())->value();
+        int64_t CVal = cast<IntLit>(ConstSide)->value();
+        const Term *Arg = lowerExpr(MB->lhs(), InMethod);
+        const Term *Dvd =
+            TC.divides(D, TC.sub(Arg, TC.intConst(CVal)));
+        return B->op() == BinaryOp::Eq ? Dvd : TC.not_(Dvd);
+      }
+    }
+    const Term *L = lowerExpr(B->lhs(), InMethod);
+    const Term *R = lowerExpr(B->rhs(), InMethod);
+    switch (B->op()) {
+    case BinaryOp::Add:
+      return TC.add(L, R);
+    case BinaryOp::Sub:
+      return TC.sub(L, R);
+    case BinaryOp::Mul:
+      return TC.mul(L, R);
+    case BinaryOp::Mod:
+      assert(false && "bare '%' outside a comparison; sema rejects this");
+      return nullptr;
+    case BinaryOp::Eq:
+      return TC.eq(L, R);
+    case BinaryOp::Ne:
+      return TC.ne(L, R);
+    case BinaryOp::Lt:
+      return TC.lt(L, R);
+    case BinaryOp::Le:
+      return TC.le(L, R);
+    case BinaryOp::Gt:
+      return TC.gt(L, R);
+    case BinaryOp::Ge:
+      return TC.ge(L, R);
+    case BinaryOp::And:
+      return TC.and_(L, R);
+    case BinaryOp::Or:
+      return TC.or_(L, R);
+    }
+    return nullptr;
+  }
+  }
+  return nullptr;
+}
+
+std::unique_ptr<SemaInfo> frontend::analyze(const Monitor &M,
+                                            logic::TermContext &C,
+                                            DiagnosticEngine &Diags) {
+  auto Info = std::make_unique<SemaInfo>();
+  Info->M = &M;
+  Info->C = &C;
+
+  Checker Check(M, *Info, Diags);
+  if (!Check.run())
+    return nullptr;
+
+  // Build the CCR table and predicate classes.
+  std::map<const Term *, PredicateClass *> ClassOfCanonical;
+  for (const Method &Me : M.Methods) {
+    for (const WaitUntil &W : Me.Body) {
+      CcrInfo CI;
+      CI.W = &W;
+      CI.Parent = &Me;
+      CI.Guard = Info->lowerExpr(W.Guard, &Me);
+
+      // Canonicalize: positional renaming of thread-local variables.
+      std::vector<const Term *> LocalsInGuard;
+      for (const Term *V : logic::freeVars(CI.Guard))
+        if (Info->isLocalVar(V))
+          LocalsInGuard.push_back(V);
+      logic::Substitution Subst;
+      std::vector<const Term *> Placeholders;
+      for (size_t I = 0; I < LocalsInGuard.size(); ++I) {
+        const Term *P =
+            C.var("$p" + std::to_string(I) +
+                      (LocalsInGuard[I]->sort() == logic::Sort::Bool ? "b"
+                                                                     : ""),
+                  LocalsInGuard[I]->sort());
+        Subst.emplace(LocalsInGuard[I], P);
+        Placeholders.push_back(P);
+      }
+      const Term *Canonical = logic::substitute(C, CI.Guard, Subst);
+
+      auto It = ClassOfCanonical.find(Canonical);
+      if (It == ClassOfCanonical.end()) {
+        auto PC = std::make_unique<PredicateClass>();
+        PC->Canonical = Canonical;
+        PC->Placeholders = Placeholders;
+        PC->Index = static_cast<unsigned>(Info->Classes.size());
+        It = ClassOfCanonical.emplace(Canonical, PC.get()).first;
+        Info->Classes.push_back(std::move(PC));
+      }
+      CI.Class = It->second;
+      CI.ClassArgs = LocalsInGuard;
+      Info->Ccrs.push_back(std::move(CI));
+    }
+  }
+  return Info;
+}

@@ -1,0 +1,224 @@
+//===- logic/Printer.cpp - Term pretty-printing ----------------------------===//
+//
+// Part of expresso-cpp, a reproduction of "Symbolic Reasoning for Automatic
+// Signal Placement" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+
+#include "logic/Printer.h"
+
+#include "logic/Term.h"
+
+#include <sstream>
+
+using namespace expresso;
+using namespace expresso::logic;
+
+namespace {
+
+/// Operator precedence for the infix printer; higher binds tighter.
+enum Precedence {
+  PrecOr = 1,
+  PrecAnd = 2,
+  PrecNot = 3,
+  PrecCmp = 4,
+  PrecAdd = 5,
+  PrecMul = 6,
+  PrecAtom = 7,
+};
+
+class InfixPrinter {
+public:
+  explicit InfixPrinter(std::ostringstream &OS) : OS(OS) {}
+
+  void print(const Term *T, int Parent) {
+    switch (T->kind()) {
+    case TermKind::IntConst:
+      if (T->intValue() < 0 && Parent >= PrecMul) {
+        OS << "(" << T->intValue() << ")";
+      } else {
+        OS << T->intValue();
+      }
+      return;
+    case TermKind::BoolConst:
+      OS << (T->boolValue() ? "true" : "false");
+      return;
+    case TermKind::Var:
+      OS << T->varName();
+      return;
+    case TermKind::Add:
+      printNary(T, " + ", PrecAdd, Parent);
+      return;
+    case TermKind::Mul:
+      open(PrecMul, Parent);
+      print(T->operand(0), PrecMul);
+      OS << " * ";
+      print(T->operand(1), PrecMul + 1);
+      close(PrecMul, Parent);
+      return;
+    case TermKind::Ite:
+      OS << "ite(";
+      print(T->operand(0), 0);
+      OS << ", ";
+      print(T->operand(1), 0);
+      OS << ", ";
+      print(T->operand(2), 0);
+      OS << ")";
+      return;
+    case TermKind::Select:
+      print(T->operand(0), PrecAtom);
+      OS << "[";
+      print(T->operand(1), 0);
+      OS << "]";
+      return;
+    case TermKind::Store:
+      OS << "store(";
+      print(T->operand(0), 0);
+      OS << ", ";
+      print(T->operand(1), 0);
+      OS << ", ";
+      print(T->operand(2), 0);
+      OS << ")";
+      return;
+    case TermKind::Eq:
+      printBinary(T, " == ", PrecCmp, Parent);
+      return;
+    case TermKind::Le:
+      printBinary(T, " <= ", PrecCmp, Parent);
+      return;
+    case TermKind::Lt:
+      printBinary(T, " < ", PrecCmp, Parent);
+      return;
+    case TermKind::Divides:
+      OS << T->intValue() << " divides ";
+      print(T->operand(0), PrecCmp + 1);
+      return;
+    case TermKind::Not:
+      open(PrecNot, Parent);
+      OS << "!";
+      print(T->operand(0), PrecNot);
+      close(PrecNot, Parent);
+      return;
+    case TermKind::And:
+      printNary(T, " && ", PrecAnd, Parent);
+      return;
+    case TermKind::Or:
+      printNary(T, " || ", PrecOr, Parent);
+      return;
+    }
+  }
+
+private:
+  void open(int Prec, int Parent) {
+    if (Parent > Prec)
+      OS << "(";
+  }
+  void close(int Prec, int Parent) {
+    if (Parent > Prec)
+      OS << ")";
+  }
+  void printBinary(const Term *T, const char *OpText, int Prec, int Parent) {
+    open(Prec, Parent);
+    print(T->operand(0), Prec + 1);
+    OS << OpText;
+    print(T->operand(1), Prec + 1);
+    close(Prec, Parent);
+  }
+  void printNary(const Term *T, const char *OpText, int Prec, int Parent) {
+    open(Prec, Parent);
+    bool First = true;
+    for (const Term *Op : T->operands()) {
+      if (!First)
+        OS << OpText;
+      First = false;
+      print(Op, Prec + 1);
+    }
+    close(Prec, Parent);
+  }
+
+  std::ostringstream &OS;
+};
+
+void printSexp(std::ostringstream &OS, const Term *T) {
+  switch (T->kind()) {
+  case TermKind::IntConst:
+    if (T->intValue() < 0) {
+      OS << "(- " << -T->intValue() << ")";
+    } else {
+      OS << T->intValue();
+    }
+    return;
+  case TermKind::BoolConst:
+    OS << (T->boolValue() ? "true" : "false");
+    return;
+  case TermKind::Var:
+    OS << T->varName();
+    return;
+  default:
+    break;
+  }
+  const char *Head = "?";
+  switch (T->kind()) {
+  case TermKind::Add:
+    Head = "+";
+    break;
+  case TermKind::Mul:
+    Head = "*";
+    break;
+  case TermKind::Ite:
+    Head = "ite";
+    break;
+  case TermKind::Select:
+    Head = "select";
+    break;
+  case TermKind::Store:
+    Head = "store";
+    break;
+  case TermKind::Eq:
+    Head = "=";
+    break;
+  case TermKind::Le:
+    Head = "<=";
+    break;
+  case TermKind::Lt:
+    Head = "<";
+    break;
+  case TermKind::Not:
+    Head = "not";
+    break;
+  case TermKind::And:
+    Head = "and";
+    break;
+  case TermKind::Or:
+    Head = "or";
+    break;
+  case TermKind::Divides: {
+    OS << "((_ divisible " << T->intValue() << ") ";
+    printSexp(OS, T->operand(0));
+    OS << ")";
+    return;
+  }
+  default:
+    break;
+  }
+  OS << "(" << Head;
+  for (const Term *Op : T->operands()) {
+    OS << " ";
+    printSexp(OS, Op);
+  }
+  OS << ")";
+}
+
+} // namespace
+
+std::string logic::printTerm(const Term *T) {
+  std::ostringstream OS;
+  InfixPrinter(OS).print(T, 0);
+  return OS.str();
+}
+
+std::string logic::printSmtLib(const Term *T) {
+  std::ostringstream OS;
+  printSexp(OS, T);
+  return OS.str();
+}

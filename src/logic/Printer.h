@@ -1,0 +1,35 @@
+//===- logic/Printer.h - Term pretty-printing -------------------*- C++ -*-===//
+//
+// Part of expresso-cpp, a reproduction of "Symbolic Reasoning for Automatic
+// Signal Placement" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Two renderings of terms: a human-oriented infix printer (used in
+/// diagnostics, generated-code comments, and EXPERIMENTS.md artifacts) and an
+/// SMT-LIB2 printer (used for debugging solver interactions, mirroring the
+/// paper's Appendix D, which shows invariants in SMT-LIB format).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXPRESSO_LOGIC_PRINTER_H
+#define EXPRESSO_LOGIC_PRINTER_H
+
+#include <string>
+
+namespace expresso {
+namespace logic {
+
+class Term;
+
+/// Renders \p T as an infix expression, e.g. `readers >= 0 && !writerIn`.
+std::string printTerm(const Term *T);
+
+/// Renders \p T as an SMT-LIB2 s-expression, e.g. `(and (>= readers 0) ...)`.
+std::string printSmtLib(const Term *T);
+
+} // namespace logic
+} // namespace expresso
+
+#endif // EXPRESSO_LOGIC_PRINTER_H

@@ -1,0 +1,34 @@
+//===- logic/Simplify.h - Semantic term simplification ----------*- C++ -*-===//
+//
+// Part of expresso-cpp, a reproduction of "Symbolic Reasoning for Automatic
+// Signal Placement" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A bottom-up simplifier over terms. Beyond the smart-constructor
+/// normalizations, it canonicalizes linear-arithmetic atoms (gcd tightening,
+/// `x + 1 <= x + 3` folds to true), prunes implied/contradictory comparisons
+/// inside conjunctions and disjunctions, merges bound pairs into equalities,
+/// and applies absorption. Cooper QE and abduction depend on this pass to
+/// keep eliminated formulas readable — it is why the inferred readers-writers
+/// invariant prints as `readers >= 0` rather than a pile of residue.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXPRESSO_LOGIC_SIMPLIFY_H
+#define EXPRESSO_LOGIC_SIMPLIFY_H
+
+namespace expresso {
+namespace logic {
+
+class Term;
+class TermContext;
+
+/// Simplifies \p T; the result is logically equivalent to the input.
+const Term *simplify(TermContext &C, const Term *T);
+
+} // namespace logic
+} // namespace expresso
+
+#endif // EXPRESSO_LOGIC_SIMPLIFY_H

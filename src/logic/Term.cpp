@@ -1,0 +1,422 @@
+//===- logic/Term.cpp - Hash-consed logical terms --------------------------===//
+//
+// Part of expresso-cpp, a reproduction of "Symbolic Reasoning for Automatic
+// Signal Placement" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+
+#include "logic/Term.h"
+
+#include "logic/Printer.h"
+
+#include <algorithm>
+
+using namespace expresso;
+using namespace expresso::logic;
+
+const char *logic::sortName(Sort S) {
+  switch (S) {
+  case Sort::Int:
+    return "int";
+  case Sort::Bool:
+    return "bool";
+  case Sort::IntArray:
+    return "int[]";
+  case Sort::BoolArray:
+    return "bool[]";
+  }
+  return "?";
+}
+
+const char *logic::kindName(TermKind K) {
+  switch (K) {
+  case TermKind::IntConst:
+    return "IntConst";
+  case TermKind::BoolConst:
+    return "BoolConst";
+  case TermKind::Var:
+    return "Var";
+  case TermKind::Add:
+    return "Add";
+  case TermKind::Mul:
+    return "Mul";
+  case TermKind::Ite:
+    return "Ite";
+  case TermKind::Select:
+    return "Select";
+  case TermKind::Store:
+    return "Store";
+  case TermKind::Eq:
+    return "Eq";
+  case TermKind::Le:
+    return "Le";
+  case TermKind::Lt:
+    return "Lt";
+  case TermKind::Divides:
+    return "Divides";
+  case TermKind::Not:
+    return "Not";
+  case TermKind::And:
+    return "And";
+  case TermKind::Or:
+    return "Or";
+  }
+  return "?";
+}
+
+std::string Term::str() const { return printTerm(this); }
+
+size_t TermContext::KeyHash::operator()(const Key &K) const {
+  size_t H = static_cast<size_t>(K.Kind) * 0x9e3779b97f4a7c15ULL;
+  H ^= static_cast<size_t>(K.S) + 0x517cc1b727220a95ULL + (H << 6) + (H >> 2);
+  H ^= std::hash<int64_t>()(K.IntVal) + (H << 6) + (H >> 2);
+  H ^= std::hash<std::string>()(K.Name) + (H << 6) + (H >> 2);
+  for (const Term *Op : K.Ops)
+    H ^= std::hash<const void *>()(Op) + 0x9e3779b97f4a7c15ULL + (H << 6) +
+         (H >> 2);
+  return H;
+}
+
+TermContext::TermContext() {
+  True = intern(TermKind::BoolConst, Sort::Bool, 1, "", {});
+  False = intern(TermKind::BoolConst, Sort::Bool, 0, "", {});
+  Zero = intern(TermKind::IntConst, Sort::Int, 0, "", {});
+  One = intern(TermKind::IntConst, Sort::Int, 1, "", {});
+}
+
+const Term *TermContext::intern(TermKind K, Sort S, int64_t IntVal,
+                                std::string Name,
+                                std::vector<const Term *> Ops) {
+  Key TheKey{K, S, IntVal, Name, Ops};
+  auto It = Interned.find(TheKey);
+  if (It != Interned.end())
+    return It->second;
+  auto Node = std::unique_ptr<Term>(
+      new Term(K, S, NextId++, IntVal, std::move(Name), std::move(Ops)));
+  const Term *Result = Node.get();
+  Arena.push_back(std::move(Node));
+  Interned.emplace(std::move(TheKey), Result);
+  return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// Leaves
+//===----------------------------------------------------------------------===//
+
+const Term *TermContext::intConst(int64_t V) {
+  if (V == 0)
+    return Zero;
+  if (V == 1)
+    return One;
+  return intern(TermKind::IntConst, Sort::Int, V, "", {});
+}
+
+const Term *TermContext::boolConst(bool B) { return B ? True : False; }
+
+const Term *TermContext::var(const std::string &Name, Sort S) {
+  auto It = VarsByName.find(Name);
+  if (It != VarsByName.end()) {
+    assert(It->second->sort() == S && "variable re-declared at another sort");
+    return It->second;
+  }
+  const Term *V = intern(TermKind::Var, S, 0, Name, {});
+  VarsByName.emplace(Name, V);
+  return V;
+}
+
+const Term *TermContext::lookupVar(const std::string &Name) const {
+  auto It = VarsByName.find(Name);
+  return It == VarsByName.end() ? nullptr : It->second;
+}
+
+const Term *TermContext::freshVar(const std::string &Hint, Sort S) {
+  for (;;) {
+    std::string Name = Hint + "!" + std::to_string(FreshCounter++);
+    if (!VarsByName.count(Name))
+      return var(Name, S);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Integer arithmetic
+//===----------------------------------------------------------------------===//
+
+const Term *TermContext::add(std::vector<const Term *> Ts) {
+  std::vector<const Term *> Flat;
+  int64_t ConstSum = 0;
+  // Flatten nested sums and fold constants into one summand.
+  std::vector<const Term *> Work(Ts.rbegin(), Ts.rend());
+  while (!Work.empty()) {
+    const Term *T = Work.back();
+    Work.pop_back();
+    assert(T->sort() == Sort::Int && "add operand must be integer");
+    if (T->kind() == TermKind::Add) {
+      for (auto It = T->operands().rbegin(); It != T->operands().rend(); ++It)
+        Work.push_back(*It);
+      continue;
+    }
+    if (T->isIntConst()) {
+      ConstSum += T->intValue();
+      continue;
+    }
+    Flat.push_back(T);
+  }
+  // Deterministic operand order for hash-consing of commutative sums.
+  std::stable_sort(Flat.begin(), Flat.end(),
+                   [](const Term *A, const Term *B) { return A->id() < B->id(); });
+  if (ConstSum != 0)
+    Flat.push_back(intConst(ConstSum));
+  if (Flat.empty())
+    return Zero;
+  if (Flat.size() == 1)
+    return Flat.front();
+  return intern(TermKind::Add, Sort::Int, 0, "", std::move(Flat));
+}
+
+const Term *TermContext::sub(const Term *A, const Term *B) {
+  return add({A, mulConst(-1, B)});
+}
+
+const Term *TermContext::neg(const Term *A) { return mulConst(-1, A); }
+
+const Term *TermContext::mulConst(int64_t Coeff, const Term *T) {
+  assert(T->sort() == Sort::Int && "mulConst operand must be integer");
+  if (Coeff == 0)
+    return Zero;
+  if (Coeff == 1)
+    return T;
+  if (T->isIntConst())
+    return intConst(Coeff * T->intValue());
+  // Distribute over sums so sums stay flat: c*(a+b) = c*a + c*b.
+  if (T->kind() == TermKind::Add) {
+    std::vector<const Term *> Scaled;
+    Scaled.reserve(T->numOperands());
+    for (const Term *Op : T->operands())
+      Scaled.push_back(mulConst(Coeff, Op));
+    return add(std::move(Scaled));
+  }
+  // Collapse nested coefficients: c1*(c2*t) = (c1*c2)*t.
+  if (T->kind() == TermKind::Mul)
+    return mulConst(Coeff * T->operand(0)->intValue(), T->operand(1));
+  return intern(TermKind::Mul, Sort::Int, 0, "", {intConst(Coeff), T});
+}
+
+const Term *TermContext::mul(const Term *A, const Term *B) {
+  if (A->isIntConst())
+    return mulConst(A->intValue(), B);
+  if (B->isIntConst())
+    return mulConst(B->intValue(), A);
+  assert(false && "nonlinear multiplication is not supported");
+  return nullptr;
+}
+
+const Term *TermContext::ite(const Term *Cond, const Term *Then,
+                             const Term *Else) {
+  assert(Cond->sort() == Sort::Bool && "ite condition must be boolean");
+  assert(Then->sort() == Else->sort() && "ite branches must agree on sort");
+  if (Cond->isTrue())
+    return Then;
+  if (Cond->isFalse())
+    return Else;
+  if (Then == Else)
+    return Then;
+  // Boolean ite lowers to propositional structure.
+  if (Then->sort() == Sort::Bool)
+    return or_(and_(Cond, Then), and_(not_(Cond), Else));
+  return intern(TermKind::Ite, Then->sort(), 0, "", {Cond, Then, Else});
+}
+
+//===----------------------------------------------------------------------===//
+// Arrays
+//===----------------------------------------------------------------------===//
+
+const Term *TermContext::select(const Term *Array, const Term *Index) {
+  assert((Array->sort() == Sort::IntArray || Array->sort() == Sort::BoolArray) &&
+         "select requires an array");
+  assert(Index->sort() == Sort::Int && "array index must be integer");
+  // Read-over-write: select(store(A,i,v), j) = ite(i=j, v, select(A,j)).
+  if (Array->kind() == TermKind::Store) {
+    const Term *A = Array->operand(0);
+    const Term *I = Array->operand(1);
+    const Term *V = Array->operand(2);
+    if (I == Index)
+      return V;
+    if (I->isIntConst() && Index->isIntConst())
+      return select(A, Index); // distinct constant indices
+    if (V->sort() == Sort::Bool) {
+      const Term *Hit = eq(I, Index);
+      return or_(and_(Hit, V), and_(not_(Hit), select(A, Index)));
+    }
+    return ite(eq(I, Index), V, select(A, Index));
+  }
+  Sort Elem = elementSort(Array->sort());
+  return intern(TermKind::Select, Elem, 0, "", {Array, Index});
+}
+
+const Term *TermContext::store(const Term *Array, const Term *Index,
+                               const Term *Value) {
+  assert((Array->sort() == Sort::IntArray || Array->sort() == Sort::BoolArray) &&
+         "store requires an array");
+  assert(Index->sort() == Sort::Int && "array index must be integer");
+  assert(Value->sort() == elementSort(Array->sort()) &&
+         "stored value must match element sort");
+  // store(store(A,i,_), i, v) = store(A, i, v)
+  if (Array->kind() == TermKind::Store && Array->operand(1) == Index)
+    return store(Array->operand(0), Index, Value);
+  return intern(TermKind::Store, Array->sort(), 0, "", {Array, Index, Value});
+}
+
+//===----------------------------------------------------------------------===//
+// Atoms
+//===----------------------------------------------------------------------===//
+
+const Term *TermContext::eq(const Term *A, const Term *B) {
+  assert(A->sort() == B->sort() && "equality operands must agree on sort");
+  assert(A->sort() != Sort::IntArray && A->sort() != Sort::BoolArray &&
+         "array equality must go through extensionality");
+  if (A == B)
+    return True;
+  if (A->isIntConst() && B->isIntConst())
+    return boolConst(A->intValue() == B->intValue());
+  if (A->isBoolConst() && B->isBoolConst())
+    return boolConst(A->boolValue() == B->boolValue());
+  // Boolean equality with a constant side simplifies to a literal.
+  if (A->sort() == Sort::Bool) {
+    if (A->isTrue())
+      return B;
+    if (A->isFalse())
+      return not_(B);
+    if (B->isTrue())
+      return A;
+    if (B->isFalse())
+      return not_(A);
+  }
+  if (A->id() > B->id())
+    std::swap(A, B);
+  return intern(TermKind::Eq, Sort::Bool, 0, "", {A, B});
+}
+
+const Term *TermContext::ne(const Term *A, const Term *B) {
+  return not_(eq(A, B));
+}
+
+const Term *TermContext::le(const Term *A, const Term *B) {
+  assert(A->sort() == Sort::Int && B->sort() == Sort::Int);
+  if (A == B)
+    return True;
+  if (A->isIntConst() && B->isIntConst())
+    return boolConst(A->intValue() <= B->intValue());
+  return intern(TermKind::Le, Sort::Bool, 0, "", {A, B});
+}
+
+const Term *TermContext::lt(const Term *A, const Term *B) {
+  assert(A->sort() == Sort::Int && B->sort() == Sort::Int);
+  if (A == B)
+    return False;
+  if (A->isIntConst() && B->isIntConst())
+    return boolConst(A->intValue() < B->intValue());
+  return intern(TermKind::Lt, Sort::Bool, 0, "", {A, B});
+}
+
+const Term *TermContext::divides(int64_t Divisor, const Term *T) {
+  assert(Divisor >= 1 && "divisor must be positive");
+  assert(T->sort() == Sort::Int);
+  if (Divisor == 1)
+    return True;
+  if (T->isIntConst())
+    return boolConst(T->intValue() % Divisor == 0);
+  return intern(TermKind::Divides, Sort::Bool, Divisor, "", {T});
+}
+
+//===----------------------------------------------------------------------===//
+// Boolean structure
+//===----------------------------------------------------------------------===//
+
+const Term *TermContext::not_(const Term *A) {
+  assert(A->sort() == Sort::Bool && "negation operand must be boolean");
+  if (A->isTrue())
+    return False;
+  if (A->isFalse())
+    return True;
+  if (A->kind() == TermKind::Not)
+    return A->operand(0);
+  return intern(TermKind::Not, Sort::Bool, 0, "", {A});
+}
+
+const Term *TermContext::and_(std::vector<const Term *> Ts) {
+  std::vector<const Term *> Flat;
+  std::vector<const Term *> Work(Ts.rbegin(), Ts.rend());
+  while (!Work.empty()) {
+    const Term *T = Work.back();
+    Work.pop_back();
+    assert(T->sort() == Sort::Bool && "conjunct must be boolean");
+    if (T->isFalse())
+      return False;
+    if (T->isTrue())
+      continue;
+    if (T->kind() == TermKind::And) {
+      for (auto It = T->operands().rbegin(); It != T->operands().rend(); ++It)
+        Work.push_back(*It);
+      continue;
+    }
+    Flat.push_back(T);
+  }
+  std::stable_sort(Flat.begin(), Flat.end(),
+                   [](const Term *A, const Term *B) { return A->id() < B->id(); });
+  Flat.erase(std::unique(Flat.begin(), Flat.end()), Flat.end());
+  // a and (not a) = false
+  for (const Term *T : Flat)
+    if (T->kind() == TermKind::Not &&
+        std::binary_search(Flat.begin(), Flat.end(), T->operand(0),
+                           [](const Term *A, const Term *B) {
+                             return A->id() < B->id();
+                           }))
+      return False;
+  if (Flat.empty())
+    return True;
+  if (Flat.size() == 1)
+    return Flat.front();
+  return intern(TermKind::And, Sort::Bool, 0, "", std::move(Flat));
+}
+
+const Term *TermContext::or_(std::vector<const Term *> Ts) {
+  std::vector<const Term *> Flat;
+  std::vector<const Term *> Work(Ts.rbegin(), Ts.rend());
+  while (!Work.empty()) {
+    const Term *T = Work.back();
+    Work.pop_back();
+    assert(T->sort() == Sort::Bool && "disjunct must be boolean");
+    if (T->isTrue())
+      return True;
+    if (T->isFalse())
+      continue;
+    if (T->kind() == TermKind::Or) {
+      for (auto It = T->operands().rbegin(); It != T->operands().rend(); ++It)
+        Work.push_back(*It);
+      continue;
+    }
+    Flat.push_back(T);
+  }
+  std::stable_sort(Flat.begin(), Flat.end(),
+                   [](const Term *A, const Term *B) { return A->id() < B->id(); });
+  Flat.erase(std::unique(Flat.begin(), Flat.end()), Flat.end());
+  // a or (not a) = true
+  for (const Term *T : Flat)
+    if (T->kind() == TermKind::Not &&
+        std::binary_search(Flat.begin(), Flat.end(), T->operand(0),
+                           [](const Term *A, const Term *B) {
+                             return A->id() < B->id();
+                           }))
+      return True;
+  if (Flat.empty())
+    return False;
+  if (Flat.size() == 1)
+    return Flat.front();
+  return intern(TermKind::Or, Sort::Bool, 0, "", std::move(Flat));
+}
+
+const Term *TermContext::implies(const Term *A, const Term *B) {
+  return or_(not_(A), B);
+}
+
+const Term *TermContext::iff(const Term *A, const Term *B) { return eq(A, B); }

@@ -1,0 +1,252 @@
+//===- logic/Term.h - Hash-consed logical terms -----------------*- C++ -*-===//
+//
+// Part of expresso-cpp, a reproduction of "Symbolic Reasoning for Automatic
+// Signal Placement" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Immutable, hash-consed terms of quantifier-free linear integer arithmetic
+/// with booleans and integer-indexed arrays. Every verification condition,
+/// guard, monitor invariant, and abduced predicate in the system is a `Term`.
+///
+/// Terms are interned in a `TermContext`: structurally equal terms are the
+/// same pointer, so pointer equality is semantic-literal equality and terms
+/// can be used as map keys. Smart constructors perform light normalization
+/// (constant folding, flattening, operand sorting for commutative nodes) so
+/// that trivially equal formulas coincide.
+///
+/// Lowered forms (no dedicated node kinds):
+///   a - b      => a + (-1)*b          -a    => (-1)*a
+///   a != b     => not (a = b)         a > b => b < a,  a >= b => b <= a
+///   a ==> b    => (not a) or b        iff   => bool equality
+///   bool ite   => (c and a) or (not c and b)
+///   select(store(A,i,v), j) => ite(i = j, v, select(A, j))
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXPRESSO_LOGIC_TERM_H
+#define EXPRESSO_LOGIC_TERM_H
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace expresso {
+namespace logic {
+
+/// Sort (type) of a term.
+enum class Sort : uint8_t { Int, Bool, IntArray, BoolArray };
+
+/// Returns the element sort of an array sort.
+inline Sort elementSort(Sort S) {
+  assert(S == Sort::IntArray || S == Sort::BoolArray);
+  return S == Sort::IntArray ? Sort::Int : Sort::Bool;
+}
+
+/// Returns the array sort holding elements of \p Elem.
+inline Sort arraySortOf(Sort Elem) {
+  assert(Elem == Sort::Int || Elem == Sort::Bool);
+  return Elem == Sort::Int ? Sort::IntArray : Sort::BoolArray;
+}
+
+const char *sortName(Sort S);
+
+/// Node kinds of the term DAG. See the file comment for lowered sugar.
+enum class TermKind : uint8_t {
+  IntConst, ///< 64-bit integer literal (IntVal)
+  BoolConst,///< true/false (IntVal is 0/1)
+  Var,      ///< named variable of any sort
+  Add,      ///< n-ary integer sum
+  Mul,      ///< coefficient * term; Ops[0] is always an IntConst
+  Ite,      ///< integer-sorted if-then-else (cond, then, else)
+  Select,   ///< array read (array, index)
+  Store,    ///< array write (array, index, value)
+  Eq,       ///< equality over Int or Bool operands
+  Le,       ///< integer <=
+  Lt,       ///< integer <
+  Divides,  ///< IntVal | Ops[0], with IntVal >= 1
+  Not,      ///< boolean negation
+  And,      ///< n-ary conjunction
+  Or,       ///< n-ary disjunction
+};
+
+const char *kindName(TermKind K);
+
+/// An immutable node in the hash-consed term DAG. Create via TermContext.
+class Term {
+public:
+  TermKind kind() const { return Kind; }
+  Sort sort() const { return TheSort; }
+
+  /// Stable creation index; used for deterministic operand ordering.
+  uint32_t id() const { return Id; }
+
+  /// Value of an IntConst / BoolConst, or the divisor of a Divides node.
+  int64_t intValue() const {
+    assert(Kind == TermKind::IntConst || Kind == TermKind::BoolConst ||
+           Kind == TermKind::Divides);
+    return IntVal;
+  }
+
+  bool boolValue() const {
+    assert(Kind == TermKind::BoolConst);
+    return IntVal != 0;
+  }
+
+  const std::string &varName() const {
+    assert(Kind == TermKind::Var);
+    return Name;
+  }
+
+  const std::vector<const Term *> &operands() const { return Ops; }
+  const Term *operand(unsigned I) const {
+    assert(I < Ops.size() && "operand index out of range");
+    return Ops[I];
+  }
+  unsigned numOperands() const { return static_cast<unsigned>(Ops.size()); }
+
+  bool isIntConst() const { return Kind == TermKind::IntConst; }
+  bool isBoolConst() const { return Kind == TermKind::BoolConst; }
+  bool isVar() const { return Kind == TermKind::Var; }
+  bool isTrue() const { return isBoolConst() && IntVal != 0; }
+  bool isFalse() const { return isBoolConst() && IntVal == 0; }
+  bool isAtomKind() const {
+    return Kind == TermKind::Eq || Kind == TermKind::Le ||
+           Kind == TermKind::Lt || Kind == TermKind::Divides ||
+           Kind == TermKind::Var || Kind == TermKind::BoolConst ||
+           Kind == TermKind::Select;
+  }
+
+  /// Renders this term with the infix pretty-printer (see Printer.h).
+  std::string str() const;
+
+private:
+  friend class TermContext;
+  Term(TermKind K, Sort S, uint32_t Id, int64_t IntVal, std::string Name,
+       std::vector<const Term *> Ops)
+      : Kind(K), TheSort(S), Id(Id), IntVal(IntVal), Name(std::move(Name)),
+        Ops(std::move(Ops)) {}
+
+  TermKind Kind;
+  Sort TheSort;
+  uint32_t Id;
+  int64_t IntVal;
+  std::string Name;
+  std::vector<const Term *> Ops;
+};
+
+/// Owns and interns terms. All terms built from one context may be mixed
+/// freely; terms from different contexts must never meet.
+class TermContext {
+public:
+  TermContext();
+  TermContext(const TermContext &) = delete;
+  TermContext &operator=(const TermContext &) = delete;
+
+  //===--------------------------------------------------------------------===
+  // Leaves
+  //===--------------------------------------------------------------------===
+
+  const Term *intConst(int64_t V);
+  const Term *boolConst(bool B);
+  const Term *getTrue() { return True; }
+  const Term *getFalse() { return False; }
+  const Term *getZero() { return Zero; }
+  const Term *getOne() { return One; }
+
+  /// Interns a variable. Re-requesting the same name must use the same sort.
+  const Term *var(const std::string &Name, Sort S);
+
+  /// Returns the existing variable named \p Name, or null if none was made.
+  const Term *lookupVar(const std::string &Name) const;
+
+  /// Creates a fresh variable with a unique suffix derived from \p Hint.
+  const Term *freshVar(const std::string &Hint, Sort S);
+
+  //===--------------------------------------------------------------------===
+  // Integer arithmetic
+  //===--------------------------------------------------------------------===
+
+  const Term *add(std::vector<const Term *> Ts);
+  const Term *add(const Term *A, const Term *B) { return add({A, B}); }
+  const Term *sub(const Term *A, const Term *B);
+  const Term *neg(const Term *A);
+  /// Linear multiplication by a constant coefficient.
+  const Term *mulConst(int64_t Coeff, const Term *T);
+  /// General product; at least one side must be an integer constant.
+  const Term *mul(const Term *A, const Term *B);
+  const Term *ite(const Term *Cond, const Term *Then, const Term *Else);
+
+  //===--------------------------------------------------------------------===
+  // Arrays
+  //===--------------------------------------------------------------------===
+
+  const Term *select(const Term *Array, const Term *Index);
+  const Term *store(const Term *Array, const Term *Index, const Term *Value);
+
+  //===--------------------------------------------------------------------===
+  // Atoms
+  //===--------------------------------------------------------------------===
+
+  const Term *eq(const Term *A, const Term *B);
+  const Term *ne(const Term *A, const Term *B);
+  const Term *le(const Term *A, const Term *B);
+  const Term *lt(const Term *A, const Term *B);
+  const Term *ge(const Term *A, const Term *B) { return le(B, A); }
+  const Term *gt(const Term *A, const Term *B) { return lt(B, A); }
+  /// Divisibility constraint Divisor | T with Divisor >= 1.
+  const Term *divides(int64_t Divisor, const Term *T);
+
+  //===--------------------------------------------------------------------===
+  // Boolean structure
+  //===--------------------------------------------------------------------===
+
+  const Term *not_(const Term *A);
+  const Term *and_(std::vector<const Term *> Ts);
+  const Term *and_(const Term *A, const Term *B) { return and_({A, B}); }
+  const Term *or_(std::vector<const Term *> Ts);
+  const Term *or_(const Term *A, const Term *B) { return or_({A, B}); }
+  const Term *implies(const Term *A, const Term *B);
+  const Term *iff(const Term *A, const Term *B);
+
+  /// Number of distinct terms interned so far (for tests/stats).
+  size_t numTerms() const { return Arena.size(); }
+
+private:
+  const Term *intern(TermKind K, Sort S, int64_t IntVal, std::string Name,
+                     std::vector<const Term *> Ops);
+
+  struct Key {
+    TermKind Kind;
+    Sort S;
+    int64_t IntVal;
+    std::string Name;
+    std::vector<const Term *> Ops;
+    bool operator==(const Key &O) const {
+      return Kind == O.Kind && S == O.S && IntVal == O.IntVal &&
+             Name == O.Name && Ops == O.Ops;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key &K) const;
+  };
+
+  std::vector<std::unique_ptr<Term>> Arena;
+  std::unordered_map<Key, const Term *, KeyHash> Interned;
+  std::unordered_map<std::string, const Term *> VarsByName;
+  uint32_t NextId = 0;
+  uint64_t FreshCounter = 0;
+  const Term *True = nullptr;
+  const Term *False = nullptr;
+  const Term *Zero = nullptr;
+  const Term *One = nullptr;
+};
+
+} // namespace logic
+} // namespace expresso
+
+#endif // EXPRESSO_LOGIC_TERM_H

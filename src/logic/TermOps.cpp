@@ -1,0 +1,374 @@
+//===- logic/TermOps.cpp - Traversal, substitution, evaluation -------------===//
+//
+// Part of expresso-cpp, a reproduction of "Symbolic Reasoning for Automatic
+// Signal Placement" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+
+#include "logic/TermOps.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace expresso;
+using namespace expresso::logic;
+
+//===----------------------------------------------------------------------===//
+// Free variables
+//===----------------------------------------------------------------------===//
+
+std::vector<const Term *> logic::freeVars(const Term *T) {
+  std::vector<const Term *> Result;
+  std::unordered_set<const Term *> Seen;
+  std::vector<const Term *> Work{T};
+  while (!Work.empty()) {
+    const Term *Cur = Work.back();
+    Work.pop_back();
+    if (!Seen.insert(Cur).second)
+      continue;
+    if (Cur->isVar()) {
+      Result.push_back(Cur);
+      continue;
+    }
+    for (const Term *Op : Cur->operands())
+      Work.push_back(Op);
+  }
+  std::sort(Result.begin(), Result.end(),
+            [](const Term *A, const Term *B) { return A->id() < B->id(); });
+  return Result;
+}
+
+bool logic::occurs(const Term *T, const Term *Var) {
+  std::unordered_set<const Term *> Seen;
+  std::vector<const Term *> Work{T};
+  while (!Work.empty()) {
+    const Term *Cur = Work.back();
+    Work.pop_back();
+    if (Cur == Var)
+      return true;
+    if (!Seen.insert(Cur).second)
+      continue;
+    for (const Term *Op : Cur->operands())
+      Work.push_back(Op);
+  }
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Substitution
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+const Term *substImpl(TermContext &C, const Term *T, const Substitution &Subst,
+                      std::unordered_map<const Term *, const Term *> &Memo) {
+  auto It = Memo.find(T);
+  if (It != Memo.end())
+    return It->second;
+
+  const Term *Result = nullptr;
+  if (T->isVar()) {
+    auto SIt = Subst.find(T);
+    Result = SIt == Subst.end() ? T : SIt->second;
+  } else if (T->numOperands() == 0) {
+    Result = T;
+  } else {
+    std::vector<const Term *> NewOps;
+    NewOps.reserve(T->numOperands());
+    bool Changed = false;
+    for (const Term *Op : T->operands()) {
+      const Term *NewOp = substImpl(C, Op, Subst, Memo);
+      Changed |= NewOp != Op;
+      NewOps.push_back(NewOp);
+    }
+    if (!Changed) {
+      Result = T;
+    } else {
+      switch (T->kind()) {
+      case TermKind::Add:
+        Result = C.add(std::move(NewOps));
+        break;
+      case TermKind::Mul:
+        Result = C.mul(NewOps[0], NewOps[1]);
+        break;
+      case TermKind::Ite:
+        Result = C.ite(NewOps[0], NewOps[1], NewOps[2]);
+        break;
+      case TermKind::Select:
+        Result = C.select(NewOps[0], NewOps[1]);
+        break;
+      case TermKind::Store:
+        Result = C.store(NewOps[0], NewOps[1], NewOps[2]);
+        break;
+      case TermKind::Eq:
+        Result = C.eq(NewOps[0], NewOps[1]);
+        break;
+      case TermKind::Le:
+        Result = C.le(NewOps[0], NewOps[1]);
+        break;
+      case TermKind::Lt:
+        Result = C.lt(NewOps[0], NewOps[1]);
+        break;
+      case TermKind::Divides:
+        Result = C.divides(T->intValue(), NewOps[0]);
+        break;
+      case TermKind::Not:
+        Result = C.not_(NewOps[0]);
+        break;
+      case TermKind::And:
+        Result = C.and_(std::move(NewOps));
+        break;
+      case TermKind::Or:
+        Result = C.or_(std::move(NewOps));
+        break;
+      default:
+        assert(false && "unexpected term kind in substitution");
+      }
+    }
+  }
+  Memo.emplace(T, Result);
+  return Result;
+}
+
+} // namespace
+
+const Term *logic::substitute(TermContext &C, const Term *T,
+                              const Substitution &Subst) {
+  if (Subst.empty())
+    return T;
+#ifndef NDEBUG
+  for (const auto &[Var, Rep] : Subst) {
+    assert(Var->isVar() && "substitution key must be a variable");
+    assert(Var->sort() == Rep->sort() && "substitution must preserve sorts");
+  }
+#endif
+  std::unordered_map<const Term *, const Term *> Memo;
+  return substImpl(C, T, Subst, Memo);
+}
+
+const Term *logic::substitute(TermContext &C, const Term *T, const Term *Var,
+                              const Term *Replacement) {
+  Substitution S;
+  S.emplace(Var, Replacement);
+  return substitute(C, T, S);
+}
+
+//===----------------------------------------------------------------------===//
+// Concrete evaluation
+//===----------------------------------------------------------------------===//
+
+Value logic::evaluate(const Term *T, const Assignment &Asg) {
+  switch (T->kind()) {
+  case TermKind::IntConst:
+    return Value::ofInt(T->intValue());
+  case TermKind::BoolConst:
+    return Value::ofBool(T->boolValue());
+  case TermKind::Var: {
+    auto It = Asg.find(T->varName());
+    assert(It != Asg.end() && "unbound variable in evaluation");
+    assert(It->second.S == T->sort() && "assignment sort mismatch");
+    return It->second;
+  }
+  case TermKind::Add: {
+    int64_t Sum = 0;
+    for (const Term *Op : T->operands())
+      Sum += evaluate(Op, Asg).asInt();
+    return Value::ofInt(Sum);
+  }
+  case TermKind::Mul:
+    return Value::ofInt(evaluate(T->operand(0), Asg).asInt() *
+                        evaluate(T->operand(1), Asg).asInt());
+  case TermKind::Ite:
+    return evaluate(T->operand(0), Asg).asBool() ? evaluate(T->operand(1), Asg)
+                                                 : evaluate(T->operand(2), Asg);
+  case TermKind::Select: {
+    Value Arr = evaluate(T->operand(0), Asg);
+    int64_t Raw = Arr.arrayAt(evaluate(T->operand(1), Asg).asInt());
+    return elementSort(T->operand(0)->sort()) == Sort::Bool
+               ? Value::ofBool(Raw != 0)
+               : Value::ofInt(Raw);
+  }
+  case TermKind::Store: {
+    Value Arr = evaluate(T->operand(0), Asg);
+    int64_t Idx = evaluate(T->operand(1), Asg).asInt();
+    Value Elem = evaluate(T->operand(2), Asg);
+    Arr.A[Idx] = Elem.I;
+    return Arr;
+  }
+  case TermKind::Eq: {
+    Value A = evaluate(T->operand(0), Asg);
+    Value B = evaluate(T->operand(1), Asg);
+    return Value::ofBool(A.I == B.I);
+  }
+  case TermKind::Le:
+    return Value::ofBool(evaluate(T->operand(0), Asg).asInt() <=
+                         evaluate(T->operand(1), Asg).asInt());
+  case TermKind::Lt:
+    return Value::ofBool(evaluate(T->operand(0), Asg).asInt() <
+                         evaluate(T->operand(1), Asg).asInt());
+  case TermKind::Divides: {
+    int64_t V = evaluate(T->operand(0), Asg).asInt();
+    int64_t D = T->intValue();
+    // Mathematical divisibility: works for negative V too.
+    return Value::ofBool(((V % D) + D) % D == 0);
+  }
+  case TermKind::Not:
+    return Value::ofBool(!evaluate(T->operand(0), Asg).asBool());
+  case TermKind::And: {
+    for (const Term *Op : T->operands())
+      if (!evaluate(Op, Asg).asBool())
+        return Value::ofBool(false);
+    return Value::ofBool(true);
+  }
+  case TermKind::Or: {
+    for (const Term *Op : T->operands())
+      if (evaluate(Op, Asg).asBool())
+        return Value::ofBool(true);
+    return Value::ofBool(false);
+  }
+  }
+  assert(false && "unhandled term kind");
+  return Value::ofInt(0);
+}
+
+bool logic::evaluateBool(const Term *T, const Assignment &Asg) {
+  return evaluate(T, Asg).asBool();
+}
+
+//===----------------------------------------------------------------------===//
+// Negation normal form / DNF
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+const Term *expandBoolEqImpl(TermContext &C, const Term *T,
+                             std::unordered_map<const Term *, const Term *> &Memo) {
+  auto It = Memo.find(T);
+  if (It != Memo.end())
+    return It->second;
+  const Term *Result;
+  if (T->kind() == TermKind::Eq && T->operand(0)->sort() == Sort::Bool) {
+    const Term *A = expandBoolEqImpl(C, T->operand(0), Memo);
+    const Term *B = expandBoolEqImpl(C, T->operand(1), Memo);
+    Result = C.or_(C.and_(A, B), C.and_(C.not_(A), C.not_(B)));
+  } else if (T->sort() == Sort::Bool && T->numOperands() != 0 &&
+             T->kind() != TermKind::Select && T->kind() != TermKind::Le &&
+             T->kind() != TermKind::Lt && T->kind() != TermKind::Eq &&
+             T->kind() != TermKind::Divides) {
+    std::vector<const Term *> Ops;
+    Ops.reserve(T->numOperands());
+    bool Changed = false;
+    for (const Term *Op : T->operands()) {
+      const Term *NewOp = expandBoolEqImpl(C, Op, Memo);
+      Changed |= NewOp != Op;
+      Ops.push_back(NewOp);
+    }
+    if (!Changed) {
+      Result = T;
+    } else if (T->kind() == TermKind::Not) {
+      Result = C.not_(Ops[0]);
+    } else if (T->kind() == TermKind::And) {
+      Result = C.and_(std::move(Ops));
+    } else {
+      assert(T->kind() == TermKind::Or);
+      Result = C.or_(std::move(Ops));
+    }
+  } else {
+    // Atoms (including int equalities and bool selects) pass through; iff
+    // cannot hide below them except inside integer ite conditions, which the
+    // solver lifts separately.
+    Result = T;
+  }
+  Memo.emplace(T, Result);
+  return Result;
+}
+
+const Term *nnfImpl(TermContext &C, const Term *T, bool Negated) {
+  switch (T->kind()) {
+  case TermKind::Not:
+    return nnfImpl(C, T->operand(0), !Negated);
+  case TermKind::And: {
+    std::vector<const Term *> Ops;
+    Ops.reserve(T->numOperands());
+    for (const Term *Op : T->operands())
+      Ops.push_back(nnfImpl(C, Op, Negated));
+    return Negated ? C.or_(std::move(Ops)) : C.and_(std::move(Ops));
+  }
+  case TermKind::Or: {
+    std::vector<const Term *> Ops;
+    Ops.reserve(T->numOperands());
+    for (const Term *Op : T->operands())
+      Ops.push_back(nnfImpl(C, Op, Negated));
+    return Negated ? C.and_(std::move(Ops)) : C.or_(std::move(Ops));
+  }
+  case TermKind::Le:
+    // not (a <= b)  =>  b + 1 <= a
+    if (Negated)
+      return C.le(C.add(T->operand(1), C.getOne()), T->operand(0));
+    return T;
+  case TermKind::Lt:
+    // Canonicalize a < b to a + 1 <= b; not (a < b) => b <= a.
+    if (Negated)
+      return C.le(T->operand(1), T->operand(0));
+    return C.le(C.add(T->operand(0), C.getOne()), T->operand(1));
+  case TermKind::Eq:
+    // not (a == b) over integers => a < b or b < a; re-run NNF so the strict
+    // comparisons canonicalize to <=. Boolean equalities keep their Not.
+    if (T->operand(0)->sort() == Sort::Int && Negated)
+      return nnfImpl(C,
+                     C.or_(C.lt(T->operand(0), T->operand(1)),
+                           C.lt(T->operand(1), T->operand(0))),
+                     false);
+    return Negated ? C.not_(T) : T;
+  default:
+    // Atoms: bool vars, bool selects, divisibility, constants.
+    return Negated ? C.not_(T) : T;
+  }
+}
+
+} // namespace
+
+const Term *logic::expandBoolEq(TermContext &C, const Term *T) {
+  assert(T->sort() == Sort::Bool);
+  std::unordered_map<const Term *, const Term *> Memo;
+  return expandBoolEqImpl(C, T, Memo);
+}
+
+const Term *logic::toNNF(TermContext &C, const Term *T) {
+  assert(T->sort() == Sort::Bool && "NNF requires a boolean term");
+  return nnfImpl(C, T, false);
+}
+
+std::vector<std::vector<const Term *>> logic::toDNF(TermContext &C,
+                                                    const Term *T) {
+  switch (T->kind()) {
+  case TermKind::Or: {
+    std::vector<std::vector<const Term *>> Result;
+    for (const Term *Op : T->operands()) {
+      auto Sub = toDNF(C, Op);
+      Result.insert(Result.end(), Sub.begin(), Sub.end());
+    }
+    return Result;
+  }
+  case TermKind::And: {
+    std::vector<std::vector<const Term *>> Result{{}};
+    for (const Term *Op : T->operands()) {
+      auto Sub = toDNF(C, Op);
+      std::vector<std::vector<const Term *>> Next;
+      Next.reserve(Result.size() * Sub.size());
+      for (const auto &Left : Result) {
+        for (const auto &Right : Sub) {
+          std::vector<const Term *> Merged = Left;
+          Merged.insert(Merged.end(), Right.begin(), Right.end());
+          Next.push_back(std::move(Merged));
+        }
+      }
+      Result = std::move(Next);
+    }
+    return Result;
+  }
+  default:
+    return {{T}};
+  }
+}

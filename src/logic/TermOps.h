@@ -1,0 +1,125 @@
+//===- logic/TermOps.h - Traversal, substitution, evaluation ----*- C++ -*-===//
+//
+// Part of expresso-cpp, a reproduction of "Symbolic Reasoning for Automatic
+// Signal Placement" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generic operations over the term DAG: free-variable collection, parallel
+/// substitution (the workhorse of weakest preconditions and the Section 4.2
+/// thread-local renaming), concrete evaluation under an assignment (used by
+/// the trace semantics, the runtime VM cross-checks, and property tests),
+/// and negation-normal-form conversion (used by MiniSmt and Cooper QE).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXPRESSO_LOGIC_TERMOPS_H
+#define EXPRESSO_LOGIC_TERMOPS_H
+
+#include "logic/Term.h"
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace expresso {
+namespace logic {
+
+//===----------------------------------------------------------------------===//
+// Free variables
+//===----------------------------------------------------------------------===//
+
+/// Collects the variables occurring in \p T, ordered by creation id
+/// (deterministic across runs).
+std::vector<const Term *> freeVars(const Term *T);
+
+/// Returns true if variable \p Var occurs in \p T.
+bool occurs(const Term *T, const Term *Var);
+
+//===----------------------------------------------------------------------===//
+// Substitution
+//===----------------------------------------------------------------------===//
+
+/// A parallel substitution from variables to replacement terms.
+using Substitution = std::map<const Term *, const Term *>;
+
+/// Applies \p Subst to \p T simultaneously. Replacements must be
+/// sort-compatible with the variables they replace.
+const Term *substitute(TermContext &C, const Term *T, const Substitution &Subst);
+
+/// Replaces a single variable.
+const Term *substitute(TermContext &C, const Term *T, const Term *Var,
+                       const Term *Replacement);
+
+//===----------------------------------------------------------------------===//
+// Concrete evaluation
+//===----------------------------------------------------------------------===//
+
+/// A concrete value of any sort. Arrays are total maps with a default.
+struct Value {
+  Sort S = Sort::Int;
+  int64_t I = 0;                ///< Int payload, or Bool as 0/1.
+  std::map<int64_t, int64_t> A; ///< Array payload: index -> element.
+  int64_t ArrayDefault = 0;
+
+  static Value ofInt(int64_t V) { return {Sort::Int, V, {}, 0}; }
+  static Value ofBool(bool B) { return {Sort::Bool, B ? 1 : 0, {}, 0}; }
+  static Value ofArray(Sort ArraySort, std::map<int64_t, int64_t> Elems,
+                       int64_t Default = 0) {
+    return {ArraySort, 0, std::move(Elems), Default};
+  }
+
+  bool asBool() const {
+    assert(S == Sort::Bool);
+    return I != 0;
+  }
+  int64_t asInt() const {
+    assert(S == Sort::Int);
+    return I;
+  }
+  int64_t arrayAt(int64_t Idx) const {
+    auto It = A.find(Idx);
+    return It == A.end() ? ArrayDefault : It->second;
+  }
+
+  bool operator==(const Value &O) const = default;
+};
+
+/// Maps variable names to concrete values.
+using Assignment = std::map<std::string, Value>;
+
+/// Evaluates \p T under \p Asg. Every variable in \p T must be bound.
+Value evaluate(const Term *T, const Assignment &Asg);
+
+/// Convenience: evaluates a boolean term.
+bool evaluateBool(const Term *T, const Assignment &Asg);
+
+//===----------------------------------------------------------------------===//
+// Negation normal form
+//===----------------------------------------------------------------------===//
+
+/// Rewrites boolean equalities `a == b` (iff) into `(a && b) || (!a && !b)`
+/// recursively, so downstream passes (NNF monotonization, Cooper QE) see
+/// only and/or/not structure over atoms.
+const Term *expandBoolEq(TermContext &C, const Term *T);
+
+/// Converts a boolean term to negation normal form. Negations are pushed to
+/// atoms and then *eliminated* on arithmetic atoms:
+///   not (a <= b) => b + 1 <= a        not (a < b) => b <= a
+///   not (a == b) => a < b or b < a    (integers)
+/// Negations remain only on boolean variables, boolean selects, boolean
+/// equalities, and divisibility atoms.
+const Term *toNNF(TermContext &C, const Term *T);
+
+/// Distributes \p T (assumed NNF) into disjunctive normal form; each inner
+/// vector is one conjunct list. Exponential in the worst case; callers cap
+/// input sizes.
+std::vector<std::vector<const Term *>> toDNF(TermContext &C, const Term *T);
+
+} // namespace logic
+} // namespace expresso
+
+#endif // EXPRESSO_LOGIC_TERMOPS_H

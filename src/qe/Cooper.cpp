@@ -1,0 +1,350 @@
+//===- qe/Cooper.cpp - Cooper's quantifier elimination -----------------------===//
+//
+// Part of expresso-cpp, a reproduction of "Symbolic Reasoning for Automatic
+// Signal Placement" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+
+#include "qe/Cooper.h"
+
+#include "logic/Linear.h"
+#include "logic/Simplify.h"
+#include "logic/TermOps.h"
+
+#include <cassert>
+
+using namespace expresso;
+using namespace expresso::qe;
+using namespace expresso::logic;
+
+namespace {
+
+/// Rewrites every atom of (NNF) \p F that mentions \p X. Returns nullopt if
+/// any occurrence of X is non-linear (inside a select index, an ite, or an
+/// opaque atom).
+///
+/// Output invariants (for the fresh variable Y = Delta * X):
+///   every atom containing Y has coefficient exactly +1 or -1 on Y, and
+///   equalities on Y have been split into two inequalities.
+struct ScaledFormula {
+  const Term *F = nullptr;
+  const Term *Y = nullptr;
+  int64_t Delta = 1;
+};
+
+class CooperEliminator {
+public:
+  CooperEliminator(TermContext &C, const QeConfig &Cfg) : C(C), Cfg(Cfg) {}
+
+  std::optional<const Term *> elimExists(const Term *F, const Term *X) {
+    if (!occurs(F, X))
+      return F;
+    if (X->sort() == Sort::Bool) {
+      const Term *T1 = substitute(C, F, X, C.getTrue());
+      const Term *T0 = substitute(C, F, X, C.getFalse());
+      return simplify(C, C.or_(T1, T0));
+    }
+    assert(X->sort() == Sort::Int && "can only eliminate int/bool variables");
+    F = expandBoolEq(C, F);
+    F = simplify(C, toNNF(C, F));
+    return elimExistsNNF(F, X);
+  }
+
+private:
+  /// Miniscoping driver; \p F is NNF.
+  std::optional<const Term *> elimExistsNNF(const Term *F, const Term *X) {
+    if (!occurs(F, X))
+      return F;
+    if (F->kind() == TermKind::Or) {
+      // ∃x (A ∨ B)  =  (∃x A) ∨ (∃x B)
+      std::vector<const Term *> Parts;
+      Parts.reserve(F->numOperands());
+      for (const Term *Op : F->operands()) {
+        auto Sub = elimExistsNNF(Op, X);
+        if (!Sub)
+          return std::nullopt;
+        Parts.push_back(*Sub);
+      }
+      return simplify(C, C.or_(std::move(Parts)));
+    }
+    if (F->kind() == TermKind::And) {
+      // ∃x (A ∧ B)  =  A ∧ ∃x B   when x does not occur in A.
+      std::vector<const Term *> Without, With;
+      for (const Term *Op : F->operands()) {
+        (occurs(Op, X) ? With : Without).push_back(Op);
+      }
+      if (!Without.empty()) {
+        auto Sub = cooperCore(C.and_(With), X);
+        if (!Sub)
+          return std::nullopt;
+        Without.push_back(*Sub);
+        return simplify(C, C.and_(std::move(Without)));
+      }
+      return cooperCore(F, X);
+    }
+    return cooperCore(F, X);
+  }
+
+  /// The quantifier-elimination kernel on an NNF formula where every
+  /// conjunct mentions X.
+  std::optional<const Term *> cooperCore(const Term *F, const Term *X) {
+    // Phase 1: find delta = lcm of |coefficients| of X across atoms; verify
+    // linear occurrences.
+    int64_t Delta = 1;
+    if (!scanCoefficients(F, X, Delta))
+      return std::nullopt;
+
+    // Phase 2: rewrite atoms over Y = Delta * X, with unit coefficients.
+    const Term *Y = C.freshVar("qe!y", Sort::Int);
+    const Term *Scaled = rewriteAtoms(F, X, Y, Delta);
+    if (!Scaled)
+      return std::nullopt;
+    if (Delta != 1)
+      Scaled = C.and_(Scaled, C.divides(Delta, Y));
+
+    // Phase 3: collect the divisor lcm D and the lower-bound B-set.
+    int64_t D = 1;
+    std::vector<const Term *> BSet;
+    collectCooperData(Scaled, Y, D, BSet);
+    if (D > Cfg.MaxDivisorLcm)
+      return std::nullopt;
+    if (static_cast<size_t>(D) * (BSet.size() + 1) > Cfg.MaxDisjuncts)
+      return std::nullopt;
+
+    // Phase 4: build the Cooper disjunction.
+    const Term *FMinusInf = buildMinusInfinity(Scaled, Y);
+    std::vector<const Term *> Disjuncts;
+    for (int64_t J = 1; J <= D; ++J) {
+      const Term *JTerm = C.intConst(J);
+      Disjuncts.push_back(substitute(C, FMinusInf, Y, JTerm));
+      for (const Term *B : BSet)
+        Disjuncts.push_back(substitute(C, Scaled, Y, C.add(B, JTerm)));
+    }
+    return simplify(C, C.or_(std::move(Disjuncts)));
+  }
+
+  /// Collects |coefficient| lcm of X over all atoms; false on non-linear
+  /// occurrence.
+  bool scanCoefficients(const Term *F, const Term *X, int64_t &Delta) {
+    if (F->kind() == TermKind::And || F->kind() == TermKind::Or) {
+      for (const Term *Op : F->operands())
+        if (!scanCoefficients(Op, X, Delta))
+          return false;
+      return true;
+    }
+    if (!occurs(F, X))
+      return true;
+    auto Atom = normalizeLinAtom(F);
+    if (!Atom)
+      return false; // X under a boolean atom we cannot scale
+    int64_t Coeff = 0;
+    for (const auto &[Key, KC] : Atom->L.Coeffs) {
+      if (Key == X) {
+        Coeff = KC;
+      } else if (occurs(Key, X)) {
+        return false; // X inside select index / ite: non-linear
+      }
+    }
+    if (Coeff == 0)
+      return false; // occurs() saw X but linearization lost it: be safe
+    Delta = lcm64(Delta, Coeff);
+    return true;
+  }
+
+  /// Rewrites atoms of F so that X is replaced by a unit-coefficient
+  /// occurrence of Y (= Delta * X); equalities on X split into two Le atoms.
+  const Term *rewriteAtoms(const Term *F, const Term *X, const Term *Y,
+                           int64_t Delta) {
+    if (F->kind() == TermKind::And || F->kind() == TermKind::Or) {
+      std::vector<const Term *> Ops;
+      Ops.reserve(F->numOperands());
+      for (const Term *Op : F->operands()) {
+        const Term *NewOp = rewriteAtoms(Op, X, Y, Delta);
+        if (!NewOp)
+          return nullptr;
+        Ops.push_back(NewOp);
+      }
+      return F->kind() == TermKind::And ? C.and_(std::move(Ops))
+                                        : C.or_(std::move(Ops));
+    }
+    if (!occurs(F, X))
+      return F;
+    auto Atom = normalizeLinAtom(F);
+    assert(Atom && "scanCoefficients accepted this atom");
+    int64_t A = Atom->L.coeff(X);
+    assert(A != 0);
+    int64_t S = Delta / std::llabs(A); // scale factor, positive
+    // Rest = S * (L - A*X); the scaled atom is  sign(A)*Y + Rest (op) 0.
+    LinearTerm Rest = Atom->L;
+    Rest.Coeffs.erase(X);
+    Rest.scale(S);
+    int Sign = A > 0 ? 1 : -1;
+
+    switch (Atom->Kind) {
+    case LinAtomKind::Le: {
+      LinearTerm L = Rest;
+      L.addAtom(Y, Sign);
+      LinAtom NewAtom{LinAtomKind::Le, std::move(L), 1};
+      return buildRawAtom(NewAtom);
+    }
+    case LinAtomKind::Eq: {
+      // Split into <= and >=.
+      LinearTerm L1 = Rest;
+      L1.addAtom(Y, Sign);
+      LinearTerm L2 = L1.negated();
+      LinAtom A1{LinAtomKind::Le, std::move(L1), 1};
+      LinAtom A2{LinAtomKind::Le, std::move(L2), 1};
+      return C.and_(buildRawAtom(A1), buildRawAtom(A2));
+    }
+    case LinAtomKind::Dvd:
+    case LinAtomKind::NDvd: {
+      // d | (A*X + rest)  <=>  (S*d) | (sign*Y + S*rest); then normalize the
+      // sign by negating the argument if needed.
+      LinearTerm L = Rest;
+      L.addAtom(Y, Sign);
+      if (Sign < 0)
+        L.scale(-1); // d | u <=> d | -u
+      LinAtom NewAtom{Atom->Kind, std::move(L), Atom->Divisor * S};
+      return buildRawAtom(NewAtom);
+    }
+    }
+    return nullptr;
+  }
+
+  /// Builds an atom term WITHOUT gcd re-tightening (which would break the
+  /// unit-coefficient invariant on Y).
+  const Term *buildRawAtom(const LinAtom &A) {
+    const Term *L = A.L.toTerm(C);
+    switch (A.Kind) {
+    case LinAtomKind::Le:
+      return C.le(L, C.getZero());
+    case LinAtomKind::Eq:
+      return C.eq(L, C.getZero());
+    case LinAtomKind::Dvd:
+      return C.divides(A.Divisor, L);
+    case LinAtomKind::NDvd:
+      return C.not_(C.divides(A.Divisor, L));
+    }
+    return nullptr;
+  }
+
+  /// Gathers divisor lcm and lower-bound terms (B-set) from the scaled
+  /// formula; every atom has unit coefficient on Y.
+  void collectCooperData(const Term *F, const Term *Y, int64_t &D,
+                         std::vector<const Term *> &BSet) {
+    if (F->kind() == TermKind::And || F->kind() == TermKind::Or) {
+      for (const Term *Op : F->operands())
+        collectCooperData(Op, Y, D, BSet);
+      return;
+    }
+    if (!occurs(F, Y))
+      return;
+    auto Atom = normalizeLinAtom(F);
+    assert(Atom);
+    int64_t A = Atom->L.coeff(Y);
+    // normalizeLinAtom may reduce Dvd coefficients mod the divisor; Y's
+    // coefficient stays ±1 because divisors exceed 1.
+    if (Atom->Kind == LinAtomKind::Dvd || Atom->Kind == LinAtomKind::NDvd) {
+      D = lcm64(D, Atom->Divisor);
+      return;
+    }
+    assert(Atom->Kind == LinAtomKind::Le && (A == 1 || A == -1));
+    if (A == -1) {
+      // -Y + rest <= 0  i.e.  Y >= rest: a NON-strict lower bound. Cooper's
+      // B-set wants strict bounds b < Y, so b = rest - 1.
+      LinearTerm Rest = Atom->L;
+      Rest.Coeffs.erase(Y);
+      Rest.Constant -= 1;
+      BSet.push_back(Rest.toTerm(C));
+    }
+  }
+
+  /// Builds F with Y -> -infinity: upper-bound atoms become true, lower
+  /// bounds become false, divisibility atoms survive.
+  const Term *buildMinusInfinity(const Term *F, const Term *Y) {
+    if (F->kind() == TermKind::And || F->kind() == TermKind::Or) {
+      std::vector<const Term *> Ops;
+      Ops.reserve(F->numOperands());
+      for (const Term *Op : F->operands())
+        Ops.push_back(buildMinusInfinity(Op, Y));
+      return F->kind() == TermKind::And ? C.and_(std::move(Ops))
+                                        : C.or_(std::move(Ops));
+    }
+    if (!occurs(F, Y))
+      return F;
+    auto Atom = normalizeLinAtom(F);
+    assert(Atom);
+    if (Atom->Kind == LinAtomKind::Dvd || Atom->Kind == LinAtomKind::NDvd)
+      return F;
+    return Atom->L.coeff(Y) > 0 ? C.getTrue() : C.getFalse();
+  }
+
+  TermContext &C;
+  const QeConfig &Cfg;
+};
+
+} // namespace
+
+std::optional<const Term *> qe::eliminateExists(TermContext &C, const Term *F,
+                                                const Term *Var,
+                                                const QeConfig &Cfg) {
+  return CooperEliminator(C, Cfg).elimExists(F, Var);
+}
+
+std::optional<const Term *> qe::eliminateForall(TermContext &C, const Term *F,
+                                                const Term *Var,
+                                                const QeConfig &Cfg) {
+  auto Inner = eliminateExists(C, C.not_(F), Var, Cfg);
+  if (!Inner)
+    return std::nullopt;
+  return simplify(C, C.not_(*Inner));
+}
+
+std::optional<const Term *>
+qe::eliminateExists(TermContext &C, const Term *F,
+                    const std::vector<const Term *> &Vars,
+                    const QeConfig &Cfg) {
+  const Term *Cur = F;
+  for (const Term *V : Vars) {
+    auto Next = eliminateExists(C, Cur, V, Cfg);
+    if (!Next)
+      return std::nullopt;
+    Cur = *Next;
+  }
+  return Cur;
+}
+
+std::optional<const Term *>
+qe::eliminateForall(TermContext &C, const Term *F,
+                    const std::vector<const Term *> &Vars,
+                    const QeConfig &Cfg) {
+  const Term *Cur = F;
+  for (const Term *V : Vars) {
+    auto Next = eliminateForall(C, Cur, V, Cfg);
+    if (!Next)
+      return std::nullopt;
+    Cur = *Next;
+  }
+  return Cur;
+}
+
+std::optional<bool> qe::decideSat(TermContext &C, const Term *F,
+                                  const QeConfig &Cfg) {
+  std::vector<const Term *> Vars = freeVars(F);
+  for (const Term *V : Vars)
+    if (V->sort() == Sort::IntArray || V->sort() == Sort::BoolArray)
+      return std::nullopt; // arrays are outside the decidable fragment here
+  auto Ground = eliminateExists(C, F, Vars, Cfg);
+  if (!Ground)
+    return std::nullopt;
+  const Term *G = simplify(C, *Ground);
+  if (G->isTrue())
+    return true;
+  if (G->isFalse())
+    return false;
+  // Ground but unsimplified residue (e.g. constant divisibility chains):
+  // evaluate directly.
+  if (freeVars(G).empty())
+    return evaluateBool(G, {});
+  return std::nullopt;
+}

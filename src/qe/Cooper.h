@@ -1,0 +1,80 @@
+//===- qe/Cooper.h - Cooper's quantifier elimination ------------*- C++ -*-===//
+//
+// Part of expresso-cpp, a reproduction of "Symbolic Reasoning for Automatic
+// Signal Placement" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cooper's quantifier elimination for linear integer arithmetic, plus
+/// boolean-variable elimination by case splitting. This module powers the
+/// abduction engine of Section 5: candidate monitor invariants are computed
+/// as universally quantified weakenings ∀V_elim.(P → wp(s, Q)), which Cooper
+/// turns back into quantifier-free predicates.
+///
+/// The implementation follows the textbook lower-bound ("B-set / F-minus-
+/// infinity") formulation with two practical refinements: miniscoping
+/// (∃ distributes over ∨ exactly, and over ∧ for conjuncts not mentioning
+/// the variable) and aggressive simplification after each expansion step.
+///
+/// Elimination is partial: if the variable occurs non-linearly (inside an
+/// array index or an integer ite), the functions return nullopt and callers
+/// fall back to conservative behaviour (the paper's Section 9 posture).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXPRESSO_QE_COOPER_H
+#define EXPRESSO_QE_COOPER_H
+
+#include "logic/Term.h"
+
+#include <optional>
+#include <vector>
+
+namespace expresso {
+namespace qe {
+
+/// Limits on formula growth during elimination.
+struct QeConfig {
+  /// Maximum lcm of divisors (the `D` in Cooper's disjunction) tolerated
+  /// before giving up; guards against blowup from large coefficients.
+  int64_t MaxDivisorLcm = 128;
+  /// Maximum number of disjuncts materialized per eliminated variable.
+  size_t MaxDisjuncts = 512;
+};
+
+/// Computes a quantifier-free equivalent of ∃Var. F. \p Var may be Int
+/// (Cooper) or Bool (case split). Returns nullopt when Var occurs
+/// non-linearly or the growth limits trip.
+std::optional<const logic::Term *>
+eliminateExists(logic::TermContext &C, const logic::Term *F,
+                const logic::Term *Var, const QeConfig &Cfg = QeConfig());
+
+/// Computes a quantifier-free equivalent of ∀Var. F (as ¬∃Var.¬F).
+std::optional<const logic::Term *>
+eliminateForall(logic::TermContext &C, const logic::Term *F,
+                const logic::Term *Var, const QeConfig &Cfg = QeConfig());
+
+/// Eliminates a list of variables existentially, in order.
+std::optional<const logic::Term *>
+eliminateExists(logic::TermContext &C, const logic::Term *F,
+                const std::vector<const logic::Term *> &Vars,
+                const QeConfig &Cfg = QeConfig());
+
+/// Eliminates a list of variables universally, in order.
+std::optional<const logic::Term *>
+eliminateForall(logic::TermContext &C, const logic::Term *F,
+                const std::vector<const logic::Term *> &Vars,
+                const QeConfig &Cfg = QeConfig());
+
+/// Decides a QF_LIA formula by eliminating *all* of its free variables
+/// existentially and evaluating the resulting ground formula. Complete for
+/// pure LIA+Bool inputs; returns nullopt for inputs outside the fragment.
+/// Used as MiniSmt's completeness fallback.
+std::optional<bool> decideSat(logic::TermContext &C, const logic::Term *F,
+                              const QeConfig &Cfg = QeConfig());
+
+} // namespace qe
+} // namespace expresso
+
+#endif // EXPRESSO_QE_COOPER_H

@@ -1,0 +1,321 @@
+//===- runtime/Engine.cpp - Monitor execution engines ---------------------------===//
+//
+// Part of expresso-cpp, a reproduction of "Symbolic Reasoning for Automatic
+// Signal Placement" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Engine.h"
+
+#include <cassert>
+#include <condition_variable>
+#include <list>
+#include <map>
+#include <mutex>
+#include <set>
+
+using namespace expresso;
+using namespace expresso::runtime;
+using namespace expresso::frontend;
+using logic::Assignment;
+using logic::Value;
+
+MonitorEngine::~MonitorEngine() = default;
+
+void MonitorEngine::call(const std::string &Method, Assignment Locals) {
+  const frontend::Method *M = Sema.M->findMethod(Method);
+  assert(M && "unknown monitor method");
+  call(M, std::move(Locals));
+}
+
+namespace {
+
+/// A blocked thread's parking slot. Lives on the waiter's stack.
+struct Waiter {
+  std::condition_variable Cv;
+  bool Notified = false;
+  const WaitUntil *W = nullptr;
+  const PredicateClass *Class = nullptr;
+  /// Placeholder-name -> value snapshot for conditional evaluation (§6).
+  Assignment ClassArgs;
+  /// The waiter's full locals, for AutoSynch-style guard re-evaluation.
+  const Assignment *Locals = nullptr;
+};
+
+/// Common machinery: lock, interpreted state, waiter bookkeeping.
+class EngineBase : public MonitorEngine {
+public:
+  EngineBase(const SemaInfo &Sema, const Assignment &Overrides)
+      : MonitorEngine(Sema), Shared(initialState(*Sema.M, Overrides)) {}
+
+  Assignment snapshot() override {
+    std::unique_lock<std::mutex> L(Mtx);
+    return Shared;
+  }
+
+  EngineStats stats() override {
+    std::unique_lock<std::mutex> L(Mtx);
+    return Stats;
+  }
+
+  void call(const Method *M, Assignment Locals) override {
+    std::unique_lock<std::mutex> L(Mtx);
+    ++Stats.Calls;
+    for (const WaitUntil &W : M->Body) {
+      awaitGuard(W, Locals, L);
+      Env E{&Shared, &Locals};
+      execStmt(W.Body, E);
+      afterBody(W, L);
+    }
+  }
+
+protected:
+  /// Blocks until W's guard holds (monitor locked on entry and exit).
+  void awaitGuard(const WaitUntil &W, Assignment &Locals,
+                  std::unique_lock<std::mutex> &L) {
+    Env E{&Shared, &Locals};
+    bool FirstCheck = true;
+    while (true) {
+      ++Stats.PredicateEvals;
+      if (evalExpr(W.Guard, E).asBool())
+        break;
+      if (!FirstCheck) {
+        // Woken, but a racing thread consumed the resource first. Forward
+        // the notification so the logical signal is not swallowed by a
+        // waiter that can no longer use it.
+        ++Stats.SpuriousWakeups;
+        forwardFailedWake(W);
+      }
+      FirstCheck = false;
+      ++Stats.Blocks;
+      Waiter Slot;
+      Slot.W = &W;
+      const CcrInfo &CI = Sema.info(&W);
+      Slot.Class = CI.Class;
+      // Snapshot the guard's local arguments for conditional signaling.
+      for (size_t K = 0; K < CI.Class->Placeholders.size(); ++K) {
+        const std::string &QualName = CI.ClassArgs[K]->varName();
+        std::string Plain = QualName.substr(QualName.find("::") + 2);
+        Slot.ClassArgs[CI.Class->Placeholders[K]->varName()] =
+            Locals.at(Plain);
+      }
+      Slot.Locals = &Locals;
+      registerWaiter(&Slot);
+      Slot.Cv.wait(L, [&] { return Slot.Notified; });
+      ++Stats.Wakeups;
+    }
+    guardPassed(W, L);
+  }
+
+  /// Hooks specialized per engine. All run with the monitor locked.
+  virtual void registerWaiter(Waiter *W) = 0;
+  virtual void afterBody(const WaitUntil &W,
+                         std::unique_lock<std::mutex> &L) = 0;
+  virtual void guardPassed(const WaitUntil &W,
+                           std::unique_lock<std::mutex> &L) {
+    (void)W;
+    (void)L;
+  }
+  /// Called when a woken waiter finds its guard false again and is about to
+  /// re-block: pass the notification to another eligible waiter.
+  virtual void forwardFailedWake(const WaitUntil &W) { (void)W; }
+
+  /// Evaluates a predicate class for a specific waiter (shared state plus
+  /// the waiter's class-argument snapshot).
+  bool classHolds(const PredicateClass *Q, const Waiter *Wt) {
+    ++Stats.PredicateEvals;
+    Assignment Asg = Shared;
+    if (Wt)
+      for (const auto &[Name, V] : Wt->ClassArgs)
+        Asg[Name] = V;
+    return logic::evaluateBool(Q->Canonical, Asg);
+  }
+
+  std::mutex Mtx;
+  Assignment Shared;
+  EngineStats Stats;
+};
+
+//===----------------------------------------------------------------------===//
+// ExplicitEngine
+//===----------------------------------------------------------------------===//
+
+class ExplicitEngine final : public EngineBase {
+public:
+  ExplicitEngine(const SemaInfo &Sema, SignalPlan Plan,
+                 const Assignment &Overrides)
+      : EngineBase(Sema, Overrides), Plan(std::move(Plan)) {
+    // Classes that receive a lazy broadcast need chain re-signaling after
+    // every waituntil guarded by them (§6).
+    if (this->Plan.LazyBroadcast)
+      for (const auto &[W, Es] : this->Plan.Entries)
+        for (const PlanEntry &E : Es)
+          if (E.Broadcast)
+            ChainClasses.insert(E.Target);
+  }
+
+  std::string name() const override { return "expresso-explicit"; }
+
+private:
+  void registerWaiter(Waiter *W) override {
+    ClassWaiters[W->Class].push_back(W);
+  }
+
+  void afterBody(const WaitUntil &W, std::unique_lock<std::mutex> &L) override {
+    (void)L;
+    // Lazy-broadcast chain (§6): `if (p) signal(p)` after every waituntil
+    // whose guard class receives a lazy broadcast — the first woken thread
+    // passes the wave on instead of one broadcaster waking everyone.
+    const CcrInfo &CI = Sema.info(&W);
+    if (ChainClasses.count(CI.Class))
+      wakeOne(CI.Class, /*CheckPredicate=*/true);
+    const auto *Entries = Plan.entriesFor(&W);
+    if (!Entries)
+      return;
+    for (const PlanEntry &E : *Entries) {
+      if (E.Broadcast) {
+        if (Plan.LazyBroadcast)
+          wakeOne(E.Target, /*CheckPredicate=*/true);
+        else
+          wakeAll(E.Target, E.Conditional);
+      } else {
+        wakeOne(E.Target, E.Conditional);
+      }
+    }
+  }
+
+  void wakeOne(const PredicateClass *Q, bool CheckPredicate) {
+    auto It = ClassWaiters.find(Q);
+    if (It == ClassWaiters.end())
+      return;
+    auto &Listing = It->second;
+    for (auto WIt = Listing.begin(); WIt != Listing.end(); ++WIt) {
+      Waiter *Wt = *WIt;
+      if (CheckPredicate && !classHolds(Q, Wt))
+        continue;
+      Wt->Notified = true;
+      Wt->Cv.notify_one();
+      Listing.erase(WIt);
+      return;
+    }
+  }
+
+  void wakeAll(const PredicateClass *Q, bool CheckPredicate) {
+    auto It = ClassWaiters.find(Q);
+    if (It == ClassWaiters.end())
+      return;
+    auto &Listing = It->second;
+    for (auto WIt = Listing.begin(); WIt != Listing.end();) {
+      Waiter *Wt = *WIt;
+      if (CheckPredicate && !classHolds(Q, Wt)) {
+        ++WIt;
+        continue;
+      }
+      Wt->Notified = true;
+      Wt->Cv.notify_one();
+      WIt = Listing.erase(WIt);
+    }
+  }
+
+  void forwardFailedWake(const WaitUntil &W) override {
+    wakeOne(Sema.info(&W).Class, /*CheckPredicate=*/true);
+  }
+
+  SignalPlan Plan;
+  std::map<const PredicateClass *, std::list<Waiter *>> ClassWaiters;
+  std::set<const PredicateClass *> ChainClasses;
+};
+
+//===----------------------------------------------------------------------===//
+// AutoSynchEngine
+//===----------------------------------------------------------------------===//
+
+class AutoSynchEngine final : public EngineBase {
+public:
+  AutoSynchEngine(const SemaInfo &Sema, const Assignment &Overrides)
+      : EngineBase(Sema, Overrides) {}
+
+  std::string name() const override { return "autosynch"; }
+
+private:
+  void registerWaiter(Waiter *W) override { Waiters.push_back(W); }
+
+  void afterBody(const WaitUntil &W, std::unique_lock<std::mutex> &L) override {
+    (void)W;
+    (void)L;
+    scanAndWakeOne();
+  }
+
+  void forwardFailedWake(const WaitUntil &W) override {
+    (void)W;
+    scanAndWakeOne();
+  }
+
+  /// Evaluate every waiting thread's guard against the current state; wake
+  /// the first satisfied one (FIFO). The cascade continues when that thread
+  /// exits the monitor.
+  void scanAndWakeOne() {
+    for (auto It = Waiters.begin(); It != Waiters.end(); ++It) {
+      Waiter *Wt = *It;
+      ++Stats.PredicateEvals;
+      Env E{&Shared, const_cast<Assignment *>(Wt->Locals)};
+      if (!evalExpr(Wt->W->Guard, E).asBool())
+        continue;
+      Wt->Notified = true;
+      Wt->Cv.notify_one();
+      Waiters.erase(It);
+      return;
+    }
+  }
+
+  std::list<Waiter *> Waiters;
+};
+
+//===----------------------------------------------------------------------===//
+// NaiveEngine
+//===----------------------------------------------------------------------===//
+
+class NaiveEngine final : public EngineBase {
+public:
+  NaiveEngine(const SemaInfo &Sema, const Assignment &Overrides)
+      : EngineBase(Sema, Overrides) {}
+
+  std::string name() const override { return "naive-broadcast"; }
+
+private:
+  void registerWaiter(Waiter *W) override { Waiters.push_back(W); }
+
+  void afterBody(const WaitUntil &W, std::unique_lock<std::mutex> &L) override {
+    (void)W;
+    (void)L;
+    // Wake everyone; they re-check their own guards (thundering herd).
+    for (Waiter *Wt : Waiters) {
+      Wt->Notified = true;
+      Wt->Cv.notify_one();
+    }
+    Waiters.clear();
+  }
+
+  std::list<Waiter *> Waiters;
+};
+
+} // namespace
+
+std::unique_ptr<MonitorEngine>
+runtime::createExplicitEngine(const SemaInfo &Sema, SignalPlan Plan,
+                              const Assignment &ConfigOverrides) {
+  return std::make_unique<ExplicitEngine>(Sema, std::move(Plan),
+                                          ConfigOverrides);
+}
+
+std::unique_ptr<MonitorEngine>
+runtime::createAutoSynchEngine(const SemaInfo &Sema,
+                               const Assignment &ConfigOverrides) {
+  return std::make_unique<AutoSynchEngine>(Sema, ConfigOverrides);
+}
+
+std::unique_ptr<MonitorEngine>
+runtime::createNaiveEngine(const SemaInfo &Sema,
+                           const Assignment &ConfigOverrides) {
+  return std::make_unique<NaiveEngine>(Sema, ConfigOverrides);
+}

@@ -1,0 +1,62 @@
+//===- runtime/SignalPlan.cpp - Executable signaling plans ----------------------===//
+//
+// Part of expresso-cpp, a reproduction of "Symbolic Reasoning for Automatic
+// Signal Placement" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/SignalPlan.h"
+
+#include <cassert>
+
+using namespace expresso;
+using namespace expresso::runtime;
+
+size_t SignalPlan::numBroadcasts() const {
+  size_t N = 0;
+  for (const auto &[W, Es] : Entries)
+    for (const PlanEntry &E : Es)
+      N += E.Broadcast ? 1 : 0;
+  return N;
+}
+
+size_t SignalPlan::numSignals() const {
+  size_t N = 0;
+  for (const auto &[W, Es] : Entries)
+    for (const PlanEntry &E : Es)
+      N += E.Broadcast ? 0 : 1;
+  return N;
+}
+
+SignalPlan SignalPlan::fromPlacement(const core::PlacementResult &R) {
+  SignalPlan Plan;
+  Plan.LazyBroadcast = R.Options.LazyBroadcast;
+  for (const core::CcrPlacement &P : R.Placements) {
+    std::vector<PlanEntry> Es;
+    Es.reserve(P.Decisions.size());
+    for (const core::SignalDecision &D : P.Decisions)
+      Es.push_back({D.Target, D.Conditional, D.Broadcast});
+    if (!Es.empty())
+      Plan.Entries.emplace(P.W, std::move(Es));
+  }
+  return Plan;
+}
+
+SignalPlanBuilder &SignalPlanBuilder::notify(const std::string &Method,
+                                             unsigned CcrIdx,
+                                             const std::string &TargetMethod,
+                                             unsigned TargetCcrIdx,
+                                             bool Conditional, bool Broadcast) {
+  const frontend::Method *M = Sema.M->findMethod(Method);
+  const frontend::Method *TM = Sema.M->findMethod(TargetMethod);
+  assert(M && TM && "unknown method in gold plan");
+  assert(CcrIdx < M->Body.size() && TargetCcrIdx < TM->Body.size());
+  const frontend::WaitUntil *W = &M->Body[CcrIdx];
+  const frontend::WaitUntil *TW = &TM->Body[TargetCcrIdx];
+  PlanEntry E;
+  E.Target = Sema.info(TW).Class;
+  E.Conditional = Conditional;
+  E.Broadcast = Broadcast;
+  Plan.Entries[W].push_back(E);
+  return *this;
+}

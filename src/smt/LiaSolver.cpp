@@ -1,0 +1,513 @@
+//===- smt/LiaSolver.cpp - Linear integer arithmetic feasibility -------------===//
+//
+// Part of expresso-cpp, a reproduction of "Symbolic Reasoning for Automatic
+// Signal Placement" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/LiaSolver.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <map>
+#include <optional>
+#include <set>
+
+using namespace expresso;
+using namespace expresso::smt;
+using logic::LinAtom;
+using logic::LinAtomKind;
+
+namespace {
+
+/// A row `sum Coeffs[i] * col_i + Const (<=|==) 0` with origin tracking.
+struct Row {
+  std::vector<Rational> Coeffs;
+  Rational Const;
+  bool IsEq = false;
+  std::set<int> Origins;
+
+  bool isGround() const {
+    for (const Rational &C : Coeffs)
+      if (!C.isZero())
+        return false;
+    return true;
+  }
+};
+
+/// Snapshot of one Fourier-Motzkin elimination level, kept for sample
+/// extraction. Rows here mention only \p Col and later-eliminated columns.
+struct FmLevel {
+  int Col = -1;
+  std::vector<Row> Bounds; // every row that mentioned Col at this level
+};
+
+/// Snapshot of a Gaussian pivot: Col = Expr (a row representing the
+/// substituted definition, Coeffs excluding Col itself).
+struct PivotLevel {
+  int Col = -1;
+  std::vector<Rational> ExprCoeffs;
+  Rational ExprConst;
+};
+
+class FmSolver {
+public:
+  FmSolver(const LiaSolver::Config &Cfg, int NumCols) : Cfg(Cfg), NumCols(NumCols) {}
+
+  /// Solves the row system over the integers. BranchBudget is shared across
+  /// the B&B tree.
+  LiaResult solveInt(std::vector<Row> Rows, int Depth, int &BranchBudget);
+
+  /// Integer sample found by the last Feasible solveInt() call.
+  const std::vector<int64_t> &intSample() const { return IntSample; }
+
+private:
+  /// Rational feasibility + sample point. On success fills Sample.
+  LiaStatus solveRational(std::vector<Row> Rows, std::vector<Rational> &Sample,
+                          std::vector<int> &Core);
+
+  const LiaSolver::Config &Cfg;
+  int NumCols;
+  std::vector<int64_t> IntSample;
+};
+
+/// Scales a row to integer coefficients and applies the equality GCD test.
+/// Returns false (infeasible) when the row has no integer solutions.
+bool gcdTestEq(const Row &R) {
+  assert(R.IsEq);
+  // lcm of denominators
+  int64_t L = 1;
+  for (const Rational &C : R.Coeffs)
+    L = logic::lcm64(L, C.den());
+  L = logic::lcm64(L, R.Const.den());
+  int64_t G = 0;
+  for (const Rational &C : R.Coeffs) {
+    int64_t Scaled = C.num() * (L / C.den());
+    G = logic::gcd64(G, Scaled);
+  }
+  int64_t ConstScaled = R.Const.num() * (L / R.Const.den());
+  if (G == 0)
+    return ConstScaled == 0;
+  return ConstScaled % G == 0;
+}
+
+LiaStatus FmSolver::solveRational(std::vector<Row> Rows,
+                                  std::vector<Rational> &Sample,
+                                  std::vector<int> &Core) {
+  std::vector<PivotLevel> Pivots;
+  std::vector<FmLevel> FmLevels;
+  std::vector<bool> Eliminated(NumCols, false);
+
+  // --- Gaussian phase: remove equalities. -------------------------------
+  for (;;) {
+    int EqIdx = -1;
+    for (size_t I = 0; I < Rows.size(); ++I) {
+      if (!Rows[I].IsEq)
+        continue;
+      if (Rows[I].isGround()) {
+        if (!Rows[I].Const.isZero()) {
+          Core.assign(Rows[I].Origins.begin(), Rows[I].Origins.end());
+          return LiaStatus::Infeasible;
+        }
+        Rows.erase(Rows.begin() + static_cast<long>(I));
+        EqIdx = -2; // restart scan
+        break;
+      }
+      EqIdx = static_cast<int>(I);
+      break;
+    }
+    if (EqIdx == -2)
+      continue;
+    if (EqIdx < 0)
+      break;
+
+    Row Eq = Rows[static_cast<size_t>(EqIdx)];
+    if (!gcdTestEq(Eq)) {
+      Core.assign(Eq.Origins.begin(), Eq.Origins.end());
+      return LiaStatus::Infeasible;
+    }
+    Rows.erase(Rows.begin() + EqIdx);
+
+    // Pick the pivot column with the largest |coefficient| for stability.
+    int Pivot = -1;
+    for (int C = 0; C < NumCols; ++C)
+      if (!Eq.Coeffs[C].isZero() && (Pivot < 0))
+        Pivot = C;
+    assert(Pivot >= 0);
+    Rational A = Eq.Coeffs[Pivot];
+    // col = (-1/A) * (rest + const)
+    PivotLevel PL;
+    PL.Col = Pivot;
+    PL.ExprCoeffs.assign(NumCols, Rational(0));
+    for (int C = 0; C < NumCols; ++C)
+      if (C != Pivot)
+        PL.ExprCoeffs[C] = -(Eq.Coeffs[C] / A);
+    PL.ExprConst = -(Eq.Const / A);
+    Eliminated[Pivot] = true;
+
+    // Substitute into every remaining row.
+    for (Row &R : Rows) {
+      Rational B = R.Coeffs[Pivot];
+      if (B.isZero())
+        continue;
+      R.Coeffs[Pivot] = Rational(0);
+      for (int C = 0; C < NumCols; ++C)
+        if (C != Pivot)
+          R.Coeffs[C] = R.Coeffs[C] + B * PL.ExprCoeffs[C];
+      R.Const = R.Const + B * PL.ExprConst;
+      R.Origins.insert(Eq.Origins.begin(), Eq.Origins.end());
+    }
+    Pivots.push_back(std::move(PL));
+  }
+
+  // --- Fourier-Motzkin phase: eliminate columns from inequalities. ------
+  for (;;) {
+    // Ground-row check and pruning.
+    std::vector<Row> Active;
+    Active.reserve(Rows.size());
+    for (Row &R : Rows) {
+      if (R.isGround()) {
+        bool Violated = R.IsEq ? !R.Const.isZero() : R.Const.isPositive();
+        if (Violated) {
+          Core.assign(R.Origins.begin(), R.Origins.end());
+          return LiaStatus::Infeasible;
+        }
+        continue;
+      }
+      Active.push_back(std::move(R));
+    }
+    Rows = std::move(Active);
+    if (Rows.empty())
+      break;
+
+    // Pick the column minimizing the product of positive/negative counts.
+    int BestCol = -1;
+    long BestCost = std::numeric_limits<long>::max();
+    for (int C = 0; C < NumCols; ++C) {
+      if (Eliminated[C])
+        continue;
+      long Pos = 0, Neg = 0;
+      for (const Row &R : Rows) {
+        if (R.Coeffs[C].isPositive())
+          ++Pos;
+        else if (R.Coeffs[C].isNegative())
+          ++Neg;
+      }
+      if (Pos + Neg == 0)
+        continue;
+      long Cost = Pos * Neg;
+      if (Cost < BestCost) {
+        BestCost = Cost;
+        BestCol = C;
+      }
+    }
+    if (BestCol < 0)
+      break; // no column occurs: only ground rows remained (handled above)
+
+    FmLevel Level;
+    Level.Col = BestCol;
+    std::vector<Row> Uppers, Lowers, Others;
+    for (Row &R : Rows) {
+      if (R.Coeffs[BestCol].isPositive()) {
+        Uppers.push_back(R);
+        Level.Bounds.push_back(R);
+      } else if (R.Coeffs[BestCol].isNegative()) {
+        Lowers.push_back(R);
+        Level.Bounds.push_back(R);
+      } else {
+        Others.push_back(std::move(R));
+      }
+    }
+    Eliminated[BestCol] = true;
+    FmLevels.push_back(std::move(Level));
+
+    // Combine each (upper, lower) pair.
+    std::vector<Row> Derived = std::move(Others);
+    // Redundancy filter: map from coefficient vector to index of tightest.
+    std::map<std::vector<std::pair<int, Rational>>, size_t> Tightest;
+    auto pushDerived = [&](Row R) {
+      std::vector<std::pair<int, Rational>> Key;
+      for (int C = 0; C < NumCols; ++C)
+        if (!R.Coeffs[C].isZero())
+          Key.emplace_back(C, R.Coeffs[C]);
+      auto It = Tightest.find(Key);
+      if (It == Tightest.end()) {
+        Derived.push_back(std::move(R));
+        Tightest.emplace(std::move(Key), Derived.size() - 1);
+        return;
+      }
+      // Same atom part: keep the larger constant (tighter `<= 0` row).
+      Row &Old = Derived[It->second];
+      if (R.Const > Old.Const)
+        Old = std::move(R);
+    };
+    for (const Row &U : Uppers) {
+      for (const Row &L : Lowers) {
+        Row R;
+        R.Coeffs.assign(NumCols, Rational(0));
+        // Scale: U has coeff a > 0, L has coeff b < 0. Combine
+        // (-b)*U + a*L to cancel the column.
+        Rational A = U.Coeffs[BestCol];
+        Rational B = L.Coeffs[BestCol];
+        Rational SU = -B, SL = A;
+        for (int C = 0; C < NumCols; ++C)
+          R.Coeffs[C] = SU * U.Coeffs[C] + SL * L.Coeffs[C];
+        R.Const = SU * U.Const + SL * L.Const;
+        R.IsEq = false;
+        R.Origins = U.Origins;
+        R.Origins.insert(L.Origins.begin(), L.Origins.end());
+        if (R.isGround()) {
+          if (R.Const.isPositive()) {
+            Core.assign(R.Origins.begin(), R.Origins.end());
+            return LiaStatus::Infeasible;
+          }
+          continue;
+        }
+        pushDerived(std::move(R));
+        if (static_cast<int>(Derived.size()) > Cfg.MaxRows)
+          return LiaStatus::Unknown;
+      }
+    }
+    Rows = std::move(Derived);
+  }
+
+  // --- Sample extraction by back-substitution. ---------------------------
+  Sample.assign(NumCols, Rational(0));
+  std::vector<bool> Assigned(NumCols, false);
+
+  for (auto It = FmLevels.rbegin(); It != FmLevels.rend(); ++It) {
+    // Bounds rows mention It->Col plus columns assigned in earlier reverse
+    // steps (or columns that never occurred, which stay 0).
+    bool HasLo = false, HasHi = false;
+    Rational Lo, Hi;
+    for (const Row &R : It->Bounds) {
+      Rational Rest = R.Const;
+      for (int C = 0; C < NumCols; ++C)
+        if (C != It->Col && !R.Coeffs[C].isZero())
+          Rest = Rest + R.Coeffs[C] * Sample[C];
+      Rational A = R.Coeffs[It->Col];
+      assert(!A.isZero());
+      Rational Bound = -(Rest / A);
+      if (A.isPositive()) {
+        // col <= Bound
+        if (!HasHi || Bound < Hi) {
+          Hi = Bound;
+          HasHi = true;
+        }
+      } else {
+        // col >= Bound
+        if (!HasLo || Bound > Lo) {
+          Lo = Bound;
+          HasLo = true;
+        }
+      }
+    }
+    Rational V(0);
+    if (HasLo && HasHi) {
+      assert(Lo <= Hi && "FM projection guarantees a nonempty interval");
+      // Prefer an integer in [Lo, Hi], the one closest to zero.
+      int64_t IntLo = Lo.ceil(), IntHi = Hi.floor();
+      if (IntLo <= IntHi) {
+        int64_t Pick = 0;
+        if (IntLo > 0)
+          Pick = IntLo;
+        else if (IntHi < 0)
+          Pick = IntHi;
+        V = Rational(Pick);
+      } else {
+        V = Lo; // fractional; B&B will branch on this column
+      }
+    } else if (HasLo) {
+      // Only a lower bound: an integer >= Lo always exists; prefer 0.
+      int64_t IntLo = Lo.ceil();
+      V = Rational(IntLo <= 0 ? 0 : IntLo);
+    } else if (HasHi) {
+      // Only an upper bound: prefer 0 if allowed.
+      int64_t IntHi = Hi.floor();
+      V = Rational(IntHi >= 0 ? 0 : IntHi);
+    }
+    Sample[It->Col] = V;
+    Assigned[It->Col] = true;
+  }
+
+  // Gaussian pivots, most recent first.
+  for (auto It = Pivots.rbegin(); It != Pivots.rend(); ++It) {
+    Rational V = It->ExprConst;
+    for (int C = 0; C < NumCols; ++C)
+      if (!It->ExprCoeffs[C].isZero())
+        V = V + It->ExprCoeffs[C] * Sample[C];
+    Sample[It->Col] = V;
+    Assigned[It->Col] = true;
+  }
+
+  return LiaStatus::Feasible;
+}
+
+LiaResult FmSolver::solveInt(std::vector<Row> Rows, int Depth,
+                             int &BranchBudget) {
+  LiaResult Result;
+  if (Depth > Cfg.MaxDepth || BranchBudget <= 0) {
+    Result.Status = LiaStatus::Unknown;
+    return Result;
+  }
+  --BranchBudget;
+
+  std::vector<Rational> Sample;
+  std::vector<int> Core;
+  LiaStatus RatStatus = solveRational(Rows, Sample, Core);
+  if (RatStatus == LiaStatus::Infeasible) {
+    Result.Status = LiaStatus::Infeasible;
+    Result.Core = std::move(Core);
+    return Result;
+  }
+  if (RatStatus == LiaStatus::Unknown) {
+    Result.Status = LiaStatus::Unknown;
+    return Result;
+  }
+
+  // Find a fractional coordinate.
+  int FracCol = -1;
+  for (int C = 0; C < NumCols; ++C) {
+    if (!Sample[C].isInteger()) {
+      FracCol = C;
+      break;
+    }
+  }
+  if (FracCol < 0) {
+    // All-integer sample: done. The caller maps columns back to atom terms.
+    Result.Status = LiaStatus::Feasible;
+    IntSample.clear();
+    IntSample.reserve(static_cast<size_t>(NumCols));
+    for (int C = 0; C < NumCols; ++C)
+      IntSample.push_back(Sample[static_cast<size_t>(C)].asInteger());
+    return Result;
+  }
+
+  // Branch: col <= floor(v)  or  col >= ceil(v).
+  int64_t Floor = Sample[FracCol].floor();
+  Row Left;
+  Left.Coeffs.assign(NumCols, Rational(0));
+  Left.Coeffs[FracCol] = Rational(1);
+  Left.Const = Rational(-Floor);
+  Row Right;
+  Right.Coeffs.assign(NumCols, Rational(0));
+  Right.Coeffs[FracCol] = Rational(-1);
+  Right.Const = Rational(Floor + 1);
+
+  std::vector<Row> LeftRows = Rows;
+  LeftRows.push_back(Left);
+  LiaResult LeftRes = solveInt(std::move(LeftRows), Depth + 1, BranchBudget);
+  if (LeftRes.Status == LiaStatus::Feasible)
+    return LeftRes;
+
+  std::vector<Row> RightRows = std::move(Rows);
+  RightRows.push_back(Right);
+  LiaResult RightRes = solveInt(std::move(RightRows), Depth + 1, BranchBudget);
+  if (RightRes.Status == LiaStatus::Feasible)
+    return RightRes;
+
+  if (LeftRes.Status == LiaStatus::Infeasible &&
+      RightRes.Status == LiaStatus::Infeasible) {
+    Result.Status = LiaStatus::Infeasible;
+    std::set<int> Union(LeftRes.Core.begin(), LeftRes.Core.end());
+    Union.insert(RightRes.Core.begin(), RightRes.Core.end());
+    Result.Core.assign(Union.begin(), Union.end());
+    return Result;
+  }
+  Result.Status = LiaStatus::Unknown;
+  return Result;
+}
+
+} // namespace
+
+LiaResult LiaSolver::solve(const std::vector<LinAtom> &Atoms) {
+  using logic::Term;
+
+  // Map opaque atom terms to dense columns; allocate fresh columns for
+  // divisibility encodings.
+  std::map<const Term *, int> ColOf;
+  std::vector<const Term *> TermOfCol;
+  auto colFor = [&](const Term *T) {
+    auto It = ColOf.find(T);
+    if (It != ColOf.end())
+      return It->second;
+    int C = static_cast<int>(TermOfCol.size());
+    ColOf.emplace(T, C);
+    TermOfCol.push_back(T);
+    return C;
+  };
+  int NumFresh = 0;
+  for (const LinAtom &A : Atoms) {
+    for (const auto &[AtomTerm, Coeff] : A.L.Coeffs)
+      colFor(AtomTerm);
+    if (A.Kind == LinAtomKind::Dvd)
+      NumFresh += 1;
+    else if (A.Kind == LinAtomKind::NDvd)
+      NumFresh += 2;
+  }
+  int NumAtomCols = static_cast<int>(TermOfCol.size());
+  int NumCols = NumAtomCols + NumFresh;
+
+  std::vector<Row> Rows;
+  int NextFresh = NumAtomCols;
+  for (size_t I = 0; I < Atoms.size(); ++I) {
+    const LinAtom &A = Atoms[I];
+    Row R;
+    R.Coeffs.assign(NumCols, Rational(0));
+    for (const auto &[AtomTerm, Coeff] : A.L.Coeffs)
+      R.Coeffs[ColOf[AtomTerm]] = Rational(Coeff);
+    R.Const = Rational(A.L.Constant);
+    R.Origins = {static_cast<int>(I)};
+    switch (A.Kind) {
+    case LinAtomKind::Le:
+      R.IsEq = false;
+      Rows.push_back(std::move(R));
+      break;
+    case LinAtomKind::Eq:
+      R.IsEq = true;
+      Rows.push_back(std::move(R));
+      break;
+    case LinAtomKind::Dvd: {
+      // L - D*k == 0
+      int K = NextFresh++;
+      R.IsEq = true;
+      R.Coeffs[K] = Rational(-A.Divisor);
+      Rows.push_back(std::move(R));
+      break;
+    }
+    case LinAtomKind::NDvd: {
+      // L - D*k - r == 0, 1 <= r <= D-1
+      int K = NextFresh++;
+      int Rem = NextFresh++;
+      R.IsEq = true;
+      R.Coeffs[K] = Rational(-A.Divisor);
+      R.Coeffs[Rem] = Rational(-1);
+      Rows.push_back(std::move(R));
+      Row RLo;
+      RLo.Coeffs.assign(NumCols, Rational(0));
+      RLo.Coeffs[Rem] = Rational(-1);
+      RLo.Const = Rational(1);
+      RLo.Origins = {static_cast<int>(I)};
+      Rows.push_back(std::move(RLo));
+      Row RHi;
+      RHi.Coeffs.assign(NumCols, Rational(0));
+      RHi.Coeffs[Rem] = Rational(1);
+      RHi.Const = Rational(-(A.Divisor - 1));
+      RHi.Origins = {static_cast<int>(I)};
+      Rows.push_back(std::move(RHi));
+      break;
+    }
+    }
+  }
+
+  FmSolver Solver(Cfg, NumCols);
+  int Budget = Cfg.MaxBranchNodes;
+  LiaResult R = Solver.solveInt(std::move(Rows), 0, Budget);
+  if (R.Status == LiaStatus::Feasible) {
+    const std::vector<int64_t> &Vals = Solver.intSample();
+    for (int C = 0; C < NumAtomCols; ++C)
+      R.Model.emplace(TermOfCol[static_cast<size_t>(C)], Vals[static_cast<size_t>(C)]);
+  }
+  return R;
+}

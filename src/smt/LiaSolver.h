@@ -1,0 +1,74 @@
+//===- smt/LiaSolver.h - Linear integer arithmetic feasibility --*- C++ -*-===//
+//
+// Part of expresso-cpp, a reproduction of "Symbolic Reasoning for Automatic
+// Signal Placement" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Decides feasibility of conjunctions of normalized linear atoms over the
+/// integers. This is MiniSmt's theory solver. The pipeline is:
+///
+///   1. divisibility atoms are encoded with fresh quotient/remainder columns
+///      (D | L  becomes  L = D*k);
+///   2. Gaussian elimination over the rationals removes equalities, with a
+///      GCD integrality test on each pivot row (catches e.g. 2x = 2y + 1);
+///   3. Fourier-Motzkin elimination decides rational feasibility and, thanks
+///      to the projection property, yields a sample point by
+///      back-substitution (integers preferred at each step);
+///   4. fractional coordinates trigger branch-and-bound;
+///   5. infeasibility returns a conflict core: the subset of input atoms
+///      whose combination derived the contradiction.
+///
+/// Budget exhaustion returns Unknown; MiniSmt then falls back to the Cooper
+/// decision procedure, keeping the overall solver complete for QF_LIA.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXPRESSO_SMT_LIASOLVER_H
+#define EXPRESSO_SMT_LIASOLVER_H
+
+#include "logic/Linear.h"
+#include "smt/Rational.h"
+
+#include <map>
+#include <vector>
+
+namespace expresso {
+namespace smt {
+
+enum class LiaStatus { Feasible, Infeasible, Unknown };
+
+/// Outcome of an integer feasibility check.
+struct LiaResult {
+  LiaStatus Status = LiaStatus::Unknown;
+  /// Satisfying integer values per opaque atom term (Feasible only).
+  std::map<const logic::Term *, int64_t> Model;
+  /// Indices of input atoms forming an unsatisfiable subset (Infeasible
+  /// only). Sound but not guaranteed minimal.
+  std::vector<int> Core;
+};
+
+/// Integer linear feasibility via Gaussian + Fourier-Motzkin + B&B.
+class LiaSolver {
+public:
+  struct Config {
+    int MaxRows = 20000;       ///< FM row budget before giving up.
+    int MaxBranchNodes = 4000; ///< Branch-and-bound node budget.
+    int MaxDepth = 64;         ///< Branch-and-bound depth cap.
+  };
+
+  LiaSolver() = default;
+  explicit LiaSolver(Config Cfg) : Cfg(Cfg) {}
+
+  /// Decides the conjunction of \p Atoms over the integers.
+  LiaResult solve(const std::vector<logic::LinAtom> &Atoms);
+
+private:
+  Config Cfg;
+};
+
+} // namespace smt
+} // namespace expresso
+
+#endif // EXPRESSO_SMT_LIASOLVER_H

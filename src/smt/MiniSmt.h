@@ -1,0 +1,82 @@
+//===- smt/MiniSmt.h - From-scratch SMT solver for QF_LIA -------*- C++ -*-===//
+//
+// Part of expresso-cpp, a reproduction of "Symbolic Reasoning for Automatic
+// Signal Placement" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// MiniSmt: a self-contained SMT solver for the fragment Expresso needs —
+/// quantifier-free linear integer arithmetic with booleans and arrays
+/// (via Ackermann reduction). The paper discharges verification conditions
+/// with Z3; MiniSmt is the from-scratch substitute, and the Z3 backend
+/// remains available for differential testing.
+///
+/// Architecture (lazy offline DPLL(T)):
+///
+///   formula --> ite lifting --> iff expansion --> NNF (atoms positive)
+///           --> Ackermannization of array reads --> Tseitin CNF
+///           --> CDCL enumeration  <==>  LIA feasibility of true atoms
+///                                        (FM + branch&bound; Cooper fallback)
+///
+/// NNF monotonization is what makes the "check only the atoms assigned
+/// true" theory interaction sound: arithmetic negations are eliminated
+/// syntactically, so the propositional skeleton is monotone in every theory
+/// atom.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXPRESSO_SMT_MINISMT_H
+#define EXPRESSO_SMT_MINISMT_H
+
+#include "logic/TermOps.h"
+#include "smt/LiaSolver.h"
+
+#include <cstdint>
+
+namespace expresso {
+namespace smt {
+
+/// Three-valued satisfiability answer.
+enum class SatAnswer { Sat, Unsat, Unknown };
+
+/// Result of a satisfiability check. On Sat, Model maps variable names to
+/// values; ModelComplete is false when the Cooper fallback proved
+/// satisfiability without producing numerals.
+struct SmtResult {
+  SatAnswer Answer = SatAnswer::Unknown;
+  logic::Assignment Model;
+  bool ModelComplete = false;
+};
+
+/// The from-scratch SMT solver. Stateless between checkSat calls apart from
+/// statistics; cheap to construct.
+class MiniSmt {
+public:
+  struct Config {
+    LiaSolver::Config Lia;
+    /// Cap on CDCL/theory round-trips before answering Unknown.
+    int MaxTheoryRounds = 5000;
+    /// Use Cooper's procedure to decide conjunctions the FM+B&B layer gave
+    /// up on (keeps the solver complete for pure LIA).
+    bool UseCooperFallback = true;
+  };
+
+  explicit MiniSmt(logic::TermContext &C) : C(C) {}
+  MiniSmt(logic::TermContext &C, Config Cfg) : C(C), Cfg(Cfg) {}
+
+  /// Decides satisfiability of boolean term \p F.
+  SmtResult checkSat(const logic::Term *F);
+
+  uint64_t numTheoryRounds() const { return TheoryRounds; }
+
+private:
+  logic::TermContext &C;
+  Config Cfg;
+  uint64_t TheoryRounds = 0;
+};
+
+} // namespace smt
+} // namespace expresso
+
+#endif // EXPRESSO_SMT_MINISMT_H

@@ -1,0 +1,142 @@
+//===- smt/Rational.h - Exact rational arithmetic ---------------*- C++ -*-===//
+//
+// Part of expresso-cpp, a reproduction of "Symbolic Reasoning for Automatic
+// Signal Placement" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exact rationals over 64-bit numerator/denominator with 128-bit
+/// intermediates. Monitor verification conditions have tiny coefficients, so
+/// 64 bits are ample; overflow asserts rather than silently wrapping.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXPRESSO_SMT_RATIONAL_H
+#define EXPRESSO_SMT_RATIONAL_H
+
+#include "logic/Linear.h"
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+namespace expresso {
+namespace smt {
+
+/// An exact rational; denominator is always positive and the fraction is
+/// always in lowest terms.
+class Rational {
+public:
+  Rational() = default;
+  Rational(int64_t N) : Num(N), Den(1) {} // NOLINT: implicit by design
+  Rational(int64_t N, int64_t D) : Num(N), Den(D) {
+    assert(D != 0 && "zero denominator");
+    normalize();
+  }
+
+  int64_t num() const { return Num; }
+  int64_t den() const { return Den; }
+
+  bool isZero() const { return Num == 0; }
+  bool isInteger() const { return Den == 1; }
+  bool isNegative() const { return Num < 0; }
+  bool isPositive() const { return Num > 0; }
+
+  int64_t floor() const { return logic::floorDiv(Num, Den); }
+  int64_t ceil() const { return logic::ceilDiv(Num, Den); }
+
+  /// Integer value; asserts isInteger().
+  int64_t asInteger() const {
+    assert(isInteger() && "rational is not integral");
+    return Num;
+  }
+
+  Rational operator-() const { return fromRaw(-static_cast<__int128>(Num), Den); }
+
+  friend Rational operator+(const Rational &A, const Rational &B) {
+    __int128 N = static_cast<__int128>(A.Num) * B.Den +
+                 static_cast<__int128>(B.Num) * A.Den;
+    __int128 D = static_cast<__int128>(A.Den) * B.Den;
+    return fromRaw(N, D);
+  }
+  friend Rational operator-(const Rational &A, const Rational &B) {
+    return A + (-B);
+  }
+  friend Rational operator*(const Rational &A, const Rational &B) {
+    __int128 N = static_cast<__int128>(A.Num) * B.Num;
+    __int128 D = static_cast<__int128>(A.Den) * B.Den;
+    return fromRaw(N, D);
+  }
+  friend Rational operator/(const Rational &A, const Rational &B) {
+    assert(!B.isZero() && "division by zero");
+    __int128 N = static_cast<__int128>(A.Num) * B.Den;
+    __int128 D = static_cast<__int128>(A.Den) * B.Num;
+    return fromRaw(N, D);
+  }
+
+  friend bool operator==(const Rational &A, const Rational &B) {
+    return A.Num == B.Num && A.Den == B.Den;
+  }
+  friend bool operator!=(const Rational &A, const Rational &B) {
+    return !(A == B);
+  }
+  friend bool operator<(const Rational &A, const Rational &B) {
+    return static_cast<__int128>(A.Num) * B.Den <
+           static_cast<__int128>(B.Num) * A.Den;
+  }
+  friend bool operator<=(const Rational &A, const Rational &B) {
+    return !(B < A);
+  }
+  friend bool operator>(const Rational &A, const Rational &B) { return B < A; }
+  friend bool operator>=(const Rational &A, const Rational &B) {
+    return !(A < B);
+  }
+
+  std::string str() const {
+    if (Den == 1)
+      return std::to_string(Num);
+    return std::to_string(Num) + "/" + std::to_string(Den);
+  }
+
+private:
+  static Rational fromRaw(__int128 N, __int128 D) {
+    assert(D != 0);
+    if (D < 0) {
+      N = -N;
+      D = -D;
+    }
+    __int128 G = gcd128(N < 0 ? -N : N, D);
+    if (G > 1) {
+      N /= G;
+      D /= G;
+    }
+    Rational R;
+    assert(N <= INT64_MAX && N >= INT64_MIN && D <= INT64_MAX &&
+           "rational overflow");
+    R.Num = static_cast<int64_t>(N);
+    R.Den = static_cast<int64_t>(D);
+    return R;
+  }
+
+  static __int128 gcd128(__int128 A, __int128 B) {
+    while (B != 0) {
+      __int128 T = A % B;
+      A = B;
+      B = T;
+    }
+    return A == 0 ? 1 : A;
+  }
+
+  void normalize() {
+    *this = fromRaw(Num, Den);
+  }
+
+  int64_t Num = 0;
+  int64_t Den = 1;
+};
+
+} // namespace smt
+} // namespace expresso
+
+#endif // EXPRESSO_SMT_RATIONAL_H

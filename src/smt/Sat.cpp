@@ -1,0 +1,300 @@
+//===- smt/Sat.cpp - CDCL SAT core -------------------------------------------===//
+//
+// Part of expresso-cpp, a reproduction of "Symbolic Reasoning for Automatic
+// Signal Placement" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/Sat.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace expresso;
+using namespace expresso::smt;
+
+int SatSolver::newVar() {
+  int V = numVars();
+  Assigns.push_back(LBool::Undef);
+  Phase.push_back(false);
+  Level.push_back(0);
+  Reason.push_back(NoReason);
+  Activity.push_back(0.0);
+  Seen.push_back(false);
+  Watches.emplace_back();
+  Watches.emplace_back();
+  Model.push_back(false);
+  return V;
+}
+
+bool SatSolver::addClause(std::vector<Lit> Lits) {
+  if (!OkAtLevel0)
+    return false;
+  // Incremental use: always insert at level 0.
+  backtrack(0);
+
+  // Remove duplicates and literals already false at level 0; detect
+  // tautologies and satisfied clauses.
+  std::sort(Lits.begin(), Lits.end(),
+            [](Lit A, Lit B) { return A.code() < B.code(); });
+  Lits.erase(std::unique(Lits.begin(), Lits.end()), Lits.end());
+  std::vector<Lit> Pruned;
+  Pruned.reserve(Lits.size());
+  for (size_t I = 0; I < Lits.size(); ++I) {
+    Lit L = Lits[I];
+    if (I + 1 < Lits.size() && Lits[I + 1] == ~L)
+      return true; // tautology: L and not L in one clause
+    if (value(L) == LBool::True)
+      return true; // already satisfied at level 0
+    if (value(L) == LBool::False)
+      continue; // falsified at level 0: drop the literal
+    Pruned.push_back(L);
+  }
+  if (Pruned.empty()) {
+    OkAtLevel0 = false;
+    return false;
+  }
+  if (Pruned.size() == 1) {
+    enqueue(Pruned[0], NoReason);
+    if (propagate() != NoReason)
+      OkAtLevel0 = false;
+    return OkAtLevel0;
+  }
+  Clauses.push_back({std::move(Pruned), false, 0});
+  attachClause(static_cast<ClauseRef>(Clauses.size() - 1));
+  return true;
+}
+
+void SatSolver::attachClause(ClauseRef C) {
+  const Clause &Cl = Clauses[C];
+  assert(Cl.Lits.size() >= 2);
+  Watches[(~Cl.Lits[0]).code()].push_back(C);
+  Watches[(~Cl.Lits[1]).code()].push_back(C);
+}
+
+void SatSolver::enqueue(Lit L, ClauseRef Why) {
+  assert(value(L) == LBool::Undef);
+  Assigns[L.var()] = L.negated() ? LBool::False : LBool::True;
+  Level[L.var()] = static_cast<int>(TrailLim.size());
+  Reason[L.var()] = Why;
+  Trail.push_back(L);
+}
+
+SatSolver::ClauseRef SatSolver::propagate() {
+  while (PropagateHead < Trail.size()) {
+    Lit P = Trail[PropagateHead++];
+    ++Propagations;
+    // Clauses watching ~P need a new watch or become unit/conflicting.
+    std::vector<ClauseRef> &Watchers = Watches[P.code()];
+    size_t Keep = 0;
+    for (size_t I = 0; I < Watchers.size(); ++I) {
+      ClauseRef C = Watchers[I];
+      Clause &Cl = Clauses[C];
+      // Normalize so the false watch is Lits[1].
+      Lit NotP = ~P;
+      if (Cl.Lits[0] == NotP)
+        std::swap(Cl.Lits[0], Cl.Lits[1]);
+      assert(Cl.Lits[1] == NotP);
+      if (value(Cl.Lits[0]) == LBool::True) {
+        Watchers[Keep++] = C; // clause satisfied; keep watching
+        continue;
+      }
+      // Find a replacement watch.
+      bool FoundWatch = false;
+      for (size_t K = 2; K < Cl.Lits.size(); ++K) {
+        if (value(Cl.Lits[K]) != LBool::False) {
+          std::swap(Cl.Lits[1], Cl.Lits[K]);
+          Watches[(~Cl.Lits[1]).code()].push_back(C);
+          FoundWatch = true;
+          break;
+        }
+      }
+      if (FoundWatch)
+        continue;
+      // Clause is unit or conflicting.
+      Watchers[Keep++] = C;
+      if (value(Cl.Lits[0]) == LBool::False) {
+        // Conflict: keep remaining watchers and report.
+        for (size_t J = I + 1; J < Watchers.size(); ++J)
+          Watchers[Keep++] = Watchers[J];
+        Watchers.resize(Keep);
+        PropagateHead = Trail.size();
+        return C;
+      }
+      enqueue(Cl.Lits[0], C);
+    }
+    Watchers.resize(Keep);
+  }
+  return NoReason;
+}
+
+void SatSolver::analyze(ClauseRef Confl, std::vector<Lit> &Learnt,
+                        int &BtLevel) {
+  Learnt.clear();
+  Learnt.push_back(Lit()); // slot for the asserting literal
+  int PathCount = 0;
+  Lit P;
+  bool PValid = false;
+  size_t Index = Trail.size();
+  int CurrentLevel = static_cast<int>(TrailLim.size());
+  std::vector<int> Touched;
+
+  for (;;) {
+    assert(Confl != NoReason && "conflict without reason clause");
+    Clause &Cl = Clauses[Confl];
+    if (Cl.Learnt)
+      bumpClause(Confl);
+    for (size_t I = PValid ? 1 : 0; I < Cl.Lits.size(); ++I) {
+      Lit Q = Cl.Lits[I];
+      if (Seen[Q.var()] || Level[Q.var()] == 0)
+        continue;
+      Seen[Q.var()] = true;
+      Touched.push_back(Q.var());
+      bumpVar(Q.var());
+      if (Level[Q.var()] >= CurrentLevel) {
+        ++PathCount;
+      } else {
+        Learnt.push_back(Q);
+      }
+    }
+    // Walk back the trail to the next marked literal.
+    while (!Seen[Trail[Index - 1].var()])
+      --Index;
+    P = Trail[--Index];
+    PValid = true;
+    Confl = Reason[P.var()];
+    Seen[P.var()] = false;
+    --PathCount;
+    if (PathCount <= 0)
+      break;
+  }
+  Learnt[0] = ~P;
+
+  // Compute backtrack level: highest level among the other literals.
+  BtLevel = 0;
+  size_t MaxIdx = 1;
+  for (size_t I = 1; I < Learnt.size(); ++I) {
+    if (Level[Learnt[I].var()] > BtLevel) {
+      BtLevel = Level[Learnt[I].var()];
+      MaxIdx = I;
+    }
+  }
+  if (Learnt.size() > 1)
+    std::swap(Learnt[1], Learnt[MaxIdx]);
+  for (int V : Touched)
+    Seen[V] = false;
+}
+
+void SatSolver::backtrack(int TargetLevel) {
+  if (static_cast<int>(TrailLim.size()) <= TargetLevel)
+    return;
+  size_t Bound = TrailLim[TargetLevel];
+  for (size_t I = Trail.size(); I > Bound; --I) {
+    Lit L = Trail[I - 1];
+    Phase[L.var()] = !L.negated();
+    Assigns[L.var()] = LBool::Undef;
+    Reason[L.var()] = NoReason;
+  }
+  Trail.resize(Bound);
+  TrailLim.resize(TargetLevel);
+  PropagateHead = Trail.size();
+}
+
+Lit SatSolver::pickBranchLit() {
+  int Best = -1;
+  double BestAct = -1.0;
+  for (int V = 0; V < numVars(); ++V) {
+    if (Assigns[V] == LBool::Undef && Activity[V] > BestAct) {
+      BestAct = Activity[V];
+      Best = V;
+    }
+  }
+  if (Best < 0)
+    return Lit();
+  return Lit(Best, !Phase[Best]);
+}
+
+void SatSolver::bumpVar(int Var) {
+  Activity[Var] += VarInc;
+  if (Activity[Var] > 1e100) {
+    for (double &A : Activity)
+      A *= 1e-100;
+    VarInc *= 1e-100;
+  }
+}
+
+void SatSolver::bumpClause(ClauseRef C) {
+  Clauses[C].Activity += ClauseInc;
+  if (Clauses[C].Activity > 1e100) {
+    for (Clause &Cl : Clauses)
+      if (Cl.Learnt)
+        Cl.Activity *= 1e-100;
+    ClauseInc *= 1e-100;
+  }
+}
+
+void SatSolver::decayActivities() {
+  VarInc /= 0.95;
+  ClauseInc /= 0.999;
+}
+
+void SatSolver::reduceLearnts() {
+  // Learnt-clause deletion is unnecessary at monitor-VC scale; the hook is
+  // kept for symmetry with classic CDCL structure.
+}
+
+SatSolver::Result SatSolver::solve() {
+  if (!OkAtLevel0)
+    return Result::Unsat;
+  backtrack(0);
+  if (propagate() != NoReason) {
+    OkAtLevel0 = false;
+    return Result::Unsat;
+  }
+
+  uint64_t RestartLimit = 100;
+  uint64_t ConflictsSinceRestart = 0;
+
+  for (;;) {
+    ClauseRef Confl = propagate();
+    if (Confl != NoReason) {
+      ++Conflicts;
+      ++ConflictsSinceRestart;
+      if (TrailLim.empty()) {
+        OkAtLevel0 = false;
+        return Result::Unsat;
+      }
+      std::vector<Lit> Learnt;
+      int BtLevel = 0;
+      analyze(Confl, Learnt, BtLevel);
+      backtrack(BtLevel);
+      if (Learnt.size() == 1) {
+        enqueue(Learnt[0], NoReason);
+      } else {
+        Clauses.push_back({Learnt, true, 0});
+        ClauseRef C = static_cast<ClauseRef>(Clauses.size() - 1);
+        attachClause(C);
+        bumpClause(C);
+        enqueue(Learnt[0], C);
+      }
+      decayActivities();
+      continue;
+    }
+    if (ConflictsSinceRestart >= RestartLimit) {
+      ConflictsSinceRestart = 0;
+      RestartLimit = RestartLimit + RestartLimit / 2;
+      backtrack(0);
+      continue;
+    }
+    Lit Next = pickBranchLit();
+    if (Next.code() < 0) {
+      // Complete assignment found.
+      for (int V = 0; V < numVars(); ++V)
+        Model[V] = Assigns[V] == LBool::True;
+      return Result::Sat;
+    }
+    ++Decisions;
+    TrailLim.push_back(static_cast<int>(Trail.size()));
+    enqueue(Next, NoReason);
+  }
+}

@@ -1,0 +1,129 @@
+//===- smt/Sat.h - CDCL SAT core --------------------------------*- C++ -*-===//
+//
+// Part of expresso-cpp, a reproduction of "Symbolic Reasoning for Automatic
+// Signal Placement" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A self-contained CDCL SAT solver: two-watched-literal propagation,
+/// first-UIP clause learning, VSIDS-style activities with phase saving, and
+/// geometric restarts. It is the propositional engine underneath MiniSmt's
+/// lazy DPLL(T) loop. The solver is incremental in the "add clauses between
+/// solve() calls" sense, which is exactly what theory-conflict blocking
+/// clauses need.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXPRESSO_SMT_SAT_H
+#define EXPRESSO_SMT_SAT_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace expresso {
+namespace smt {
+
+/// A literal: variable index with a sign. Encoded as 2*var+sign internally.
+class Lit {
+public:
+  Lit() = default;
+  Lit(int Var, bool Negated) : Code(2 * Var + (Negated ? 1 : 0)) {}
+
+  int var() const { return Code >> 1; }
+  bool negated() const { return Code & 1; }
+  Lit operator~() const {
+    Lit L;
+    L.Code = Code ^ 1;
+    return L;
+  }
+  int code() const { return Code; }
+  bool operator==(const Lit &O) const = default;
+
+private:
+  int Code = -2;
+};
+
+/// Ternary truth value of a variable under the current partial assignment.
+enum class LBool : uint8_t { False = 0, True = 1, Undef = 2 };
+
+/// CDCL SAT solver. Usage: newVar() for each variable, addClause() for each
+/// clause, then solve(); repeat addClause()+solve() for incremental use.
+class SatSolver {
+public:
+  enum class Result { Sat, Unsat };
+
+  /// Creates a fresh variable and returns its index.
+  int newVar();
+
+  int numVars() const { return static_cast<int>(Activity.size()); }
+
+  /// Adds a clause; returns false if the solver is already unsatisfiable at
+  /// level 0 (conflicting unit insertions).
+  bool addClause(std::vector<Lit> Lits);
+
+  Result solve();
+
+  /// Value of variable \p Var in the satisfying assignment; only valid after
+  /// solve() returned Sat.
+  bool modelValue(int Var) const { return Model[Var]; }
+
+  uint64_t numConflicts() const { return Conflicts; }
+  uint64_t numDecisions() const { return Decisions; }
+  uint64_t numPropagations() const { return Propagations; }
+
+private:
+  struct Clause {
+    std::vector<Lit> Lits;
+    bool Learnt = false;
+    double Activity = 0;
+  };
+  using ClauseRef = int;
+  static constexpr ClauseRef NoReason = -1;
+
+  LBool value(Lit L) const {
+    LBool V = Assigns[L.var()];
+    if (V == LBool::Undef)
+      return LBool::Undef;
+    bool B = (V == LBool::True) != L.negated();
+    return B ? LBool::True : LBool::False;
+  }
+
+  void enqueue(Lit L, ClauseRef Reason);
+  ClauseRef propagate();
+  void analyze(ClauseRef Confl, std::vector<Lit> &Learnt, int &BtLevel);
+  void backtrack(int Level);
+  Lit pickBranchLit();
+  void bumpVar(int Var);
+  void bumpClause(ClauseRef C);
+  void decayActivities();
+  void attachClause(ClauseRef C);
+  void reduceLearnts();
+
+  std::vector<Clause> Clauses;
+  std::vector<std::vector<ClauseRef>> Watches; // indexed by literal code
+  std::vector<LBool> Assigns;
+  std::vector<bool> Phase;
+  std::vector<int> Level;
+  std::vector<ClauseRef> Reason;
+  std::vector<Lit> Trail;
+  std::vector<int> TrailLim;
+  size_t PropagateHead = 0;
+  std::vector<double> Activity;
+  double VarInc = 1.0;
+  double ClauseInc = 1.0;
+  std::vector<bool> Model;
+  bool OkAtLevel0 = true;
+
+  std::vector<bool> Seen; // scratch for analyze()
+
+  uint64_t Conflicts = 0;
+  uint64_t Decisions = 0;
+  uint64_t Propagations = 0;
+};
+
+} // namespace smt
+} // namespace expresso
+
+#endif // EXPRESSO_SMT_SAT_H

@@ -1,0 +1,137 @@
+//===- solver/SmtSolver.cpp - Solver backend abstraction ----------------------===//
+//
+// Part of expresso-cpp, a reproduction of "Symbolic Reasoning for Automatic
+// Signal Placement" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+
+#include "solver/SmtSolver.h"
+
+#include "logic/Printer.h"
+#include "smt/MiniSmt.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace expresso;
+using namespace expresso::solver;
+using namespace expresso::logic;
+
+SmtSolver::~SmtSolver() = default;
+
+Validity SmtSolver::checkValid(const Term *F) {
+  CheckResult R = checkSat(Ctx.not_(F));
+  switch (R.TheAnswer) {
+  case Answer::Unsat:
+    return Validity::Valid;
+  case Answer::Sat:
+    return Validity::Invalid;
+  case Answer::Unknown:
+    return Validity::Unknown;
+  }
+  return Validity::Unknown;
+}
+
+namespace {
+
+/// MiniSmt-backed implementation.
+class MiniBackend : public SmtSolver {
+public:
+  explicit MiniBackend(TermContext &C) : SmtSolver(C) {}
+
+  CheckResult checkSat(const Term *F) override {
+    ++Queries;
+    smt::MiniSmt Solver(Ctx);
+    smt::SmtResult R = Solver.checkSat(F);
+    CheckResult Out;
+    switch (R.Answer) {
+    case smt::SatAnswer::Sat:
+      Out.TheAnswer = Answer::Sat;
+      break;
+    case smt::SatAnswer::Unsat:
+      Out.TheAnswer = Answer::Unsat;
+      break;
+    case smt::SatAnswer::Unknown:
+      Out.TheAnswer = Answer::Unknown;
+      break;
+    }
+    Out.Model = std::move(R.Model);
+    Out.ModelComplete = R.ModelComplete;
+    return Out;
+  }
+
+  std::string name() const override { return "mini"; }
+};
+
+/// Runs two backends and aborts on disagreement (Unknown tolerated). The
+/// differential test suite instantiates this to validate MiniSmt against Z3.
+class CrossCheckBackend : public SmtSolver {
+public:
+  CrossCheckBackend(TermContext &C, std::unique_ptr<SmtSolver> A,
+                    std::unique_ptr<SmtSolver> B)
+      : SmtSolver(C), A(std::move(A)), B(std::move(B)) {}
+
+  CheckResult checkSat(const Term *F) override {
+    ++Queries;
+    CheckResult RA = A->checkSat(F);
+    CheckResult RB = B->checkSat(F);
+    if (RA.TheAnswer != Answer::Unknown && RB.TheAnswer != Answer::Unknown &&
+        RA.TheAnswer != RB.TheAnswer) {
+      std::fprintf(stderr,
+                   "solver disagreement on %s: %s says %d, %s says %d\n",
+                   printSmtLib(F).c_str(), A->name().c_str(),
+                   static_cast<int>(RA.TheAnswer), B->name().c_str(),
+                   static_cast<int>(RB.TheAnswer));
+      std::abort();
+    }
+    return RA.TheAnswer != Answer::Unknown ? RA : RB;
+  }
+
+  std::string name() const override { return "crosscheck"; }
+
+private:
+  std::unique_ptr<SmtSolver> A, B;
+};
+
+} // namespace
+
+// Defined in Z3Solver.cpp when EXPRESSO_HAVE_Z3, in Z3Stub.cpp otherwise.
+namespace expresso {
+namespace solver {
+std::unique_ptr<SmtSolver> createZ3Backend(TermContext &C);
+} // namespace solver
+} // namespace expresso
+
+SolverKind solver::parseSolverKind(const std::string &Name) {
+  if (Name == "mini")
+    return SolverKind::Mini;
+  if (Name == "z3")
+    return SolverKind::Z3;
+  if (Name == "crosscheck")
+    return SolverKind::CrossCheck;
+  return SolverKind::Default;
+}
+
+std::unique_ptr<SmtSolver> solver::createSolver(SolverKind Kind,
+                                                TermContext &C) {
+  switch (Kind) {
+  case SolverKind::Mini:
+    return std::make_unique<MiniBackend>(C);
+  case SolverKind::Z3:
+    return createZ3Backend(C);
+  case SolverKind::Default: {
+    if (auto Z3 = createZ3Backend(C))
+      return Z3;
+    return std::make_unique<MiniBackend>(C);
+  }
+  case SolverKind::CrossCheck: {
+    auto Z3 = createZ3Backend(C);
+    if (!Z3)
+      return std::make_unique<MiniBackend>(C);
+    return std::make_unique<CrossCheckBackend>(C, std::make_unique<MiniBackend>(C),
+                                               std::move(Z3));
+  }
+  }
+  return nullptr;
+}

@@ -1,0 +1,102 @@
+//===- solver/SmtSolver.h - Solver backend abstraction ----------*- C++ -*-===//
+//
+// Part of expresso-cpp, a reproduction of "Symbolic Reasoning for Automatic
+// Signal Placement" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The solver interface used by every analysis (WP validity, abduction
+/// consistency, commutativity, invariant fixpoints). Two backends:
+///
+///   * Z3 (the paper's solver, built when z3++.h is available), and
+///   * MiniSmt (the from-scratch CDCL(T) solver in src/smt).
+///
+/// A cross-checking backend runs both and asserts agreement; the test suite
+/// uses it for differential validation of MiniSmt against Z3.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXPRESSO_SOLVER_SMTSOLVER_H
+#define EXPRESSO_SOLVER_SMTSOLVER_H
+
+#include "logic/TermOps.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace expresso {
+namespace solver {
+
+/// Three-valued satisfiability answer.
+enum class Answer { Sat, Unsat, Unknown };
+
+/// Three-valued validity answer.
+enum class Validity { Valid, Invalid, Unknown };
+
+/// Result of a satisfiability query.
+struct CheckResult {
+  Answer TheAnswer = Answer::Unknown;
+  /// Witness assignment when TheAnswer is Sat (possibly partial).
+  logic::Assignment Model;
+  bool ModelComplete = false;
+};
+
+/// Abstract SMT backend over logic::Term formulas. Each solver is bound to
+/// the TermContext whose terms it accepts.
+class SmtSolver {
+public:
+  explicit SmtSolver(logic::TermContext &C) : Ctx(C) {}
+  virtual ~SmtSolver();
+
+  /// Decides satisfiability of the boolean term \p F.
+  virtual CheckResult checkSat(const logic::Term *F) = 0;
+
+  /// Backend name for diagnostics ("z3", "mini", "crosscheck").
+  virtual std::string name() const = 0;
+
+  /// Validity of \p F: F is valid iff not F is unsatisfiable.
+  Validity checkValid(const logic::Term *F);
+
+  /// True iff \p F is valid; Unknown counts as "not proved" (the paper's
+  /// conservative direction: failing to prove a triple only costs signals).
+  bool isValid(const logic::Term *F) {
+    return checkValid(F) == Validity::Valid;
+  }
+
+  /// True iff \p F is satisfiable; Unknown counts as "possibly sat" only
+  /// when \p UnknownMeansSat is set.
+  bool isSat(const logic::Term *F, bool UnknownMeansSat = false) {
+    Answer A = checkSat(F).TheAnswer;
+    return A == Answer::Sat || (UnknownMeansSat && A == Answer::Unknown);
+  }
+
+  uint64_t numQueries() const { return Queries; }
+
+  logic::TermContext &context() { return Ctx; }
+
+protected:
+  logic::TermContext &Ctx;
+  uint64_t Queries = 0;
+};
+
+/// Which backend to instantiate.
+enum class SolverKind { Mini, Z3, Default, CrossCheck };
+
+/// True when this build has the Z3 backend compiled in.
+bool hasZ3();
+
+/// Creates the requested backend. `Default` prefers Z3 (the paper's solver)
+/// and falls back to MiniSmt. Returns nullptr only for SolverKind::Z3 in a
+/// build without Z3.
+std::unique_ptr<SmtSolver> createSolver(SolverKind Kind,
+                                        logic::TermContext &C);
+
+/// Parses "mini" / "z3" / "default" / "crosscheck" (for CLI flags).
+SolverKind parseSolverKind(const std::string &Name);
+
+} // namespace solver
+} // namespace expresso
+
+#endif // EXPRESSO_SOLVER_SMTSOLVER_H

@@ -1,0 +1,195 @@
+//===- solver/Z3Solver.cpp - Z3 backend (the paper's solver) -----------------===//
+//
+// Part of expresso-cpp, a reproduction of "Symbolic Reasoning for Automatic
+// Signal Placement" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Translates logic::Term formulas into Z3 expressions and queries Z3,
+/// mirroring the paper's implementation section ("invokes the Z3 SMT solver
+/// for checking logical validity"). Compiled only when z3++.h is available;
+/// Z3Stub.cpp provides the factory otherwise.
+///
+//===----------------------------------------------------------------------===//
+
+#include "solver/SmtSolver.h"
+
+#include <z3++.h>
+
+#include <unordered_map>
+
+using namespace expresso;
+using namespace expresso::solver;
+using namespace expresso::logic;
+
+namespace {
+
+class Z3Backend : public SmtSolver {
+public:
+  explicit Z3Backend(TermContext &C) : SmtSolver(C) {}
+
+  CheckResult checkSat(const Term *F) override {
+    ++Queries;
+    CheckResult Out;
+    z3::context Z3Ctx;
+    z3::solver Solver(Z3Ctx);
+    std::unordered_map<const Term *, z3::expr> Memo;
+    Solver.add(translate(Z3Ctx, F, Memo));
+    switch (Solver.check()) {
+    case z3::unsat:
+      Out.TheAnswer = Answer::Unsat;
+      return Out;
+    case z3::unknown:
+      Out.TheAnswer = Answer::Unknown;
+      return Out;
+    case z3::sat:
+      break;
+    }
+    Out.TheAnswer = Answer::Sat;
+    Out.ModelComplete = true;
+    z3::model Model = Solver.get_model();
+    for (const Term *V : freeVars(F)) {
+      z3::expr E = translate(Z3Ctx, V, Memo);
+      z3::expr Val = Model.eval(E, /*model_completion=*/true);
+      switch (V->sort()) {
+      case Sort::Int: {
+        int64_t I = 0;
+        if (Val.is_numeral_i64(I)) {
+          Out.Model[V->varName()] = Value::ofInt(I);
+        } else {
+          Out.ModelComplete = false;
+        }
+        break;
+      }
+      case Sort::Bool:
+        Out.Model[V->varName()] = Value::ofBool(Val.is_true());
+        break;
+      case Sort::IntArray:
+      case Sort::BoolArray: {
+        // Reconstruct pointwise through the select terms appearing in F.
+        Value AV = Value::ofArray(V->sort(), {}, 0);
+        for (const auto &[SelTerm, Unused] : Memo) {
+          (void)Unused;
+          if (SelTerm->kind() != TermKind::Select ||
+              SelTerm->operand(0) != V)
+            continue;
+          z3::expr Idx =
+              Model.eval(translate(Z3Ctx, SelTerm->operand(1), Memo), true);
+          z3::expr Elem = Model.eval(translate(Z3Ctx, SelTerm, Memo), true);
+          int64_t IdxV = 0;
+          if (!Idx.is_numeral_i64(IdxV))
+            continue;
+          if (SelTerm->sort() == Sort::Bool) {
+            AV.A[IdxV] = Elem.is_true() ? 1 : 0;
+          } else {
+            int64_t EV = 0;
+            if (Elem.is_numeral_i64(EV))
+              AV.A[IdxV] = EV;
+          }
+        }
+        Out.Model[V->varName()] = AV;
+        break;
+      }
+      }
+    }
+    return Out;
+  }
+
+  std::string name() const override { return "z3"; }
+
+private:
+  z3::expr translate(z3::context &Z, const Term *T,
+                     std::unordered_map<const Term *, z3::expr> &Memo) {
+    auto It = Memo.find(T);
+    if (It != Memo.end())
+      return It->second;
+    z3::expr E = translateUncached(Z, T, Memo);
+    Memo.emplace(T, E);
+    return E;
+  }
+
+  z3::sort z3Sort(z3::context &Z, Sort S) {
+    switch (S) {
+    case Sort::Int:
+      return Z.int_sort();
+    case Sort::Bool:
+      return Z.bool_sort();
+    case Sort::IntArray:
+      return Z.array_sort(Z.int_sort(), Z.int_sort());
+    case Sort::BoolArray:
+      return Z.array_sort(Z.int_sort(), Z.bool_sort());
+    }
+    return Z.int_sort();
+  }
+
+  z3::expr translateUncached(z3::context &Z, const Term *T,
+                             std::unordered_map<const Term *, z3::expr> &Memo) {
+    switch (T->kind()) {
+    case TermKind::IntConst:
+      return Z.int_val(T->intValue());
+    case TermKind::BoolConst:
+      return Z.bool_val(T->boolValue());
+    case TermKind::Var:
+      return Z.constant(T->varName().c_str(), z3Sort(Z, T->sort()));
+    case TermKind::Add: {
+      z3::expr E = translate(Z, T->operand(0), Memo);
+      for (unsigned I = 1; I < T->numOperands(); ++I)
+        E = E + translate(Z, T->operand(I), Memo);
+      return E;
+    }
+    case TermKind::Mul:
+      return translate(Z, T->operand(0), Memo) *
+             translate(Z, T->operand(1), Memo);
+    case TermKind::Ite:
+      return z3::ite(translate(Z, T->operand(0), Memo),
+                     translate(Z, T->operand(1), Memo),
+                     translate(Z, T->operand(2), Memo));
+    case TermKind::Select:
+      return z3::select(translate(Z, T->operand(0), Memo),
+                        translate(Z, T->operand(1), Memo));
+    case TermKind::Store:
+      return z3::store(translate(Z, T->operand(0), Memo),
+                       translate(Z, T->operand(1), Memo),
+                       translate(Z, T->operand(2), Memo));
+    case TermKind::Eq:
+      return translate(Z, T->operand(0), Memo) ==
+             translate(Z, T->operand(1), Memo);
+    case TermKind::Le:
+      return translate(Z, T->operand(0), Memo) <=
+             translate(Z, T->operand(1), Memo);
+    case TermKind::Lt:
+      return translate(Z, T->operand(0), Memo) <
+             translate(Z, T->operand(1), Memo);
+    case TermKind::Divides:
+      return z3::mod(translate(Z, T->operand(0), Memo),
+                     Z.int_val(T->intValue())) == Z.int_val(0);
+    case TermKind::Not:
+      return !translate(Z, T->operand(0), Memo);
+    case TermKind::And: {
+      z3::expr_vector V(Z);
+      for (const Term *Op : T->operands())
+        V.push_back(translate(Z, Op, Memo));
+      return z3::mk_and(V);
+    }
+    case TermKind::Or: {
+      z3::expr_vector V(Z);
+      for (const Term *Op : T->operands())
+        V.push_back(translate(Z, Op, Memo));
+      return z3::mk_or(V);
+    }
+    }
+    return Z.bool_val(false);
+  }
+};
+
+} // namespace
+
+namespace expresso {
+namespace solver {
+std::unique_ptr<SmtSolver> createZ3Backend(TermContext &C) {
+  return std::make_unique<Z3Backend>(C);
+}
+bool hasZ3() { return true; }
+} // namespace solver
+} // namespace expresso

@@ -1,0 +1,17 @@
+//===- solver/Z3Stub.cpp - Factory stub for builds without Z3 ----------------===//
+//
+// Part of expresso-cpp, a reproduction of "Symbolic Reasoning for Automatic
+// Signal Placement" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+
+#include "solver/SmtSolver.h"
+
+namespace expresso {
+namespace solver {
+std::unique_ptr<SmtSolver> createZ3Backend(logic::TermContext &) {
+  return nullptr;
+}
+bool hasZ3() { return false; }
+} // namespace solver
+} // namespace expresso

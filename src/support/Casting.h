@@ -1,0 +1,57 @@
+//===- support/Casting.h - LLVM-style isa/cast/dyn_cast ---------*- C++ -*-===//
+//
+// Part of expresso-cpp, a reproduction of "Symbolic Reasoning for Automatic
+// Signal Placement" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-rolled RTTI in the LLVM style. A class hierarchy opts in by defining
+/// a static `classof(const Base *)` predicate; clients then use `isa<T>`,
+/// `cast<T>`, and `dyn_cast<T>` instead of C++ RTTI.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXPRESSO_SUPPORT_CASTING_H
+#define EXPRESSO_SUPPORT_CASTING_H
+
+#include <cassert>
+
+namespace expresso {
+
+/// Returns true if \p Val is an instance of type To.
+template <typename To, typename From> bool isa(const From *Val) {
+  assert(Val && "isa<> used on a null pointer");
+  return To::classof(Val);
+}
+
+/// Checked downcast; asserts that the cast is valid.
+template <typename To, typename From> const To *cast(const From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<const To *>(Val);
+}
+
+/// Checked downcast for mutable pointers.
+template <typename To, typename From> To *cast(From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<To *>(Val);
+}
+
+/// Downcast that returns null when \p Val is not an instance of To.
+template <typename To, typename From> const To *dyn_cast(const From *Val) {
+  return isa<To>(Val) ? static_cast<const To *>(Val) : nullptr;
+}
+
+/// Downcast for mutable pointers that returns null on mismatch.
+template <typename To, typename From> To *dyn_cast(From *Val) {
+  return isa<To>(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+/// dyn_cast that tolerates null inputs.
+template <typename To, typename From> const To *dyn_cast_or_null(const From *Val) {
+  return Val ? dyn_cast<To>(Val) : nullptr;
+}
+
+} // namespace expresso
+
+#endif // EXPRESSO_SUPPORT_CASTING_H

@@ -1,0 +1,67 @@
+//===- support/Diagnostics.h - Source locations and diagnostics -*- C++ -*-===//
+//
+// Part of expresso-cpp, a reproduction of "Symbolic Reasoning for Automatic
+// Signal Placement" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Source locations and a small diagnostic engine used by the monitor-DSL
+/// frontend. Diagnostics are collected rather than printed so that tests can
+/// assert on them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXPRESSO_SUPPORT_DIAGNOSTICS_H
+#define EXPRESSO_SUPPORT_DIAGNOSTICS_H
+
+#include <string>
+#include <vector>
+
+namespace expresso {
+
+/// A 1-based (line, column) position in a monitor source file.
+struct SourceLoc {
+  unsigned Line = 0;
+  unsigned Col = 0;
+
+  bool isValid() const { return Line != 0; }
+  std::string str() const;
+};
+
+/// Severity of a reported diagnostic.
+enum class DiagSeverity { Note, Warning, Error };
+
+/// A single diagnostic message attached to a source location.
+struct Diagnostic {
+  DiagSeverity Severity = DiagSeverity::Error;
+  SourceLoc Loc;
+  std::string Message;
+
+  std::string str() const;
+};
+
+/// Collects diagnostics emitted by the frontend and analyses.
+class DiagnosticEngine {
+public:
+  void error(SourceLoc Loc, std::string Message);
+  void warning(SourceLoc Loc, std::string Message);
+  void note(SourceLoc Loc, std::string Message);
+
+  bool hasErrors() const { return NumErrors != 0; }
+  unsigned errorCount() const { return NumErrors; }
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// Renders every diagnostic on its own line, in emission order.
+  std::string str() const;
+
+  void clear();
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+};
+
+} // namespace expresso
+
+#endif // EXPRESSO_SUPPORT_DIAGNOSTICS_H

@@ -1,0 +1,41 @@
+//===- support/Timer.h - Wall-clock timing utilities ------------*- C++ -*-===//
+//
+// Part of expresso-cpp, a reproduction of "Symbolic Reasoning for Automatic
+// Signal Placement" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny steady-clock stopwatch used by the Table-1 analysis-time bench and
+/// the saturation harness.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXPRESSO_SUPPORT_TIMER_H
+#define EXPRESSO_SUPPORT_TIMER_H
+
+#include <chrono>
+
+namespace expresso {
+
+/// Measures elapsed wall-clock time from construction or the last restart().
+class WallTimer {
+public:
+  WallTimer() : Start(Clock::now()) {}
+
+  void restart() { Start = Clock::now(); }
+
+  double elapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+  double elapsedMillis() const { return elapsedSeconds() * 1000.0; }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+} // namespace expresso
+
+#endif // EXPRESSO_SUPPORT_TIMER_H

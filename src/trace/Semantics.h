@@ -1,0 +1,126 @@
+//===- trace/Semantics.h - §3 monitor trace semantics -----------*- C++ -*-===//
+//
+// Part of expresso-cpp, a reproduction of "Symbolic Reasoning for Automatic
+// Signal Placement" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executable form of the paper's Section 3 formalization:
+///
+///   * monitor traces: sequences of events (t, w, b) where b records
+///     whether thread t executed waituntil w or blocked on it;
+///   * syntactic well-formedness (Appendix A): per-thread projections
+///     follow method structure, and rule (c) — a thread leaves the monitor
+///     only by blocking or finishing;
+///   * the implicit-signal transition relation --> (Figure 4);
+///   * the explicit-signal transition relation ==> (Figures 5 and 6), which
+///     consults Signals(w)/Broadcasts(w) from a placement;
+///   * normalized traces (Definition 3.3): derivations that never use the
+///     spurious-wakeup rule (1b);
+///   * a bounded checker for Definition 3.4 equivalence, used by the
+///     property-test suite to validate PlaceSignals output against the
+///     source monitor on exhaustively enumerated small traces.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXPRESSO_TRACE_SEMANTICS_H
+#define EXPRESSO_TRACE_SEMANTICS_H
+
+#include "frontend/Interp.h"
+#include "frontend/Sema.h"
+#include "runtime/SignalPlan.h"
+
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace expresso {
+namespace trace {
+
+/// A monitor event (t, w, b).
+struct Event {
+  unsigned Thread = 0;
+  const frontend::WaitUntil *W = nullptr;
+  bool Fired = false; ///< true: executed; false: blocked on the guard
+
+  bool operator==(const Event &O) const = default;
+};
+
+using Trace = std::vector<Event>;
+
+/// The pair (t, w) — the paper's e-bar.
+using EventId = std::pair<unsigned, const frontend::WaitUntil *>;
+
+/// A monitor state σ: shared variables plus per-thread locals.
+struct MonitorState {
+  logic::Assignment Shared;
+  std::map<unsigned, logic::Assignment> Locals;
+
+  bool sharedEquals(const MonitorState &O) const { return Shared == O.Shared; }
+};
+
+/// One thread's workload for trace enumeration: a single method invocation
+/// with fixed arguments.
+struct ThreadTask {
+  unsigned Thread = 0;
+  const frontend::Method *M = nullptr;
+  logic::Assignment Locals;
+};
+
+/// Configuration of either transition system: (σ, B, N) plus per-thread
+/// progress through its method.
+struct Config {
+  MonitorState State;
+  std::set<EventId> Blocked;  ///< B
+  std::set<EventId> Notified; ///< N
+  std::map<unsigned, size_t> Position; ///< next CCR index per thread
+  bool UsedRule1b = false;    ///< true if a derivation step used rule (1b)
+};
+
+/// Returns true if \p T is syntactically well-formed for the given thread
+/// tasks (Appendix A, Definitions 10.1-10.3).
+bool isWellFormed(const std::vector<ThreadTask> &Tasks, const Trace &T);
+
+/// Applies one implicit-signal step (Figure 4). Returns nullopt when no
+/// rule applies (the event is infeasible in this configuration).
+std::optional<Config> stepImplicit(const frontend::SemaInfo &Sema,
+                                   const Config &C, const Event &E);
+
+/// Applies one explicit-signal step (Figures 5-6) for signal sets \p Plan.
+std::optional<Config> stepExplicit(const frontend::SemaInfo &Sema,
+                                   const runtime::SignalPlan &Plan,
+                                   const Config &C, const Event &E);
+
+/// Replays a whole trace under the implicit (Plan == nullptr) or explicit
+/// relation. Returns the final configuration or nullopt if infeasible.
+std::optional<Config> replay(const frontend::SemaInfo &Sema,
+                             const runtime::SignalPlan *Plan,
+                             const std::vector<ThreadTask> &Tasks,
+                             const MonitorState &Initial, const Trace &T);
+
+/// Result of the bounded Definition-3.4 check.
+struct EquivalenceResult {
+  bool Equivalent = true;
+  std::string CounterExample; ///< human-readable failing trace, if any
+  size_t TracesChecked = 0;
+};
+
+/// Bounded equivalence (Definition 3.4): enumerates every feasible trace of
+/// both systems up to \p MaxEvents events and checks
+///   (1) explicit-feasible  =>  implicit-feasible with the same final σ;
+///   (2) normalized implicit-feasible  =>  explicit-feasible, same final σ.
+EquivalenceResult checkEquivalenceBounded(const frontend::SemaInfo &Sema,
+                                          const runtime::SignalPlan &Plan,
+                                          const std::vector<ThreadTask> &Tasks,
+                                          const MonitorState &Initial,
+                                          size_t MaxEvents);
+
+/// Renders a trace for diagnostics.
+std::string printTrace(const Trace &T);
+
+} // namespace trace
+} // namespace expresso
+
+#endif // EXPRESSO_TRACE_SEMANTICS_H

@@ -1,0 +1,188 @@
+//===- tests/QeTest.cpp - Cooper quantifier elimination ----------------------===//
+//
+// Part of expresso-cpp, a reproduction of "Symbolic Reasoning for Automatic
+// Signal Placement" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+
+#include "qe/Cooper.h"
+
+#include "TestUtil.h"
+#include "logic/Printer.h"
+#include "logic/Simplify.h"
+#include "logic/TermOps.h"
+
+#include <gtest/gtest.h>
+
+using namespace expresso;
+using namespace expresso::logic;
+
+namespace {
+
+class QeTest : public ::testing::Test {
+protected:
+  TermContext C;
+  const Term *X = C.var("x", Sort::Int);
+  const Term *Y = C.var("y", Sort::Int);
+  const Term *Z = C.var("z", Sort::Int);
+  const Term *P = C.var("p", Sort::Bool);
+};
+
+TEST_F(QeTest, ExistsUnboundedIsTrue) {
+  // ∃x. x <= y
+  auto R = qe::eliminateExists(C, C.le(X, Y), X);
+  ASSERT_TRUE(R.has_value());
+  EXPECT_EQ(*R, C.getTrue());
+}
+
+TEST_F(QeTest, ExistsBoxNonempty) {
+  // ∃x. (y <= x and x <= z)  <=>  y <= z
+  auto R = qe::eliminateExists(C, C.and_(C.le(Y, X), C.le(X, Z)), X);
+  ASSERT_TRUE(R.has_value());
+  EXPECT_EQ(simplify(C, *R), simplify(C, C.le(Y, Z)));
+}
+
+TEST_F(QeTest, ExistsEquality) {
+  // ∃x. (x == y + 1 and x <= z)  <=>  y + 1 <= z
+  const Term *F = C.and_(C.eq(X, C.add(Y, C.getOne())), C.le(X, Z));
+  auto R = qe::eliminateExists(C, F, X);
+  ASSERT_TRUE(R.has_value());
+  EXPECT_EQ(simplify(C, *R), simplify(C, C.le(C.add(Y, C.getOne()), Z)));
+}
+
+TEST_F(QeTest, ExistsScaledVar) {
+  // ∃x. 2x == y  <=>  2 | y
+  auto R = qe::eliminateExists(C, C.eq(C.mulConst(2, X), Y), X);
+  ASSERT_TRUE(R.has_value());
+  EXPECT_EQ(simplify(C, *R), C.divides(2, Y));
+}
+
+TEST_F(QeTest, ForallIsDual) {
+  // ∀x. x >= y is false (pick x < y); ∀x. (x >= y or x < y) is true.
+  auto R1 = qe::eliminateForall(C, C.ge(X, Y), X);
+  ASSERT_TRUE(R1.has_value());
+  EXPECT_EQ(*R1, C.getFalse());
+  auto R2 = qe::eliminateForall(C, C.or_(C.ge(X, Y), C.lt(X, Y)), X);
+  ASSERT_TRUE(R2.has_value());
+  EXPECT_EQ(*R2, C.getTrue());
+}
+
+TEST_F(QeTest, ForallProducesResidue) {
+  // ∀x. (x >= y -> x >= z)  <=>  z <= y
+  const Term *F = C.implies(C.ge(X, Y), C.ge(X, Z));
+  auto R = qe::eliminateForall(C, F, X);
+  ASSERT_TRUE(R.has_value());
+  EXPECT_EQ(simplify(C, *R), simplify(C, C.le(Z, Y)));
+}
+
+TEST_F(QeTest, BoolCaseSplit) {
+  // ∃p. (p and x <= 0) or (!p and x >= 1): always true (pick p by sign).
+  const Term *F = C.or_(C.and_(P, C.le(X, C.getZero())),
+                        C.and_(C.not_(P), C.ge(X, C.getOne())));
+  auto R = qe::eliminateExists(C, F, P);
+  ASSERT_TRUE(R.has_value());
+  EXPECT_EQ(*R, C.getTrue());
+}
+
+TEST_F(QeTest, NonLinearOccurrenceRejected) {
+  const Term *A = C.var("a", Sort::IntArray);
+  // x occurs as an array index: not eliminable by Cooper.
+  auto R = qe::eliminateExists(C, C.le(C.select(A, X), C.getZero()), X);
+  EXPECT_FALSE(R.has_value());
+}
+
+TEST_F(QeTest, ReadersInvariantShape) {
+  // The readers-writers abduction query (Section 2/5 of the paper):
+  //   ψ must satisfy  ψ ∧ ¬writerIn ∧ readers != 0  =>  readers + 1 != 0.
+  // Eliminating writerIn universally from (P -> C) leaves a formula over
+  // readers that excludes readers == -1.
+  const Term *Readers = C.var("readers", Sort::Int);
+  const Term *WriterIn = C.var("writerIn", Sort::Bool);
+  const Term *Pre = C.and_(C.not_(WriterIn), C.ne(Readers, C.getZero()));
+  const Term *Post = C.ne(C.add(Readers, C.getOne()), C.getZero());
+  auto R = qe::eliminateForall(C, C.implies(Pre, Post), WriterIn);
+  ASSERT_TRUE(R.has_value());
+  // The result must hold for readers == 0 and readers == 5, fail for -1.
+  Assignment A1{{"readers", Value::ofInt(0)}};
+  Assignment A2{{"readers", Value::ofInt(5)}};
+  Assignment A3{{"readers", Value::ofInt(-1)}};
+  EXPECT_TRUE(evaluateBool(*R, A1));
+  EXPECT_TRUE(evaluateBool(*R, A2));
+  EXPECT_FALSE(evaluateBool(*R, A3));
+}
+
+TEST_F(QeTest, DecideSatGround) {
+  EXPECT_EQ(qe::decideSat(C, C.le(C.intConst(1), C.intConst(2))),
+            std::optional<bool>(true));
+  EXPECT_EQ(qe::decideSat(C, C.and_(C.le(X, C.getZero()),
+                                    C.ge(X, C.getOne()))),
+            std::optional<bool>(false));
+  EXPECT_EQ(qe::decideSat(C, C.eq(C.mulConst(2, X), C.add(C.mulConst(2, Y),
+                                                          C.getOne()))),
+            std::optional<bool>(false));
+}
+
+//===----------------------------------------------------------------------===//
+// Property sweep: QE result agrees with finite-domain expansion
+//===----------------------------------------------------------------------===//
+
+class QePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(QePropertyTest, ExistsAgreesWithExpansion) {
+  TermContext C;
+  Rng R(static_cast<uint64_t>(GetParam()) * 6151 + 3);
+  testutil::FormulaGen Gen(C, R);
+  const Term *F = Gen.randomFormula(3);
+  const Term *X = Gen.intVars()[0];
+
+  auto Elim = qe::eliminateExists(C, F, X);
+  ASSERT_TRUE(Elim.has_value()) << printTerm(F);
+
+  // For every assignment of the remaining variables in a small box, the
+  // eliminated formula must equal ∃x∈[-B',B'].F (the witness box is widened
+  // because Cooper may need values outside the checked box; we verify the
+  // implication in the sound direction plus witness checking).
+  const Term *Y = Gen.intVars()[1];
+  const Term *Z = Gen.intVars()[2];
+  const Term *P = Gen.boolVars()[0];
+  const Term *Q = Gen.boolVars()[1];
+  for (int64_t YV = -3; YV <= 3; ++YV) {
+    for (int64_t ZV = -3; ZV <= 3; ++ZV) {
+      for (int PV = 0; PV <= 1; ++PV) {
+        for (int QV = 0; QV <= 1; ++QV) {
+          Assignment Asg{{Y->varName(), Value::ofInt(YV)},
+                         {Z->varName(), Value::ofInt(ZV)},
+                         {P->varName(), Value::ofBool(PV != 0)},
+                         {Q->varName(), Value::ofBool(QV != 0)}};
+          bool ExistsWitness = false;
+          for (int64_t XV = -40; XV <= 40 && !ExistsWitness; ++XV) {
+            Assignment Inner = Asg;
+            Inner[X->varName()] = Value::ofInt(XV);
+            ExistsWitness = evaluateBool(F, Inner);
+          }
+          Assignment ElimAsg = Asg;
+          // The eliminated formula must not mention x, but bind it anyway in
+          // case elimination returned the input unchanged for a formula not
+          // containing x.
+          ElimAsg[X->varName()] = Value::ofInt(0);
+          bool ElimTruth = evaluateBool(*Elim, ElimAsg);
+          // Soundness: a witness in the box implies the eliminated formula.
+          if (ExistsWitness)
+            EXPECT_TRUE(ElimTruth)
+                << "lost a witness for " << printTerm(F) << " at y=" << YV
+                << " z=" << ZV;
+          // Precision within the box: coefficients are <= 4 and constants
+          // <= 4, so any witness fits well inside |x| <= 40.
+          if (ElimTruth)
+            EXPECT_TRUE(ExistsWitness)
+                << "phantom witness for " << printTerm(F) << " at y=" << YV
+                << " z=" << ZV << " elim=" << printTerm(*Elim);
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, QePropertyTest, ::testing::Range(0, 60));
+
+} // namespace

@@ -1,0 +1,202 @@
+//===- tests/RuntimeTest.cpp - Engines under real threads ---------------------===//
+//
+// Part of expresso-cpp, a reproduction of "Symbolic Reasoning for Automatic
+// Signal Placement" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/Harness.h"
+#include "bench/Workloads.h"
+#include "frontend/Parser.h"
+#include "runtime/Engine.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+using namespace expresso;
+using namespace expresso::bench;
+using namespace expresso::runtime;
+using logic::Assignment;
+using logic::Value;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Unit tests on a hand-built engine
+//===----------------------------------------------------------------------===//
+
+struct RWFixture {
+  RWFixture() {
+    DiagnosticEngine Diags;
+    M = frontend::parseMonitor(R"(
+monitor RWLock {
+  int readers = 0;
+  bool writerIn = false;
+  void enterReader() { waituntil (!writerIn) { readers++; } }
+  void exitReader()  { if (readers > 0) readers--; }
+  void enterWriter() { waituntil (readers == 0 && !writerIn) { writerIn = true; } }
+  void exitWriter()  { writerIn = false; }
+}
+)",
+                               Diags);
+    Sema = frontend::analyze(*M, C, Diags);
+    Solver = solver::createSolver(solver::SolverKind::Default, C);
+    Placement = core::placeSignals(C, *Sema, *Solver);
+  }
+
+  logic::TermContext C;
+  std::unique_ptr<frontend::Monitor> M;
+  std::unique_ptr<frontend::SemaInfo> Sema;
+  std::unique_ptr<solver::SmtSolver> Solver;
+  core::PlacementResult Placement;
+};
+
+TEST(RuntimeTest, SingleThreadedSequenceExplicit) {
+  RWFixture F;
+  auto E = createExplicitEngine(*F.Sema, SignalPlan::fromPlacement(F.Placement));
+  E->call("enterReader");
+  E->call("enterReader");
+  EXPECT_EQ(E->snapshot().at("readers").asInt(), 2);
+  E->call("exitReader");
+  E->call("exitReader");
+  E->call("enterWriter");
+  EXPECT_TRUE(E->snapshot().at("writerIn").asBool());
+  E->call("exitWriter");
+  EXPECT_FALSE(E->snapshot().at("writerIn").asBool());
+}
+
+TEST(RuntimeTest, WriterBlocksUntilReadersLeave) {
+  RWFixture F;
+  auto E = createExplicitEngine(*F.Sema, SignalPlan::fromPlacement(F.Placement));
+  E->call("enterReader");
+  std::atomic<bool> WriterIn{false};
+  std::thread Writer([&] {
+    E->call("enterWriter");
+    WriterIn.store(true);
+  });
+  // The writer must not enter while a reader holds the lock.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(WriterIn.load());
+  E->call("exitReader");
+  Writer.join();
+  EXPECT_TRUE(WriterIn.load());
+  EXPECT_TRUE(E->snapshot().at("writerIn").asBool());
+}
+
+TEST(RuntimeTest, BroadcastWakesAllReaders) {
+  RWFixture F;
+  auto E = createExplicitEngine(*F.Sema, SignalPlan::fromPlacement(F.Placement));
+  E->call("enterWriter");
+  constexpr int NumReaders = 6;
+  std::atomic<int> ReadersIn{0};
+  std::vector<std::thread> Readers;
+  Readers.reserve(NumReaders);
+  for (int I = 0; I < NumReaders; ++I) {
+    Readers.emplace_back([&] {
+      E->call("enterReader");
+      ReadersIn.fetch_add(1);
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(ReadersIn.load(), 0); // all blocked behind the writer
+  E->call("exitWriter");
+  for (std::thread &T : Readers)
+    T.join();
+  EXPECT_EQ(ReadersIn.load(), NumReaders);
+  EXPECT_EQ(E->snapshot().at("readers").asInt(), NumReaders);
+}
+
+TEST(RuntimeTest, StatsCountBlocksAndWakeups) {
+  RWFixture F;
+  auto E = createExplicitEngine(*F.Sema, SignalPlan::fromPlacement(F.Placement));
+  E->call("enterWriter");
+  std::thread T([&] { E->call("enterWriter"); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  E->call("exitWriter");
+  T.join();
+  EngineStats S = E->stats();
+  EXPECT_GE(S.Blocks, 1u);
+  EXPECT_GE(S.Wakeups, 1u);
+  EXPECT_EQ(S.Calls, 3u);
+  E->call("exitWriter");
+}
+
+//===----------------------------------------------------------------------===//
+// Integration sweep: every benchmark x every engine terminates with the
+// expected final state under real contention.
+//===----------------------------------------------------------------------===//
+
+struct SweepCase {
+  const char *Bench;
+  EngineKind Kind;
+};
+
+class EngineSweepTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(EngineSweepTest, BalancedWorkloadTerminatesCleanly) {
+  const auto &All = allBenchmarks();
+  int BenchIdx = std::get<0>(GetParam());
+  int KindIdx = std::get<1>(GetParam());
+  ASSERT_LT(static_cast<size_t>(BenchIdx), All.size());
+  const BenchmarkDef &Def = All[static_cast<size_t>(BenchIdx)];
+  EngineKind Kind = static_cast<EngineKind>(KindIdx);
+
+  HarnessOptions Opts;
+  Opts.TargetTotalCycles = 600;
+  Opts.MinCyclesPerThread = 5;
+  BenchContext Ctx(Def, Opts.Placement);
+
+  // Smallest two thread counts of the benchmark's series.
+  for (size_t I = 0; I < 2 && I < Def.ThreadCounts.size(); ++I) {
+    unsigned Threads = Def.ThreadCounts[I];
+    CellResult R = runCell(Def, Ctx, Kind, Threads, Opts);
+    EXPECT_TRUE(R.StateOk) << Def.Name << " / " << engineKindName(Kind)
+                           << " / " << Threads << " threads";
+    EXPECT_GT(R.TotalOps, 0u);
+    EXPECT_GT(R.MsPerOp, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarksAllEngines, EngineSweepTest,
+    ::testing::Combine(::testing::Range(0, 14), ::testing::Range(0, 4)),
+    [](const ::testing::TestParamInfo<std::tuple<int, int>> &Info) {
+      const auto &All = allBenchmarks();
+      int B = std::get<0>(Info.param);
+      int K = std::get<1>(Info.param);
+      return All[static_cast<size_t>(B)].Name + "_" +
+             engineKindName(static_cast<EngineKind>(K));
+    });
+
+//===----------------------------------------------------------------------===//
+// Gold plans must behave identically to Expresso plans on final state.
+//===----------------------------------------------------------------------===//
+
+TEST(RuntimeTest, NoLazyBroadcastAlsoTerminates) {
+  const BenchmarkDef *Def = findBenchmark("ReadersWriters");
+  ASSERT_NE(Def, nullptr);
+  HarnessOptions Opts;
+  Opts.TargetTotalCycles = 600;
+  Opts.Placement.LazyBroadcast = false;
+  BenchContext Ctx(*Def, Opts.Placement);
+  CellResult R = runCell(*Def, Ctx, EngineKind::Expresso,
+                         Def->ThreadCounts[0], Opts);
+  EXPECT_TRUE(R.StateOk);
+}
+
+TEST(RuntimeTest, PlacementWithoutInvariantStillCorrect) {
+  const BenchmarkDef *Def = findBenchmark("BoundedBuffer");
+  ASSERT_NE(Def, nullptr);
+  HarnessOptions Opts;
+  Opts.TargetTotalCycles = 600;
+  Opts.Placement.UseInvariant = false;
+  BenchContext Ctx(*Def, Opts.Placement);
+  CellResult R = runCell(*Def, Ctx, EngineKind::Expresso,
+                         Def->ThreadCounts[1], Opts);
+  EXPECT_TRUE(R.StateOk);
+}
+
+} // namespace

@@ -1,0 +1,138 @@
+//===- tests/TestUtil.h - Shared test helpers -------------------*- C++ -*-===//
+//
+// Part of expresso-cpp, a reproduction of "Symbolic Reasoning for Automatic
+// Signal Placement" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Random-formula generation and brute-force model enumeration used by the
+/// differential and property test suites.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXPRESSO_TESTS_TESTUTIL_H
+#define EXPRESSO_TESTS_TESTUTIL_H
+
+#include "logic/Term.h"
+#include "logic/TermOps.h"
+#include "support/Rng.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace expresso {
+namespace testutil {
+
+/// Generates random boolean formulas over a fixed set of integer and boolean
+/// variables, with small constants so brute force stays cheap.
+class FormulaGen {
+public:
+  FormulaGen(logic::TermContext &C, Rng &R) : C(C), R(R) {
+    IntVars = {C.var("x", logic::Sort::Int), C.var("y", logic::Sort::Int),
+               C.var("z", logic::Sort::Int)};
+    BoolVars = {C.var("p", logic::Sort::Bool), C.var("q", logic::Sort::Bool)};
+  }
+
+  const std::vector<const logic::Term *> &intVars() const { return IntVars; }
+  const std::vector<const logic::Term *> &boolVars() const { return BoolVars; }
+
+  const logic::Term *randomIntTerm(int Depth) {
+    if (Depth <= 0 || R.chance(2, 5)) {
+      if (R.chance(1, 3))
+        return C.intConst(R.range(-4, 4));
+      return IntVars[R.below(IntVars.size())];
+    }
+    switch (R.below(3)) {
+    case 0:
+      return C.add(randomIntTerm(Depth - 1), randomIntTerm(Depth - 1));
+    case 1:
+      return C.sub(randomIntTerm(Depth - 1), randomIntTerm(Depth - 1));
+    default:
+      return C.mulConst(R.range(-3, 3), randomIntTerm(Depth - 1));
+    }
+  }
+
+  const logic::Term *randomFormula(int Depth) {
+    if (Depth <= 0 || R.chance(1, 4)) {
+      switch (R.below(5)) {
+      case 0:
+        return C.le(randomIntTerm(1), randomIntTerm(1));
+      case 1:
+        return C.lt(randomIntTerm(1), randomIntTerm(1));
+      case 2:
+        return C.eq(randomIntTerm(1), randomIntTerm(1));
+      case 3:
+        return BoolVars[R.below(BoolVars.size())];
+      default:
+        return C.divides(static_cast<int64_t>(R.range(2, 4)),
+                         randomIntTerm(1));
+      }
+    }
+    switch (R.below(5)) {
+    case 0:
+      return C.and_(randomFormula(Depth - 1), randomFormula(Depth - 1));
+    case 1:
+      return C.or_(randomFormula(Depth - 1), randomFormula(Depth - 1));
+    case 2:
+      return C.not_(randomFormula(Depth - 1));
+    case 3:
+      return C.implies(randomFormula(Depth - 1), randomFormula(Depth - 1));
+    default:
+      return C.iff(randomFormula(Depth - 1), randomFormula(Depth - 1));
+    }
+  }
+
+private:
+  logic::TermContext &C;
+  Rng &R;
+  std::vector<const logic::Term *> IntVars;
+  std::vector<const logic::Term *> BoolVars;
+};
+
+/// Exhaustively searches integer values in [-Bound, Bound] (and both truth
+/// values for booleans) for a model of \p F over exactly the given
+/// variables. Complete for formulas whose satisfying models (if any) fit in
+/// the box; the generators above keep constants small to make that likely.
+inline std::optional<logic::Assignment>
+bruteForceModel(const logic::Term *F,
+                const std::vector<const logic::Term *> &Ints,
+                const std::vector<const logic::Term *> &Bools, int64_t Bound) {
+  std::vector<int64_t> IntVals(Ints.size(), -Bound);
+  std::vector<int> BoolVals(Bools.size(), 0);
+  for (;;) {
+    logic::Assignment Asg;
+    for (size_t I = 0; I < Ints.size(); ++I)
+      Asg[Ints[I]->varName()] = logic::Value::ofInt(IntVals[I]);
+    for (size_t I = 0; I < Bools.size(); ++I)
+      Asg[Bools[I]->varName()] = logic::Value::ofBool(BoolVals[I] != 0);
+    if (logic::evaluateBool(F, Asg))
+      return Asg;
+    // Odometer increment.
+    size_t K = 0;
+    for (; K < Bools.size(); ++K) {
+      if (BoolVals[K] == 0) {
+        BoolVals[K] = 1;
+        break;
+      }
+      BoolVals[K] = 0;
+    }
+    if (K < Bools.size())
+      continue;
+    for (K = 0; K < Ints.size(); ++K) {
+      if (IntVals[K] < Bound) {
+        ++IntVals[K];
+        break;
+      }
+      IntVals[K] = -Bound;
+    }
+    if (K == Ints.size())
+      return std::nullopt;
+  }
+}
+
+} // namespace testutil
+} // namespace expresso
+
+#endif // EXPRESSO_TESTS_TESTUTIL_H

@@ -1,0 +1,329 @@
+//===- tests/TraceTest.cpp - §3 semantics and Def 3.4 equivalence -------------===//
+//
+// Part of expresso-cpp, a reproduction of "Symbolic Reasoning for Automatic
+// Signal Placement" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/Semantics.h"
+
+#include "core/SignalPlacement.h"
+#include "frontend/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace expresso;
+using namespace expresso::frontend;
+using namespace expresso::trace;
+using namespace expresso::runtime;
+using logic::Assignment;
+using logic::Value;
+
+namespace {
+
+struct TraceFixture {
+  explicit TraceFixture(const char *Source) {
+    DiagnosticEngine Diags;
+    M = parseMonitor(Source, Diags);
+    EXPECT_NE(M, nullptr) << Diags.str();
+    Sema = analyze(*M, C, Diags);
+    EXPECT_NE(Sema, nullptr) << Diags.str();
+    Solver = solver::createSolver(solver::SolverKind::Default, C);
+    Placement = core::placeSignals(C, *Sema, *Solver);
+    Plan = SignalPlan::fromPlacement(Placement);
+    Initial.Shared = initialState(*M);
+  }
+
+  const WaitUntil *ccr(const char *Method, unsigned Idx = 0) {
+    return &M->findMethod(Method)->Body[Idx];
+  }
+  ThreadTask task(unsigned T, const char *Method, Assignment Locals = {}) {
+    return {T, M->findMethod(Method), std::move(Locals)};
+  }
+
+  logic::TermContext C;
+  std::unique_ptr<Monitor> M;
+  std::unique_ptr<SemaInfo> Sema;
+  std::unique_ptr<solver::SmtSolver> Solver;
+  core::PlacementResult Placement;
+  SignalPlan Plan;
+  MonitorState Initial;
+};
+
+const char *RWSource = R"(
+monitor RWLock {
+  int readers = 0;
+  bool writerIn = false;
+  void enterReader() { waituntil (!writerIn) { readers++; } }
+  void exitReader()  { if (readers > 0) readers--; }
+  void enterWriter() { waituntil (readers == 0 && !writerIn) { writerIn = true; } }
+  void exitWriter()  { writerIn = false; }
+}
+)";
+
+/// Example 3.2's two-method monitor, used for well-formedness tests.
+const char *Example32Source = R"(
+monitor M {
+  int x = 0;
+  int y = 0;
+  int z = 0;
+  int w = 0;
+  void m1() {
+    waituntil (x > 0) { y = y + 1; }
+    waituntil (y > 0) { x = x + 1; }
+  }
+  void m2() {
+    waituntil (z >= 0) { x = x + 1; }
+    waituntil (w >= 0) { z = z + 1; }
+  }
+}
+)";
+
+//===----------------------------------------------------------------------===//
+// Well-formedness (Appendix A / Example 3.2)
+//===----------------------------------------------------------------------===//
+
+TEST(WellFormedTest, RespectsStatementOrder) {
+  TraceFixture F(Example32Source);
+  auto Tasks = std::vector<ThreadTask>{F.task(1, "m1")};
+  const WaitUntil *W11 = F.ccr("m1", 0), *W12 = F.ccr("m1", 1);
+  // Executing w12 before w11 violates requirement (a).
+  EXPECT_FALSE(isWellFormed(Tasks, {{1, W12, true}, {1, W11, true}}));
+  EXPECT_TRUE(isWellFormed(Tasks, {{1, W11, true}, {1, W12, true}}));
+}
+
+TEST(WellFormedTest, NoMonitorEscapeMidMethod) {
+  TraceFixture F(Example32Source);
+  auto Tasks =
+      std::vector<ThreadTask>{F.task(1, "m1"), F.task(2, "m2")};
+  const WaitUntil *W11 = F.ccr("m1", 0), *W12 = F.ccr("m1", 1);
+  const WaitUntil *W21 = F.ccr("m2", 0), *W22 = F.ccr("m2", 1);
+  // Example 3.2's ill-formed trace: thread 2 exits the monitor after w21
+  // without blocking or finishing (requirement (c)).
+  Trace Bad = {{1, W11, false}, {2, W21, true}, {1, W11, true},
+               {1, W12, true}};
+  EXPECT_FALSE(isWellFormed(Tasks, Bad));
+  // The paper's well-formed variant: thread 2 blocks on w22 in between.
+  Trace Good = {{1, W11, false}, {2, W21, true}, {2, W22, false},
+                {1, W11, true},  {1, W12, true}, {2, W22, true}};
+  EXPECT_TRUE(isWellFormed(Tasks, Good));
+}
+
+//===----------------------------------------------------------------------===//
+// Implicit-signal transitions (Figure 4)
+//===----------------------------------------------------------------------===//
+
+TEST(ImplicitSemanticsTest, BlockThenNotifyThenRun) {
+  TraceFixture F(RWSource);
+  auto Tasks = std::vector<ThreadTask>{F.task(1, "enterWriter"),
+                                       F.task(2, "exitWriter")};
+  // Writer 1 blocks (writerIn starts false but readers==0: guard is true!).
+  // Start with writerIn = true so the guard is false.
+  F.Initial.Shared["writerIn"] = Value::ofBool(true);
+  const WaitUntil *EW = F.ccr("enterWriter"), *XW = F.ccr("exitWriter");
+  // t1 blocks; t2 exits the writer role making Pw true; t1 fires via (2b).
+  Trace T = {{1, EW, false}, {2, XW, true}, {1, EW, true}};
+  auto Final = replay(*F.Sema, nullptr, Tasks, F.Initial, T);
+  ASSERT_TRUE(Final.has_value());
+  EXPECT_TRUE(Final->State.Shared.at("writerIn").asBool());
+  EXPECT_FALSE(Final->UsedRule1b);
+}
+
+TEST(ImplicitSemanticsTest, BlockedEventInfeasibleWhenGuardTrue) {
+  TraceFixture F(RWSource);
+  auto Tasks = std::vector<ThreadTask>{F.task(1, "enterReader")};
+  // Guard !writerIn is true initially: a 'false' event cannot fire.
+  Trace T = {{1, F.ccr("enterReader"), false}};
+  EXPECT_FALSE(replay(*F.Sema, nullptr, Tasks, F.Initial, T).has_value());
+}
+
+TEST(ImplicitSemanticsTest, FiredEventNeedsNotificationWhenBlocked) {
+  TraceFixture F(RWSource);
+  F.Initial.Shared["writerIn"] = Value::ofBool(true);
+  auto Tasks = std::vector<ThreadTask>{F.task(1, "enterReader")};
+  const WaitUntil *ER = F.ccr("enterReader");
+  // Blocked thread cannot fire without being notified (N is empty and the
+  // guard stays false anyway).
+  Trace T = {{1, ER, false}, {1, ER, true}};
+  EXPECT_FALSE(replay(*F.Sema, nullptr, Tasks, F.Initial, T).has_value());
+}
+
+//===----------------------------------------------------------------------===//
+// Explicit-signal transitions (Figures 5-6)
+//===----------------------------------------------------------------------===//
+
+TEST(ExplicitSemanticsTest, SignalsFollowThePlan) {
+  TraceFixture F(RWSource);
+  F.Initial.Shared["writerIn"] = Value::ofBool(true);
+  auto Tasks = std::vector<ThreadTask>{F.task(1, "enterReader"),
+                                       F.task(2, "exitWriter")};
+  const WaitUntil *ER = F.ccr("enterReader"), *XW = F.ccr("exitWriter");
+  // exitWriter broadcasts to the readers class, so the blocked reader can
+  // fire afterwards.
+  Trace T = {{1, ER, false}, {2, XW, true}, {1, ER, true}};
+  auto Final = replay(*F.Sema, &F.Plan, Tasks, F.Initial, T);
+  ASSERT_TRUE(Final.has_value());
+  EXPECT_EQ(Final->State.Shared.at("readers").asInt(), 1);
+}
+
+TEST(ExplicitSemanticsTest, NoSignalNoWake) {
+  TraceFixture F(RWSource);
+  F.Initial.Shared["writerIn"] = Value::ofBool(true);
+  auto Tasks = std::vector<ThreadTask>{F.task(1, "enterReader"),
+                                       F.task(2, "enterReader")};
+  const WaitUntil *ER = F.ccr("enterReader");
+  // Thread 2 cannot have executed enterReader while writerIn holds, and a
+  // blocked thread 1 cannot fire without a signal: infeasible.
+  Trace T = {{1, ER, false}, {2, ER, true}, {1, ER, true}};
+  EXPECT_FALSE(replay(*F.Sema, &F.Plan, Tasks, F.Initial, T).has_value());
+}
+
+//===----------------------------------------------------------------------===//
+// Definition 3.4 equivalence, bounded
+//===----------------------------------------------------------------------===//
+
+TEST(EquivalenceTest, ReadersWritersPlacementIsEquivalent) {
+  TraceFixture F(RWSource);
+  auto Tasks = std::vector<ThreadTask>{
+      F.task(1, "enterReader"), F.task(2, "enterWriter"),
+      F.task(3, "exitWriter")};
+  F.Initial.Shared["writerIn"] = Value::ofBool(true);
+  EquivalenceResult R =
+      checkEquivalenceBounded(*F.Sema, F.Plan, Tasks, F.Initial, 8);
+  EXPECT_TRUE(R.Equivalent) << R.CounterExample;
+  EXPECT_GT(R.TracesChecked, 10u);
+}
+
+TEST(EquivalenceTest, DroppedBroadcastIsDetected) {
+  TraceFixture F(RWSource);
+  // Sabotage: remove every notification from exitWriter.
+  SignalPlan Broken = F.Plan;
+  Broken.Entries.erase(F.ccr("exitWriter"));
+  auto Tasks = std::vector<ThreadTask>{F.task(1, "enterReader"),
+                                       F.task(2, "exitWriter")};
+  F.Initial.Shared["writerIn"] = Value::ofBool(true);
+  EquivalenceResult R =
+      checkEquivalenceBounded(*F.Sema, Broken, Tasks, F.Initial, 6);
+  EXPECT_FALSE(R.Equivalent);
+  EXPECT_NE(R.CounterExample.find("Def 3.4(2)"), std::string::npos)
+      << R.CounterExample;
+}
+
+TEST(EquivalenceTest, BoundedBufferPlacementIsEquivalent) {
+  TraceFixture F(R"(
+    monitor BB {
+      const int capacity;
+      int count = 0;
+      requires capacity > 0;
+      void put()  { waituntil (count < capacity) { count++; } }
+      void take() { waituntil (count > 0) { count--; } }
+    }
+  )");
+  F.Initial.Shared["capacity"] = Value::ofInt(1);
+  auto Tasks = std::vector<ThreadTask>{F.task(1, "put"), F.task(2, "put"),
+                                       F.task(3, "take")};
+  EquivalenceResult R =
+      checkEquivalenceBounded(*F.Sema, F.Plan, Tasks, F.Initial, 8);
+  EXPECT_TRUE(R.Equivalent) << R.CounterExample;
+}
+
+TEST(EquivalenceTest, LocalPredicateMonitorIsEquivalent) {
+  // Example 4.2's shape: waiting on thread-local thresholds.
+  TraceFixture F(R"(
+    monitor M {
+      int y = 0;
+      void waitFor(int x) { waituntil (x < y) { y = y + 0; } }
+      void bump() { y = y + 2; }
+    }
+  )");
+  Assignment L1{{"x", Value::ofInt(0)}};
+  Assignment L2{{"x", Value::ofInt(1)}};
+  auto Tasks = std::vector<ThreadTask>{F.task(1, "waitFor", L1),
+                                       F.task(2, "waitFor", L2),
+                                       F.task(3, "bump")};
+  EquivalenceResult R =
+      checkEquivalenceBounded(*F.Sema, F.Plan, Tasks, F.Initial, 8);
+  EXPECT_TRUE(R.Equivalent) << R.CounterExample;
+}
+
+TEST(EquivalenceTest, SingleSignalInsteadOfBroadcastIsDetected) {
+  // In the Example 4.2 monitor, downgrading bump's broadcast to a single
+  // conditional signal strands one waiter: Def 3.4(2) must fail.
+  TraceFixture F(R"(
+    monitor M {
+      int y = 0;
+      void waitFor(int x) { waituntil (x < y) { y = y + 0; } }
+      void bump() { y = y + 2; }
+    }
+  )");
+  SignalPlan Broken = F.Plan;
+  const WaitUntil *Bump = F.ccr("bump");
+  auto It = Broken.Entries.find(Bump);
+  ASSERT_NE(It, Broken.Entries.end());
+  for (PlanEntry &E : It->second)
+    E.Broadcast = false;
+  Assignment L1{{"x", Value::ofInt(0)}};
+  Assignment L2{{"x", Value::ofInt(1)}};
+  auto Tasks = std::vector<ThreadTask>{F.task(1, "waitFor", L1),
+                                       F.task(2, "waitFor", L2),
+                                       F.task(3, "bump")};
+  EquivalenceResult R =
+      checkEquivalenceBounded(*F.Sema, Broken, Tasks, F.Initial, 8);
+  EXPECT_FALSE(R.Equivalent);
+}
+
+/// Property sweep: placements for several small monitors are equivalent on
+/// all bounded traces with assorted initial states.
+class PlacementEquivalenceSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PlacementEquivalenceSweep, BoundedDef34Holds) {
+  static const char *Monitors[] = {
+      R"(monitor A {
+           int c = 0;
+           void inc() { waituntil (c < 2) { c++; } }
+           void dec() { waituntil (c > 0) { c--; } }
+         })",
+      R"(monitor B {
+           bool flag = false;
+           void set()   { flag = true; }
+           void clear() { waituntil (flag) { flag = false; } }
+         })",
+      R"(monitor C2 {
+           int a = 0;
+           int b = 0;
+           void step1() { waituntil (a >= 0) { b = b + 1; } }
+           void step2() { waituntil (b > 0) { a = a + 1; b = b - 1; } }
+         })",
+      R"(monitor D {
+           int tickets = 0;
+           void issue(int k) { tickets = tickets + k; }
+           void redeem(int k) { waituntil (tickets >= k) { tickets = tickets - k; } }
+         })",
+  };
+  int Case = GetParam() % 4;
+  int Variant = GetParam() / 4;
+  TraceFixture F(Monitors[Case]);
+
+  std::vector<ThreadTask> Tasks;
+  const Monitor &M = *F.M;
+  // Two permutations of three single-method threads.
+  Assignment KOne{{"k", Value::ofInt(1)}};
+  Assignment KTwo{{"k", Value::ofInt(2)}};
+  for (unsigned T = 0; T < 3; ++T) {
+    const Method &Me =
+        M.Methods[(T + static_cast<unsigned>(Variant)) % M.Methods.size()];
+    Assignment Locals;
+    if (!Me.Params.empty())
+      Locals = (T % 2 == 0) ? KOne : KTwo;
+    Tasks.push_back({T + 1, &Me, Locals});
+  }
+  EquivalenceResult R =
+      checkEquivalenceBounded(*F.Sema, F.Plan, Tasks, F.Initial, 7);
+  EXPECT_TRUE(R.Equivalent) << Monitors[Case] << "\n"
+                            << R.CounterExample;
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallMonitors, PlacementEquivalenceSweep,
+                         ::testing::Range(0, 12));
+
+} // namespace
