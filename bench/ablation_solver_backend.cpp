@@ -27,10 +27,12 @@ struct Run {
   size_t Signals = 0;
   size_t Broadcasts = 0;
   size_t NoSignal = 0;
+  double CacheHitRate = 0;
   bool Supported = true;
 };
 
-Run runWith(const bench::BenchmarkDef &Def, solver::SolverKind Kind) {
+Run runWith(const bench::BenchmarkDef &Def, solver::SolverKind Kind,
+            bool Cache) {
   Run R;
   logic::TermContext C;
   DiagnosticEngine Diags;
@@ -41,34 +43,44 @@ Run runWith(const bench::BenchmarkDef &Def, solver::SolverKind Kind) {
     R.Supported = false;
     return R;
   }
+  core::PlacementOptions Opts;
+  Opts.CacheQueries = Cache;
   WallTimer T;
-  core::PlacementResult P = core::placeSignals(C, *Sema, *Solver);
+  core::PlacementResult P = core::placeSignals(C, *Sema, *Solver, Opts);
   R.Seconds = T.elapsedSeconds();
   R.Signals = P.Stats.Signals;
   R.Broadcasts = P.Stats.Broadcasts;
   R.NoSignal = P.Stats.NoSignalProved;
+  R.CacheHitRate = P.Stats.Cache.hitRate();
   return R;
 }
 
 } // namespace
 
 int main() {
-  std::printf("# Ablation: solver backend (Z3 vs from-scratch MiniSmt)\n");
-  std::printf("%-28s %12s %12s %10s\n", "benchmark", "z3 (s)", "mini (s)",
+  std::printf("# Ablation: solver backend (Z3 vs from-scratch MiniSmt), with "
+              "and without the query cache\n");
+  std::printf("%-28s %10s %10s %6s %10s %10s %6s %8s\n", "benchmark",
+              "z3 (s)", "z3+$ (s)", "hit%", "mini (s)", "mini+$ (s)", "hit%",
               "agree?");
   for (const bench::BenchmarkDef &Def : bench::allBenchmarks()) {
-    Run Z3 = runWith(Def, solver::SolverKind::Z3);
-    Run Mini = runWith(Def, solver::SolverKind::Mini);
+    Run Z3 = runWith(Def, solver::SolverKind::Z3, /*Cache=*/false);
+    Run Z3C = runWith(Def, solver::SolverKind::Z3, /*Cache=*/true);
+    Run Mini = runWith(Def, solver::SolverKind::Mini, /*Cache=*/false);
+    Run MiniC = runWith(Def, solver::SolverKind::Mini, /*Cache=*/true);
     bool Agree = !Z3.Supported ||
                  (Z3.Signals == Mini.Signals &&
                   Z3.Broadcasts == Mini.Broadcasts &&
                   Z3.NoSignal == Mini.NoSignal);
     if (Z3.Supported) {
-      std::printf("%-28s %12.2f %12.2f %10s\n", Def.Name.c_str(), Z3.Seconds,
-                  Mini.Seconds, Agree ? "yes" : "NO");
+      std::printf("%-28s %10.2f %10.2f %5.0f%% %10.2f %10.2f %5.0f%% %8s\n",
+                  Def.Name.c_str(), Z3.Seconds, Z3C.Seconds,
+                  Z3C.CacheHitRate * 100, Mini.Seconds, MiniC.Seconds,
+                  MiniC.CacheHitRate * 100, Agree ? "yes" : "NO");
     } else {
-      std::printf("%-28s %12s %12.2f %10s\n", Def.Name.c_str(), "n/a",
-                  Mini.Seconds, "-");
+      std::printf("%-28s %10s %10s %6s %10.2f %10.2f %5.0f%% %8s\n",
+                  Def.Name.c_str(), "n/a", "n/a", "-", Mini.Seconds,
+                  MiniC.Seconds, MiniC.CacheHitRate * 100, "-");
     }
     std::fflush(stdout);
     if (!Agree) {

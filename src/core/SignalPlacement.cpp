@@ -11,6 +11,7 @@
 #include "analysis/Hoare.h"
 #include "logic/Printer.h"
 #include "logic/Simplify.h"
+#include "solver/CachingSolver.h"
 #include "support/Timer.h"
 
 #include <map>
@@ -50,17 +51,44 @@ std::string PlacementResult::summary() const {
          << (D.Conditional ? "?" : "\xE2\x9C\x93") << ")\n";
     }
   }
+  OS << "  stats: " << Stats.HoareChecks << " hoare checks, "
+     << Stats.SolverQueries << " solver queries";
+  if (Options.CacheQueries) {
+    OS << " (" << Stats.Cache.Hits << " cache hits / " << Stats.Cache.Misses
+       << " misses, " << static_cast<int>(Stats.Cache.hitRate() * 100 + 0.5)
+       << "% hit rate)";
+  }
+  OS << "\n";
   return OS.str();
 }
 
 PlacementResult core::placeSignals(logic::TermContext &C,
                                    const SemaInfo &Sema,
-                                   solver::SmtSolver &Solver,
+                                   solver::SmtSolver &BackendSolver,
                                    const PlacementOptions &Options,
                                    const Term *ProvidedInvariant) {
   PlacementResult Result;
   Result.Sema = &Sema;
   Result.Options = Options;
+
+  // All solver traffic — invariant inference, Hoare checks, commutativity —
+  // goes through one memo table so identical VCs are decided once. When the
+  // caller already passes a CachingSolver (the bench harness does, to share
+  // the cache across multiple placements), reuse it rather than stacking a
+  // second layer.
+  solver::CachingSolver *SharedCache =
+      dynamic_cast<solver::CachingSolver *>(&BackendSolver);
+  std::unique_ptr<solver::CachingSolver> LocalCache;
+  if (Options.CacheQueries && !SharedCache) {
+    LocalCache = std::make_unique<solver::CachingSolver>(BackendSolver);
+    SharedCache = LocalCache.get();
+  }
+  solver::SmtSolver &Solver =
+      SharedCache ? static_cast<solver::SmtSolver &>(*SharedCache)
+                  : BackendSolver;
+  uint64_t QueriesBefore = Solver.numQueries();
+  solver::CacheStats StatsBefore =
+      SharedCache ? SharedCache->stats() : solver::CacheStats();
 
   // --- Monitor invariant (Algorithm 2). -----------------------------------
   WallTimer InvTimer;
@@ -200,5 +228,11 @@ PlacementResult core::placeSignals(logic::TermContext &C,
     Result.Placements.push_back(std::move(Placement));
   }
   Result.Stats.PlacementSeconds = PlaceTimer.elapsedSeconds();
+  Result.Stats.SolverQueries = Solver.numQueries() - QueriesBefore;
+  if (SharedCache) {
+    Result.Stats.Cache.Hits = SharedCache->stats().Hits - StatsBefore.Hits;
+    Result.Stats.Cache.Misses =
+        SharedCache->stats().Misses - StatsBefore.Misses;
+  }
   return Result;
 }

@@ -33,7 +33,7 @@
 
 #include "analysis/Invariants.h"
 #include "frontend/Sema.h"
-#include "solver/SmtSolver.h"
+#include "solver/CachingSolver.h"
 
 #include <string>
 #include <vector>
@@ -60,6 +60,7 @@ struct PlacementOptions {
   bool UseInvariant = true;      ///< infer and use a monitor invariant
   bool UseCommutativity = true;  ///< §4.3 Equation-2 weakening
   bool LazyBroadcast = true;     ///< §6 chained broadcasts (runtime/codegen)
+  bool CacheQueries = true;      ///< memoize checkSat via solver::CachingSolver
   analysis::InvariantConfig Invariants;
 };
 
@@ -72,6 +73,8 @@ struct PlacementStats {
   size_t Broadcasts = 0;         ///< notify-all decisions
   size_t Unconditional = 0;
   size_t CommutativityWins = 0;  ///< broadcasts avoided via §4.3
+  size_t SolverQueries = 0;      ///< checkSat calls issued by the pipeline
+  solver::CacheStats Cache;      ///< query-cache accounting (zero when off)
   double InvariantSeconds = 0;
   double PlacementSeconds = 0;
 };

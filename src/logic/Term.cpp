@@ -93,6 +93,25 @@ const Term *TermContext::intern(TermKind K, Sort S, int64_t IntVal,
     return It->second;
   auto Node = std::unique_ptr<Term>(
       new Term(K, S, NextId++, IntVal, std::move(Name), std::move(Ops)));
+  // Structural hash over shape only: operands contribute their own
+  // structural hashes, so the value is independent of pointer identity and
+  // interning order (see Term::structuralHash).
+  uint64_t H = 0x9e3779b97f4a7c15ULL * (static_cast<uint64_t>(K) + 1);
+  auto Mix = [&H](uint64_t V) {
+    H ^= V + 0x9e3779b97f4a7c15ULL + (H << 12) + (H >> 7);
+    H *= 0xff51afd7ed558ccdULL;
+  };
+  Mix(static_cast<uint64_t>(S));
+  Mix(static_cast<uint64_t>(Node->IntVal));
+  // FNV-1a over the name bytes: std::hash would be implementation-defined,
+  // breaking the documented cross-process stability.
+  uint64_t NameH = 0xcbf29ce484222325ULL;
+  for (char Ch : Node->Name)
+    NameH = (NameH ^ static_cast<unsigned char>(Ch)) * 0x100000001b3ULL;
+  Mix(NameH);
+  for (const Term *Op : Node->Ops)
+    Mix(Op->structuralHash());
+  Node->StructHash = H;
   const Term *Result = Node.get();
   Arena.push_back(std::move(Node));
   Interned.emplace(std::move(TheKey), Result);

@@ -85,6 +85,13 @@ public:
   /// Stable creation index; used for deterministic operand ordering.
   uint32_t id() const { return Id; }
 
+  /// Structural hash, computed once at intern time. Depends only on the
+  /// term's shape (kind, sort, payload, operand hashes) — never on pointer
+  /// values or creation order — so it is stable across runs and identical
+  /// for structurally equal terms built in different TermContexts. Used by
+  /// solver::CachingSolver to memoize checkSat results.
+  uint64_t structuralHash() const { return StructHash; }
+
   /// Value of an IntConst / BoolConst, or the divisor of a Divides node.
   int64_t intValue() const {
     assert(Kind == TermKind::IntConst || Kind == TermKind::BoolConst ||
@@ -137,6 +144,16 @@ private:
   int64_t IntVal;
   std::string Name;
   std::vector<const Term *> Ops;
+  uint64_t StructHash = 0; ///< set by TermContext::intern
+};
+
+/// Hasher for term-keyed hash maps that uses the precomputed structural
+/// hash. Key equality stays pointer equality (sound within one context,
+/// where interning makes structural and pointer equality coincide).
+struct TermStructuralHash {
+  size_t operator()(const Term *T) const {
+    return static_cast<size_t>(T->structuralHash());
+  }
 };
 
 /// Owns and interns terms. All terms built from one context may be mixed

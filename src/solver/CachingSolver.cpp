@@ -1,0 +1,35 @@
+//===- solver/CachingSolver.cpp - Memoizing solver decorator ------------------===//
+//
+// Part of expresso-cpp, a reproduction of "Symbolic Reasoning for Automatic
+// Signal Placement" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+
+#include "solver/CachingSolver.h"
+
+using namespace expresso;
+using namespace expresso::solver;
+using namespace expresso::logic;
+
+std::unique_ptr<CachingSolver>
+CachingSolver::create(TermContext &C, std::unique_ptr<SmtSolver> Backend) {
+  if (!Backend || &Backend->context() != &C)
+    return nullptr;
+  return std::make_unique<CachingSolver>(std::move(Backend));
+}
+
+CheckResult CachingSolver::checkSat(const Term *F) {
+  ++Queries;
+  auto It = Cache.find(F);
+  if (It != Cache.end()) {
+    ++Stats.Hits;
+    return It->second;
+  }
+  ++Stats.Misses;
+  CheckResult R = Backend->checkSat(F);
+  // Unknown is not a semantic answer (a timeout-ish backend could do better
+  // on a retry), but re-asking within one analysis run would deterministically
+  // reproduce it, so caching Unknown too avoids pointless repeat work.
+  Cache.emplace(F, R);
+  return R;
+}

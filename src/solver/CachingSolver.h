@@ -1,0 +1,89 @@
+//===- solver/CachingSolver.h - Memoizing solver decorator ------*- C++ -*-===//
+//
+// Part of expresso-cpp, a reproduction of "Symbolic Reasoning for Automatic
+// Signal Placement" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A decorator over any SmtSolver that memoizes checkSat results. Signal
+/// placement asks many structurally identical validity questions — the same
+/// no-signal triple appears once per (CCR, predicate-class) pair, invariant
+/// inference re-proves the same inductiveness VCs across fixpoint rounds,
+/// and the paper's Table 1 shows solver time dominating analysis time — so
+/// deduplicating queries is the first perf lever on the hot path.
+///
+/// Because terms are hash-consed, structurally equal formulas within one
+/// TermContext are pointer-equal: the cache key is the term pointer, hashed
+/// by its precomputed structural hash (Term::structuralHash). A solver's
+/// answer for a formula is state-free (every checkSat starts from a fresh
+/// backend state), so memoization is sound with no generation tracking.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXPRESSO_SOLVER_CACHINGSOLVER_H
+#define EXPRESSO_SOLVER_CACHINGSOLVER_H
+
+#include "solver/SmtSolver.h"
+
+#include <unordered_map>
+
+namespace expresso {
+namespace solver {
+
+/// Hit/miss accounting for one CachingSolver.
+struct CacheStats {
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+
+  uint64_t lookups() const { return Hits + Misses; }
+  double hitRate() const {
+    return lookups() == 0 ? 0.0 : static_cast<double>(Hits) / lookups();
+  }
+};
+
+/// Memoizing decorator implementing the SmtSolver interface. Wraps either a
+/// borrowed backend (whose lifetime the caller guarantees) or an owned one.
+class CachingSolver : public SmtSolver {
+public:
+  /// Decorates \p Backend without taking ownership. The backend must be
+  /// bound to the same TermContext (guaranteed here by construction).
+  explicit CachingSolver(SmtSolver &Backend)
+      : SmtSolver(Backend.context()), Backend(&Backend) {}
+
+  /// Decorates and owns \p Backend (must be non-null).
+  explicit CachingSolver(std::unique_ptr<SmtSolver> Backend)
+      : SmtSolver(Backend->context()), Owned(std::move(Backend)) {
+    this->Backend = Owned.get();
+  }
+
+  /// Safe factory: returns null when \p Backend is null or is bound to a
+  /// TermContext other than \p C. A cache keyed on terms from one context
+  /// must never answer queries about terms from another — interning makes
+  /// pointer equality semantic only within a single context.
+  static std::unique_ptr<CachingSolver>
+  create(logic::TermContext &C, std::unique_ptr<SmtSolver> Backend);
+
+  CheckResult checkSat(const logic::Term *F) override;
+
+  std::string name() const override { return "cache(" + Backend->name() + ")"; }
+
+  const CacheStats &stats() const { return Stats; }
+  size_t cacheSize() const { return Cache.size(); }
+  void clearCache() { Cache.clear(); }
+
+  /// The decorated backend (for cross-check tests and diagnostics).
+  SmtSolver &backend() { return *Backend; }
+
+private:
+  std::unique_ptr<SmtSolver> Owned; ///< null when decorating a borrowed ref
+  SmtSolver *Backend = nullptr;
+  std::unordered_map<const logic::Term *, CheckResult, logic::TermStructuralHash>
+      Cache;
+  CacheStats Stats;
+};
+
+} // namespace solver
+} // namespace expresso
+
+#endif // EXPRESSO_SOLVER_CACHINGSOLVER_H

@@ -49,7 +49,8 @@ void printUsage() {
       "  --invariant=EXPR-FILE        skip inference, read invariant source\n"
       "  --no-invariant               place signals with I = true\n"
       "  --no-commutativity           disable the §4.3 weakening\n"
-      "  --no-lazy-broadcast          emit eager signalAll broadcasts\n");
+      "  --no-lazy-broadcast          emit eager signalAll broadcasts\n"
+      "  --no-cache                   disable solver query memoization\n");
 }
 
 } // namespace
@@ -78,6 +79,8 @@ int main(int Argc, char **Argv) {
       Options.UseCommutativity = false;
     } else if (std::strcmp(Arg, "--no-lazy-broadcast") == 0) {
       Options.LazyBroadcast = false;
+    } else if (std::strcmp(Arg, "--no-cache") == 0) {
+      Options.CacheQueries = false;
     } else if (std::strcmp(Arg, "--help") == 0 || std::strcmp(Arg, "-h") == 0) {
       printUsage();
       return 0;
@@ -160,8 +163,12 @@ int main(int Argc, char **Argv) {
     std::printf("\nstatistics:\n");
     std::printf("  solver backend:       %s\n", Solver->name().c_str());
     std::printf("  hoare checks:         %zu\n", Result.Stats.HoareChecks);
-    std::printf("  solver queries:       %llu\n",
-                static_cast<unsigned long long>(Solver->numQueries()));
+    std::printf("  solver queries:       %zu\n", Result.Stats.SolverQueries);
+    if (Options.CacheQueries)
+      std::printf("  query cache:          %llu hits / %llu misses (%.0f%%)\n",
+                  static_cast<unsigned long long>(Result.Stats.Cache.Hits),
+                  static_cast<unsigned long long>(Result.Stats.Cache.Misses),
+                  Result.Stats.Cache.hitRate() * 100);
     std::printf("  pairs proved silent:  %zu / %zu\n",
                 Result.Stats.NoSignalProved, Result.Stats.PairsConsidered);
     std::printf("  signals / broadcasts: %zu / %zu\n", Result.Stats.Signals,

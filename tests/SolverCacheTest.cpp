@@ -1,0 +1,143 @@
+//===- tests/SolverCacheTest.cpp - CachingSolver unit tests -------------------===//
+//
+// Part of expresso-cpp, a reproduction of "Symbolic Reasoning for Automatic
+// Signal Placement" (PLDI 2018).
+//
+// Covers the memoizing solver decorator: hit/miss accounting, context-
+// mismatch rejection, structural-hash stability, and differential parity
+// of the cached solver against the undecorated backend on random formulas.
+//
+//===----------------------------------------------------------------------===//
+
+#include "solver/CachingSolver.h"
+
+#include "tests/TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace expresso;
+using namespace expresso::logic;
+using namespace expresso::solver;
+
+namespace {
+
+const Term *notLeBound(TermContext &C, int64_t Bound) {
+  const Term *X = C.var("x", Sort::Int);
+  return C.and_(C.le(C.intConst(Bound), X), C.lt(X, C.intConst(Bound)));
+}
+
+TEST(SolverCacheTest, HitMissAccounting) {
+  TermContext C;
+  auto Backend = createSolver(SolverKind::Mini, C);
+  SmtSolver &Raw = *Backend;
+  CachingSolver Cache(Raw);
+
+  const Term *F = notLeBound(C, 3); // x >= 3 && x < 3: unsat
+  EXPECT_EQ(Cache.checkSat(F).TheAnswer, Answer::Unsat);
+  EXPECT_EQ(Cache.stats().Hits, 0u);
+  EXPECT_EQ(Cache.stats().Misses, 1u);
+  EXPECT_EQ(Raw.numQueries(), 1u);
+
+  // Asking again answers from the memo table without touching the backend.
+  EXPECT_EQ(Cache.checkSat(F).TheAnswer, Answer::Unsat);
+  EXPECT_EQ(Cache.stats().Hits, 1u);
+  EXPECT_EQ(Cache.stats().Misses, 1u);
+  EXPECT_EQ(Raw.numQueries(), 1u);
+
+  // A structurally equal formula built independently interns to the same
+  // pointer, so it also hits.
+  const Term *G = notLeBound(C, 3);
+  EXPECT_EQ(G, F);
+  EXPECT_EQ(Cache.checkSat(G).TheAnswer, Answer::Unsat);
+  EXPECT_EQ(Cache.stats().Hits, 2u);
+  EXPECT_EQ(Raw.numQueries(), 1u);
+
+  // A different formula misses.
+  EXPECT_EQ(Cache.checkSat(notLeBound(C, 4)).TheAnswer, Answer::Unsat);
+  EXPECT_EQ(Cache.stats().Misses, 2u);
+  EXPECT_EQ(Cache.cacheSize(), 2u);
+  EXPECT_DOUBLE_EQ(Cache.stats().hitRate(), 0.5);
+
+  Cache.clearCache();
+  EXPECT_EQ(Cache.cacheSize(), 0u);
+  EXPECT_EQ(Cache.checkSat(F).TheAnswer, Answer::Unsat);
+  EXPECT_EQ(Cache.stats().Misses, 3u);
+  EXPECT_EQ(Raw.numQueries(), 3u);
+}
+
+TEST(SolverCacheTest, ModelsAreCachedToo) {
+  TermContext C;
+  auto Backend = createSolver(SolverKind::Mini, C);
+  CachingSolver Cache(*Backend);
+
+  const Term *X = C.var("x", Sort::Int);
+  const Term *F = C.eq(X, C.intConst(7));
+  CheckResult First = Cache.checkSat(F);
+  ASSERT_EQ(First.TheAnswer, Answer::Sat);
+  CheckResult Again = Cache.checkSat(F);
+  EXPECT_EQ(Again.TheAnswer, Answer::Sat);
+  EXPECT_EQ(Again.Model, First.Model);
+  EXPECT_TRUE(evaluateBool(F, Again.Model));
+  EXPECT_EQ(Cache.stats().Hits, 1u);
+}
+
+TEST(SolverCacheTest, ContextMismatchRejected) {
+  TermContext C1, C2;
+  // A backend bound to C1 must not be wrapped for C2: the cache keys on C2's
+  // term pointers while the backend interprets C1's.
+  EXPECT_EQ(CachingSolver::create(C2, createSolver(SolverKind::Mini, C1)),
+            nullptr);
+  EXPECT_EQ(CachingSolver::create(C1, nullptr), nullptr);
+
+  auto Cache = CachingSolver::create(C1, createSolver(SolverKind::Mini, C1));
+  ASSERT_NE(Cache, nullptr);
+  EXPECT_EQ(&Cache->context(), &C1);
+  EXPECT_EQ(&Cache->backend().context(), &C1);
+  EXPECT_EQ(Cache->checkSat(C1.getTrue()).TheAnswer, Answer::Sat);
+}
+
+TEST(SolverCacheTest, StructuralHashStableAcrossContexts) {
+  TermContext C1, C2;
+  const Term *F1 = notLeBound(C1, 5);
+  const Term *F2 = notLeBound(C2, 5);
+  EXPECT_NE(F1, F2);
+  EXPECT_EQ(F1->structuralHash(), F2->structuralHash());
+  EXPECT_NE(F1->structuralHash(), notLeBound(C1, 6)->structuralHash());
+}
+
+TEST(SolverCacheTest, NameReflectsBackend) {
+  TermContext C;
+  CachingSolver Cache(createSolver(SolverKind::Mini, C));
+  EXPECT_EQ(Cache.name(), "cache(mini)");
+}
+
+/// Differential parity: for random formulas (with repeats forcing hits), the
+/// cached solver must agree with a fresh undecorated backend on every query.
+class SolverCacheParityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SolverCacheParityTest, AgreesWithUndecoratedBackend) {
+  TermContext C;
+  Rng R(0xCAFE + GetParam());
+  testutil::FormulaGen Gen(C, R);
+
+  auto Reference = createSolver(SolverKind::Mini, C);
+  CachingSolver Cache(createSolver(SolverKind::Mini, C));
+
+  std::vector<const Term *> Formulas;
+  for (int I = 0; I < 40; ++I) {
+    const Term *F = I % 3 == 2 && !Formulas.empty()
+                        ? Formulas[R.below(Formulas.size())] // replay: hits
+                        : Gen.randomFormula(3);
+    Formulas.push_back(F);
+    Answer Cached = Cache.checkSat(F).TheAnswer;
+    Answer Ref = Reference->checkSat(F).TheAnswer;
+    EXPECT_EQ(Cached, Ref) << "formula: " << F->str();
+  }
+  EXPECT_GT(Cache.stats().Hits, 0u);
+  EXPECT_EQ(Cache.stats().lookups(), 40u);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomFormulas, SolverCacheParityTest,
+                         ::testing::Range(0, 4));
+
+} // namespace
