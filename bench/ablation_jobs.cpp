@@ -1,0 +1,92 @@
+//===- bench/ablation_jobs.cpp -------------------------------------------------===//
+//
+// Part of expresso-cpp, a reproduction of "Symbolic Reasoning for Automatic
+// Signal Placement" (PLDI 2018).
+//
+// Ablation: placement parallelism. Every (w, p) Hoare triple of Algorithm 1
+// is an independent validity query, so the fan-out across CCR ×
+// predicate-class pairs should scale with worker count while producing a
+// bit-for-bit identical Σ. Sweeps --jobs over {1, 2, 4, 8} per benchmark,
+// reports analysis-time speedup over the serial engine, and fails if any
+// parallel run's decisions diverge from serial.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/Workloads.h"
+#include "core/SignalPlacement.h"
+#include "frontend/Parser.h"
+#include "support/Timer.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+using namespace expresso;
+
+namespace {
+
+struct Run {
+  double Seconds = 0;
+  std::string Decisions;
+  size_t CacheHits = 0;
+  size_t CacheMisses = 0;
+};
+
+Run runWith(const bench::BenchmarkDef &Def, unsigned Jobs, bool Cache) {
+  Run R;
+  logic::TermContext C;
+  DiagnosticEngine Diags;
+  auto M = frontend::parseMonitor(Def.Source, Diags);
+  auto Sema = frontend::analyze(*M, C, Diags);
+  auto Solver = solver::createSolver(solver::SolverKind::Mini, C);
+  core::PlacementOptions Opts;
+  Opts.CacheQueries = Cache;
+  Opts.Jobs = Jobs;
+  Opts.WorkerSolvers = solver::SolverFactory(solver::SolverKind::Mini);
+  WallTimer T;
+  core::PlacementResult P = core::placeSignals(C, *Sema, *Solver, Opts);
+  R.Seconds = T.elapsedSeconds();
+  R.Decisions = P.decisionSummary();
+  R.CacheHits = P.Stats.Cache.Hits;
+  R.CacheMisses = P.Stats.Cache.Misses;
+  return R;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  bool Cache = true;
+  for (int I = 1; I < Argc; ++I)
+    if (std::strcmp(Argv[I], "--no-cache") == 0)
+      Cache = false;
+
+  std::printf("# Ablation: placement jobs (MiniSmt backend, cache %s)\n",
+              Cache ? "on" : "off");
+  std::printf("# speedup columns are serial-time / N-jobs-time per benchmark\n");
+  std::printf("%-28s %10s %8s %8s %8s %6s\n", "benchmark", "serial(s)",
+              "x2", "x4", "x8", "match");
+
+  int Exit = 0;
+  for (const bench::BenchmarkDef &Def : bench::allBenchmarks()) {
+    Run Serial = runWith(Def, 1, Cache);
+    bool Match = true;
+    double Speedup[3] = {0, 0, 0};
+    const unsigned JobCounts[3] = {2, 4, 8};
+    for (int J = 0; J < 3; ++J) {
+      Run Par = runWith(Def, JobCounts[J], Cache);
+      Speedup[J] = Serial.Seconds / (Par.Seconds > 0 ? Par.Seconds : 1e-9);
+      if (Par.Decisions != Serial.Decisions)
+        Match = false;
+      if (Cache && (Par.CacheHits != Serial.CacheHits ||
+                    Par.CacheMisses != Serial.CacheMisses))
+        Match = false;
+    }
+    if (!Match)
+      Exit = 1;
+    std::printf("%-28s %10.2f %7.2fx %7.2fx %7.2fx %6s\n", Def.Name.c_str(),
+                Serial.Seconds, Speedup[0], Speedup[1], Speedup[2],
+                Match ? "yes" : "NO");
+    std::fflush(stdout);
+  }
+  return Exit;
+}

@@ -79,7 +79,7 @@ std::optional<SymState> analysis::symExec(logic::TermContext &C,
     // Merge: ite per differing variable. Arrays cannot be merged with ite;
     // bail if a branch-dependent array state differs.
     SymState Merged = State;
-    std::map<const Term *, const Term *> All;
+    std::map<const Term *, const Term *, logic::TermIdLess> All;
     for (const auto &[V, T] : *ThenState)
       All.emplace(V, T);
     for (const auto &[V, T] : *ElseState)

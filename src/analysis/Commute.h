@@ -32,7 +32,8 @@ namespace expresso {
 namespace analysis {
 
 /// Symbolic store: lowered variable -> symbolic value term.
-using SymState = std::map<const logic::Term *, const logic::Term *>;
+using SymState =
+    std::map<const logic::Term *, const logic::Term *, logic::TermIdLess>;
 
 /// Symbolically executes \p S (scope \p InMethod) from \p State. Returns
 /// nullopt when the body contains a while loop (not expressible loop-free).

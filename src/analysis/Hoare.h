@@ -52,6 +52,7 @@ public:
   }
 
   WpEngine &wpEngine() { return Wp; }
+  solver::SmtSolver &solver() { return Solver; }
   uint64_t numChecks() const { return Checks; }
 
 private:

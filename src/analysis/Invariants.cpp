@@ -9,7 +9,12 @@
 
 #include "logic/Simplify.h"
 #include "logic/TermOps.h"
+#include "solver/CachingSolver.h"
+#include "support/ThreadPool.h"
+#include "support/Timer.h"
 
+#include <functional>
+#include <memory>
 #include <set>
 
 using namespace expresso;
@@ -47,6 +52,14 @@ std::vector<const Term *> abducibles(const SemaInfo &Sema) {
   return Result;
 }
 
+/// Per-worker state for the fixpoint fan-out: a private solver handle (a
+/// session of the shared memo table when the caller's solver is a
+/// CachingSolver, a raw backend otherwise) and its own Hoare checker.
+struct FixpointWorker {
+  std::unique_ptr<solver::SmtSolver> Solver;
+  std::unique_ptr<HoareChecker> Checker;
+};
+
 } // namespace
 
 bool analysis::isMonitorInvariant(logic::TermContext &C, const SemaInfo &Sema,
@@ -78,6 +91,7 @@ InvariantResult analysis::inferMonitorInvariant(logic::TermContext &C,
   HoareChecker Checker(C, Sema, Solver);
   WpEngine &Wp = Checker.wpEngine();
   std::vector<const Term *> Vocab = abducibles(Sema);
+  WallTimer PhaseTimer;
 
   // --- Phase 1: candidate universe Φ from abduction over Θ. --------------
   // Θ is the triple set PlaceSignals generates with I = true (paper, §5).
@@ -105,7 +119,10 @@ InvariantResult analysis::inferMonitorInvariant(logic::TermContext &C,
     }
   }
 
-  std::set<const Term *> Universe;
+  // Id-ordered: iteration order feeds the initiation filter, the Φ vector,
+  // and ultimately the greedy minimization — pointer order would make the
+  // inferred invariant depend on heap layout.
+  std::set<const Term *, logic::TermIdLess> Universe;
   size_t Queries = 0;
   for (const auto &[Pre, Goal] : Theta) {
     if (Queries >= Cfg.MaxAbductionQueries ||
@@ -123,43 +140,100 @@ InvariantResult analysis::inferMonitorInvariant(logic::TermContext &C,
     }
   }
   Result.NumCandidates = Universe.size();
+  Result.AbductionSeconds = PhaseTimer.elapsedSeconds();
+  PhaseTimer.restart();
 
   // --- Phase 2: Houdini fixpoint. -----------------------------------------
+  // Every candidate's fate is decided by its own checks alone — initiation
+  // never looks at other candidates, and consecution in a round checks ψ
+  // against the invariant fixed at round start — so the per-ψ work fans out
+  // across workers while keep/drop verdicts land in slot arrays merged in
+  // candidate order: the fixpoint (and the invariant) is identical for any
+  // worker count.
+  unsigned Jobs = Cfg.Jobs;
+  if (Jobs > Universe.size())
+    Jobs = static_cast<unsigned>(Universe.size());
+  auto *SharedCache = dynamic_cast<solver::CachingSolver *>(&Solver);
+  std::vector<FixpointWorker> Workers;
+  {
+    std::vector<std::unique_ptr<solver::SmtSolver>> Handles =
+        solver::makeWorkerSolvers(C, Cfg.WorkerSolvers, SharedCache, Jobs);
+    Workers.resize(Handles.size());
+    for (size_t J = 0; J < Handles.size(); ++J) {
+      Workers[J].Solver = std::move(Handles[J]);
+      Workers[J].Checker =
+          std::make_unique<HoareChecker>(C, Sema, *Workers[J].Solver);
+    }
+  }
+  std::unique_ptr<support::ThreadPool> Pool;
+  if (!Workers.empty())
+    Pool = std::make_unique<support::ThreadPool>(
+        static_cast<unsigned>(Workers.size()));
+
+  // A per-ψ checker: worker-private when fanned out, the caller's when serial.
+  auto checkerFor = [&](unsigned WorkerId) -> HoareChecker & {
+    return Pool ? *Workers[WorkerId].Checker : Checker;
+  };
+  auto forEachCandidate =
+      [&](size_t Count, const std::function<void(unsigned, size_t)> &Body) {
+        if (Pool) {
+          Pool->parallelFor(Count, Body);
+        } else {
+          for (size_t I = 0; I < Count; ++I)
+            Body(0, I);
+        }
+      };
+
   // Initiation is independent of Φ: filter once.
   const Term *Req = requiresTerm(C, Sema);
+  std::vector<const Term *> UniverseVec(Universe.begin(), Universe.end());
+  std::vector<char> Keep(UniverseVec.size(), 0);
+  forEachCandidate(UniverseVec.size(), [&](unsigned WorkerId, size_t Idx) {
+    HoareChecker &Chk = checkerFor(WorkerId);
+    const Term *InitVc = logic::simplify(
+        C, C.implies(Req, Chk.wpEngine().wpConstructor(UniverseVec[Idx])));
+    Keep[Idx] = Chk.solver().isValid(InitVc) ? 1 : 0;
+  });
   std::vector<const Term *> Phi;
-  for (const Term *Psi : Universe) {
-    const Term *InitVc =
-        logic::simplify(C, C.implies(Req, Wp.wpConstructor(Psi)));
-    if (Solver.isValid(InitVc))
-      Phi.push_back(Psi);
-  }
+  for (size_t Idx = 0; Idx < UniverseVec.size(); ++Idx)
+    if (Keep[Idx])
+      Phi.push_back(UniverseVec[Idx]);
 
   for (;;) {
     ++Result.NumIterations;
     const Term *I = C.and_(Phi);
-    std::vector<const Term *> Survivors;
-    for (const Term *Psi : Phi) {
+    Keep.assign(Phi.size(), 0);
+    forEachCandidate(Phi.size(), [&](unsigned WorkerId, size_t Idx) {
+      HoareChecker &Chk = checkerFor(WorkerId);
       bool Preserved = true;
       for (const CcrInfo &W : Sema.Ccrs) {
         HoareTriple T;
         T.Pre = C.and_(I, W.Guard);
         T.Body = W.W->Body;
         T.InMethod = W.Parent;
-        T.Post = Psi;
-        if (!Checker.proves(T)) {
+        T.Post = Phi[Idx];
+        if (!Chk.proves(T)) {
           Preserved = false;
           break;
         }
       }
-      if (Preserved)
-        Survivors.push_back(Psi);
-    }
+      Keep[Idx] = Preserved ? 1 : 0;
+    });
+    std::vector<const Term *> Survivors;
+    for (size_t Idx = 0; Idx < Phi.size(); ++Idx)
+      if (Keep[Idx])
+        Survivors.push_back(Phi[Idx]);
     bool Stable = Survivors.size() == Phi.size();
     Phi = std::move(Survivors);
     if (Stable)
       break;
   }
+
+  // Private-backend queries the caller's solver never saw (cache-off runs;
+  // with a shared cache, sessions count centrally on the caller's solver).
+  if (!SharedCache)
+    for (const FixpointWorker &W : Workers)
+      Result.WorkerQueries += W.Solver->numQueries();
 
   // Minimize: greedily drop predicates implied by the remaining ones. This
   // keeps the invariant presentable (e.g. plain `readers >= 0` for the
@@ -179,5 +253,6 @@ InvariantResult analysis::inferMonitorInvariant(logic::TermContext &C,
 
   Result.Predicates = Phi;
   Result.Invariant = logic::simplify(C, C.and_(Phi));
+  Result.FixpointSeconds = PhaseTimer.elapsedSeconds();
   return Result;
 }

@@ -26,6 +26,7 @@
 #include "analysis/Abduction.h"
 #include "analysis/Hoare.h"
 #include "frontend/Sema.h"
+#include "solver/SolverFactory.h"
 
 #include <vector>
 
@@ -38,6 +39,15 @@ struct InvariantConfig {
   size_t MaxAbductionQueries = 64;
   /// Cap on the candidate universe |Φ|.
   size_t MaxCandidates = 48;
+  /// Worker threads for the Houdini fixpoint (initiation filter and
+  /// per-candidate consecution checks are independent; a candidate's fate
+  /// in a round depends only on its own checks against the round-start
+  /// invariant, so any Jobs value yields the same fixpoint). Phase 1
+  /// abduction stays serial — its query/candidate caps make it
+  /// order-sensitive. 0 = inherit from PlacementOptions::Jobs; 1 = serial.
+  unsigned Jobs = 0;
+  /// Per-worker backend recipe; required for Jobs > 1 (else serial).
+  solver::SolverFactory WorkerSolvers;
 };
 
 /// Result of invariant inference with simple provenance for tests/benches.
@@ -46,6 +56,12 @@ struct InvariantResult {
   std::vector<const logic::Term *> Predicates; ///< Surviving ψ's.
   size_t NumCandidates = 0; ///< |Φ| before the fixpoint.
   size_t NumIterations = 0; ///< Fixpoint rounds.
+  double AbductionSeconds = 0; ///< Phase 1 (candidate universe) wall time.
+  double FixpointSeconds = 0;  ///< Phase 2 (Houdini + minimize) wall time.
+  /// checkSat calls issued on private worker backends that the caller's
+  /// solver did not see (only non-zero for parallel runs without a shared
+  /// CachingSolver — sessions of a shared cache count centrally).
+  uint64_t WorkerQueries = 0;
 };
 
 /// Runs Algorithm 2 for monitor \p Sema. The triples in Θ are exactly those

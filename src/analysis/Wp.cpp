@@ -94,10 +94,10 @@ const Term *WpEngine::wp(const Stmt *S, const Method *InMethod, const Term *Q,
   return Q;
 }
 
-std::set<const Term *> WpEngine::modifiedVars(const Stmt *S,
-                                              const Method *InMethod,
-                                              const Substitution *LocalRename) {
-  std::set<const Term *> Result;
+std::set<const Term *, logic::TermIdLess>
+WpEngine::modifiedVars(const Stmt *S, const Method *InMethod,
+                       const Substitution *LocalRename) {
+  std::set<const Term *, logic::TermIdLess> Result;
   switch (S->kind()) {
   case Stmt::Kind::Skip:
     break;

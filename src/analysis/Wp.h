@@ -54,8 +54,10 @@ public:
                         const logic::Term *Q,
                         const logic::Substitution *LocalRename = nullptr);
 
-  /// The variables (lowered) that \p S may modify, after renaming.
-  std::set<const logic::Term *>
+  /// The variables (lowered) that \p S may modify, after renaming. Ordered
+  /// by creation index so havoc renaming assigns fresh variables in a
+  /// reproducible order.
+  std::set<const logic::Term *, logic::TermIdLess>
   modifiedVars(const frontend::Stmt *S, const frontend::Method *InMethod,
                const logic::Substitution *LocalRename = nullptr);
 

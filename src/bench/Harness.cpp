@@ -10,8 +10,10 @@
 #include "frontend/Parser.h"
 #include "logic/Printer.h"
 #include "solver/CachingSolver.h"
+#include "support/ThreadPool.h"
 #include "support/Timer.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
@@ -61,6 +63,25 @@ HarnessOptions HarnessOptions::fromArgs(int Argc, char **Argv) {
       Opts.Placement.UseCommutativity = false;
     } else if (std::strcmp(Arg, "--no-cache") == 0) {
       Opts.Placement.CacheQueries = false;
+    } else if (std::strncmp(Arg, "--jobs=", 7) == 0 ||
+               std::strcmp(Arg, "--jobs") == 0) {
+      const char *Value = Arg[6] == '=' ? Arg + 7
+                          : I + 1 < Argc ? Argv[++I]
+                                         : "";
+      int N = std::atoi(Value);
+      unsigned Jobs = std::strcmp(Value, "auto") == 0
+                          ? support::ThreadPool::defaultWorkers()
+                          : N > 0 ? static_cast<unsigned>(N)
+                                  : 0;
+      if (Jobs == 0)
+        std::fprintf(stderr,
+                     "--jobs expects a positive count or \"auto\" (got "
+                     "'%s'); keeping %u\n",
+                     Value, Opts.Placement.Jobs);
+      else
+        Opts.Placement.Jobs = Jobs;
+    } else if (std::strncmp(Arg, "--json=", 7) == 0) {
+      Opts.JsonPath = Arg + 7;
     } else {
       std::fprintf(stderr, "unknown option: %s\n", Arg);
     }
@@ -71,6 +92,10 @@ HarnessOptions HarnessOptions::fromArgs(int Argc, char **Argv) {
 BenchContext::BenchContext(const BenchmarkDef &Def,
                            const core::PlacementOptions &Opts)
     : Def(Def) {
+  core::PlacementOptions POpts = Opts;
+  // Placement workers mint private backends matching the primary one.
+  if (POpts.Jobs > 1 && !POpts.WorkerSolvers)
+    POpts.WorkerSolvers = solver::SolverFactory(solver::SolverKind::Default);
   WallTimer Timer;
   DiagnosticEngine Diags;
   M = frontend::parseMonitor(Def.Source, Diags);
@@ -89,9 +114,9 @@ BenchContext::BenchContext(const BenchmarkDef &Def,
   // Decorate the backend here (rather than relying on placeSignals' internal
   // wrapping) so one memo table spans the whole analysis and stays available
   // for any follow-up queries the harness issues.
-  if (Opts.CacheQueries)
+  if (POpts.CacheQueries)
     Solver = solver::CachingSolver::create(C, std::move(Solver));
-  Placement = core::placeSignals(C, *Sema, *Solver, Opts);
+  Placement = core::placeSignals(C, *Sema, *Solver, POpts);
   AnalysisSeconds = Timer.elapsedSeconds();
   ExpressoPlan = SignalPlan::fromPlacement(Placement);
   GoldPlan = Def.GoldPlan(*Sema);
@@ -220,6 +245,21 @@ int bench::figureMain(const std::string &BenchName, int Argc, char **Argv) {
                 PS.Cache.hitRate() * 100);
   else
     std::printf("# solver: %zu queries (cache disabled)\n", PS.SolverQueries);
+  if (Opts.Placement.Jobs > 1) {
+    // Serial-vs-parallel speedup on the same workload: a second context so
+    // neither run warms the other's caches.
+    core::PlacementOptions SerialOpts = Opts.Placement;
+    SerialOpts.Jobs = 1;
+    BenchContext Serial(*Def, SerialOpts);
+    bool Match = Serial.placement().decisionSummary() ==
+                 Ctx.placement().decisionSummary();
+    std::printf("# analysis: serial %.2fs, %u jobs %.2fs, speedup %.2fx, "
+                "decisions %s\n",
+                Serial.analysisSeconds(), PS.JobsUsed, Ctx.analysisSeconds(),
+                Serial.analysisSeconds() /
+                    std::max(1e-9, Ctx.analysisSeconds()),
+                Match ? "identical" : "MISMATCH");
+  }
   std::printf("%-8s %12s %12s %12s%s\n", "threads", "expresso", "autosynch",
               "explicit", Opts.IncludeNaive ? "        naive" : "");
 
@@ -244,24 +284,95 @@ int bench::figureMain(const std::string &BenchName, int Argc, char **Argv) {
 
 int bench::tableMain(int Argc, char **Argv) {
   HarnessOptions Opts = HarnessOptions::fromArgs(Argc, Argv);
+  const unsigned Jobs = Opts.Placement.Jobs;
+
+  FILE *Json = nullptr;
+  if (!Opts.JsonPath.empty()) {
+    Json = std::fopen(Opts.JsonPath.c_str(), "w");
+    if (!Json) {
+      std::fprintf(stderr, "cannot open %s for writing\n",
+                   Opts.JsonPath.c_str());
+      return 1;
+    }
+    std::fprintf(Json, "{\n  \"bench\": \"table1_analysis_time\",\n"
+                       "  \"jobs\": %u,\n  \"cache\": %s,\n  \"results\": [",
+                 Jobs, Opts.Placement.CacheQueries ? "true" : "false");
+  }
+
   std::printf("# Table 1: compilation (analysis) time per benchmark\n");
-  std::printf("%-28s %12s %10s %12s %12s %10s %10s\n", "benchmark",
-              "time (sec)", "#checks", "signals", "broadcasts", "cachehit",
-              "hit%");
+  if (Jobs > 1)
+    std::printf("%-28s %10s %10s %8s %10s %12s %12s %6s\n", "benchmark",
+                "serial(s)", "par(s)", "speedup", "#checks", "signals",
+                "broadcasts", "match");
+  else
+    std::printf("%-28s %12s %10s %12s %12s %10s %10s\n", "benchmark",
+                "time (sec)", "#checks", "signals", "broadcasts", "cachehit",
+                "hit%");
+
+  bool FirstRow = true;
+  int Exit = 0;
   for (const BenchmarkDef &Def : allBenchmarks()) {
-    BenchContext Ctx(Def, Opts.Placement);
-    const core::PlacementStats &S = Ctx.placement().Stats;
-    if (Opts.Placement.CacheQueries)
+    // Always measure the serial baseline; in parallel mode measure the
+    // fan-out in a second, independent context (so neither run warms the
+    // other's memo table) and check the determinism contract.
+    core::PlacementOptions SerialOpts = Opts.Placement;
+    SerialOpts.Jobs = 1;
+    BenchContext Serial(Def, SerialOpts);
+    const core::PlacementStats &S = Serial.placement().Stats;
+
+    double ParSeconds = 0;
+    bool Match = true;
+    if (Jobs > 1) {
+      BenchContext Par(Def, Opts.Placement);
+      ParSeconds = Par.analysisSeconds();
+      Match = Serial.placement().decisionSummary() ==
+              Par.placement().decisionSummary();
+      if (!Match)
+        Exit = 1;
+      std::printf("%-28s %10.2f %10.2f %7.2fx %10zu %12zu %12zu %6s\n",
+                  Def.Name.c_str(), Serial.analysisSeconds(), ParSeconds,
+                  Serial.analysisSeconds() / std::max(1e-9, ParSeconds),
+                  S.HoareChecks, S.Signals, S.Broadcasts,
+                  Match ? "yes" : "NO");
+    } else if (Opts.Placement.CacheQueries) {
       std::printf("%-28s %12.2f %10zu %12zu %12zu %10llu %9.0f%%\n",
-                  Def.Name.c_str(), Ctx.analysisSeconds(), S.HoareChecks,
+                  Def.Name.c_str(), Serial.analysisSeconds(), S.HoareChecks,
                   S.Signals, S.Broadcasts,
                   static_cast<unsigned long long>(S.Cache.Hits),
                   S.Cache.hitRate() * 100);
-    else
+    } else {
       std::printf("%-28s %12.2f %10zu %12zu %12zu %10s %10s\n",
-                  Def.Name.c_str(), Ctx.analysisSeconds(), S.HoareChecks,
+                  Def.Name.c_str(), Serial.analysisSeconds(), S.HoareChecks,
                   S.Signals, S.Broadcasts, "-", "-");
+    }
     std::fflush(stdout);
+
+    if (Json) {
+      std::fprintf(Json,
+                   "%s\n    {\"name\": \"%s\", \"serial_seconds\": %.4f, "
+                   "\"hoare_checks\": %zu, \"solver_queries\": %zu, "
+                   "\"cache_hits\": %llu, \"cache_misses\": %llu, "
+                   "\"signals\": %zu, \"broadcasts\": %zu",
+                   FirstRow ? "" : ",", Def.Name.c_str(),
+                   Serial.analysisSeconds(), S.HoareChecks, S.SolverQueries,
+                   static_cast<unsigned long long>(S.Cache.Hits),
+                   static_cast<unsigned long long>(S.Cache.Misses),
+                   S.Signals, S.Broadcasts);
+      if (Jobs > 1)
+        std::fprintf(Json,
+                     ", \"parallel_seconds\": %.4f, \"speedup\": %.3f, "
+                     "\"decisions_match\": %s",
+                     ParSeconds,
+                     Serial.analysisSeconds() / std::max(1e-9, ParSeconds),
+                     Match ? "true" : "false");
+      std::fprintf(Json, "}");
+      FirstRow = false;
+    }
   }
-  return 0;
+  if (Json) {
+    std::fprintf(Json, "\n  ]\n}\n");
+    std::fclose(Json);
+    std::printf("# wrote %s\n", Opts.JsonPath.c_str());
+  }
+  return Exit;
 }

@@ -42,6 +42,7 @@ struct HarnessOptions {
   unsigned Repetitions = 1; ///< best-of-N timing
   bool Quick = false;       ///< --quick: fewer cycles, capped threads
   bool IncludeNaive = false;///< add the naive-broadcast series
+  std::string JsonPath;     ///< --json=PATH: machine-readable table1 artifact
   core::PlacementOptions Placement;
 
   static HarnessOptions fromArgs(int Argc, char **Argv);

@@ -3,6 +3,16 @@
 // Part of expresso-cpp, a reproduction of "Symbolic Reasoning for Automatic
 // Signal Placement" (PLDI 2018).
 //
+// The (w, p) main loop of Algorithm 1 runs either serially or fanned out
+// across a support::ThreadPool: every pair's checks — skip (a),
+// unconditional (b), and the per-w' signal/broadcast obligations (c) — read
+// only shared-immutable state (invariant, sema, blocked-predicate
+// instances) plus a once-computed Comm(w, M) memo, so pairs are independent
+// validity workloads. Workers own private solver backends and share one
+// sharded CachingSolver memo table; outcomes land in a slot array indexed
+// by (CCR index, class index) and are merged in that order, so the parallel
+// Σ is bit-for-bit the serial Σ.
+//
 //===----------------------------------------------------------------------===//
 
 #include "core/SignalPlacement.h"
@@ -12,9 +22,11 @@
 #include "logic/Printer.h"
 #include "logic/Simplify.h"
 #include "solver/CachingSolver.h"
+#include "support/ThreadPool.h"
 #include "support/Timer.h"
 
 #include <map>
+#include <mutex>
 #include <sstream>
 
 using namespace expresso;
@@ -32,7 +44,7 @@ PlacementResult::placementFor(const WaitUntil *W) const {
   return Placements.front();
 }
 
-std::string PlacementResult::summary() const {
+std::string PlacementResult::decisionSummary() const {
   std::ostringstream OS;
   OS << "monitor " << Sema->M->Name << ": invariant = "
      << logic::printTerm(Invariant) << "\n";
@@ -51,6 +63,12 @@ std::string PlacementResult::summary() const {
          << (D.Conditional ? "?" : "\xE2\x9C\x93") << ")\n";
     }
   }
+  return OS.str();
+}
+
+std::string PlacementResult::summary() const {
+  std::ostringstream OS;
+  OS << decisionSummary();
   OS << "  stats: " << Stats.HoareChecks << " hoare checks, "
      << Stats.SolverQueries << " solver queries";
   if (Options.CacheQueries) {
@@ -61,6 +79,163 @@ std::string PlacementResult::summary() const {
   OS << "\n";
   return OS.str();
 }
+
+namespace {
+
+/// The outcome of one (w, p) pair: whether a decision is emitted, the
+/// decision itself, and the stat deltas the pair contributed. Stat deltas
+/// merge by summation, so totals are order-independent.
+struct PairOutcome {
+  bool Emit = false;
+  SignalDecision D;
+  uint64_t HoareChecks = 0;
+  uint64_t NoSignalProved = 0;
+  uint64_t CommutativityWins = 0;
+};
+
+/// Once-computed Comm(w, M) slot (§4.3). call_once gives the lazy memo
+/// single-computation semantics under concurrency, so parallel runs issue
+/// exactly the same commutativity queries a serial run does.
+struct CommEntry {
+  std::once_flag Flag;
+  bool Value = false;
+};
+
+/// Shared-immutable inputs of the per-pair checks, plus the Comm memo.
+struct PairEnv {
+  logic::TermContext &C;
+  const SemaInfo &Sema;
+  const PlacementOptions &Options;
+  const Term *I = nullptr;
+
+  /// Fresh instance of each predicate class: the blocked thread's predicate
+  /// p' (§4.2). One instance per class suffices; the variables are fresh
+  /// with respect to every method's locals.
+  std::map<const PredicateClass *, const Term *> BlockedPred;
+
+  /// Comm(w, M) memo aligned with Sema.Ccrs (via CcrIndex).
+  std::vector<CommEntry> Comm;
+  std::map<const WaitUntil *, size_t> CcrIndex;
+
+  PairEnv(logic::TermContext &C, const SemaInfo &Sema,
+          const PlacementOptions &Options)
+      : C(C), Sema(Sema), Options(Options) {
+    for (const auto &QPtr : Sema.Classes) {
+      logic::Substitution Subst;
+      for (const Term *P : QPtr->Placeholders)
+        Subst.emplace(P, C.freshVar(P->varName() + "!blk", P->sort()));
+      BlockedPred[QPtr.get()] = logic::substitute(C, QPtr->Canonical, Subst);
+    }
+    Comm = std::vector<CommEntry>(Sema.Ccrs.size());
+    for (size_t Idx = 0; Idx < Sema.Ccrs.size(); ++Idx)
+      CcrIndex.emplace(Sema.Ccrs[Idx].W, Idx);
+  }
+
+  bool commutes(const CcrInfo &W, solver::SmtSolver &Solver) {
+    CommEntry &E = Comm[CcrIndex.at(W.W)];
+    std::call_once(E.Flag, [&] {
+      E.Value = Options.UseCommutativity &&
+                commutesWithAll(C, Sema, Solver, W);
+    });
+    return E.Value;
+  }
+};
+
+/// Renaming of a woken CCR's locals for the §4.3 sequential composition
+/// Body(w); Body(w'). The woken executor is a *third* thread, distinct
+/// from both the signaller (w's unrenamed locals) and the still-blocked
+/// thread whose predicate instance appears in the postcondition (the
+/// blocked-instance variables) — so all of its locals become fresh unknowns.
+logic::Substitution wokenRename(PairEnv &Env, const CcrInfo &Woken) {
+  logic::Substitution Rename;
+  for (const auto &[Name, V] : Env.Sema.LocalVars)
+    if (Name.rfind(Woken.Parent->Name + "::", 0) == 0)
+      Rename.emplace(V, Env.C.freshVar(Name + "!wk", V->sort()));
+  return Rename;
+}
+
+/// Checks one (w, p) pair of Algorithm 1's main loop. Reads only
+/// shared-immutable state from \p Env (plus the once-semantics Comm memo),
+/// so concurrent calls on distinct pairs are safe as long as each worker
+/// brings its own \p Checker and \p Solver.
+PairOutcome checkPair(PairEnv &Env, const CcrInfo &W,
+                      const PredicateClass *Q, HoareChecker &Checker,
+                      solver::SmtSolver &Solver) {
+  logic::TermContext &C = Env.C;
+  const Term *I = Env.I;
+  const Term *P = Env.BlockedPred.at(Q);
+  PairOutcome Out;
+
+  // (a) No-signal check: {I ∧ Guard(w) ∧ ¬p'} Body(w) {¬p'}.
+  HoareTriple NoSig;
+  NoSig.Pre = C.and_({I, W.Guard, C.not_(P)});
+  NoSig.Body = W.W->Body;
+  NoSig.InMethod = W.Parent;
+  NoSig.Post = C.not_(P);
+  ++Out.HoareChecks;
+  if (Checker.proves(NoSig)) {
+    ++Out.NoSignalProved;
+    return Out;
+  }
+
+  Out.Emit = true;
+  Out.D.Target = Q;
+
+  // (b) Unconditional check: {I ∧ Guard(w) ∧ ¬p'} Body(w) {p'}.
+  HoareTriple Uncond = NoSig;
+  Uncond.Post = P;
+  ++Out.HoareChecks;
+  Out.D.Conditional = !Checker.proves(Uncond);
+
+  // (c) Signal-vs-broadcast: every CCR guarded by p must falsify p when
+  // it runs — or commute, with the §4.3 sequential-composition check.
+  WpEngine &Wp = Checker.wpEngine();
+  bool SingleSuffices = true;
+  for (const CcrInfo &Woken : Env.Sema.Ccrs) {
+    if (Woken.Class != Q)
+      continue;
+    HoareTriple OneWake;
+    OneWake.Pre = C.and_({I, Woken.Guard, P});
+    OneWake.Body = Woken.W->Body;
+    OneWake.InMethod = Woken.Parent;
+    OneWake.Post = C.not_(P);
+    ++Out.HoareChecks;
+    if (Checker.proves(OneWake))
+      continue;
+    // §4.3: Comm(w', M) ∧ {I ∧ Guard(w) ∧ ¬p'} Body(w); Body(w') {¬p'}.
+    bool Saved = false;
+    if (Env.Options.UseCommutativity && Env.commutes(Woken, Solver)) {
+      logic::Substitution Rename = wokenRename(Env, Woken);
+      const Term *Inner =
+          Wp.wp(Woken.W->Body, Woken.Parent, C.not_(P), &Rename);
+      const Term *Outer = Wp.wp(W.W->Body, W.Parent, Inner);
+      const Term *VC = logic::simplify(
+          C, C.implies(C.and_({I, W.Guard, C.not_(P)}), Outer));
+      ++Out.HoareChecks;
+      if (Solver.isValid(VC)) {
+        Saved = true;
+        ++Out.CommutativityWins;
+      }
+    }
+    if (!Saved) {
+      SingleSuffices = false;
+      break;
+    }
+  }
+  Out.D.Broadcast = !SingleSuffices;
+  return Out;
+}
+
+/// Per-worker state for the parallel fan-out: a private solver handle (a
+/// session of the shared memo table, or a raw backend when caching is off)
+/// and its own Hoare checker.
+struct PlacementWorker {
+  std::unique_ptr<solver::SmtSolver> Solver;
+  std::unique_ptr<HoareChecker> Checker;
+  WorkerStats Stats;
+};
+
+} // namespace
 
 PlacementResult core::placeSignals(logic::TermContext &C,
                                    const SemaInfo &Sema,
@@ -91,144 +266,119 @@ PlacementResult core::placeSignals(logic::TermContext &C,
       SharedCache ? SharedCache->stats() : solver::CacheStats();
 
   // --- Monitor invariant (Algorithm 2). -----------------------------------
+  // Runs serially, before the fan-out, so the invariant (and every term it
+  // interns) is identical whatever Jobs is.
   WallTimer InvTimer;
+  uint64_t InvariantWorkerQueries = 0;
   if (ProvidedInvariant) {
     Result.Invariant = ProvidedInvariant;
   } else if (Options.UseInvariant) {
-    InvariantResult IR =
-        inferMonitorInvariant(C, Sema, Solver, Options.Invariants);
+    // The Houdini fixpoint inherits the placement fan-out unless the caller
+    // configured it separately.
+    InvariantConfig InvCfg = Options.Invariants;
+    if (InvCfg.Jobs == 0) {
+      InvCfg.Jobs = Options.Jobs;
+      InvCfg.WorkerSolvers = Options.WorkerSolvers;
+    }
+    InvariantResult IR = inferMonitorInvariant(C, Sema, Solver, InvCfg);
     Result.Invariant = IR.Invariant;
+    InvariantWorkerQueries = IR.WorkerQueries;
   } else {
     Result.Invariant = C.getTrue();
   }
   Result.Stats.InvariantSeconds = InvTimer.elapsedSeconds();
-  const Term *I = Result.Invariant;
 
   WallTimer PlaceTimer;
-  HoareChecker Checker(C, Sema, Solver);
-  WpEngine &Wp = Checker.wpEngine();
-
-  // Fresh instance of each predicate class: the blocked thread's predicate
-  // p' (§4.2). One instance per class suffices; the variables are fresh
-  // with respect to every method's locals.
-  std::map<const PredicateClass *, const Term *> BlockedPred;
-  std::map<const PredicateClass *, std::vector<const Term *>> BlockedArgs;
-  for (const auto &QPtr : Sema.Classes) {
-    logic::Substitution Subst;
-    std::vector<const Term *> Args;
-    for (const Term *P : QPtr->Placeholders) {
-      const Term *F = C.freshVar(P->varName() + "!blk", P->sort());
-      Subst.emplace(P, F);
-      Args.push_back(F);
-    }
-    BlockedPred[QPtr.get()] = logic::substitute(C, QPtr->Canonical, Subst);
-    BlockedArgs[QPtr.get()] = std::move(Args);
-  }
-
-  // Lazy cache of Comm(w, M) (§4.3).
-  std::map<const WaitUntil *, bool> CommCache;
-  auto commutes = [&](const CcrInfo &W) {
-    auto It = CommCache.find(W.W);
-    if (It != CommCache.end())
-      return It->second;
-    bool R = Options.UseCommutativity &&
-             commutesWithAll(C, Sema, Solver, W);
-    CommCache.emplace(W.W, R);
-    return R;
-  };
-
-  // Renaming of a woken CCR's locals for the §4.3 sequential composition
-  // Body(w); Body(w'). The woken executor is a *third* thread, distinct
-  // from both the signaller (w's unrenamed locals) and the still-blocked
-  // thread whose predicate instance appears in the postcondition (the
-  // BlockedArgs variables) — so all of its locals become fresh unknowns.
-  auto wokenRename = [&](const CcrInfo &Woken) {
-    logic::Substitution Rename;
-    for (const auto &[Name, V] : Sema.LocalVars)
-      if (Name.rfind(Woken.Parent->Name + "::", 0) == 0)
-        Rename.emplace(V, C.freshVar(Name + "!wk", V->sort()));
-    return Rename;
-  };
+  PairEnv Env(C, Sema, Options);
+  Env.I = Result.Invariant;
 
   // --- Main loop: (w, p) in CCRs(M) x Guards(M). ---------------------------
-  for (const CcrInfo &W : Sema.Ccrs) {
+  // One slot per pair; flat index = CcrIdx * NumClasses + ClassIdx. Both the
+  // serial loop and the parallel fan-out fill the same slots, and the merge
+  // below walks them in order — that ordering, not completion order, is
+  // what makes parallel Σ deterministic.
+  const size_t NumClasses = Sema.Classes.size();
+  const size_t NumPairs = Sema.Ccrs.size() * NumClasses;
+  std::vector<PairOutcome> Outcomes(NumPairs);
+
+  unsigned Jobs = Options.Jobs;
+  if (Jobs > NumPairs)
+    Jobs = static_cast<unsigned>(NumPairs);
+
+  std::vector<PlacementWorker> Workers;
+  if (Jobs > 1) {
+    std::vector<std::unique_ptr<solver::SmtSolver>> Handles =
+        solver::makeWorkerSolvers(C, Options.WorkerSolvers, SharedCache,
+                                  Jobs);
+    if (Handles.empty()) {
+      Jobs = 1; // no factory, or it cannot serve this context: stay serial
+    } else {
+      Workers.resize(Jobs);
+      for (unsigned J = 0; J < Jobs; ++J) {
+        Workers[J].Solver = std::move(Handles[J]);
+        Workers[J].Checker =
+            std::make_unique<HoareChecker>(C, Sema, *Workers[J].Solver);
+      }
+    }
+  }
+  Result.Stats.JobsUsed = Jobs;
+
+  if (Jobs <= 1) {
+    HoareChecker Checker(C, Sema, Solver);
+    for (size_t Pair = 0; Pair < NumPairs; ++Pair)
+      Outcomes[Pair] = checkPair(Env, Sema.Ccrs[Pair / NumClasses],
+                                 Sema.Classes[Pair % NumClasses].get(),
+                                 Checker, Solver);
+  } else {
+    support::ThreadPool Pool(Jobs);
+    Pool.parallelFor(NumPairs, [&](unsigned WorkerId, size_t Pair) {
+      PlacementWorker &W = Workers[WorkerId];
+      WallTimer PairTimer;
+      Outcomes[Pair] = checkPair(Env, Sema.Ccrs[Pair / NumClasses],
+                                 Sema.Classes[Pair % NumClasses].get(),
+                                 *W.Checker, *W.Solver);
+      W.Stats.BusySeconds += PairTimer.elapsedSeconds();
+      ++W.Stats.Pairs;
+    });
+    for (PlacementWorker &W : Workers) {
+      W.Stats.SolverQueries = W.Solver->numQueries();
+      Result.Stats.Workers.push_back(W.Stats);
+    }
+  }
+
+  // --- Deterministic merge, in (CCR index, class index) order. -------------
+  for (size_t CcrIdx = 0; CcrIdx < Sema.Ccrs.size(); ++CcrIdx) {
     CcrPlacement Placement;
-    Placement.W = W.W;
-
-    for (const auto &QPtr : Sema.Classes) {
-      const PredicateClass *Q = QPtr.get();
-      const Term *P = BlockedPred[Q];
+    Placement.W = Sema.Ccrs[CcrIdx].W;
+    for (size_t ClassIdx = 0; ClassIdx < NumClasses; ++ClassIdx) {
+      const PairOutcome &Out = Outcomes[CcrIdx * NumClasses + ClassIdx];
       ++Result.Stats.PairsConsidered;
-
-      // (a) No-signal check: {I ∧ Guard(w) ∧ ¬p'} Body(w) {¬p'}.
-      HoareTriple NoSig;
-      NoSig.Pre = C.and_({I, W.Guard, C.not_(P)});
-      NoSig.Body = W.W->Body;
-      NoSig.InMethod = W.Parent;
-      NoSig.Post = C.not_(P);
-      ++Result.Stats.HoareChecks;
-      if (Checker.proves(NoSig)) {
-        ++Result.Stats.NoSignalProved;
+      Result.Stats.HoareChecks += Out.HoareChecks;
+      Result.Stats.NoSignalProved += Out.NoSignalProved;
+      Result.Stats.CommutativityWins += Out.CommutativityWins;
+      if (!Out.Emit)
         continue;
-      }
-
-      SignalDecision D;
-      D.Target = Q;
-
-      // (b) Unconditional check: {I ∧ Guard(w) ∧ ¬p'} Body(w) {p'}.
-      HoareTriple Uncond = NoSig;
-      Uncond.Post = P;
-      ++Result.Stats.HoareChecks;
-      D.Conditional = !Checker.proves(Uncond);
-
-      // (c) Signal-vs-broadcast: every CCR guarded by p must falsify p when
-      // it runs — or commute, with the §4.3 sequential-composition check.
-      bool SingleSuffices = true;
-      for (const CcrInfo &Woken : Sema.Ccrs) {
-        if (Woken.Class != Q)
-          continue;
-        HoareTriple OneWake;
-        OneWake.Pre = C.and_({I, Woken.Guard, P});
-        OneWake.Body = Woken.W->Body;
-        OneWake.InMethod = Woken.Parent;
-        OneWake.Post = C.not_(P);
-        ++Result.Stats.HoareChecks;
-        if (Checker.proves(OneWake))
-          continue;
-        // §4.3: Comm(w', M) ∧ {I ∧ Guard(w) ∧ ¬p'} Body(w); Body(w') {¬p'}.
-        bool Saved = false;
-        if (Options.UseCommutativity && commutes(Woken)) {
-          logic::Substitution Rename = wokenRename(Woken);
-          const Term *Inner =
-              Wp.wp(Woken.W->Body, Woken.Parent, C.not_(P), &Rename);
-          const Term *Outer = Wp.wp(W.W->Body, W.Parent, Inner);
-          const Term *VC = logic::simplify(
-              C, C.implies(C.and_({I, W.Guard, C.not_(P)}), Outer));
-          ++Result.Stats.HoareChecks;
-          if (Solver.isValid(VC)) {
-            Saved = true;
-            ++Result.Stats.CommutativityWins;
-          }
-        }
-        if (!Saved) {
-          SingleSuffices = false;
-          break;
-        }
-      }
-      D.Broadcast = !SingleSuffices;
-
-      if (D.Broadcast)
+      if (Out.D.Broadcast)
         ++Result.Stats.Broadcasts;
       else
         ++Result.Stats.Signals;
-      if (!D.Conditional)
+      if (!Out.D.Conditional)
         ++Result.Stats.Unconditional;
-      Placement.Decisions.push_back(D);
+      Placement.Decisions.push_back(Out.D);
     }
     Result.Placements.push_back(std::move(Placement));
   }
+
   Result.Stats.PlacementSeconds = PlaceTimer.elapsedSeconds();
-  Result.Stats.SolverQueries = Solver.numQueries() - QueriesBefore;
+  // With a shared cache, worker sessions funnel every lookup through the
+  // shared counters, so the delta covers serial and parallel traffic alike.
+  // Without one, workers query their private backends directly and their
+  // counts add to the caller solver's (which served invariant inference).
+  Result.Stats.SolverQueries =
+      Solver.numQueries() - QueriesBefore + InvariantWorkerQueries;
+  if (!SharedCache)
+    for (const WorkerStats &W : Result.Stats.Workers)
+      Result.Stats.SolverQueries += W.SolverQueries;
   if (SharedCache) {
     Result.Stats.Cache.Hits = SharedCache->stats().Hits - StatsBefore.Hits;
     Result.Stats.Cache.Misses =

@@ -34,6 +34,7 @@
 #include "analysis/Invariants.h"
 #include "frontend/Sema.h"
 #include "solver/CachingSolver.h"
+#include "solver/SolverFactory.h"
 
 #include <string>
 #include <vector>
@@ -61,7 +62,23 @@ struct PlacementOptions {
   bool UseCommutativity = true;  ///< §4.3 Equation-2 weakening
   bool LazyBroadcast = true;     ///< §6 chained broadcasts (runtime/codegen)
   bool CacheQueries = true;      ///< memoize checkSat via solver::CachingSolver
+  /// Worker threads for the (CCR, predicate-class) fan-out; 1 = serial.
+  /// Every pair's checks are an independent validity workload, so placement
+  /// parallelizes embarrassingly; the merge is deterministic (ordered by
+  /// (CCR index, class index)), so any Jobs value yields the same Σ.
+  unsigned Jobs = 1;
+  /// Mints one private solver backend per worker (backends are not
+  /// thread-safe). Required for Jobs > 1; when invalid, placement runs
+  /// serially on the caller's solver.
+  solver::SolverFactory WorkerSolvers;
   analysis::InvariantConfig Invariants;
+};
+
+/// Per-worker accounting for one parallel placement run.
+struct WorkerStats {
+  uint64_t Pairs = 0;         ///< (w, p) pairs this worker processed
+  uint64_t SolverQueries = 0; ///< checkSat lookups this worker issued
+  double BusySeconds = 0;     ///< wall time inside pair checks
 };
 
 /// Aggregate statistics, used by Table-1 style reporting and ablations.
@@ -77,6 +94,8 @@ struct PlacementStats {
   solver::CacheStats Cache;      ///< query-cache accounting (zero when off)
   double InvariantSeconds = 0;
   double PlacementSeconds = 0;
+  unsigned JobsUsed = 1;             ///< worker threads the fan-out ran with
+  std::vector<WorkerStats> Workers;  ///< per-worker accounting (empty when serial)
 };
 
 /// The output of PlaceSignals: Σ plus provenance.
@@ -90,7 +109,13 @@ struct PlacementResult {
 
   const CcrPlacement &placementFor(const frontend::WaitUntil *W) const;
 
-  /// Human-readable summary (used by the CLI and EXPERIMENTS.md artifacts).
+  /// The invariant and the Σ decisions, without the stats trailer. This is
+  /// the determinism contract of the parallel engine: for any Jobs value it
+  /// is byte-identical to a serial run's.
+  std::string decisionSummary() const;
+
+  /// Human-readable summary (used by the CLI and EXPERIMENTS.md artifacts):
+  /// decisionSummary() plus the stats trailer.
   std::string summary() const;
 };
 

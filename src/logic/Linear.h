@@ -32,8 +32,10 @@ namespace logic {
 
 /// A linear combination of opaque integer atoms plus a constant.
 struct LinearTerm {
-  /// Atom -> coefficient; never stores zero coefficients.
-  std::map<const Term *, int64_t> Coeffs;
+  /// Atom -> coefficient; never stores zero coefficients. Ordered by term
+  /// creation index, not pointer: iteration order reaches the LIA tableau's
+  /// column order, so it must be reproducible across runs.
+  std::map<const Term *, int64_t, TermIdLess> Coeffs;
   int64_t Constant = 0;
 
   bool isConstant() const { return Coeffs.empty(); }

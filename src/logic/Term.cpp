@@ -87,6 +87,13 @@ TermContext::TermContext() {
 const Term *TermContext::intern(TermKind K, Sort S, int64_t IntVal,
                                 std::string Name,
                                 std::vector<const Term *> Ops) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return internLocked(K, S, IntVal, std::move(Name), std::move(Ops));
+}
+
+const Term *TermContext::internLocked(TermKind K, Sort S, int64_t IntVal,
+                                      std::string Name,
+                                      std::vector<const Term *> Ops) {
   Key TheKey{K, S, IntVal, Name, Ops};
   auto It = Interned.find(TheKey);
   if (It != Interned.end())
@@ -133,26 +140,32 @@ const Term *TermContext::intConst(int64_t V) {
 const Term *TermContext::boolConst(bool B) { return B ? True : False; }
 
 const Term *TermContext::var(const std::string &Name, Sort S) {
+  std::lock_guard<std::mutex> Lock(Mu);
   auto It = VarsByName.find(Name);
   if (It != VarsByName.end()) {
     assert(It->second->sort() == S && "variable re-declared at another sort");
     return It->second;
   }
-  const Term *V = intern(TermKind::Var, S, 0, Name, {});
+  const Term *V = internLocked(TermKind::Var, S, 0, Name, {});
   VarsByName.emplace(Name, V);
   return V;
 }
 
 const Term *TermContext::lookupVar(const std::string &Name) const {
+  std::lock_guard<std::mutex> Lock(Mu);
   auto It = VarsByName.find(Name);
   return It == VarsByName.end() ? nullptr : It->second;
 }
 
 const Term *TermContext::freshVar(const std::string &Hint, Sort S) {
+  std::lock_guard<std::mutex> Lock(Mu);
   for (;;) {
     std::string Name = Hint + "!" + std::to_string(FreshCounter++);
-    if (!VarsByName.count(Name))
-      return var(Name, S);
+    if (VarsByName.count(Name))
+      continue;
+    const Term *V = internLocked(TermKind::Var, S, 0, Name, {});
+    VarsByName.emplace(Name, V);
+    return V;
   }
 }
 

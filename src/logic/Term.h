@@ -31,6 +31,7 @@
 #include <cassert>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -156,8 +157,30 @@ struct TermStructuralHash {
   }
 };
 
+/// Deterministic strict order for term-keyed ordered containers: creation
+/// index, never pointer value. Pointer order varies with heap history (two
+/// analyses in one process see different layouts), which leaks into solver
+/// tableau column order and greedy-minimization order and makes results
+/// irreproducible; creation order is a pure function of the construction
+/// sequence. Use this instead of the default `std::less<const Term *>` for
+/// any map/set whose iteration order can reach an observable result.
+struct TermIdLess {
+  bool operator()(const Term *A, const Term *B) const {
+    return A->id() < B->id();
+  }
+};
+
 /// Owns and interns terms. All terms built from one context may be mixed
 /// freely; terms from different contexts must never meet.
+///
+/// Thread safety: interning (and therefore every smart constructor) is
+/// guarded by an internal mutex, so concurrent term construction from
+/// multiple threads is safe — the parallel placement engine builds VCs on
+/// worker threads, and MiniSmt interns auxiliary terms mid-checkSat. Terms
+/// themselves are immutable after interning and may be read without
+/// synchronization. Note that freshVar names depend on the global counter,
+/// so fresh-variable *names* are interleaving-dependent under concurrency
+/// (never colliding, and never semantically significant).
 class TermContext {
 public:
   TermContext();
@@ -231,11 +254,17 @@ public:
   const Term *iff(const Term *A, const Term *B);
 
   /// Number of distinct terms interned so far (for tests/stats).
-  size_t numTerms() const { return Arena.size(); }
+  size_t numTerms() const {
+    std::lock_guard<std::mutex> Lock(Mu);
+    return Arena.size();
+  }
 
 private:
   const Term *intern(TermKind K, Sort S, int64_t IntVal, std::string Name,
                      std::vector<const Term *> Ops);
+  /// Interning body; requires Mu to be held.
+  const Term *internLocked(TermKind K, Sort S, int64_t IntVal,
+                           std::string Name, std::vector<const Term *> Ops);
 
   struct Key {
     TermKind Kind;
@@ -252,6 +281,8 @@ private:
     size_t operator()(const Key &K) const;
   };
 
+  /// Guards Arena, Interned, VarsByName, NextId, and FreshCounter.
+  mutable std::mutex Mu;
   std::vector<std::unique_ptr<Term>> Arena;
   std::unordered_map<Key, const Term *, KeyHash> Interned;
   std::unordered_map<std::string, const Term *> VarsByName;

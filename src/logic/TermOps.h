@@ -44,7 +44,7 @@ bool occurs(const Term *T, const Term *Var);
 //===----------------------------------------------------------------------===//
 
 /// A parallel substitution from variables to replacement terms.
-using Substitution = std::map<const Term *, const Term *>;
+using Substitution = std::map<const Term *, const Term *, TermIdLess>;
 
 /// Applies \p Subst to \p T simultaneously. Replacements must be
 /// sort-compatible with the variables they replace.

@@ -426,7 +426,7 @@ LiaResult LiaSolver::solve(const std::vector<LinAtom> &Atoms) {
 
   // Map opaque atom terms to dense columns; allocate fresh columns for
   // divisibility encodings.
-  std::map<const Term *, int> ColOf;
+  std::map<const Term *, int, logic::TermIdLess> ColOf;
   std::vector<const Term *> TermOfCol;
   auto colFor = [&](const Term *T) {
     auto It = ColOf.find(T);

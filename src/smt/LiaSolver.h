@@ -43,7 +43,7 @@ enum class LiaStatus { Feasible, Infeasible, Unknown };
 struct LiaResult {
   LiaStatus Status = LiaStatus::Unknown;
   /// Satisfying integer values per opaque atom term (Feasible only).
-  std::map<const logic::Term *, int64_t> Model;
+  std::map<const logic::Term *, int64_t, logic::TermIdLess> Model;
   /// Indices of input atoms forming an unsatisfiable subset (Infeasible
   /// only). Sound but not guaranteed minimal.
   std::vector<int> Core;

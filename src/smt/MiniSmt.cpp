@@ -109,7 +109,8 @@ public:
   /// Returns the select-free formula; axioms are appended to \p Axioms.
   /// Fails (returns nullptr) if a Store survives into this stage.
   const Term *run(const Term *T, std::vector<const Term *> &Axioms,
-                  std::map<const Term *, const Term *> &SelectVarOut) {
+                  std::map<const Term *, const Term *, logic::TermIdLess>
+                      &SelectVarOut) {
     const Term *R = rewrite(T);
     if (!R)
       return nullptr;
@@ -221,10 +222,12 @@ private:
 
   TermContext &C;
   std::unordered_map<const Term *, const Term *> Memo;
-  /// Canonical select term -> fresh variable.
-  std::map<const Term *, const Term *> SelectVar;
+  /// Canonical select term -> fresh variable. Id-ordered so congruence
+  /// axioms and model reconstruction iterate reproducibly.
+  std::map<const Term *, const Term *, logic::TermIdLess> SelectVar;
   /// Array var -> list of (index term, fresh var).
-  std::map<const Term *, std::vector<std::pair<const Term *, const Term *>>>
+  std::map<const Term *, std::vector<std::pair<const Term *, const Term *>>,
+           logic::TermIdLess>
       ReadsPerArray;
 };
 
@@ -378,8 +381,8 @@ private:
   TermContext &C;
   SatSolver &Sat;
   std::unordered_map<const Term *, Lit> Memo;
-  std::map<const Term *, int> VarOfBool;
-  std::map<const Term *, int> VarOfAtom;
+  std::map<const Term *, int, logic::TermIdLess> VarOfBool;
+  std::map<const Term *, int, logic::TermIdLess> VarOfAtom;
   std::map<int, LinAtom> AtomOfVar;
   std::map<int, const Term *> BoolVarOfVar;
   int TrueVar = -1;
@@ -426,7 +429,7 @@ SmtResult MiniSmt::checkSat(const Term *F) {
   F = toNNF(C, F);
 
   std::vector<const Term *> AckAxioms;
-  std::map<const Term *, const Term *> SelectVars;
+  std::map<const Term *, const Term *, logic::TermIdLess> SelectVars;
   const Term *NoArrays = Ackermannizer(C).run(F, AckAxioms, SelectVars);
   if (!NoArrays)
     return Result; // Unknown: store residue or non-variable array base
@@ -533,7 +536,7 @@ SmtResult MiniSmt::checkSat(const Term *F) {
         Result.Model[V->varName()] = Value::ofBool(false);
     }
     // Reconstruct array models from Ackermann select variables.
-    std::map<const Term *, Value> ArrayVals;
+    std::map<const Term *, Value, logic::TermIdLess> ArrayVals;
     for (const auto &[SelectTerm, FreshVar] : SelectVars) {
       const Term *Array = SelectTerm->operand(0);
       const Term *Index = SelectTerm->operand(1);

@@ -1,4 +1,4 @@
-//===- solver/CachingSolver.cpp - Memoizing solver decorator ------------------===//
+//===- solver/CachingSolver.cpp - Sharded memoizing solver --------------------===//
 //
 // Part of expresso-cpp, a reproduction of "Symbolic Reasoning for Automatic
 // Signal Placement" (PLDI 2018).
@@ -18,18 +18,125 @@ CachingSolver::create(TermContext &C, std::unique_ptr<SmtSolver> Backend) {
   return std::make_unique<CachingSolver>(std::move(Backend));
 }
 
-CheckResult CachingSolver::checkSat(const Term *F) {
+CachingSolver::Shard &CachingSolver::shardFor(const Term *F) {
+  // The structural hash is well-mixed (multiplicative mixing at intern
+  // time), so the low bits stripe evenly across shards.
+  return Shards[F->structuralHash() % NumShards];
+}
+
+CheckResult CachingSolver::lookupOrCompute(const Term *F,
+                                           SmtSolver &ComputeBackend) {
   ++Queries;
-  auto It = Cache.find(F);
-  if (It != Cache.end()) {
-    ++Stats.Hits;
-    return It->second;
+  Shard &S = shardFor(F);
+  std::promise<CheckResult> Promise;
+  std::shared_future<CheckResult> Future;
+  bool Owner = false;
+  {
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    auto It = S.Map.find(F);
+    if (It != S.Map.end()) {
+      // Hit — possibly an in-flight entry another thread is computing; we
+      // wait on the future instead of re-solving. Counting in-flight finds
+      // as hits keeps hit/miss totals equal to a serial run's (first ask of
+      // a formula is the one miss; every later ask is a hit).
+      Future = It->second;
+      Hits.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      Owner = true;
+      Future = Promise.get_future().share();
+      S.Map.emplace(F, Future);
+      Misses.fetch_add(1, std::memory_order_relaxed);
+    }
   }
-  ++Stats.Misses;
-  CheckResult R = Backend->checkSat(F);
+  if (!Owner)
+    return Future.get();
+
+  // Compute outside the shard lock so other formulas in this shard proceed.
   // Unknown is not a semantic answer (a timeout-ish backend could do better
-  // on a retry), but re-asking within one analysis run would deterministically
-  // reproduce it, so caching Unknown too avoids pointless repeat work.
-  Cache.emplace(F, R);
-  return R;
+  // on a retry), but re-asking within one analysis run would
+  // deterministically reproduce it, so caching Unknown too avoids pointless
+  // repeat work.
+  try {
+    Promise.set_value(ComputeBackend.checkSat(F));
+  } catch (...) {
+    // Unpoison the entry so a later ask retries, and propagate the error to
+    // any concurrent waiters before rethrowing to our caller.
+    {
+      std::lock_guard<std::mutex> Lock(S.Mu);
+      S.Map.erase(F);
+    }
+    Promise.set_exception(std::current_exception());
+    throw;
+  }
+  return Future.get();
+}
+
+CheckResult CachingSolver::checkSat(const Term *F) {
+  return lookupOrCompute(F, *Backend);
+}
+
+size_t CachingSolver::cacheSize() const {
+  size_t N = 0;
+  for (const Shard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    N += S.Map.size();
+  }
+  return N;
+}
+
+void CachingSolver::clearCache() {
+  for (Shard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    S.Map.clear();
+  }
+}
+
+/// Worker-side view of a shared CachingSolver: same memo table, private
+/// backend for the misses this worker owns.
+class CachingSolver::Session : public SmtSolver {
+public:
+  Session(CachingSolver &Shared, std::unique_ptr<SmtSolver> WorkerBackend)
+      : SmtSolver(Shared.context()), Shared(Shared),
+        WorkerBackend(std::move(WorkerBackend)) {}
+
+  CheckResult checkSat(const Term *F) override {
+    ++Queries; // per-worker lookup count; Shared counts the global total
+    return Shared.lookupOrCompute(F, *WorkerBackend);
+  }
+
+  std::string name() const override {
+    return "session(" + WorkerBackend->name() + ")";
+  }
+
+private:
+  CachingSolver &Shared;
+  std::unique_ptr<SmtSolver> WorkerBackend;
+};
+
+std::unique_ptr<SmtSolver>
+CachingSolver::makeSession(std::unique_ptr<SmtSolver> WorkerBackend) {
+  if (!WorkerBackend || &WorkerBackend->context() != &Ctx)
+    return nullptr;
+  return std::make_unique<Session>(*this, std::move(WorkerBackend));
+}
+
+std::vector<std::unique_ptr<SmtSolver>>
+solver::makeWorkerSolvers(TermContext &C, const SolverFactory &Factory,
+                          CachingSolver *SharedCache, unsigned Jobs) {
+  std::vector<std::unique_ptr<SmtSolver>> Workers;
+  if (Jobs <= 1 || !Factory)
+    return Workers;
+  for (unsigned J = 0; J < Jobs; ++J) {
+    std::unique_ptr<SmtSolver> Backend = Factory.create(C);
+    if (!Backend || &Backend->context() != &C)
+      return {};
+    if (SharedCache) {
+      Workers.push_back(SharedCache->makeSession(std::move(Backend)));
+      if (!Workers.back())
+        return {};
+    } else {
+      Workers.push_back(std::move(Backend));
+    }
+  }
+  return Workers;
 }

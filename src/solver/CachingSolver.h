@@ -1,4 +1,4 @@
-//===- solver/CachingSolver.h - Memoizing solver decorator ------*- C++ -*-===//
+//===- solver/CachingSolver.h - Sharded memoizing solver --------*- C++ -*-===//
 //
 // Part of expresso-cpp, a reproduction of "Symbolic Reasoning for Automatic
 // Signal Placement" (PLDI 2018).
@@ -19,19 +19,37 @@
 /// answer for a formula is state-free (every checkSat starts from a fresh
 /// backend state), so memoization is sound with no generation tracking.
 ///
+/// Concurrency: the memo table is sharded into fixed mutex-striped buckets,
+/// and each entry is a single-flight future — the first thread to ask about
+/// a formula computes it on its own backend while later askers block on the
+/// entry instead of duplicating the solve. This makes the hit/miss counts
+/// *deterministic* under any interleaving: misses always equal the number of
+/// distinct formulas asked, exactly as in a serial run. Hit/miss/query
+/// counters are atomics.
+///
+/// Worker threads do not share the primary backend (backends are not
+/// thread-safe); they attach via makeSession(), which pairs the shared memo
+/// table with a private backend instance for cache misses.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef EXPRESSO_SOLVER_CACHINGSOLVER_H
 #define EXPRESSO_SOLVER_CACHINGSOLVER_H
 
 #include "solver/SmtSolver.h"
+#include "solver/SolverFactory.h"
 
+#include <array>
+#include <atomic>
+#include <future>
+#include <mutex>
 #include <unordered_map>
+#include <vector>
 
 namespace expresso {
 namespace solver {
 
-/// Hit/miss accounting for one CachingSolver.
+/// Hit/miss accounting snapshot for one CachingSolver.
 struct CacheStats {
   uint64_t Hits = 0;
   uint64_t Misses = 0;
@@ -68,20 +86,62 @@ public:
 
   std::string name() const override { return "cache(" + Backend->name() + ")"; }
 
-  const CacheStats &stats() const { return Stats; }
-  size_t cacheSize() const { return Cache.size(); }
-  void clearCache() { Cache.clear(); }
+  /// A per-worker handle onto this memo table. The session shares (and
+  /// populates) the cache but discharges misses on \p WorkerBackend, which
+  /// it owns — so placement workers never touch the primary backend. The
+  /// session's own numQueries() counts the lookups that worker issued.
+  /// Returns null when \p WorkerBackend is null or bound to another context.
+  std::unique_ptr<SmtSolver>
+  makeSession(std::unique_ptr<SmtSolver> WorkerBackend);
+
+  /// Snapshot of the hit/miss counters (atomics read relaxed; exact once
+  /// concurrent queries have drained).
+  CacheStats stats() const {
+    CacheStats S;
+    S.Hits = Hits.load(std::memory_order_relaxed);
+    S.Misses = Misses.load(std::memory_order_relaxed);
+    return S;
+  }
+  size_t cacheSize() const;
+  void clearCache();
 
   /// The decorated backend (for cross-check tests and diagnostics).
   SmtSolver &backend() { return *Backend; }
 
 private:
+  class Session;
+
+  /// The single-flight lookup: returns the memoized result, or computes it
+  /// on \p ComputeBackend while publishing an in-flight entry that
+  /// concurrent askers of the same formula wait on.
+  CheckResult lookupOrCompute(const logic::Term *F, SmtSolver &ComputeBackend);
+
+  static constexpr size_t NumShards = 16;
+  struct Shard {
+    mutable std::mutex Mu;
+    std::unordered_map<const logic::Term *, std::shared_future<CheckResult>,
+                       logic::TermStructuralHash>
+        Map;
+  };
+  Shard &shardFor(const logic::Term *F);
+
   std::unique_ptr<SmtSolver> Owned; ///< null when decorating a borrowed ref
   SmtSolver *Backend = nullptr;
-  std::unordered_map<const logic::Term *, CheckResult, logic::TermStructuralHash>
-      Cache;
-  CacheStats Stats;
+  std::array<Shard, NumShards> Shards;
+  std::atomic<uint64_t> Hits{0};
+  std::atomic<uint64_t> Misses{0};
 };
+
+/// Builds the per-worker solver handles for a parallel fan-out: one private
+/// backend per job minted by \p Factory, each wrapped as a session of
+/// \p SharedCache when non-null (raw backends otherwise — the cache-off
+/// configuration). Returns an empty vector — callers must then stay serial
+/// — when \p Jobs <= 1, the factory is invalid, or any backend cannot be
+/// minted for \p C. Shared by placeSignals and the invariant fixpoint so
+/// the mint/validate/session sequence cannot diverge between them.
+std::vector<std::unique_ptr<SmtSolver>>
+makeWorkerSolvers(logic::TermContext &C, const SolverFactory &Factory,
+                  CachingSolver *SharedCache, unsigned Jobs);
 
 } // namespace solver
 } // namespace expresso

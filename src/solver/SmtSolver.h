@@ -22,6 +22,7 @@
 
 #include "logic/TermOps.h"
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -72,13 +73,17 @@ public:
     return A == Answer::Sat || (UnknownMeansSat && A == Answer::Unknown);
   }
 
-  uint64_t numQueries() const { return Queries; }
+  uint64_t numQueries() const {
+    return Queries.load(std::memory_order_relaxed);
+  }
 
   logic::TermContext &context() { return Ctx; }
 
 protected:
   logic::TermContext &Ctx;
-  uint64_t Queries = 0;
+  /// Atomic so a solver shared across placement workers (the sharded
+  /// CachingSolver) keeps an exact count under concurrent checkSat calls.
+  std::atomic<uint64_t> Queries{0};
 };
 
 /// Which backend to instantiate.

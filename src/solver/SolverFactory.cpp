@@ -1,0 +1,14 @@
+//===- solver/SolverFactory.cpp - Per-worker backend factory ------------------===//
+//
+// Part of expresso-cpp, a reproduction of "Symbolic Reasoning for Automatic
+// Signal Placement" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+
+#include "solver/SolverFactory.h"
+
+using namespace expresso;
+using namespace expresso::solver;
+
+SolverFactory::SolverFactory(SolverKind Kind)
+    : Fn([Kind](logic::TermContext &C) { return createSolver(Kind, C); }) {}

@@ -1,0 +1,59 @@
+//===- solver/SolverFactory.h - Per-worker backend factory ------*- C++ -*-===//
+//
+// Part of expresso-cpp, a reproduction of "Symbolic Reasoning for Automatic
+// Signal Placement" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Solver backends are cheap to construct but not thread-safe (MiniSmt keeps
+/// per-solve scratch state; Z3 contexts must not be shared across threads).
+/// The parallel placement engine therefore gives every worker its own
+/// backend instance, produced by a SolverFactory: a copyable recipe that,
+/// given a TermContext, mints a fresh SmtSolver. The common case wraps a
+/// SolverKind; tests can inject arbitrary construction lambdas.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXPRESSO_SOLVER_SOLVERFACTORY_H
+#define EXPRESSO_SOLVER_SOLVERFACTORY_H
+
+#include "solver/SmtSolver.h"
+
+#include <functional>
+
+namespace expresso {
+namespace solver {
+
+/// A copyable recipe for minting per-worker solver backends.
+class SolverFactory {
+public:
+  using FactoryFn =
+      std::function<std::unique_ptr<SmtSolver>(logic::TermContext &)>;
+
+  /// An invalid factory; create() returns null. Placement falls back to the
+  /// serial engine when asked to parallelize without a valid factory.
+  SolverFactory() = default;
+
+  /// Mints createSolver(Kind, C) backends.
+  explicit SolverFactory(SolverKind Kind);
+
+  /// Mints backends from a custom recipe (test injection).
+  explicit SolverFactory(FactoryFn Fn) : Fn(std::move(Fn)) {}
+
+  /// A fresh backend bound to \p C, or null when the factory is invalid or
+  /// the recipe cannot produce one (e.g. SolverKind::Z3 without Z3).
+  std::unique_ptr<SmtSolver> create(logic::TermContext &C) const {
+    return Fn ? Fn(C) : nullptr;
+  }
+
+  explicit operator bool() const { return static_cast<bool>(Fn); }
+
+private:
+  FactoryFn Fn;
+};
+
+} // namespace solver
+} // namespace expresso
+
+#endif // EXPRESSO_SOLVER_SOLVERFACTORY_H

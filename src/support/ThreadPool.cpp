@@ -1,0 +1,70 @@
+//===- support/ThreadPool.cpp - Fixed-size worker pool ------------------------===//
+//
+// Part of expresso-cpp, a reproduction of "Symbolic Reasoning for Automatic
+// Signal Placement" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+using namespace expresso;
+using namespace expresso::support;
+
+ThreadPool::ThreadPool(unsigned Workers) {
+  Threads.reserve(Workers);
+  for (unsigned I = 0; I < Workers; ++I)
+    Threads.emplace_back([this, I] { workerMain(I); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    ShuttingDown = true;
+  }
+  WorkCv.notify_all();
+  for (std::thread &T : Threads)
+    T.join();
+}
+
+void ThreadPool::workerMain(unsigned Id) {
+  uint64_t SeenSeq = 0;
+  std::unique_lock<std::mutex> Lock(Mu);
+  for (;;) {
+    WorkCv.wait(Lock, [&] { return ShuttingDown || BatchSeq != SeenSeq; });
+    if (ShuttingDown)
+      return;
+    SeenSeq = BatchSeq;
+    const auto *TheBody = Body;
+    size_t Count = BatchCount;
+    Lock.unlock();
+    for (size_t I = NextIndex.fetch_add(1, std::memory_order_relaxed);
+         I < Count; I = NextIndex.fetch_add(1, std::memory_order_relaxed))
+      (*TheBody)(Id, I);
+    Lock.lock();
+    if (--ActiveWorkers == 0)
+      DoneCv.notify_all();
+  }
+}
+
+void ThreadPool::parallelFor(
+    size_t Count,
+    const std::function<void(unsigned WorkerId, size_t Index)> &Body) {
+  if (Count == 0)
+    return;
+  if (Threads.empty()) {
+    for (size_t I = 0; I < Count; ++I)
+      Body(0, I);
+    return;
+  }
+  std::unique_lock<std::mutex> Lock(Mu);
+  this->Body = &Body;
+  BatchCount = Count;
+  NextIndex.store(0, std::memory_order_relaxed);
+  ActiveWorkers = size();
+  ++BatchSeq;
+  WorkCv.notify_all();
+  // Every worker joins the batch exactly once (even if only to find the
+  // cursor exhausted), so ActiveWorkers reaching zero means all items ran.
+  DoneCv.wait(Lock, [&] { return ActiveWorkers == 0; });
+  this->Body = nullptr;
+}

@@ -1,0 +1,80 @@
+//===- support/ThreadPool.h - Fixed-size worker pool ------------*- C++ -*-===//
+//
+// Part of expresso-cpp, a reproduction of "Symbolic Reasoning for Automatic
+// Signal Placement" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deliberately simple fixed-size thread pool for the placement engine's
+/// embarrassingly parallel fan-out: every (CCR, predicate-class) pair of
+/// Algorithm 1 is an independent batch item. There is no work stealing and
+/// no general task queue — parallelFor hands a batch to all workers, who
+/// pull indices from a shared atomic cursor (self-balancing when items have
+/// skewed solver cost) and expose their worker id so callers can keep
+/// per-worker state (solver backends, statistics) without synchronization.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXPRESSO_SUPPORT_THREADPOOL_H
+#define EXPRESSO_SUPPORT_THREADPOOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace expresso {
+namespace support {
+
+/// Fixed-size pool of worker threads executing one batch at a time.
+class ThreadPool {
+public:
+  /// Spawns \p Workers threads (0 means run batches inline on the caller).
+  explicit ThreadPool(unsigned Workers);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(Threads.size()); }
+
+  /// Runs Body(WorkerId, Index) for every Index in [0, Count), distributing
+  /// indices dynamically across the workers, and returns once all items
+  /// completed. WorkerId is stable per thread and < size() (0 when the pool
+  /// has no threads and the batch runs inline). Not reentrant: one batch at
+  /// a time, and Body must not call back into the same pool. Exceptions
+  /// escaping Body terminate the process (the placement fan-out is
+  /// noexcept by design).
+  void parallelFor(size_t Count,
+                   const std::function<void(unsigned WorkerId, size_t Index)>
+                       &Body);
+
+  /// A sensible default worker count: hardware concurrency, at least 1.
+  static unsigned defaultWorkers() {
+    unsigned N = std::thread::hardware_concurrency();
+    return N == 0 ? 1 : N;
+  }
+
+private:
+  void workerMain(unsigned Id);
+
+  std::vector<std::thread> Threads;
+
+  std::mutex Mu;
+  std::condition_variable WorkCv; ///< signaled when a batch starts / shutdown
+  std::condition_variable DoneCv; ///< signaled when the last worker finishes
+  const std::function<void(unsigned, size_t)> *Body = nullptr;
+  size_t BatchCount = 0;
+  std::atomic<size_t> NextIndex{0};
+  uint64_t BatchSeq = 0;      ///< bumped per batch so workers join exactly once
+  unsigned ActiveWorkers = 0; ///< workers still draining the current batch
+  bool ShuttingDown = false;
+};
+
+} // namespace support
+} // namespace expresso
+
+#endif // EXPRESSO_SUPPORT_THREADPOOL_H

@@ -21,6 +21,7 @@
 #include "core/SignalPlacement.h"
 #include "frontend/Parser.h"
 #include "logic/Printer.h"
+#include "support/ThreadPool.h"
 #include "support/Timer.h"
 
 #include <cstdio>
@@ -50,7 +51,18 @@ void printUsage() {
       "  --no-invariant               place signals with I = true\n"
       "  --no-commutativity           disable the §4.3 weakening\n"
       "  --no-lazy-broadcast          emit eager signalAll broadcasts\n"
-      "  --no-cache                   disable solver query memoization\n");
+      "  --no-cache                   disable solver query memoization\n"
+      "  --jobs N                     placement worker threads (also\n"
+      "                               --jobs=N; \"auto\" = one per core;\n"
+      "                               default 1 = serial)\n");
+}
+
+/// Parses a --jobs value: a positive count or "auto"; 0 means invalid.
+unsigned parseJobs(const char *Value) {
+  if (std::strcmp(Value, "auto") == 0)
+    return support::ThreadPool::defaultWorkers();
+  int N = std::atoi(Value);
+  return N > 0 ? static_cast<unsigned>(N) : 0;
 }
 
 } // namespace
@@ -81,6 +93,19 @@ int main(int Argc, char **Argv) {
       Options.LazyBroadcast = false;
     } else if (std::strcmp(Arg, "--no-cache") == 0) {
       Options.CacheQueries = false;
+    } else if (std::strncmp(Arg, "--jobs=", 7) == 0 ||
+               std::strcmp(Arg, "--jobs") == 0) {
+      const char *Value = Arg[6] == '=' ? Arg + 7
+                          : I + 1 < Argc ? Argv[++I]
+                                         : "";
+      Options.Jobs = parseJobs(Value);
+      if (Options.Jobs == 0) {
+        std::fprintf(stderr,
+                     "--jobs expects a positive count or \"auto\" (got "
+                     "'%s')\n",
+                     Value);
+        return 1;
+      }
     } else if (std::strcmp(Arg, "--help") == 0 || std::strcmp(Arg, "-h") == 0) {
       printUsage();
       return 0;
@@ -142,13 +167,16 @@ int main(int Argc, char **Argv) {
     std::fprintf(stderr, "%s", Diags.str().c_str());
     return 1;
   }
-  auto Solver = solver::createSolver(solver::parseSolverKind(SolverName), C);
+  solver::SolverKind Kind = solver::parseSolverKind(SolverName);
+  auto Solver = solver::createSolver(Kind, C);
   if (!Solver) {
     std::fprintf(stderr, "solver backend '%s' is not available in this "
                          "build\n",
                  SolverName.c_str());
     return 1;
   }
+  // Each placement worker gets its own backend of the same kind.
+  Options.WorkerSolvers = solver::SolverFactory(Kind);
   core::PlacementResult Result = core::placeSignals(C, *Sema, *Solver, Options);
   double Elapsed = Timer.elapsedSeconds();
 
@@ -178,6 +206,14 @@ int main(int Argc, char **Argv) {
                 Result.Stats.CommutativityWins);
     std::printf("  analysis time:        %.2fs (invariant %.2fs)\n", Elapsed,
                 Result.Stats.InvariantSeconds);
+    std::printf("  placement jobs:       %u\n", Result.Stats.JobsUsed);
+    for (size_t W = 0; W < Result.Stats.Workers.size(); ++W) {
+      const core::WorkerStats &WS = Result.Stats.Workers[W];
+      std::printf("    worker %zu: %llu pairs, %llu queries, %.2fs busy\n", W,
+                  static_cast<unsigned long long>(WS.Pairs),
+                  static_cast<unsigned long long>(WS.SolverQueries),
+                  WS.BusySeconds);
+    }
   }
   return 0;
 }
