@@ -1,0 +1,125 @@
+//===- bench/ablation_persistent_cache.cpp -------------------------------------===//
+//
+// Part of expresso-cpp, a reproduction of "Symbolic Reasoning for Automatic
+// Signal Placement" (PLDI 2018).
+//
+// Ablation: the persistent query store. Per benchmark, runs the analysis
+// cold (fresh cache directory), then warm in a *fresh TermContext against a
+// reopened store* — the in-process stand-in for a second process pointed at
+// the same --cache-dir — and finally against a deliberately corrupted log.
+// Reports the cold/warm speedup and persistent-tier hit rate, and fails if
+// any warm or corrupted-cache run's decisions diverge from the cold run's
+// (the store must accelerate, never alter, Σ).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/Workloads.h"
+#include "core/SignalPlacement.h"
+#include "frontend/Parser.h"
+#include "persist/QueryStore.h"
+#include "solver/CachingSolver.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+using namespace expresso;
+
+namespace {
+
+struct Run {
+  double Seconds = 0;
+  std::string Decisions;
+  solver::CacheStats Cache;
+};
+
+/// One full analysis in a fresh TermContext, optionally backed by \p Store.
+Run runWith(const bench::BenchmarkDef &Def,
+            std::shared_ptr<persist::QueryStore> Store) {
+  Run R;
+  logic::TermContext C;
+  DiagnosticEngine Diags;
+  auto M = frontend::parseMonitor(Def.Source, Diags);
+  auto Sema = frontend::analyze(*M, C, Diags);
+  auto Cache = solver::CachingSolver::create(
+      C, solver::createSolver(solver::SolverKind::Mini, C));
+  if (Store)
+    Cache->attachStore(std::move(Store));
+  core::PlacementOptions Opts;
+  WallTimer T;
+  core::PlacementResult P = core::placeSignals(C, *Sema, *Cache, Opts);
+  R.Seconds = T.elapsedSeconds();
+  R.Decisions = P.decisionSummary();
+  R.Cache = P.Stats.Cache;
+  return R;
+}
+
+std::shared_ptr<persist::QueryStore> openStore(const std::string &Dir) {
+  persist::QueryStore::Options Opts;
+  Opts.Profile = "mini";
+  return persist::QueryStore::open(Dir, Opts);
+}
+
+/// Flips one byte in the middle of the query log — past the header, so the
+/// damage lands in a record and must be caught by the checksum.
+void corruptLog(const std::string &Dir) {
+  std::string Path = Dir + "/queries.log";
+  auto Size = std::filesystem::file_size(Path);
+  std::fstream F(Path, std::ios::in | std::ios::out | std::ios::binary);
+  F.seekg(static_cast<std::streamoff>(Size / 2));
+  char Ch = 0;
+  F.get(Ch);
+  F.seekp(static_cast<std::streamoff>(Size / 2));
+  F.put(static_cast<char>(~Ch));
+}
+
+} // namespace
+
+int main() {
+  std::string Root =
+      (std::filesystem::temp_directory_path() /
+       ("expresso-ablation-pcache-" + std::to_string(::getpid())))
+          .string();
+
+  std::printf("# Ablation: persistent query store (MiniSmt backend, serial "
+              "placement)\n");
+  std::printf("# warm runs reopen the store in a fresh TermContext — the "
+              "cross-process reuse path\n");
+  std::printf("%-28s %9s %9s %8s %9s %9s %9s\n", "benchmark", "cold(s)",
+              "warm(s)", "speedup", "diskhit%", "warm", "corrupt");
+
+  int Exit = 0;
+  for (const bench::BenchmarkDef &Def : bench::allBenchmarks()) {
+    std::string Dir = Root + "/" + Def.Name;
+
+    Run Cold = runWith(Def, openStore(Dir));
+    // Reopen, so the warm run loads the log from disk exactly as a new
+    // process would (the cold run's handle is gone, its index with it).
+    Run Warm = runWith(Def, openStore(Dir));
+    bool WarmOk = Warm.Decisions == Cold.Decisions;
+
+    corruptLog(Dir);
+    Run Corrupt = runWith(Def, openStore(Dir));
+    bool CorruptOk = Corrupt.Decisions == Cold.Decisions;
+
+    if (!WarmOk || !CorruptOk)
+      Exit = 1;
+    std::printf("%-28s %9.3f %9.3f %7.1fx %8.0f%% %9s %9s\n",
+                Def.Name.c_str(), Cold.Seconds, Warm.Seconds,
+                Cold.Seconds / std::max(1e-9, Warm.Seconds),
+                Warm.Cache.diskHitRate() * 100, WarmOk ? "ok" : "MISMATCH",
+                CorruptOk ? "ok" : "MISMATCH");
+    std::fflush(stdout);
+  }
+
+  std::error_code Ec;
+  std::filesystem::remove_all(Root, Ec);
+  return Exit;
+}

@@ -26,6 +26,9 @@
 #include <optional>
 
 namespace expresso {
+namespace persist {
+class QueryStore;
+}
 namespace bench {
 
 /// Which signaling strategy to run on the shared substrate.
@@ -43,15 +46,26 @@ struct HarnessOptions {
   bool Quick = false;       ///< --quick: fewer cycles, capped threads
   bool IncludeNaive = false;///< add the naive-broadcast series
   std::string JsonPath;     ///< --json=PATH: machine-readable table1 artifact
+  std::string CacheDir;     ///< --cache-dir=DIR: persistent query store
+  bool CacheReadOnly = false; ///< --cache-readonly: never write the store
+  /// --build-jobs=N: parallel per-benchmark BenchContext builds in table1
+  /// (row order stays deterministic; per-row timings contend for cores, so
+  /// use 1 when absolute times matter — see docs/BENCHMARKS.md).
+  unsigned BuildJobs = 1;
   core::PlacementOptions Placement;
 
   static HarnessOptions fromArgs(int Argc, char **Argv);
 };
 
 /// A compiled benchmark: parsed monitor, sema, placement, and both plans.
+/// When \p Store is non-null (and caching is on) it becomes the persistent
+/// tier behind this context's query cache; one store may back any number of
+/// live contexts at once — keys are context-free — which is how the table1
+/// harness shares a single cache directory across all workloads.
 class BenchContext {
 public:
-  BenchContext(const BenchmarkDef &Def, const core::PlacementOptions &Opts);
+  BenchContext(const BenchmarkDef &Def, const core::PlacementOptions &Opts,
+               std::shared_ptr<persist::QueryStore> Store = nullptr);
 
   std::unique_ptr<runtime::MonitorEngine> makeEngine(EngineKind Kind,
                                                      unsigned Threads) const;
@@ -67,6 +81,7 @@ private:
   std::unique_ptr<frontend::Monitor> M;
   std::unique_ptr<frontend::SemaInfo> Sema;
   std::unique_ptr<solver::SmtSolver> Solver;
+  std::shared_ptr<persist::QueryStore> Store; ///< persistent tier, if any
   core::PlacementResult Placement;
   runtime::SignalPlan ExpressoPlan;
   runtime::SignalPlan GoldPlan;

@@ -69,11 +69,19 @@ std::string PlacementResult::decisionSummary() const {
 std::string PlacementResult::summary() const {
   std::ostringstream OS;
   OS << decisionSummary();
+  // The cache counters print unconditionally — a --no-cache run reports
+  // uniform zeros rather than omitting the fields, so summaries keep one
+  // stable shape across every cache configuration (and ablation diffs
+  // line up row-for-row).
   OS << "  stats: " << Stats.HoareChecks << " hoare checks, "
      << Stats.SolverQueries << " solver queries";
-  if (Options.CacheQueries) {
-    OS << " (" << Stats.Cache.Hits << " cache hits / " << Stats.Cache.Misses
-       << " misses, " << static_cast<int>(Stats.Cache.hitRate() * 100 + 0.5)
+  OS << " (" << Stats.Cache.Hits << " cache hits / " << Stats.Cache.Misses
+     << " misses, " << static_cast<int>(Stats.Cache.hitRate() * 100 + 0.5)
+     << "% hit rate)";
+  if (Stats.Cache.diskLookups() > 0) {
+    OS << " (persistent tier: " << Stats.Cache.DiskHits << " hits / "
+       << Stats.Cache.DiskMisses << " misses, "
+       << static_cast<int>(Stats.Cache.diskHitRate() * 100 + 0.5)
        << "% hit rate)";
   }
   OS << "\n";
@@ -380,9 +388,11 @@ PlacementResult core::placeSignals(logic::TermContext &C,
     for (const WorkerStats &W : Result.Stats.Workers)
       Result.Stats.SolverQueries += W.SolverQueries;
   if (SharedCache) {
-    Result.Stats.Cache.Hits = SharedCache->stats().Hits - StatsBefore.Hits;
-    Result.Stats.Cache.Misses =
-        SharedCache->stats().Misses - StatsBefore.Misses;
+    solver::CacheStats Now = SharedCache->stats();
+    Result.Stats.Cache.Hits = Now.Hits - StatsBefore.Hits;
+    Result.Stats.Cache.Misses = Now.Misses - StatsBefore.Misses;
+    Result.Stats.Cache.DiskHits = Now.DiskHits - StatsBefore.DiskHits;
+    Result.Stats.Cache.DiskMisses = Now.DiskMisses - StatsBefore.DiskMisses;
   }
   return Result;
 }

@@ -125,6 +125,21 @@ const Term *TermContext::internLocked(TermKind K, Sort S, int64_t IntVal,
   return Result;
 }
 
+const Term *TermContext::internRaw(TermKind K, Sort S, int64_t IntVal,
+                                   std::string Name,
+                                   std::vector<const Term *> Ops) {
+  switch (K) {
+  case TermKind::Var:
+    return var(Name, S);
+  case TermKind::IntConst:
+    return intConst(IntVal);
+  case TermKind::BoolConst:
+    return boolConst(IntVal != 0);
+  default:
+    return intern(K, S, IntVal, std::move(Name), std::move(Ops));
+  }
+}
+
 //===----------------------------------------------------------------------===//
 // Leaves
 //===----------------------------------------------------------------------===//

@@ -253,6 +253,23 @@ public:
   const Term *implies(const Term *A, const Term *B);
   const Term *iff(const Term *A, const Term *B);
 
+  //===--------------------------------------------------------------------===
+  // Deserialization
+  //===--------------------------------------------------------------------===
+
+  /// Re-interns a node with exactly the given shape, preserving operand
+  /// order. The smart constructors normalize (flatten, fold, re-sort
+  /// commutative operands by creation id), which is wrong for terms loaded
+  /// from the persistent store: those were already normalized when first
+  /// built, and their operand order is part of the canonical serialized
+  /// shape — re-sorting by the *loading* context's ids would change the
+  /// structural hash. Callers (persist::TermReader) must validate shapes
+  /// before interning; this method only routes leaves through the proper
+  /// paths (Var registration, Int/Bool singletons) and dedups against the
+  /// existing intern table.
+  const Term *internRaw(TermKind K, Sort S, int64_t IntVal, std::string Name,
+                        std::vector<const Term *> Ops);
+
   /// Number of distinct terms interned so far (for tests/stats).
   size_t numTerms() const {
     std::lock_guard<std::mutex> Lock(Mu);

@@ -1,0 +1,573 @@
+//===- persist/QueryStore.cpp - Disk-backed solver query store ----------------===//
+//
+// Part of expresso-cpp, a reproduction of "Symbolic Reasoning for Automatic
+// Signal Placement" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+
+#include "persist/QueryStore.h"
+
+#include "persist/TermCodec.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <vector>
+
+#ifndef _WIN32
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+using namespace expresso;
+using namespace expresso::persist;
+using solver::Answer;
+using solver::CheckResult;
+
+namespace {
+
+constexpr char LogMagic[8] = {'X', 'P', 'R', 'S', 'Q', 'R', 'Y', 'S'};
+constexpr size_t FrameOverhead = 4 + 8; // u32 payload length + u64 checksum
+constexpr size_t MaxPayload = 1u << 30;
+
+std::string buildHeader(const std::string &Profile) {
+  std::vector<uint8_t> Buf;
+  ByteWriter B(Buf);
+  B.writeBytes(LogMagic, sizeof(LogMagic));
+  B.writeU32(CodecVersion);
+  B.writeString(Profile);
+  return std::string(reinterpret_cast<const char *>(Buf.data()), Buf.size());
+}
+
+/// Parses and validates the log header. Returns the offset past it, or 0
+/// with \p Reason set when the log belongs to another format/version/solver.
+size_t parseHeader(const uint8_t *Data, size_t Size,
+                   const std::string &WantProfile, std::string &Reason) {
+  ByteReader B(Data, Size);
+  char Magic[sizeof(LogMagic)];
+  for (char &Ch : Magic)
+    Ch = static_cast<char>(B.readByte());
+  if (B.failed() || std::memcmp(Magic, LogMagic, sizeof(LogMagic)) != 0) {
+    Reason = "bad magic";
+    return 0;
+  }
+  uint32_t Version = B.readU32();
+  if (B.failed() || Version != CodecVersion) {
+    Reason = "version mismatch (log v" + std::to_string(Version) +
+             ", codec v" + std::to_string(CodecVersion) + ")";
+    return 0;
+  }
+  std::string Profile;
+  if (!B.readString(Profile)) {
+    Reason = "truncated header";
+    return 0;
+  }
+  if (Profile != WantProfile) {
+    Reason = "profile mismatch (log '" + Profile + "', caller '" +
+             WantProfile + "')";
+    return 0;
+  }
+  return B.position();
+}
+
+void serializeValue(ByteWriter &P, const logic::Value &V) {
+  P.writeByte(static_cast<uint8_t>(V.S));
+  P.writeSigned(V.I);
+  P.writeSigned(V.ArrayDefault);
+  P.writeVarint(V.A.size());
+  for (const auto &[Idx, Elem] : V.A) {
+    P.writeSigned(Idx);
+    P.writeSigned(Elem);
+  }
+}
+
+bool parseValue(ByteReader &P, logic::Value &V) {
+  uint8_t SortByte = P.readByte();
+  if (P.failed() || SortByte > static_cast<uint8_t>(logic::Sort::BoolArray))
+    return false;
+  V.S = static_cast<logic::Sort>(SortByte);
+  V.I = P.readSigned();
+  V.ArrayDefault = P.readSigned();
+  uint64_t N = P.readVarint();
+  if (P.failed() || N > (1u << 20))
+    return false;
+  for (uint64_t I = 0; I < N; ++I) {
+    int64_t Idx = P.readSigned();
+    int64_t Elem = P.readSigned();
+    if (P.failed())
+      return false;
+    V.A[Idx] = Elem;
+  }
+  return true;
+}
+
+/// Frames one (key, result) record: length, checksum, payload.
+void serializeRecord(const std::string &Key, const CheckResult &R,
+                     std::vector<uint8_t> &Out) {
+  std::vector<uint8_t> Payload;
+  ByteWriter P(Payload);
+  P.writeString(Key);
+  P.writeByte(static_cast<uint8_t>(R.TheAnswer));
+  P.writeByte(R.ModelComplete ? 1 : 0);
+  P.writeVarint(R.Model.size());
+  // Model is a std::map, so iteration (and therefore the record bytes) is
+  // deterministic.
+  for (const auto &[Name, V] : R.Model) {
+    P.writeString(Name);
+    serializeValue(P, V);
+  }
+  ByteWriter F(Out);
+  F.writeU32(static_cast<uint32_t>(Payload.size()));
+  F.writeU64(fnv1a(Payload.data(), Payload.size()));
+  F.writeBytes(Payload.data(), Payload.size());
+}
+
+bool parsePayload(const uint8_t *Data, size_t Len, std::string &Key,
+                  CheckResult &R) {
+  ByteReader P(Data, Len);
+  if (!P.readString(Key, MaxPayload))
+    return false;
+  uint8_t AnswerByte = P.readByte();
+  uint8_t Complete = P.readByte();
+  if (P.failed() || AnswerByte > static_cast<uint8_t>(Answer::Unknown) ||
+      Complete > 1)
+    return false;
+  R.TheAnswer = static_cast<Answer>(AnswerByte);
+  R.ModelComplete = Complete != 0;
+  uint64_t NumVars = P.readVarint();
+  if (P.failed() || NumVars > (1u << 20))
+    return false;
+  for (uint64_t I = 0; I < NumVars; ++I) {
+    std::string Name;
+    logic::Value V;
+    if (!P.readString(Name) || !parseValue(P, V))
+      return false;
+    R.Model[Name] = V;
+  }
+  return !P.failed() && P.atEnd(); // trailing garbage = corrupt record
+}
+
+#ifndef _WIN32
+bool writeAll(int Fd, const uint8_t *Data, size_t Len) {
+  while (Len > 0) {
+    ssize_t N = ::write(Fd, Data, Len);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    Data += N;
+    Len -= static_cast<size_t>(N);
+  }
+  return true;
+}
+
+uint64_t inodeOf(int Fd) {
+  struct stat St;
+  return ::fstat(Fd, &St) == 0 ? static_cast<uint64_t>(St.st_ino) : 0;
+}
+
+uint64_t inodeOfPath(const std::string &Path) {
+  struct stat St;
+  return ::stat(Path.c_str(), &St) == 0 ? static_cast<uint64_t>(St.st_ino)
+                                        : 0;
+}
+#endif
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Open / load
+//===----------------------------------------------------------------------===//
+
+std::shared_ptr<QueryStore> QueryStore::open(const std::string &Dir,
+                                             const Options &Opts,
+                                             std::string *Error) {
+#ifdef _WIN32
+  if (Error)
+    *Error = "persistent query store is not supported on this platform";
+  return nullptr;
+#else
+  std::shared_ptr<QueryStore> Store(new QueryStore(Dir, Opts));
+  std::string Err;
+  if (!Store->initialize(&Err)) {
+    if (Error)
+      *Error = Err;
+    return nullptr;
+  }
+  return Store;
+#endif
+}
+
+std::shared_ptr<QueryStore>
+QueryStore::openReportingWarnings(const std::string &Dir, bool ReadOnly,
+                                  const std::string &Profile,
+                                  bool CacheEnabled) {
+  if (Dir.empty())
+    return nullptr;
+  if (!CacheEnabled) {
+    std::fprintf(stderr, "warning: --cache-dir requires the query cache; "
+                         "ignoring it because of --no-cache\n");
+    return nullptr;
+  }
+  Options Opts;
+  Opts.ReadOnly = ReadOnly;
+  Opts.Profile = Profile;
+  std::string Err;
+  std::shared_ptr<QueryStore> Store = open(Dir, Opts, &Err);
+  if (!Store)
+    std::fprintf(stderr, "warning: cannot open cache directory: %s "
+                         "(continuing without persistence)\n",
+                 Err.c_str());
+  else if (Store->stats().Degraded)
+    std::fprintf(stderr, "warning: cache directory %s: %s (starting cold)\n",
+                 Dir.c_str(), Store->stats().DegradedReason.c_str());
+  return Store;
+}
+
+QueryStore::~QueryStore() {
+#ifndef _WIN32
+  if (Fd >= 0)
+    ::close(Fd);
+#endif
+}
+
+#ifndef _WIN32
+
+bool QueryStore::initialize(std::string *Error) {
+  HeaderBytes = buildHeader(Opts.Profile);
+
+  std::error_code Ec;
+  if (!Opts.ReadOnly) {
+    std::filesystem::create_directories(Dir, Ec);
+    if (Ec) {
+      if (Error)
+        *Error = "cannot create cache directory " + Dir + ": " + Ec.message();
+      return false;
+    }
+  }
+
+  int Flags = Opts.ReadOnly ? O_RDONLY : (O_RDWR | O_CREAT | O_APPEND);
+  Fd = ::open(logPath().c_str(), Flags, 0644);
+  if (Fd < 0) {
+    if (Opts.ReadOnly && errno == ENOENT)
+      return true; // nothing cached yet: a valid, empty, read-only store
+    if (Error)
+      *Error = "cannot open " + logPath() + ": " + std::strerror(errno);
+    return false;
+  }
+
+  ::flock(Fd, Opts.ReadOnly ? LOCK_SH : LOCK_EX);
+  std::vector<uint8_t> Data;
+  bool ReadOk = readFileFrom(0, Data);
+  if (!ReadOk) {
+    ::flock(Fd, LOCK_UN);
+    if (Error)
+      *Error = "cannot read " + logPath();
+    return false;
+  }
+
+  if (Data.empty()) {
+    if (!Opts.ReadOnly) {
+      writeAll(Fd, reinterpret_cast<const uint8_t *>(HeaderBytes.data()),
+               HeaderBytes.size());
+      LoadedEnd = HeaderBytes.size();
+    }
+    LogInode = inodeOf(Fd);
+    ::flock(Fd, LOCK_UN);
+    return true;
+  }
+
+  std::string Reason;
+  size_t HeaderEnd = parseHeader(Data.data(), Data.size(), Opts.Profile,
+                                 Reason);
+  if (HeaderEnd == 0) {
+    // Foreign, damaged, or differently-versioned log: an empty cache, never
+    // an error. Writable opens rotate the old log aside (keeping it for
+    // forensics) and start a fresh one; read-only opens just serve misses.
+    TheStats.Degraded = true;
+    TheStats.DegradedReason = Reason;
+    if (Opts.ReadOnly) {
+      ::flock(Fd, LOCK_UN);
+      ::close(Fd);
+      Fd = -1;
+      return true;
+    }
+    std::filesystem::rename(logPath(), logPath() + ".bad", Ec);
+    ::flock(Fd, LOCK_UN);
+    ::close(Fd);
+    if (Ec) { // rotation failed: run without persistence rather than clobber
+      Fd = -1;
+      return true;
+    }
+    Fd = ::open(logPath().c_str(), O_RDWR | O_CREAT | O_APPEND, 0644);
+    if (Fd < 0)
+      return true; // degraded to memory-only
+    ::flock(Fd, LOCK_EX);
+    writeAll(Fd, reinterpret_cast<const uint8_t *>(HeaderBytes.data()),
+             HeaderBytes.size());
+    LoadedEnd = HeaderBytes.size();
+    LogInode = inodeOf(Fd);
+    ::flock(Fd, LOCK_UN);
+    return true;
+  }
+
+  LoadedEnd = loadRecords(Data.data(), Data.size(), HeaderEnd);
+  if (LoadedEnd < Data.size()) {
+    // Truncated or checksum-failing tail: everything before it is intact.
+    TheStats.Degraded = true;
+    TheStats.DegradedReason = "dropped damaged tail (" +
+                              std::to_string(Data.size() - LoadedEnd) +
+                              " bytes)";
+    if (!Opts.ReadOnly)
+      ::ftruncate(Fd, static_cast<off_t>(LoadedEnd));
+  }
+  LogInode = inodeOf(Fd);
+  ::flock(Fd, LOCK_UN);
+  return true;
+}
+
+size_t QueryStore::loadRecords(const uint8_t *Data, size_t Size,
+                               size_t BaseOffset) {
+  size_t Pos = BaseOffset;
+  while (Pos + FrameOverhead <= Size) {
+    ByteReader Frame(Data + Pos, FrameOverhead);
+    uint32_t Len = Frame.readU32();
+    uint64_t Sum = Frame.readU64();
+    if (Len > MaxPayload || Pos + FrameOverhead + Len > Size)
+      break; // truncated (possibly a record another process is mid-append)
+    const uint8_t *Payload = Data + Pos + FrameOverhead;
+    if (fnv1a(Payload, Len) != Sum)
+      break; // corruption: stop trusting the log from here on
+    std::string Key;
+    CheckResult R;
+    if (!parsePayload(Payload, Len, Key, R))
+      break;
+    Index.emplace(std::move(Key), std::move(R));
+    ++TheStats.RecordsLoaded;
+    Pos += FrameOverhead + Len;
+  }
+  return Pos;
+}
+
+bool QueryStore::readFileFrom(size_t Offset, std::vector<uint8_t> &Out) const {
+  Out.clear();
+  if (Fd < 0)
+    return false;
+  struct stat St;
+  if (::fstat(Fd, &St) != 0)
+    return false;
+  if (static_cast<size_t>(St.st_size) <= Offset)
+    return true;
+  size_t Len = static_cast<size_t>(St.st_size) - Offset;
+  Out.resize(Len);
+  size_t Done = 0;
+  while (Done < Len) {
+    ssize_t N = ::pread(Fd, Out.data() + Done, Len - Done,
+                        static_cast<off_t>(Offset + Done));
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    if (N == 0) { // file shrank under us; serve what we have
+      Out.resize(Done);
+      return true;
+    }
+    Done += static_cast<size_t>(N);
+  }
+  return true;
+}
+
+bool QueryStore::lockLiveLog(bool Exclusive) {
+  // flock is per-inode, so locking our fd is only meaningful if the path
+  // still names that inode — another process's compaction atomically
+  // renames a fresh file into place. Lock, check, and follow the rename
+  // (closing the dead fd releases its lock) until lock and inode agree.
+  for (int Tries = 0; Fd >= 0 && Tries < 8; ++Tries) {
+    ::flock(Fd, Exclusive ? LOCK_EX : LOCK_SH);
+    if (inodeOfPath(logPath()) == inodeOf(Fd)) {
+      LogInode = inodeOf(Fd);
+      return true;
+    }
+    ::flock(Fd, LOCK_UN);
+    ::close(Fd);
+    int Flags = Opts.ReadOnly ? O_RDONLY : (O_RDWR | O_CREAT | O_APPEND);
+    Fd = ::open(logPath().c_str(), Flags, 0644);
+    LoadedEnd = 0; // stale index bookkeeping: re-parse on the next refresh
+  }
+  if (Fd >= 0) // livelock guard tripped: keep the lock we hold
+    return true;
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Lookup / append / refresh / compact
+//===----------------------------------------------------------------------===//
+
+bool QueryStore::lookup(const std::string &Key, CheckResult &Out) {
+  std::shared_lock<std::shared_mutex> Lock(Mu);
+  Lookups.fetch_add(1, std::memory_order_relaxed);
+  auto It = Index.find(Key);
+  if (It == Index.end())
+    return false;
+  LookupHits.fetch_add(1, std::memory_order_relaxed);
+  Out = It->second;
+  return true;
+}
+
+void QueryStore::append(const std::string &Key, const CheckResult &R) {
+  // Serialize before taking Mu; wasted work only in the duplicate-key case,
+  // which the single-flight memo in front makes rare.
+  std::vector<uint8_t> Record;
+  serializeRecord(Key, R, Record);
+
+  std::unique_lock<std::shared_mutex> Lock(Mu);
+  if (!Index.emplace(Key, R).second)
+    return; // already cached (first answer wins)
+  if (Opts.ReadOnly || Fd < 0)
+    return;
+  // The flock + write stay under Mu because the fd bookkeeping
+  // (lockLiveLog may swap Fd) is Mu-guarded. Concurrent lookups therefore
+  // wait out each append — acceptable, since appends are one small buffered
+  // write per *distinct* formula (no fsync) and only the flock can stall,
+  // when another process is compacting.
+  if (lockLiveLog(/*Exclusive=*/true)) {
+    // O_APPEND positions every write at the true end of file, so whole
+    // records from cooperating processes interleave without tearing (the
+    // exclusive lock serializes the write itself).
+    if (writeAll(Fd, Record.data(), Record.size()))
+      ++TheStats.RecordsAppended;
+    ::flock(Fd, LOCK_UN);
+  }
+}
+
+void QueryStore::refresh() {
+  std::unique_lock<std::shared_mutex> Lock(Mu);
+  if (Fd < 0) {
+    if (!Opts.ReadOnly || TheStats.Degraded)
+      return;
+    // Read-only store whose log did not exist at open: it may by now.
+    Fd = ::open(logPath().c_str(), O_RDONLY, 0644);
+    if (Fd < 0)
+      return;
+    LogInode = inodeOf(Fd);
+    LoadedEnd = 0;
+  }
+  if (!lockLiveLog(/*Exclusive=*/false))
+    return;
+  refreshUnderLock();
+  ::flock(Fd, LOCK_UN);
+}
+
+void QueryStore::refreshUnderLock() {
+  std::vector<uint8_t> Data;
+  if (LoadedEnd == 0) {
+    // Fresh or replaced log: re-validate the header before trusting it.
+    if (readFileFrom(0, Data) && !Data.empty()) {
+      std::string Reason;
+      size_t HeaderEnd = parseHeader(Data.data(), Data.size(), Opts.Profile,
+                                     Reason);
+      if (HeaderEnd != 0)
+        LoadedEnd = loadRecords(Data.data(), Data.size(), HeaderEnd);
+      else {
+        TheStats.Degraded = true;
+        TheStats.DegradedReason = Reason;
+      }
+    }
+  } else if (readFileFrom(LoadedEnd, Data) && !Data.empty()) {
+    // LoadedEnd only ever advances past whole, checksummed records, so a
+    // partial tail another process is mid-writing is simply re-read later.
+    LoadedEnd += loadRecords(Data.data(), Data.size(), 0);
+  }
+}
+
+bool QueryStore::compact(std::string *Error) {
+  std::unique_lock<std::shared_mutex> Lock(Mu);
+  if (Opts.ReadOnly || Fd < 0) {
+    if (Error)
+      *Error = "store is read-only or detached";
+    return false;
+  }
+  if (!lockLiveLog(/*Exclusive=*/true)) {
+    if (Error)
+      *Error = "log disappeared during compaction";
+    return false;
+  }
+  // Merge everything other processes wrote since we last looked, so the
+  // rewrite never discards someone else's work (we hold the exclusive lock,
+  // so the set is stable from here to the rename). This handles both a
+  // tail of fresh appends and a whole new inode another compaction renamed
+  // into place (lockLiveLog then reset LoadedEnd to 0, and the full-reload
+  // branch re-parses the new log before we rewrite it).
+  refreshUnderLock();
+
+  std::vector<const std::string *> Keys;
+  Keys.reserve(Index.size());
+  for (const auto &[Key, R] : Index)
+    Keys.push_back(&Key);
+  std::sort(Keys.begin(), Keys.end(),
+            [](const std::string *A, const std::string *B) { return *A < *B; });
+
+  std::string TmpPath = logPath() + ".tmp." + std::to_string(::getpid());
+  int TmpFd = ::open(TmpPath.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (TmpFd < 0) {
+    ::flock(Fd, LOCK_UN);
+    if (Error)
+      *Error = "cannot create " + TmpPath + ": " + std::strerror(errno);
+    return false;
+  }
+  std::vector<uint8_t> Buf(HeaderBytes.begin(), HeaderBytes.end());
+  for (const std::string *Key : Keys)
+    serializeRecord(*Key, Index.at(*Key), Buf);
+  bool Ok = writeAll(TmpFd, Buf.data(), Buf.size()) && ::fsync(TmpFd) == 0;
+  ::close(TmpFd);
+  if (Ok && ::rename(TmpPath.c_str(), logPath().c_str()) != 0)
+    Ok = false;
+  if (!Ok) {
+    ::unlink(TmpPath.c_str());
+    ::flock(Fd, LOCK_UN);
+    if (Error)
+      *Error = "cannot write compacted log: " + std::string(strerror(errno));
+    return false;
+  }
+  // Swap our handle onto the new inode; the old fd's lock dies with it.
+  ::close(Fd);
+  Fd = ::open(logPath().c_str(), O_RDWR | O_CREAT | O_APPEND, 0644);
+  LogInode = Fd >= 0 ? inodeOf(Fd) : 0;
+  LoadedEnd = Buf.size();
+  return true;
+}
+
+#else // _WIN32 stubs (the store is POSIX-only; open() already refused)
+
+bool QueryStore::initialize(std::string *) { return false; }
+size_t QueryStore::loadRecords(const uint8_t *, size_t, size_t) { return 0; }
+bool QueryStore::readFileFrom(size_t, std::vector<uint8_t> &) const {
+  return false;
+}
+bool QueryStore::lockLiveLog(bool) { return false; }
+bool QueryStore::lookup(const std::string &, CheckResult &) { return false; }
+void QueryStore::append(const std::string &, const CheckResult &) {}
+void QueryStore::refresh() {}
+void QueryStore::refreshUnderLock() {}
+bool QueryStore::compact(std::string *) { return false; }
+
+#endif
+
+size_t QueryStore::size() const {
+  std::shared_lock<std::shared_mutex> Lock(Mu);
+  return Index.size();
+}
+
+StoreStats QueryStore::stats() const {
+  std::shared_lock<std::shared_mutex> Lock(Mu);
+  StoreStats S = TheStats;
+  S.Lookups = Lookups.load(std::memory_order_relaxed);
+  S.LookupHits = LookupHits.load(std::memory_order_relaxed);
+  return S;
+}

@@ -1,0 +1,179 @@
+//===- persist/QueryStore.h - Disk-backed solver query store ----*- C++ -*-===//
+//
+// Part of expresso-cpp, a reproduction of "Symbolic Reasoning for Automatic
+// Signal Placement" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The persistent tier of the two-tier solver cache: a disk-backed map from
+/// canonical term encodings (persist::TermCodec) to checkSat results, shared
+/// by concurrent workers in one process and by separate processes pointed at
+/// the same cache directory. Keys are context-free byte strings, so one
+/// store serves any number of TermContexts — the bench harness shares a
+/// single store across all 14 workloads' contexts.
+///
+/// On-disk layout (one directory):
+///
+///   queries.log   append-only record log
+///     header  := magic "XPRSQRYS", u32 version, profile string
+///     record* := u32 payloadLen, u64 fnv1a(payload), payload
+///     payload := key string (canonical term blob),
+///                u8 answer, u8 modelComplete,
+///                varint numVars, numVars * (name, u8 sort, svarint int,
+///                  svarint arrayDefault, varint n, n * (svarint, svarint))
+///
+/// The `profile` string names the answering backend ("mini", "z3", ...).
+/// Cached answers are only meaningful relative to a deterministic backend;
+/// opening a store whose profile differs from the caller's starts over
+/// (writable mode rotates the old log aside; read-only mode loads nothing),
+/// so one directory never mixes answers from different solvers and a warm
+/// run's Σ stays byte-identical to the cold run that filled the cache.
+///
+/// Durability and concurrency:
+///  * The whole log is parsed into an in-memory index at open; lookups are
+///    map probes under a shared lock.
+///  * Appends take the process mutex plus an advisory flock(LOCK_EX) on the
+///    log, write one framed record, and release — so any number of
+///    cooperating processes can interleave whole records safely
+///    (single-writer at a time, multi-reader always).
+///  * Compaction rewrites the deduplicated index to a temp file and
+///    atomically renames it over the log while holding the exclusive lock.
+///    Writers detect the inode swap on their next append and reopen.
+///  * Corruption fails *closed but soft*: a bad magic/version/profile means
+///    an empty cache, a truncated or checksum-failing record ends the load
+///    at the last good record (writable opens truncate the garbage tail).
+///    No corruption can surface as a wrong answer — a record either
+///    checksums clean or is never served.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXPRESSO_PERSIST_QUERYSTORE_H
+#define EXPRESSO_PERSIST_QUERYSTORE_H
+
+#include "solver/SmtSolver.h"
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+
+namespace expresso {
+namespace persist {
+
+/// Counters and health of one QueryStore handle.
+struct StoreStats {
+  uint64_t RecordsLoaded = 0;   ///< records read from disk (open + refresh)
+  uint64_t RecordsAppended = 0; ///< records this handle wrote
+  uint64_t Lookups = 0;
+  uint64_t LookupHits = 0;
+  bool Degraded = false;        ///< open found a damaged/mismatched log
+  std::string DegradedReason;   ///< human-readable cause when Degraded
+};
+
+/// A disk-backed query cache directory. Thread-safe; open one handle per
+/// process and share it (the two-tier CachingSolver keeps it behind its
+/// in-memory memo, so the store only sees first-ask traffic).
+class QueryStore {
+public:
+  struct Options {
+    bool ReadOnly = false;
+    /// Backend identity the cached answers belong to (e.g. "mini").
+    std::string Profile = "default";
+  };
+
+  /// Opens (creating if needed and writable) the store in \p Dir. Returns
+  /// null only when the directory or log cannot be created/opened at all —
+  /// damaged content degrades to an empty cache instead (see stats()).
+  /// \p Error receives a diagnostic on null returns.
+  static std::shared_ptr<QueryStore> open(const std::string &Dir,
+                                          const Options &Opts,
+                                          std::string *Error = nullptr);
+
+  /// The open() wrapper shared by every cache-dir surface (CLI, bench
+  /// harness): prints a warning to stderr — and returns null or a degraded
+  /// empty store — instead of failing, so a bad cache directory never stops
+  /// an analysis. \p CacheEnabled gates the whole thing: a --no-cache run
+  /// warns that --cache-dir is ignored (the persistent tier sits behind the
+  /// in-memory memo) and returns null.
+  static std::shared_ptr<QueryStore>
+  openReportingWarnings(const std::string &Dir, bool ReadOnly,
+                        const std::string &Profile, bool CacheEnabled);
+
+  ~QueryStore();
+  QueryStore(const QueryStore &) = delete;
+  QueryStore &operator=(const QueryStore &) = delete;
+
+  /// Looks up a canonical term key. On hit copies the stored result into
+  /// \p Out and returns true.
+  bool lookup(const std::string &Key, solver::CheckResult &Out);
+
+  /// Inserts and persists one result. Duplicate keys are dropped (first
+  /// answer wins — with a deterministic backend they are identical anyway).
+  /// No-op in read-only mode (the in-memory index still absorbs the entry
+  /// so repeated asks within this process stay hits).
+  void append(const std::string &Key, const solver::CheckResult &R);
+
+  /// Re-reads any records other processes appended since open/last refresh.
+  void refresh();
+
+  /// Rewrites the log as the deduplicated in-memory index (sorted by key,
+  /// so compaction output is canonical) and atomically renames it into
+  /// place. Returns false (with \p Error) when writing fails; the original
+  /// log is untouched in that case. No-op in read-only mode.
+  bool compact(std::string *Error = nullptr);
+
+  bool readOnly() const { return Opts.ReadOnly; }
+  const std::string &directory() const { return Dir; }
+  const std::string &profile() const { return Opts.Profile; }
+  size_t size() const;
+  StoreStats stats() const;
+
+private:
+  QueryStore(std::string Dir, const Options &Opts) : Dir(std::move(Dir)),
+                                                     Opts(Opts) {}
+
+  std::string logPath() const { return Dir + "/queries.log"; }
+
+  /// Opens/creates the log file and loads every valid record. Requires no
+  /// locks held; called once from open().
+  bool initialize(std::string *Error);
+  /// Parses records from \p Data, merging new keys into the index. Returns
+  /// the offset just past the last well-formed record.
+  size_t loadRecords(const uint8_t *Data, size_t Size, size_t BaseOffset);
+  /// Reads [Offset, EOF) of the log into \p Out. Returns false on I/O error.
+  bool readFileFrom(size_t Offset, std::vector<uint8_t> &Out) const;
+  /// Merges unseen log content into the index: the not-yet-parsed tail, or
+  /// — when lockLiveLog reset LoadedEnd after following a rename — the
+  /// whole (re-validated) log. Requires Mu exclusive and the flock held.
+  void refreshUnderLock();
+  /// Takes the advisory flock on the inode the log *path* currently names,
+  /// following atomic-rename compactions by other processes (closing a
+  /// superseded fd on the way). On true the caller holds the lock on the
+  /// live log and must flock(LOCK_UN) it; on false there is no usable log.
+  /// Caller holds Mu exclusively.
+  bool lockLiveLog(bool Exclusive);
+
+  std::string Dir;
+  Options Opts;
+
+  mutable std::shared_mutex Mu; ///< guards Index, Stats, fd bookkeeping
+  std::unordered_map<std::string, solver::CheckResult> Index;
+  StoreStats TheStats; ///< all fields written under exclusive Mu …
+  /// … except the lookup counters, which concurrent shared-lock readers
+  /// bump and are therefore atomics.
+  std::atomic<uint64_t> Lookups{0};
+  std::atomic<uint64_t> LookupHits{0};
+
+  int Fd = -1;               ///< log fd (O_APPEND when writable)
+  uint64_t LogInode = 0;     ///< inode at open, for replace detection
+  size_t LoadedEnd = 0;      ///< offset just past the last record we parsed
+  std::string HeaderBytes;   ///< serialized header (rewritten on rotate)
+};
+
+} // namespace persist
+} // namespace expresso
+
+#endif // EXPRESSO_PERSIST_QUERYSTORE_H

@@ -1,0 +1,202 @@
+//===- persist/TermCodec.cpp - Canonical binary term serialization ------------===//
+//
+// Part of expresso-cpp, a reproduction of "Symbolic Reasoning for Automatic
+// Signal Placement" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+
+#include "persist/TermCodec.h"
+
+#include <unordered_map>
+
+using namespace expresso;
+using namespace expresso::persist;
+using namespace expresso::logic;
+
+uint64_t persist::fnv1a(const uint8_t *Data, size_t Len, uint64_t Seed) {
+  uint64_t H = Seed;
+  for (size_t I = 0; I < Len; ++I)
+    H = (H ^ Data[I]) * 0x100000001b3ULL;
+  return H;
+}
+
+void TermWriter::write(const Term *T) {
+  // DFS post-order over the DAG, each distinct node once. The visit order —
+  // and therefore every node index — is fully determined by the term's own
+  // operand order, which is canonical by construction (commutative operands
+  // are sorted at intern time), so the blob is reproducible across
+  // processes.
+  std::vector<const Term *> Order;
+  std::unordered_map<const Term *, uint32_t> Index;
+  std::vector<std::pair<const Term *, unsigned>> Stack; // (node, next child)
+  Stack.emplace_back(T, 0);
+  while (!Stack.empty()) {
+    auto &[Node, Child] = Stack.back();
+    if (Index.count(Node)) {
+      Stack.pop_back();
+      continue;
+    }
+    if (Child < Node->numOperands()) {
+      const Term *Op = Node->operand(Child++);
+      if (!Index.count(Op))
+        Stack.emplace_back(Op, 0);
+      continue;
+    }
+    Index.emplace(Node, static_cast<uint32_t>(Order.size()));
+    Order.push_back(Node);
+    Stack.pop_back();
+  }
+
+  B.writeVarint(Order.size());
+  for (const Term *Node : Order) {
+    B.writeByte(static_cast<uint8_t>(Node->kind()));
+    B.writeByte(static_cast<uint8_t>(Node->sort()));
+    // IntVal carries the payload of constants and Divides; every other kind
+    // stores 0. Reading it straight off the node (rather than via the
+    // asserting accessors) keeps the writer total.
+    int64_t IntVal = 0;
+    if (Node->isIntConst() || Node->isBoolConst())
+      IntVal = Node->intValue();
+    else if (Node->kind() == TermKind::Divides)
+      IntVal = Node->intValue();
+    B.writeSigned(IntVal);
+    B.writeString(Node->isVar() ? Node->varName() : std::string());
+    B.writeVarint(Node->numOperands());
+    for (const Term *Op : Node->operands())
+      B.writeVarint(Index.at(Op));
+  }
+}
+
+namespace {
+
+bool validSort(uint8_t S) { return S <= static_cast<uint8_t>(Sort::BoolArray); }
+bool validKind(uint8_t K) { return K <= static_cast<uint8_t>(TermKind::Or); }
+bool isArraySort(Sort S) {
+  return S == Sort::IntArray || S == Sort::BoolArray;
+}
+
+/// Shape validation mirroring the invariants the smart constructors
+/// guarantee. Anything that fails here could only come from a corrupted (or
+/// hostile) blob; rejecting it keeps every decoded term safe to hand to the
+/// printer, evaluator, and solvers, whose assertions assume these shapes.
+bool validNode(TermKind K, Sort S, int64_t IntVal, const std::string &Name,
+               const std::vector<const Term *> &Ops) {
+  // Only variables carry a name; only constants and Divides carry IntVal.
+  if (K != TermKind::Var && !Name.empty())
+    return false;
+  if (K != TermKind::IntConst && K != TermKind::BoolConst &&
+      K != TermKind::Divides && IntVal != 0)
+    return false;
+  auto AllInt = [&] {
+    for (const Term *Op : Ops)
+      if (Op->sort() != Sort::Int)
+        return false;
+    return true;
+  };
+  auto AllBool = [&] {
+    for (const Term *Op : Ops)
+      if (Op->sort() != Sort::Bool)
+        return false;
+    return true;
+  };
+  switch (K) {
+  case TermKind::IntConst:
+    return S == Sort::Int && Ops.empty();
+  case TermKind::BoolConst:
+    return S == Sort::Bool && Ops.empty() && (IntVal == 0 || IntVal == 1);
+  case TermKind::Var:
+    return Ops.empty() && !Name.empty();
+  case TermKind::Add:
+    return S == Sort::Int && Ops.size() >= 2 && AllInt();
+  case TermKind::Mul:
+    return S == Sort::Int && Ops.size() == 2 && Ops[0]->isIntConst() &&
+           Ops[1]->sort() == Sort::Int;
+  case TermKind::Ite:
+    return Ops.size() == 3 && Ops[0]->sort() == Sort::Bool &&
+           Ops[1]->sort() == S && Ops[2]->sort() == S && S != Sort::Bool;
+  case TermKind::Select:
+    return Ops.size() == 2 && isArraySort(Ops[0]->sort()) &&
+           Ops[1]->sort() == Sort::Int && S == elementSort(Ops[0]->sort());
+  case TermKind::Store:
+    return Ops.size() == 3 && isArraySort(Ops[0]->sort()) &&
+           S == Ops[0]->sort() && Ops[1]->sort() == Sort::Int &&
+           Ops[2]->sort() == elementSort(Ops[0]->sort());
+  case TermKind::Eq:
+    return S == Sort::Bool && Ops.size() == 2 &&
+           Ops[0]->sort() == Ops[1]->sort() && !isArraySort(Ops[0]->sort());
+  case TermKind::Le:
+  case TermKind::Lt:
+    return S == Sort::Bool && Ops.size() == 2 && AllInt();
+  case TermKind::Divides:
+    return S == Sort::Bool && Ops.size() == 1 && AllInt() && IntVal >= 2;
+  case TermKind::Not:
+    return S == Sort::Bool && Ops.size() == 1 && AllBool();
+  case TermKind::And:
+  case TermKind::Or:
+    return S == Sort::Bool && Ops.size() >= 2 && AllBool();
+  }
+  return false;
+}
+
+} // namespace
+
+const Term *TermReader::read() {
+  uint64_t Count = B.readVarint();
+  if (B.failed() || Count == 0 || Count > (1u << 24)) {
+    B.poison();
+    return nullptr;
+  }
+  std::vector<const Term *> Nodes;
+  Nodes.reserve(static_cast<size_t>(Count));
+  for (uint64_t I = 0; I < Count; ++I) {
+    uint8_t KindByte = B.readByte();
+    uint8_t SortByte = B.readByte();
+    int64_t IntVal = B.readSigned();
+    std::string Name;
+    B.readString(Name);
+    // Operands may repeat (x + x is one node with two references to x), so
+    // NumOps is bounded for sanity only; each reference is checked below.
+    uint64_t NumOps = B.readVarint();
+    if (B.failed() || !validKind(KindByte) || !validSort(SortByte) ||
+        NumOps > (1u << 20)) {
+      B.poison();
+      return nullptr;
+    }
+    std::vector<const Term *> Ops;
+    Ops.reserve(static_cast<size_t>(NumOps));
+    for (uint64_t OpI = 0; OpI < NumOps; ++OpI) {
+      uint64_t Ref = B.readVarint();
+      if (B.failed() || Ref >= I) { // back-references only: DAG, no cycles
+        B.poison();
+        return nullptr;
+      }
+      Ops.push_back(Nodes[static_cast<size_t>(Ref)]);
+    }
+    TermKind K = static_cast<TermKind>(KindByte);
+    Sort S = static_cast<Sort>(SortByte);
+    if (!validNode(K, S, IntVal, Name, Ops)) {
+      B.poison();
+      return nullptr;
+    }
+    // A variable already interned at a different sort means this blob
+    // belongs to an incompatible term universe: fail rather than trip the
+    // re-declaration assertion inside TermContext::var.
+    if (K == TermKind::Var) {
+      if (const Term *Existing = C.lookupVar(Name))
+        if (Existing->sort() != S) {
+          B.poison();
+          return nullptr;
+        }
+    }
+    Nodes.push_back(C.internRaw(K, S, IntVal, std::move(Name),
+                                std::move(Ops)));
+  }
+  return Nodes.back();
+}
+
+std::string persist::encodeTermKey(const Term *T) {
+  std::vector<uint8_t> Buf;
+  ByteWriter B(Buf);
+  TermWriter(B).write(T);
+  return std::string(reinterpret_cast<const char *>(Buf.data()), Buf.size());
+}

@@ -1,0 +1,231 @@
+//===- persist/TermCodec.h - Canonical binary term serialization *- C++ -*-===//
+//
+// Part of expresso-cpp, a reproduction of "Symbolic Reasoning for Automatic
+// Signal Placement" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Canonical binary serialization for `logic::Term` DAGs, the foundation of
+/// the cross-process solver cache (persist::QueryStore). The encoding is a
+/// *pure function of term structure*: node kinds, sorts, payloads, variable
+/// names, and operand order — never pointer values, creation ids, or intern
+/// order. Two structurally equal terms, built in different TermContexts or
+/// different processes, serialize to identical bytes, so the byte string
+/// doubles as a context-free cache key (encodeTermKey).
+///
+/// Format of one term blob (all integers LEB128 varints; signed values
+/// zigzag-encoded):
+///
+///   varint nodeCount                       (>= 1)
+///   node*  := u8 kind, u8 sort, svarint intVal,
+///             varint nameLen, nameLen bytes,
+///             varint numOps, numOps * varint opIndex
+///
+/// Nodes appear in DFS post-order from the root (operands before users,
+/// each distinct node once), operand references are indices into the node
+/// sequence (strictly smaller than the referencing node's own index, making
+/// cycles unrepresentable), and the root is the last node. DFS order is
+/// determined by the term's own operand order, which the smart constructors
+/// already canonicalize (commutative operands sorted, sums flattened), so
+/// the whole blob is deterministic.
+///
+/// TermReader re-interns through a TermContext (TermContext::internRaw) so
+/// loaded terms are first-class hash-consed terms: decoding a blob into the
+/// context that produced it returns the original pointers, and decoding
+/// into a fresh context yields terms with identical structural hashes.
+/// Every read validates shape invariants (operand arity, sorts, variable
+/// sort consistency) and fails closed — a malformed blob yields null, never
+/// a malformed term.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXPRESSO_PERSIST_TERMCODEC_H
+#define EXPRESSO_PERSIST_TERMCODEC_H
+
+#include "logic/Term.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace expresso {
+namespace persist {
+
+/// Version of the canonical term encoding (and of the QueryStore record
+/// format built on top of it). Bump on any byte-level change; the store
+/// treats a version mismatch as an empty cache.
+constexpr uint32_t CodecVersion = 1;
+
+//===----------------------------------------------------------------------===//
+// Byte-level primitives
+//===----------------------------------------------------------------------===//
+
+/// Append-only byte sink with LEB128 varint helpers.
+class ByteWriter {
+public:
+  explicit ByteWriter(std::vector<uint8_t> &Out) : Out(Out) {}
+
+  void writeByte(uint8_t B) { Out.push_back(B); }
+  void writeBytes(const void *Data, size_t Len) {
+    const uint8_t *P = static_cast<const uint8_t *>(Data);
+    Out.insert(Out.end(), P, P + Len);
+  }
+  void writeVarint(uint64_t V) {
+    while (V >= 0x80) {
+      Out.push_back(static_cast<uint8_t>(V) | 0x80);
+      V >>= 7;
+    }
+    Out.push_back(static_cast<uint8_t>(V));
+  }
+  /// Zigzag-encoded signed varint.
+  void writeSigned(int64_t V) {
+    writeVarint((static_cast<uint64_t>(V) << 1) ^
+                static_cast<uint64_t>(V >> 63));
+  }
+  void writeString(const std::string &S) {
+    writeVarint(S.size());
+    writeBytes(S.data(), S.size());
+  }
+  /// Fixed-width little-endian u32 (record framing, not varint, so a
+  /// truncated length field is detectable by size alone).
+  void writeU32(uint32_t V) {
+    for (int I = 0; I < 4; ++I)
+      Out.push_back(static_cast<uint8_t>(V >> (8 * I)));
+  }
+  void writeU64(uint64_t V) {
+    for (int I = 0; I < 8; ++I)
+      Out.push_back(static_cast<uint8_t>(V >> (8 * I)));
+  }
+
+private:
+  std::vector<uint8_t> &Out;
+};
+
+/// Bounds-checked cursor over a byte buffer. All read* methods fail closed:
+/// after the first malformed/truncated read, failed() is sticky and every
+/// subsequent read returns a zero value.
+class ByteReader {
+public:
+  ByteReader(const uint8_t *Data, size_t Size) : Data(Data), Size(Size) {}
+
+  bool failed() const { return Failed; }
+  bool atEnd() const { return Pos >= Size; }
+  size_t position() const { return Pos; }
+
+  uint8_t readByte() {
+    if (Failed || Pos >= Size)
+      return fail();
+    return Data[Pos++];
+  }
+  uint64_t readVarint() {
+    uint64_t V = 0;
+    for (unsigned Shift = 0; Shift < 64; Shift += 7) {
+      if (Failed || Pos >= Size)
+        return fail();
+      uint8_t B = Data[Pos++];
+      V |= static_cast<uint64_t>(B & 0x7f) << Shift;
+      if (!(B & 0x80))
+        return V;
+    }
+    return fail(); // overlong encoding
+  }
+  int64_t readSigned() {
+    uint64_t Z = readVarint();
+    return static_cast<int64_t>((Z >> 1) ^ (~(Z & 1) + 1));
+  }
+  bool readString(std::string &Out, size_t MaxLen = 1 << 20) {
+    uint64_t Len = readVarint();
+    if (Failed || Len > MaxLen || Pos + Len > Size) {
+      fail();
+      return false;
+    }
+    Out.assign(reinterpret_cast<const char *>(Data + Pos),
+               static_cast<size_t>(Len));
+    Pos += static_cast<size_t>(Len);
+    return true;
+  }
+  uint32_t readU32() {
+    if (Failed || Pos + 4 > Size)
+      return static_cast<uint32_t>(fail());
+    uint32_t V = 0;
+    for (int I = 0; I < 4; ++I)
+      V |= static_cast<uint32_t>(Data[Pos++]) << (8 * I);
+    return V;
+  }
+  uint64_t readU64() {
+    if (Failed || Pos + 8 > Size)
+      return fail();
+    uint64_t V = 0;
+    for (int I = 0; I < 8; ++I)
+      V |= static_cast<uint64_t>(Data[Pos++]) << (8 * I);
+    return V;
+  }
+  /// Skips \p Len bytes; fails when they are not there. (Len is checked
+  /// against the remainder, not added to Pos, so huge values cannot wrap.)
+  void skip(size_t Len) {
+    if (Failed || Len > Size - Pos)
+      fail();
+    else
+      Pos += Len;
+  }
+
+  /// Marks the stream failed; all subsequent reads return zero. Used by
+  /// higher-level decoders to reject structurally invalid input.
+  void poison() { Failed = true; }
+
+private:
+  uint64_t fail() {
+    Failed = true;
+    return 0;
+  }
+  const uint8_t *Data;
+  size_t Size;
+  size_t Pos = 0;
+  bool Failed = false;
+};
+
+/// FNV-1a 64-bit over a byte range; the content checksum of store records.
+uint64_t fnv1a(const uint8_t *Data, size_t Len,
+               uint64_t Seed = 0xcbf29ce484222325ULL);
+
+//===----------------------------------------------------------------------===//
+// Term serialization
+//===----------------------------------------------------------------------===//
+
+/// Serializes terms as self-contained canonical blobs (see file comment).
+class TermWriter {
+public:
+  explicit TermWriter(ByteWriter &B) : B(B) {}
+
+  /// Appends the canonical blob for \p T.
+  void write(const logic::Term *T);
+
+private:
+  ByteWriter &B;
+};
+
+/// Deserializes canonical blobs, re-interning every node through
+/// \p C (TermContext::internRaw) with full shape validation.
+class TermReader {
+public:
+  TermReader(logic::TermContext &C, ByteReader &B) : C(C), B(B) {}
+
+  /// Reads one term blob. Returns null (and poisons the underlying
+  /// ByteReader) when the input is truncated or structurally invalid.
+  const logic::Term *read();
+
+private:
+  logic::TermContext &C;
+  ByteReader &B;
+};
+
+/// The canonical blob of \p T as a string — the context-free cache key used
+/// by persist::QueryStore. Structurally equal terms from any context (or
+/// process) produce identical keys.
+std::string encodeTermKey(const logic::Term *T);
+
+} // namespace persist
+} // namespace expresso
+
+#endif // EXPRESSO_PERSIST_TERMCODEC_H

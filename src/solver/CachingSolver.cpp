@@ -7,6 +7,9 @@
 
 #include "solver/CachingSolver.h"
 
+#include "persist/QueryStore.h"
+#include "persist/TermCodec.h"
+
 using namespace expresso;
 using namespace expresso::solver;
 using namespace expresso::logic;
@@ -57,7 +60,23 @@ CheckResult CachingSolver::lookupOrCompute(const Term *F,
   // deterministically reproduce it, so caching Unknown too avoids pointless
   // repeat work.
   try {
-    Promise.set_value(ComputeBackend.checkSat(F));
+    CheckResult R;
+    if (persist::QueryStore *QS = Store.get()) {
+      // Second tier: probe the persistent store by canonical encoding.
+      // Only the single-flight owner reaches here, so the disk counters
+      // are exactly the per-distinct-formula found/not-found totals.
+      std::string Key = persist::encodeTermKey(F);
+      if (QS->lookup(Key, R)) {
+        DiskHits.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        DiskMisses.fetch_add(1, std::memory_order_relaxed);
+        R = ComputeBackend.checkSat(F);
+        QS->append(Key, R); // no-op when the store is read-only
+      }
+    } else {
+      R = ComputeBackend.checkSat(F);
+    }
+    Promise.set_value(std::move(R));
   } catch (...) {
     // Unpoison the entry so a later ask retries, and propagate the error to
     // any concurrent waiters before rethrowing to our caller.

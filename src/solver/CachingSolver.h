@@ -31,6 +31,16 @@
 /// thread-safe); they attach via makeSession(), which pairs the shared memo
 /// table with a private backend instance for cache misses.
 ///
+/// Two-tier operation: when a persist::QueryStore is attached
+/// (attachStore), the sharded memo stays in front and the disk store sits
+/// behind it — a memo miss probes the store by the formula's canonical
+/// serialization (persist::TermCodec) before falling through to the
+/// backend, and backend answers are written through so the next process
+/// starts warm. Worker sessions inherit the store automatically (they
+/// funnel through the shared lookupOrCompute), and per-tier hit/miss
+/// counters stay deterministic because only the single-flight owner of a
+/// formula ever touches the persistent tier.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef EXPRESSO_SOLVER_CACHINGSOLVER_H
@@ -42,21 +52,38 @@
 #include <array>
 #include <atomic>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <unordered_map>
 #include <vector>
 
 namespace expresso {
+namespace persist {
+class QueryStore;
+}
 namespace solver {
 
-/// Hit/miss accounting snapshot for one CachingSolver.
+/// Hit/miss accounting snapshot for one CachingSolver, per tier: the
+/// in-memory memo (Hits/Misses) and, when a persist::QueryStore is
+/// attached, the persistent tier behind it (DiskHits/DiskMisses). Every
+/// memo miss becomes exactly one disk lookup, so DiskHits + DiskMisses ==
+/// Misses when a store is attached and 0 otherwise — and all four counters
+/// are deterministic under any parallel interleaving (single-flight memo
+/// entries mean one owner per distinct formula).
 struct CacheStats {
   uint64_t Hits = 0;
   uint64_t Misses = 0;
+  uint64_t DiskHits = 0;   ///< memo misses answered by the persistent store
+  uint64_t DiskMisses = 0; ///< memo misses that had to hit the backend
 
   uint64_t lookups() const { return Hits + Misses; }
   double hitRate() const {
     return lookups() == 0 ? 0.0 : static_cast<double>(Hits) / lookups();
+  }
+  uint64_t diskLookups() const { return DiskHits + DiskMisses; }
+  double diskHitRate() const {
+    return diskLookups() == 0 ? 0.0
+                              : static_cast<double>(DiskHits) / diskLookups();
   }
 };
 
@@ -86,6 +113,17 @@ public:
 
   std::string name() const override { return "cache(" + Backend->name() + ")"; }
 
+  /// Attaches (or detaches, with null) a persistent store as the second
+  /// tier: memo misses first probe the store by the formula's canonical
+  /// encoding; store misses are computed on the backend and written through
+  /// (unless the store is read-only). The store outlives any formula this
+  /// solver caches and may be shared by several CachingSolvers across
+  /// different TermContexts — keys are context-free byte strings.
+  void attachStore(std::shared_ptr<persist::QueryStore> Store) {
+    this->Store = std::move(Store);
+  }
+  persist::QueryStore *store() const { return Store.get(); }
+
   /// A per-worker handle onto this memo table. The session shares (and
   /// populates) the cache but discharges misses on \p WorkerBackend, which
   /// it owns — so placement workers never touch the primary backend. The
@@ -94,12 +132,14 @@ public:
   std::unique_ptr<SmtSolver>
   makeSession(std::unique_ptr<SmtSolver> WorkerBackend);
 
-  /// Snapshot of the hit/miss counters (atomics read relaxed; exact once
-  /// concurrent queries have drained).
+  /// Snapshot of the per-tier hit/miss counters (atomics read relaxed;
+  /// exact once concurrent queries have drained).
   CacheStats stats() const {
     CacheStats S;
     S.Hits = Hits.load(std::memory_order_relaxed);
     S.Misses = Misses.load(std::memory_order_relaxed);
+    S.DiskHits = DiskHits.load(std::memory_order_relaxed);
+    S.DiskMisses = DiskMisses.load(std::memory_order_relaxed);
     return S;
   }
   size_t cacheSize() const;
@@ -127,9 +167,12 @@ private:
 
   std::unique_ptr<SmtSolver> Owned; ///< null when decorating a borrowed ref
   SmtSolver *Backend = nullptr;
+  std::shared_ptr<persist::QueryStore> Store; ///< second tier; may be null
   std::array<Shard, NumShards> Shards;
   std::atomic<uint64_t> Hits{0};
   std::atomic<uint64_t> Misses{0};
+  std::atomic<uint64_t> DiskHits{0};
+  std::atomic<uint64_t> DiskMisses{0};
 };
 
 /// Builds the per-worker solver handles for a parallel fan-out: one private

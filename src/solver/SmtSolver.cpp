@@ -103,6 +103,8 @@ std::unique_ptr<SmtSolver> createZ3Backend(TermContext &C);
 } // namespace solver
 } // namespace expresso
 
+std::string solver::defaultSolverName() { return hasZ3() ? "z3" : "mini"; }
+
 SolverKind solver::parseSolverKind(const std::string &Name) {
   if (Name == "mini")
     return SolverKind::Mini;

@@ -92,6 +92,11 @@ enum class SolverKind { Mini, Z3, Default, CrossCheck };
 /// True when this build has the Z3 backend compiled in.
 bool hasZ3();
 
+/// The name() of the backend SolverKind::Default resolves to in this build
+/// ("z3" or "mini") — computable without minting a backend. Used to key the
+/// persistent query cache to the answering solver.
+std::string defaultSolverName();
+
 /// Creates the requested backend. `Default` prefers Z3 (the paper's solver)
 /// and falls back to MiniSmt. Returns nullptr only for SolverKind::Z3 in a
 /// build without Z3.

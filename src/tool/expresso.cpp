@@ -21,6 +21,7 @@
 #include "core/SignalPlacement.h"
 #include "frontend/Parser.h"
 #include "logic/Printer.h"
+#include "persist/QueryStore.h"
 #include "support/ThreadPool.h"
 #include "support/Timer.h"
 
@@ -52,6 +53,10 @@ void printUsage() {
       "  --no-commutativity           disable the §4.3 weakening\n"
       "  --no-lazy-broadcast          emit eager signalAll broadcasts\n"
       "  --no-cache                   disable solver query memoization\n"
+      "  --cache-dir=DIR              persist solver answers in DIR and\n"
+      "                               reuse answers cached by earlier runs\n"
+      "                               (shared safely across processes)\n"
+      "  --cache-readonly             consult --cache-dir but never write it\n"
       "  --jobs N                     placement worker threads (also\n"
       "                               --jobs=N; \"auto\" = one per core;\n"
       "                               default 1 = serial)\n");
@@ -72,6 +77,8 @@ int main(int Argc, char **Argv) {
   std::string SolverName = "default";
   std::string BenchName;
   std::string InputPath;
+  std::string CacheDir;
+  bool CacheReadOnly = false;
   core::PlacementOptions Options;
   bool ListBenchmarks = false;
 
@@ -93,6 +100,10 @@ int main(int Argc, char **Argv) {
       Options.LazyBroadcast = false;
     } else if (std::strcmp(Arg, "--no-cache") == 0) {
       Options.CacheQueries = false;
+    } else if (std::strncmp(Arg, "--cache-dir=", 12) == 0) {
+      CacheDir = Arg + 12;
+    } else if (std::strcmp(Arg, "--cache-readonly") == 0) {
+      CacheReadOnly = true;
     } else if (std::strncmp(Arg, "--jobs=", 7) == 0 ||
                std::strcmp(Arg, "--jobs") == 0) {
       const char *Value = Arg[6] == '=' ? Arg + 7
@@ -177,7 +188,25 @@ int main(int Argc, char **Argv) {
   }
   // Each placement worker gets its own backend of the same kind.
   Options.WorkerSolvers = solver::SolverFactory(Kind);
-  core::PlacementResult Result = core::placeSignals(C, *Sema, *Solver, Options);
+
+  // Two-tier cache: wrap the backend in the sharded memo here (placeSignals
+  // reuses an existing CachingSolver instead of stacking a second layer)
+  // and hang the persistent store behind it. The store is keyed per backend
+  // profile, so a directory warmed by --solver=mini never answers for z3.
+  std::shared_ptr<persist::QueryStore> Store =
+      persist::QueryStore::openReportingWarnings(
+          CacheDir, CacheReadOnly, Solver->name(), Options.CacheQueries);
+  std::unique_ptr<solver::CachingSolver> Cache;
+  if (Options.CacheQueries) {
+    Cache = solver::CachingSolver::create(C, std::move(Solver));
+    if (Cache && Store)
+      Cache->attachStore(Store);
+  }
+  solver::SmtSolver &PlacementSolver =
+      Cache ? static_cast<solver::SmtSolver &>(*Cache) : *Solver;
+
+  core::PlacementResult Result =
+      core::placeSignals(C, *Sema, PlacementSolver, Options);
   double Elapsed = Timer.elapsedSeconds();
 
   if (EmitKind == "cpp") {
@@ -189,14 +218,25 @@ int main(int Argc, char **Argv) {
   } else {
     std::fputs(Result.summary().c_str(), stdout);
     std::printf("\nstatistics:\n");
-    std::printf("  solver backend:       %s\n", Solver->name().c_str());
+    std::printf("  solver backend:       %s\n",
+                PlacementSolver.name().c_str());
     std::printf("  hoare checks:         %zu\n", Result.Stats.HoareChecks);
     std::printf("  solver queries:       %zu\n", Result.Stats.SolverQueries);
-    if (Options.CacheQueries)
-      std::printf("  query cache:          %llu hits / %llu misses (%.0f%%)\n",
-                  static_cast<unsigned long long>(Result.Stats.Cache.Hits),
-                  static_cast<unsigned long long>(Result.Stats.Cache.Misses),
-                  Result.Stats.Cache.hitRate() * 100);
+    // Cache counters print in every configuration: a --no-cache run shows
+    // uniform zeros instead of dropping the lines, keeping the output
+    // schema stable for diffing and scripts.
+    std::printf("  query cache:          %llu hits / %llu misses (%.0f%%)%s\n",
+                static_cast<unsigned long long>(Result.Stats.Cache.Hits),
+                static_cast<unsigned long long>(Result.Stats.Cache.Misses),
+                Result.Stats.Cache.hitRate() * 100,
+                Options.CacheQueries ? "" : " [cache off]");
+    std::printf("  persistent cache:     %llu hits / %llu misses (%.0f%%)%s\n",
+                static_cast<unsigned long long>(Result.Stats.Cache.DiskHits),
+                static_cast<unsigned long long>(
+                    Result.Stats.Cache.DiskMisses),
+                Result.Stats.Cache.diskHitRate() * 100,
+                Store ? (Store->readOnly() ? " [read-only]" : "")
+                      : " [no cache dir]");
     std::printf("  pairs proved silent:  %zu / %zu\n",
                 Result.Stats.NoSignalProved, Result.Stats.PairsConsidered);
     std::printf("  signals / broadcasts: %zu / %zu\n", Result.Stats.Signals,
