@@ -112,6 +112,113 @@ void BM_WpReadersWriters(benchmark::State &State) {
 }
 BENCHMARK(BM_WpReadersWriters);
 
+//===----------------------------------------------------------------------===//
+// Session-mode discharge of a shared-prefix VC family: the micro version of
+// the incremental placement engine's workload. One prefix (a conjunction of
+// range and chain constraints over ten integers) is shared by twenty VC
+// deltas, half unsat and half sat relative to it — the shape of one CCR's
+// (predicate-class × check) family. Three discharge modes per backend:
+//   one-shot:  checkSat per VC (fresh Z3 context per query — the paper
+//              baseline and the --incremental=off configuration),
+//   push/pop:  prefix asserted once in a session, each VC a scoped delta,
+//   batched:   prefix asserted once, all VCs decided via checkSatBatch
+//              (assumption literals + unsat cores on Z3).
+// The win must be measured, not asserted: these rows are where it shows.
+//===----------------------------------------------------------------------===//
+
+struct SessionVcFamily {
+  TermContext C;
+  const Term *Prefix = nullptr;
+  std::vector<const Term *> Deltas;
+
+  SessionVcFamily() {
+    std::vector<const Term *> Xs, Pre;
+    for (int I = 0; I < 10; ++I) {
+      const Term *X = C.var("s" + std::to_string(I), Sort::Int);
+      Xs.push_back(X);
+      Pre.push_back(C.ge(X, C.getZero()));
+      Pre.push_back(C.le(X, C.intConst(64)));
+    }
+    for (int I = 0; I + 1 < 10; ++I)
+      Pre.push_back(C.le(Xs[I], C.add(Xs[I + 1], C.intConst(8))));
+    Prefix = C.and_(Pre);
+    // Deltas conjoin the prefix, as placement VCs do (a negated Hoare VC
+    // contains its precondition), so every mode solves the same formulas.
+    for (int I = 0; I + 1 < 10; ++I) {
+      Deltas.push_back(
+          C.and_(Prefix, C.lt(C.add(Xs[I + 1], C.intConst(8)), Xs[I])));
+      Deltas.push_back(C.and_(Prefix, C.eq(Xs[I], C.intConst(I))));
+    }
+  }
+};
+
+enum class DischargeMode { OneShot, PushPop, Batched };
+
+void runSessionFamily(benchmark::State &State, solver::SolverKind Kind,
+                      DischargeMode Mode) {
+  if (Kind == solver::SolverKind::Z3 && !solver::hasZ3()) {
+    State.SkipWithError("Z3 backend not built");
+    return;
+  }
+  SessionVcFamily Family;
+  auto S = solver::createSolver(Kind, Family.C);
+  for (auto _ : State) {
+    switch (Mode) {
+    case DischargeMode::OneShot:
+      for (const Term *D : Family.Deltas)
+        benchmark::DoNotOptimize(S->checkSat(D));
+      break;
+    case DischargeMode::PushPop:
+      S->push();
+      S->assertTerm(Family.Prefix);
+      for (const Term *D : Family.Deltas)
+        benchmark::DoNotOptimize(S->checkSatAssuming({D}));
+      S->pop();
+      break;
+    case DischargeMode::Batched:
+      S->push();
+      S->assertTerm(Family.Prefix);
+      benchmark::DoNotOptimize(S->checkSatBatch(Family.Deltas));
+      S->pop();
+      break;
+    }
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(State.iterations()) *
+                          static_cast<int64_t>(Family.Deltas.size()));
+}
+
+void BM_SessionZ3OneShot(benchmark::State &State) {
+  runSessionFamily(State, solver::SolverKind::Z3, DischargeMode::OneShot);
+}
+BENCHMARK(BM_SessionZ3OneShot)->Unit(benchmark::kMillisecond);
+
+void BM_SessionZ3PushPop(benchmark::State &State) {
+  runSessionFamily(State, solver::SolverKind::Z3, DischargeMode::PushPop);
+}
+BENCHMARK(BM_SessionZ3PushPop)->Unit(benchmark::kMillisecond);
+
+void BM_SessionZ3Batched(benchmark::State &State) {
+  runSessionFamily(State, solver::SolverKind::Z3, DischargeMode::Batched);
+}
+BENCHMARK(BM_SessionZ3Batched)->Unit(benchmark::kMillisecond);
+
+void BM_SessionMiniOneShot(benchmark::State &State) {
+  runSessionFamily(State, solver::SolverKind::Mini, DischargeMode::OneShot);
+}
+BENCHMARK(BM_SessionMiniOneShot)->Unit(benchmark::kMillisecond);
+
+void BM_SessionMiniPushPop(benchmark::State &State) {
+  // Snapshot sessions: expected ~1x vs one-shot — the row documents that
+  // MiniSmt sessions buy correctness plumbing, not speed.
+  runSessionFamily(State, solver::SolverKind::Mini, DischargeMode::PushPop);
+}
+BENCHMARK(BM_SessionMiniPushPop)->Unit(benchmark::kMillisecond);
+
+void BM_SessionMiniBatched(benchmark::State &State) {
+  runSessionFamily(State, solver::SolverKind::Mini, DischargeMode::Batched);
+}
+BENCHMARK(BM_SessionMiniBatched)->Unit(benchmark::kMillisecond);
+
 void BM_FullPipelineReadersWriters(benchmark::State &State) {
   for (auto _ : State) {
     TermContext C;

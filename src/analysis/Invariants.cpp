@@ -10,6 +10,7 @@
 #include "logic/Simplify.h"
 #include "logic/TermOps.h"
 #include "solver/CachingSolver.h"
+#include "solver/SolverSession.h"
 #include "support/ThreadPool.h"
 #include "support/Timer.h"
 
@@ -54,9 +55,16 @@ std::vector<const Term *> abducibles(const SemaInfo &Sema) {
 
 /// Per-worker state for the fixpoint fan-out: a private solver handle (a
 /// session of the shared memo table when the caller's solver is a
-/// CachingSolver, a raw backend otherwise) and its own Hoare checker.
+/// CachingSolver, a raw backend otherwise) and its own Hoare checker. In
+/// incremental mode the worker owns a raw backend plus a SolverSession over
+/// it (with nothing ever asserted — the fixpoint's queries share no fixed
+/// prefix across rounds, so the lever is context reuse, not assertion
+/// sharing). Declaration order matters: Session borrows RawBackend and
+/// Checker borrows Session's absolute view.
 struct FixpointWorker {
   std::unique_ptr<solver::SmtSolver> Solver;
+  std::unique_ptr<solver::SmtSolver> RawBackend;
+  std::unique_ptr<solver::SolverSession> Session;
   std::unique_ptr<HoareChecker> Checker;
 };
 
@@ -88,7 +96,26 @@ InvariantResult analysis::inferMonitorInvariant(logic::TermContext &C,
                                                 solver::SmtSolver &Solver,
                                                 const InvariantConfig &Cfg) {
   InvariantResult Result;
-  HoareChecker Checker(C, Sema, Solver);
+  auto *SharedCache = dynamic_cast<solver::CachingSolver *>(&Solver);
+
+  // Incremental mode: route every serial-path query (abduction consistency,
+  // initiation, serial fixpoint rounds, minimization) through one long-lived
+  // solver session with an empty assertion stack. Answers and counters are
+  // identical to the per-query-context path; only the discharge mechanism
+  // changes (see SolverSession::checkSatAbsolute).
+  std::unique_ptr<solver::SolverSession> SerialSession;
+  solver::SmtSolver *Discharge = &Solver;
+  if (Cfg.Incremental) {
+    solver::SmtSolver &Underlying =
+        SharedCache ? SharedCache->backend() : Solver;
+    if (Underlying.supportsIncremental()) {
+      SerialSession =
+          std::make_unique<solver::SolverSession>(SharedCache, Underlying);
+      Discharge = &SerialSession->absoluteSolver();
+    }
+  }
+
+  HoareChecker Checker(C, Sema, *Discharge);
   WpEngine &Wp = Checker.wpEngine();
   std::vector<const Term *> Vocab = abducibles(Sema);
   WallTimer PhaseTimer;
@@ -133,7 +160,7 @@ InvariantResult analysis::inferMonitorInvariant(logic::TermContext &C,
       continue; // already provable without an invariant
     ++Queries;
     for (const Term *Psi :
-         abduce(C, Solver, Pre, Goal, Vocab, Cfg.Abduction)) {
+         abduce(C, *Discharge, Pre, Goal, Vocab, Cfg.Abduction)) {
       if (Universe.size() >= Cfg.MaxCandidates)
         break;
       Universe.insert(Psi);
@@ -153,9 +180,36 @@ InvariantResult analysis::inferMonitorInvariant(logic::TermContext &C,
   unsigned Jobs = Cfg.Jobs;
   if (Jobs > Universe.size())
     Jobs = static_cast<unsigned>(Universe.size());
-  auto *SharedCache = dynamic_cast<solver::CachingSolver *>(&Solver);
   std::vector<FixpointWorker> Workers;
-  {
+  bool SessionWorkers = false;
+  if (Cfg.Incremental && Cfg.WorkerSolvers && Jobs > 1) {
+    // Worker sessions mirror the serial path: raw per-worker backends, one
+    // empty-stack session each, shared memo on the lookup path. A minted
+    // set whose backends lack session support is reused as plain one-shot
+    // handles below, never discarded.
+    std::vector<std::unique_ptr<solver::SmtSolver>> Raw =
+        solver::mintWorkerBackends(C, Cfg.WorkerSolvers, Jobs);
+    if (!Raw.empty()) {
+      SessionWorkers = Raw.front()->supportsIncremental();
+      Workers.resize(Jobs);
+      for (unsigned J = 0; J < Jobs; ++J) {
+        if (SessionWorkers) {
+          Workers[J].RawBackend = std::move(Raw[J]);
+          Workers[J].Session = std::make_unique<solver::SolverSession>(
+              SharedCache, *Workers[J].RawBackend);
+          Workers[J].Checker = std::make_unique<HoareChecker>(
+              C, Sema, Workers[J].Session->absoluteSolver());
+        } else {
+          Workers[J].Solver = SharedCache
+                                  ? SharedCache->makeSession(std::move(Raw[J]))
+                                  : std::move(Raw[J]);
+          Workers[J].Checker =
+              std::make_unique<HoareChecker>(C, Sema, *Workers[J].Solver);
+        }
+      }
+    }
+  }
+  if (Workers.empty()) {
     std::vector<std::unique_ptr<solver::SmtSolver>> Handles =
         solver::makeWorkerSolvers(C, Cfg.WorkerSolvers, SharedCache, Jobs);
     Workers.resize(Handles.size());
@@ -233,7 +287,8 @@ InvariantResult analysis::inferMonitorInvariant(logic::TermContext &C,
   // with a shared cache, sessions count centrally on the caller's solver).
   if (!SharedCache)
     for (const FixpointWorker &W : Workers)
-      Result.WorkerQueries += W.Solver->numQueries();
+      Result.WorkerQueries += SessionWorkers ? W.Session->numQueries()
+                                             : W.Solver->numQueries();
 
   // Minimize: greedily drop predicates implied by the remaining ones. This
   // keeps the invariant presentable (e.g. plain `readers >= 0` for the
@@ -244,7 +299,7 @@ InvariantResult analysis::inferMonitorInvariant(logic::TermContext &C,
       if (K != I)
         Others.push_back(Phi[K]);
     const Term *Rest = C.and_(Others);
-    if (Solver.isValid(C.implies(Rest, Phi[I]))) {
+    if (Discharge->isValid(C.implies(Rest, Phi[I]))) {
       Phi.erase(Phi.begin() + static_cast<long>(I));
       continue;
     }

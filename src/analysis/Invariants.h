@@ -48,6 +48,13 @@ struct InvariantConfig {
   unsigned Jobs = 0;
   /// Per-worker backend recipe; required for Jobs > 1 (else serial).
   solver::SolverFactory WorkerSolvers;
+  /// Discharge abduction/fixpoint queries through a long-lived solver
+  /// session (empty assertion stack — pure context/translation reuse on
+  /// native backends) instead of one solver context per query. Answers and
+  /// all cache counters are identical either way; placeSignals overrides
+  /// this with PlacementOptions::Incremental so one flag governs the whole
+  /// analysis.
+  bool Incremental = true;
 };
 
 /// Result of invariant inference with simple provenance for tests/benches.

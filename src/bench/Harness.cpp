@@ -64,6 +64,19 @@ HarnessOptions HarnessOptions::fromArgs(int Argc, char **Argv) {
       Opts.Placement.UseCommutativity = false;
     } else if (std::strcmp(Arg, "--no-cache") == 0) {
       Opts.Placement.CacheQueries = false;
+    } else if (std::strncmp(Arg, "--incremental=", 14) == 0 ||
+               std::strcmp(Arg, "--incremental") == 0) {
+      const char *Value = Arg[13] == '=' ? Arg + 14
+                          : I + 1 < Argc ? Argv[++I]
+                                         : "";
+      if (std::strcmp(Value, "on") == 0)
+        Opts.Placement.Incremental = true;
+      else if (std::strcmp(Value, "off") == 0)
+        Opts.Placement.Incremental = false;
+      else
+        std::fprintf(stderr,
+                     "--incremental expects on|off (got '%s'); keeping %s\n",
+                     Value, Opts.Placement.Incremental ? "on" : "off");
     } else if (std::strncmp(Arg, "--jobs=", 7) == 0 ||
                std::strcmp(Arg, "--jobs") == 0) {
       const char *Value = Arg[6] == '=' ? Arg + 7
@@ -341,6 +354,12 @@ struct TableRow {
   double WarmSeconds = 0;
   core::PlacementStats WarmStats;
   bool WarmMatch = true;
+  /// Incremental-vs-one-shot ablation pair (store-less invocations only:
+  /// a shared store would launder one mode's solves into the other's time).
+  bool HasInc = false;
+  double IncSeconds = 0;     ///< serial, --incremental=on
+  double OneShotSeconds = 0; ///< serial, --incremental=off
+  bool IncMatch = true;      ///< full summaries byte-identical across modes
 };
 
 /// Builds the contexts for one benchmark: the serial baseline, the optional
@@ -377,6 +396,21 @@ TableRow buildTableRow(const BenchmarkDef &Def, const HarnessOptions &Opts,
     Row.WarmStats = Warm.placement().Stats;
     Row.WarmMatch = Serial.placement().decisionSummary() ==
                     Warm.placement().decisionSummary();
+  } else {
+    // Incremental ablation: rerun the serial row with the discharge mode
+    // flipped and hold the *full* summaries — Σ plus every cache counter —
+    // to byte parity. The already-measured serial run covers the configured
+    // mode, so only one extra context is built.
+    core::PlacementOptions FlippedOpts = SerialOpts;
+    FlippedOpts.Incremental = !SerialOpts.Incremental;
+    BenchContext Flipped(Def, FlippedOpts);
+    Row.HasInc = true;
+    Row.IncSeconds = SerialOpts.Incremental ? Row.SerialSeconds
+                                            : Flipped.analysisSeconds();
+    Row.OneShotSeconds = SerialOpts.Incremental ? Flipped.analysisSeconds()
+                                                : Row.SerialSeconds;
+    Row.IncMatch =
+        Serial.placement().summary() == Flipped.placement().summary();
   }
   return Row;
 }
@@ -426,9 +460,9 @@ int bench::tableMain(int Argc, char **Argv) {
                 "serial(s)", "par(s)", "speedup", "#checks", "signals",
                 "broadcasts", "match");
   else
-    std::printf("%-28s %12s %10s %12s %12s %10s %10s\n", "benchmark",
-                "time (sec)", "#checks", "signals", "broadcasts", "cachehit",
-                "hit%");
+    std::printf("%-28s %12s %10s %8s %10s %12s %12s %10s\n", "benchmark",
+                "time (sec)", "1shot(s)", "incspd", "#checks", "signals",
+                "broadcasts", "cachehit");
 
   // Resolve the benchmark list once, outside the fan-out (its lazy init is
   // the only shared mutable state the builds would otherwise touch).
@@ -462,7 +496,7 @@ int bench::tableMain(int Argc, char **Argv) {
     const BenchmarkDef &Def = *Defs[I];
     const TableRow &Row = Rows[I];
     const core::PlacementStats &S = Row.S;
-    if (!Row.Match || !Row.WarmMatch)
+    if (!Row.Match || !Row.WarmMatch || !Row.IncMatch)
       Exit = 1;
 
     if (Row.HasWarm) {
@@ -481,12 +515,16 @@ int bench::tableMain(int Argc, char **Argv) {
                   Row.Match ? "yes" : "NO");
     } else {
       // Cache columns print in every configuration; --no-cache rows carry
-      // uniform zeros so the table (and JSON schema) keeps one shape.
-      std::printf("%-28s %12.2f %10zu %12zu %12zu %10llu %9.0f%%\n",
-                  Def.Name.c_str(), Row.SerialSeconds, S.HoareChecks,
-                  S.Signals, S.Broadcasts,
+      // uniform zeros so the table (and JSON schema) keeps one shape. The
+      // 1shot/incspd pair is the incremental-session ablation: the same
+      // serial analysis with one solver context per query, and the speedup
+      // sessions buy over it (decision mismatch flags the row via IncMatch).
+      std::printf("%-28s %12.2f %10.2f %7.2fx %10zu %12zu %12zu %10llu%s\n",
+                  Def.Name.c_str(), Row.SerialSeconds, Row.OneShotSeconds,
+                  Row.OneShotSeconds / std::max(1e-9, Row.IncSeconds),
+                  S.HoareChecks, S.Signals, S.Broadcasts,
                   static_cast<unsigned long long>(S.Cache.Hits),
-                  S.Cache.hitRate() * 100);
+                  Row.IncMatch ? "" : "  MISMATCH");
     }
     std::fflush(stdout);
 
@@ -504,6 +542,17 @@ int bench::tableMain(int Argc, char **Argv) {
                    static_cast<unsigned long long>(S.Cache.DiskHits),
                    static_cast<unsigned long long>(S.Cache.DiskMisses),
                    S.Signals, S.Broadcasts);
+      std::fprintf(Json, ", \"incremental\": %s",
+                   Opts.Placement.Incremental ? "true" : "false");
+      if (Row.HasInc)
+        std::fprintf(Json,
+                     ", \"incremental_seconds\": %.4f, "
+                     "\"oneshot_seconds\": %.4f, "
+                     "\"incremental_speedup\": %.3f, "
+                     "\"incremental_match\": %s",
+                     Row.IncSeconds, Row.OneShotSeconds,
+                     Row.OneShotSeconds / std::max(1e-9, Row.IncSeconds),
+                     Row.IncMatch ? "true" : "false");
       if (Row.HasPar)
         std::fprintf(Json,
                      ", \"parallel_seconds\": %.4f, \"speedup\": %.3f, "

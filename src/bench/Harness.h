@@ -52,6 +52,11 @@ struct HarnessOptions {
   /// (row order stays deterministic; per-row timings contend for cores, so
   /// use 1 when absolute times matter — see docs/BENCHMARKS.md).
   unsigned BuildJobs = 1;
+  /// Placement knobs, including --incremental=on|off (Placement.Incremental):
+  /// store-less table1 rows additionally measure the flipped discharge mode
+  /// serially and report the pair as the 1shot/incspd columns and the
+  /// incremental_* JSON fields, failing the run if the two modes' full
+  /// summaries are not byte-identical.
   core::PlacementOptions Placement;
 
   static HarnessOptions fromArgs(int Argc, char **Argv);

@@ -13,6 +13,20 @@
 // by (CCR index, class index) and are merged in that order, so the parallel
 // Σ is bit-for-bit the serial Σ.
 //
+// Two discharge modes fill the same outcome slots:
+//
+//  * one-shot (--incremental=off): every VC is a fresh absolute checkSat —
+//    the paper-style baseline, fanned out pair by pair;
+//  * incremental sessions (default): each (CCR, worker) pair opens a
+//    solver::SolverSession that asserts the invariant once per worker and
+//    the CCR guard once per CCR, discharges the per-class VCs as push/pop
+//    deltas, and batches the CCR's independent no-signal checks into one
+//    assumption-guarded solver call. The fan-out unit becomes the CCR (so a
+//    session's prefix lives exactly as long as its CCR's checks), but the
+//    *logical* query sequence — which VCs are issued, with which terms,
+//    under which early-exit conditions — is identical to one-shot mode, so
+//    Σ, stats, and all cache counters match it byte for byte.
+//
 //===----------------------------------------------------------------------===//
 
 #include "core/SignalPlacement.h"
@@ -22,6 +36,7 @@
 #include "logic/Printer.h"
 #include "logic/Simplify.h"
 #include "solver/CachingSolver.h"
+#include "solver/SolverSession.h"
 #include "support/ThreadPool.h"
 #include "support/Timer.h"
 
@@ -234,11 +249,155 @@ PairOutcome checkPair(PairEnv &Env, const CcrInfo &W,
   return Out;
 }
 
+//===----------------------------------------------------------------------===//
+// Incremental-session discharge (Options.Incremental)
+//===----------------------------------------------------------------------===//
+
+/// Scoped analogue of HoareChecker::proves: the same verification condition
+/// and the same trivial-formula shortcuts, but the solver query goes through
+/// the session at the given scope. Soundness: the negated VC of a triple
+/// whose Pre is I ∧ Guard(w) ∧ ... entails I and Guard(w), so it may be
+/// discharged under those prefixes; one-wake triples carry the *woken*
+/// CCR's guard and may only use the invariant scope.
+enum class VcScope { CcrGuard, InvariantOnly };
+
+bool provesScoped(logic::TermContext &C, HoareChecker &Checker,
+                  solver::SolverSession &S, VcScope Scope,
+                  const HoareTriple &T) {
+  const Term *VC = Checker.verificationCondition(T);
+  if (VC->isTrue())
+    return true;
+  if (VC->isFalse())
+    return false;
+  solver::CheckResult R = Scope == VcScope::CcrGuard
+                              ? S.checkSatUnderGuard(C.not_(VC))
+                              : S.checkSatUnderInvariant(C.not_(VC));
+  return R.TheAnswer == solver::Answer::Unsat;
+}
+
+/// Checks (b) and (c) for one (w, p) pair through the session — the pair's
+/// no-signal check (a) already failed. Mirrors checkPair's logic and query
+/// order exactly; only the discharge mechanism differs.
+void completePairIncremental(PairEnv &Env, const CcrInfo &W,
+                             const PredicateClass *Q, HoareChecker &Checker,
+                             solver::SolverSession &S, PairOutcome &Out) {
+  logic::TermContext &C = Env.C;
+  const Term *I = Env.I;
+  const Term *P = Env.BlockedPred.at(Q);
+  Out.Emit = true;
+  Out.D.Target = Q;
+
+  // (b) Unconditional check: {I ∧ Guard(w) ∧ ¬p'} Body(w) {p'}.
+  HoareTriple Uncond;
+  Uncond.Pre = C.and_({I, W.Guard, C.not_(P)});
+  Uncond.Body = W.W->Body;
+  Uncond.InMethod = W.Parent;
+  Uncond.Post = P;
+  ++Out.HoareChecks;
+  Out.D.Conditional =
+      !provesScoped(C, Checker, S, VcScope::CcrGuard, Uncond);
+
+  // (c) Signal-vs-broadcast, with the §4.3 fallback.
+  WpEngine &Wp = Checker.wpEngine();
+  bool SingleSuffices = true;
+  for (const CcrInfo &Woken : Env.Sema.Ccrs) {
+    if (Woken.Class != Q)
+      continue;
+    HoareTriple OneWake;
+    OneWake.Pre = C.and_({I, Woken.Guard, P});
+    OneWake.Body = Woken.W->Body;
+    OneWake.InMethod = Woken.Parent;
+    OneWake.Post = C.not_(P);
+    ++Out.HoareChecks;
+    if (provesScoped(C, Checker, S, VcScope::InvariantOnly, OneWake))
+      continue;
+    bool Saved = false;
+    if (Env.Options.UseCommutativity &&
+        Env.commutes(Woken, S.absoluteSolver())) {
+      logic::Substitution Rename = wokenRename(Env, Woken);
+      const Term *Inner =
+          Wp.wp(Woken.W->Body, Woken.Parent, C.not_(P), &Rename);
+      const Term *Outer = Wp.wp(W.W->Body, W.Parent, Inner);
+      const Term *VC = logic::simplify(
+          C, C.implies(C.and_({I, W.Guard, C.not_(P)}), Outer));
+      ++Out.HoareChecks;
+      // One-shot mode issues this query unconditionally (no trivial-VC
+      // shortcut in checkPair's §4.3 branch); so does the session.
+      if (S.checkSatUnderGuard(C.not_(VC)).TheAnswer ==
+          solver::Answer::Unsat) {
+        Saved = true;
+        ++Out.CommutativityWins;
+      }
+    }
+    if (!Saved) {
+      SingleSuffices = false;
+      break;
+    }
+  }
+  Out.D.Broadcast = !SingleSuffices;
+}
+
+/// Runs every predicate class of one CCR through an incremental session:
+/// guard scope entered once, the classes' no-signal VCs batched into one
+/// assumption-guarded check, then (b)/(c) as push/pop deltas per failing
+/// class. Writes the CCR's NumClasses outcome slots.
+void checkCcrIncremental(PairEnv &Env, const CcrInfo &W,
+                         HoareChecker &Checker, solver::SolverSession &S,
+                         PairOutcome *Slots) {
+  logic::TermContext &C = Env.C;
+  const Term *I = Env.I;
+  const size_t NumClasses = Env.Sema.Classes.size();
+  S.setInvariant(I);
+  S.enterCcr(W.Guard);
+
+  // (a) No-signal checks, all classes of this CCR, batched. Each is issued
+  // unconditionally in one-shot mode too, so batching changes the solver
+  // call shape but never the query multiset.
+  std::vector<const Term *> Batch;
+  std::vector<size_t> BatchIdx;
+  std::vector<signed char> AProved(NumClasses, 0);
+  for (size_t Qi = 0; Qi < NumClasses; ++Qi) {
+    const PredicateClass *Q = Env.Sema.Classes[Qi].get();
+    const Term *P = Env.BlockedPred.at(Q);
+    HoareTriple NoSig;
+    NoSig.Pre = C.and_({I, W.Guard, C.not_(P)});
+    NoSig.Body = W.W->Body;
+    NoSig.InMethod = W.Parent;
+    NoSig.Post = C.not_(P);
+    ++Slots[Qi].HoareChecks;
+    const Term *VC = Checker.verificationCondition(NoSig);
+    if (VC->isTrue()) {
+      AProved[Qi] = 1;
+    } else if (!VC->isFalse()) {
+      Batch.push_back(C.not_(VC));
+      BatchIdx.push_back(Qi);
+    }
+  }
+  std::vector<solver::CheckResult> BatchRs = S.checkSatBatchUnderGuard(Batch);
+  for (size_t K = 0; K < BatchIdx.size(); ++K)
+    if (BatchRs[K].TheAnswer == solver::Answer::Unsat)
+      AProved[BatchIdx[K]] = 1;
+
+  for (size_t Qi = 0; Qi < NumClasses; ++Qi) {
+    if (AProved[Qi]) {
+      ++Slots[Qi].NoSignalProved;
+      continue;
+    }
+    completePairIncremental(Env, W, Env.Sema.Classes[Qi].get(), Checker, S,
+                            Slots[Qi]);
+  }
+  S.exitCcr();
+}
+
 /// Per-worker state for the parallel fan-out: a private solver handle (a
 /// session of the shared memo table, or a raw backend when caching is off)
-/// and its own Hoare checker.
+/// and its own Hoare checker. In incremental mode the worker instead owns a
+/// raw backend plus a SolverSession over it (declaration order matters:
+/// Session borrows RawBackend, Checker borrows Session's absolute view).
 struct PlacementWorker {
   std::unique_ptr<solver::SmtSolver> Solver;
+  std::unique_ptr<solver::SmtSolver> RawBackend;
+  std::unique_ptr<solver::SolverSession> Session;
   std::unique_ptr<HoareChecker> Checker;
   WorkerStats Stats;
 };
@@ -288,6 +447,7 @@ PlacementResult core::placeSignals(logic::TermContext &C,
       InvCfg.Jobs = Options.Jobs;
       InvCfg.WorkerSolvers = Options.WorkerSolvers;
     }
+    InvCfg.Incremental = Options.Incremental;
     InvariantResult IR = inferMonitorInvariant(C, Sema, Solver, InvCfg);
     Result.Invariant = IR.Invariant;
     InvariantWorkerQueries = IR.WorkerQueries;
@@ -313,30 +473,97 @@ PlacementResult core::placeSignals(logic::TermContext &C,
   if (Jobs > NumPairs)
     Jobs = static_cast<unsigned>(NumPairs);
 
+  // Incremental sessions engage when requested and the backend that would
+  // discharge the queries speaks the session API. The discharge answers are
+  // identical either way; this only selects the mechanism.
+  solver::SmtSolver &Underlying =
+      SharedCache ? SharedCache->backend() : BackendSolver;
+  const bool WantSessions = Options.Incremental;
+
   std::vector<PlacementWorker> Workers;
+  bool ParSessions = false;
   if (Jobs > 1) {
-    std::vector<std::unique_ptr<solver::SmtSolver>> Handles =
-        solver::makeWorkerSolvers(C, Options.WorkerSolvers, SharedCache,
-                                  Jobs);
-    if (Handles.empty()) {
-      Jobs = 1; // no factory, or it cannot serve this context: stay serial
+    if (WantSessions && Options.WorkerSolvers) {
+      // Session workers own *raw* backends (the session needs push/pop on
+      // the backend itself); the shared memo table stays on the path inside
+      // SolverSession, so counters remain centralized and deterministic.
+      std::vector<std::unique_ptr<solver::SmtSolver>> Raw =
+          solver::mintWorkerBackends(C, Options.WorkerSolvers, Jobs);
+      if (Raw.empty()) {
+        Jobs = 1; // factory cannot serve this context: stay serial
+      } else if (Raw.front()->supportsIncremental()) {
+        ParSessions = true;
+        Workers.resize(Jobs);
+        for (unsigned J = 0; J < Jobs; ++J) {
+          Workers[J].RawBackend = std::move(Raw[J]);
+          Workers[J].Session = std::make_unique<solver::SolverSession>(
+              SharedCache, *Workers[J].RawBackend);
+          Workers[J].Checker = std::make_unique<HoareChecker>(
+              C, Sema, Workers[J].Session->absoluteSolver());
+        }
+      } else {
+        // Backend without session support: one-shot worker handles.
+        Workers.resize(Jobs);
+        for (unsigned J = 0; J < Jobs; ++J) {
+          Workers[J].Solver =
+              SharedCache ? SharedCache->makeSession(std::move(Raw[J]))
+                          : std::move(Raw[J]);
+          Workers[J].Checker =
+              std::make_unique<HoareChecker>(C, Sema, *Workers[J].Solver);
+        }
+      }
     } else {
-      Workers.resize(Jobs);
-      for (unsigned J = 0; J < Jobs; ++J) {
-        Workers[J].Solver = std::move(Handles[J]);
-        Workers[J].Checker =
-            std::make_unique<HoareChecker>(C, Sema, *Workers[J].Solver);
+      std::vector<std::unique_ptr<solver::SmtSolver>> Handles =
+          solver::makeWorkerSolvers(C, Options.WorkerSolvers, SharedCache,
+                                    Jobs);
+      if (Handles.empty()) {
+        Jobs = 1; // no factory, or it cannot serve this context: stay serial
+      } else {
+        Workers.resize(Jobs);
+        for (unsigned J = 0; J < Jobs; ++J) {
+          Workers[J].Solver = std::move(Handles[J]);
+          Workers[J].Checker =
+              std::make_unique<HoareChecker>(C, Sema, *Workers[J].Solver);
+        }
       }
     }
   }
   Result.Stats.JobsUsed = Jobs;
 
   if (Jobs <= 1) {
-    HoareChecker Checker(C, Sema, Solver);
-    for (size_t Pair = 0; Pair < NumPairs; ++Pair)
-      Outcomes[Pair] = checkPair(Env, Sema.Ccrs[Pair / NumClasses],
-                                 Sema.Classes[Pair % NumClasses].get(),
-                                 Checker, Solver);
+    if (WantSessions && Underlying.supportsIncremental()) {
+      Result.Stats.IncrementalSessions = true;
+      solver::SolverSession Sess(SharedCache, Underlying);
+      HoareChecker Checker(C, Sema, Sess.absoluteSolver());
+      for (size_t CcrIdx = 0; CcrIdx < Sema.Ccrs.size(); ++CcrIdx)
+        checkCcrIncremental(Env, Sema.Ccrs[CcrIdx], Checker, Sess,
+                            &Outcomes[CcrIdx * NumClasses]);
+    } else {
+      HoareChecker Checker(C, Sema, Solver);
+      for (size_t Pair = 0; Pair < NumPairs; ++Pair)
+        Outcomes[Pair] = checkPair(Env, Sema.Ccrs[Pair / NumClasses],
+                                   Sema.Classes[Pair % NumClasses].get(),
+                                   Checker, Solver);
+    }
+  } else if (ParSessions) {
+    // Session fan-out is CCR-granular: one task = one CCR = one session
+    // scope, so the guard prefix is asserted once per (CCR, worker) and the
+    // no-signal batch spans the whole CCR. Slot-ordered merging keeps Σ
+    // byte-identical to serial whatever the schedule.
+    Result.Stats.IncrementalSessions = true;
+    support::ThreadPool Pool(Jobs);
+    Pool.parallelFor(Sema.Ccrs.size(), [&](unsigned WorkerId, size_t CcrIdx) {
+      PlacementWorker &W = Workers[WorkerId];
+      WallTimer CcrTimer;
+      checkCcrIncremental(Env, Sema.Ccrs[CcrIdx], *W.Checker, *W.Session,
+                          &Outcomes[CcrIdx * NumClasses]);
+      W.Stats.BusySeconds += CcrTimer.elapsedSeconds();
+      W.Stats.Pairs += NumClasses;
+    });
+    for (PlacementWorker &W : Workers) {
+      W.Stats.SolverQueries = W.Session->numQueries();
+      Result.Stats.Workers.push_back(W.Stats);
+    }
   } else {
     support::ThreadPool Pool(Jobs);
     Pool.parallelFor(NumPairs, [&](unsigned WorkerId, size_t Pair) {

@@ -62,6 +62,16 @@ struct PlacementOptions {
   bool UseCommutativity = true;  ///< §4.3 Equation-2 weakening
   bool LazyBroadcast = true;     ///< §6 chained broadcasts (runtime/codegen)
   bool CacheQueries = true;      ///< memoize checkSat via solver::CachingSolver
+  /// Discharge Algorithm 1's checks through incremental solver sessions:
+  /// each (CCR, worker) pair opens a scoped session that asserts the
+  /// invariant/guard prefix once and pushes per-predicate-class VCs as
+  /// deltas, batching the independent no-signal checks of one CCR into a
+  /// single assumption-guarded solver call. Σ, PlacementStats, and every
+  /// cache counter are byte-identical with this on or off (the differential
+  /// contract of tests/IncrementalSolverTest.cpp); off is the
+  /// one-context-per-query ablation baseline. Ignored when the backend has
+  /// no session support.
+  bool Incremental = true;
   /// Worker threads for the (CCR, predicate-class) fan-out; 1 = serial.
   /// Every pair's checks are an independent validity workload, so placement
   /// parallelizes embarrassingly; the merge is deterministic (ordered by
@@ -94,6 +104,11 @@ struct PlacementStats {
   solver::CacheStats Cache;      ///< query-cache accounting (zero when off)
   double InvariantSeconds = 0;
   double PlacementSeconds = 0;
+  /// True when the main loop discharged VCs through incremental solver
+  /// sessions (Options.Incremental on a session-capable backend). Not part
+  /// of summary(): the output contract is that summaries are byte-identical
+  /// across modes.
+  bool IncrementalSessions = false;
   unsigned JobsUsed = 1;             ///< worker threads the fan-out ran with
   std::vector<WorkerStats> Workers;  ///< per-worker accounting (empty when serial)
 };

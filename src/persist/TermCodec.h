@@ -223,6 +223,18 @@ private:
 /// The canonical blob of \p T as a string — the context-free cache key used
 /// by persist::QueryStore. Structurally equal terms from any context (or
 /// process) produce identical keys.
+///
+/// Key derivation for *session* queries (incremental solver sessions,
+/// solver::SolverSession): a query discharged as (asserted prefix, delta)
+/// is keyed by the canonical blob of its *equivalent one-shot formula*.
+/// Placement only ever discharges deltas that semantically entail the
+/// asserted prefix (a negated Hoare VC contains its own precondition), so
+/// sat(prefix ∧ delta) == sat(delta) and the equivalent one-shot formula
+/// IS the delta — the key is encodeTermKey(delta), byte-identical to what
+/// a one-shot discharge of the same VC would use. This is the invariant
+/// that lets one cache directory serve `--incremental on` and `off` runs
+/// interchangeably, with identical hit/miss counts; never key a session
+/// query by a prefix-dependent encoding.
 std::string encodeTermKey(const logic::Term *T);
 
 } // namespace persist

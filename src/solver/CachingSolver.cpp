@@ -27,8 +27,32 @@ CachingSolver::Shard &CachingSolver::shardFor(const Term *F) {
   return Shards[F->structuralHash() % NumShards];
 }
 
+CheckResult CachingSolver::computeOwned(const Term *F,
+                                        const ComputeFn &Compute) {
+  CheckResult R;
+  if (persist::QueryStore *QS = Store.get()) {
+    // Second tier: probe the persistent store by the formula's canonical
+    // encoding — always the *equivalent one-shot formula*, whatever
+    // session/batching machinery sits inside Compute, so a store warmed in
+    // one discharge mode answers every other. Only the single-flight owner
+    // reaches here, so the disk counters are exactly the
+    // per-distinct-formula found/not-found totals.
+    std::string Key = persist::encodeTermKey(F);
+    if (QS->lookup(Key, R)) {
+      DiskHits.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      DiskMisses.fetch_add(1, std::memory_order_relaxed);
+      R = Compute(F);
+      QS->append(Key, R); // no-op when the store is read-only
+    }
+  } else {
+    R = Compute(F);
+  }
+  return R;
+}
+
 CheckResult CachingSolver::lookupOrCompute(const Term *F,
-                                           SmtSolver &ComputeBackend) {
+                                           const ComputeFn &Compute) {
   ++Queries;
   Shard &S = shardFor(F);
   std::promise<CheckResult> Promise;
@@ -60,23 +84,7 @@ CheckResult CachingSolver::lookupOrCompute(const Term *F,
   // deterministically reproduce it, so caching Unknown too avoids pointless
   // repeat work.
   try {
-    CheckResult R;
-    if (persist::QueryStore *QS = Store.get()) {
-      // Second tier: probe the persistent store by canonical encoding.
-      // Only the single-flight owner reaches here, so the disk counters
-      // are exactly the per-distinct-formula found/not-found totals.
-      std::string Key = persist::encodeTermKey(F);
-      if (QS->lookup(Key, R)) {
-        DiskHits.fetch_add(1, std::memory_order_relaxed);
-      } else {
-        DiskMisses.fetch_add(1, std::memory_order_relaxed);
-        R = ComputeBackend.checkSat(F);
-        QS->append(Key, R); // no-op when the store is read-only
-      }
-    } else {
-      R = ComputeBackend.checkSat(F);
-    }
-    Promise.set_value(std::move(R));
+    Promise.set_value(computeOwned(F, Compute));
   } catch (...) {
     // Unpoison the entry so a later ask retries, and propagate the error to
     // any concurrent waiters before rethrowing to our caller.
@@ -88,6 +96,109 @@ CheckResult CachingSolver::lookupOrCompute(const Term *F,
     throw;
   }
   return Future.get();
+}
+
+CheckResult CachingSolver::lookupOrCompute(const Term *F,
+                                           SmtSolver &ComputeBackend) {
+  return lookupOrCompute(
+      F, [&](const Term *G) { return ComputeBackend.checkSat(G); });
+}
+
+std::vector<CheckResult>
+CachingSolver::lookupOrComputeBatch(const std::vector<const Term *> &Fs,
+                                    const BatchComputeFn &Compute) {
+  const size_t N = Fs.size();
+  std::vector<std::shared_future<CheckResult>> Futures(N);
+  std::vector<std::promise<CheckResult>> Promises(N);
+  std::vector<char> Owner(N, 0);
+
+  // Phase 1: classify strictly in order. Duplicates within the batch find
+  // the first occurrence's in-flight entry and count as hits — exactly what
+  // asking them one-by-one would have counted. Nothing is waited on yet
+  // (an in-batch duplicate's future is fulfilled by *this* call, below).
+  for (size_t I = 0; I < N; ++I) {
+    ++Queries;
+    Shard &S = shardFor(Fs[I]);
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    auto It = S.Map.find(Fs[I]);
+    if (It != S.Map.end()) {
+      Futures[I] = It->second;
+      Hits.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      Owner[I] = 1;
+      Futures[I] = Promises[I].get_future().share();
+      S.Map.emplace(Fs[I], Futures[I]);
+      Misses.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  // Phases 2 and 3 run under one exception contract mirroring the
+  // single-formula path: any throw (key encoding, store I/O, the compute
+  // call, a wrong-sized compute result) unpoisons every still-unpublished
+  // owned entry and forwards the exception to its waiters — a failed batch
+  // must never leave permanently-broken futures in the memo.
+  try {
+    // Phase 2: persistent-tier probe per owned miss, in order. Store hits
+    // publish immediately; the rest become the residual the backend solves.
+    persist::QueryStore *QS = Store.get();
+    std::vector<const Term *> Residual;
+    std::vector<size_t> ResidualIdx;
+    std::vector<std::string> ResidualKeys;
+    for (size_t I = 0; I < N; ++I) {
+      if (!Owner[I])
+        continue;
+      if (QS) {
+        std::string Key = persist::encodeTermKey(Fs[I]);
+        CheckResult R;
+        if (QS->lookup(Key, R)) {
+          DiskHits.fetch_add(1, std::memory_order_relaxed);
+          Promises[I].set_value(std::move(R));
+          Owner[I] = 0; // published
+          continue;
+        }
+        DiskMisses.fetch_add(1, std::memory_order_relaxed);
+        ResidualKeys.push_back(std::move(Key));
+      }
+      Residual.push_back(Fs[I]);
+      ResidualIdx.push_back(I);
+    }
+
+    // Phase 3: one compute call over the residual, then write-through and
+    // publication.
+    if (!Residual.empty()) {
+      std::vector<CheckResult> Rs = Compute(Residual);
+      if (Rs.size() != Residual.size())
+        throw std::logic_error(
+            "CachingSolver batch compute returned wrong result count");
+      for (size_t K = 0; K < ResidualIdx.size(); ++K) {
+        size_t I = ResidualIdx[K];
+        if (QS)
+          QS->append(ResidualKeys[K], Rs[K]);
+        Promises[I].set_value(std::move(Rs[K]));
+        Owner[I] = 0; // published
+      }
+    }
+  } catch (...) {
+    for (size_t I = 0; I < N; ++I) {
+      if (!Owner[I])
+        continue;
+      Shard &S = shardFor(Fs[I]);
+      {
+        std::lock_guard<std::mutex> Lock(S.Mu);
+        S.Map.erase(Fs[I]);
+      }
+      Promises[I].set_exception(std::current_exception());
+    }
+    throw;
+  }
+
+  // Phase 4: collect — every future is fulfilled by now (by us, or by a
+  // concurrent owner in another thread).
+  std::vector<CheckResult> Out;
+  Out.reserve(N);
+  for (size_t I = 0; I < N; ++I)
+    Out.push_back(Futures[I].get());
+  return Out;
 }
 
 CheckResult CachingSolver::checkSat(const Term *F) {
@@ -140,21 +251,37 @@ CachingSolver::makeSession(std::unique_ptr<SmtSolver> WorkerBackend) {
 }
 
 std::vector<std::unique_ptr<SmtSolver>>
-solver::makeWorkerSolvers(TermContext &C, const SolverFactory &Factory,
-                          CachingSolver *SharedCache, unsigned Jobs) {
-  std::vector<std::unique_ptr<SmtSolver>> Workers;
-  if (Jobs <= 1 || !Factory)
-    return Workers;
+solver::mintWorkerBackends(TermContext &C, const SolverFactory &Factory,
+                           unsigned Jobs) {
+  std::vector<std::unique_ptr<SmtSolver>> Raw;
+  if (Jobs == 0 || !Factory)
+    return Raw;
   for (unsigned J = 0; J < Jobs; ++J) {
     std::unique_ptr<SmtSolver> Backend = Factory.create(C);
     if (!Backend || &Backend->context() != &C)
       return {};
+    Raw.push_back(std::move(Backend));
+  }
+  return Raw;
+}
+
+std::vector<std::unique_ptr<SmtSolver>>
+solver::makeWorkerSolvers(TermContext &C, const SolverFactory &Factory,
+                          CachingSolver *SharedCache, unsigned Jobs) {
+  std::vector<std::unique_ptr<SmtSolver>> Workers;
+  if (Jobs <= 1)
+    return Workers;
+  std::vector<std::unique_ptr<SmtSolver>> Raw =
+      mintWorkerBackends(C, Factory, Jobs);
+  if (Raw.empty())
+    return Workers;
+  for (unsigned J = 0; J < Jobs; ++J) {
     if (SharedCache) {
-      Workers.push_back(SharedCache->makeSession(std::move(Backend)));
+      Workers.push_back(SharedCache->makeSession(std::move(Raw[J])));
       if (!Workers.back())
         return {};
     } else {
-      Workers.push_back(std::move(Backend));
+      Workers.push_back(std::move(Raw[J]));
     }
   }
   return Workers;

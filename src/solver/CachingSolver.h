@@ -51,6 +51,7 @@
 
 #include <array>
 #include <atomic>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -111,6 +112,38 @@ public:
 
   CheckResult checkSat(const logic::Term *F) override;
 
+  /// Computes the answer for one formula on a miss. Receives the formula
+  /// itself; how it is discharged (one-shot, or as a delta under a solver
+  /// session whose asserted prefix the formula entails) is the caller's
+  /// business — the cache only requires that the result equal a one-shot
+  /// checkSat(F).
+  using ComputeFn = std::function<CheckResult(const logic::Term *)>;
+
+  /// Computes answers for a *batch* of distinct formulas in one go (e.g.
+  /// one checkSatBatch solver call). Must return exactly one result per
+  /// input formula, positionally.
+  using BatchComputeFn = std::function<std::vector<CheckResult>(
+      const std::vector<const logic::Term *> &)>;
+
+  /// The single-flight lookup with a caller-supplied compute for the miss
+  /// path. Identical counter semantics to checkSat(): one Queries tick, a
+  /// memo Hit or Miss, and — for the owning miss, when a store is attached
+  /// — one persistent-tier probe plus write-through. This is how solver
+  /// sessions keep the cache on their path: the cache key is always the
+  /// equivalent one-shot formula, whatever \p Compute does internally.
+  CheckResult lookupOrCompute(const logic::Term *F, const ComputeFn &Compute);
+
+  /// Batched single-flight lookup: processes \p Fs strictly in order —
+  /// memo probe (hit counts exactly as if asked one-by-one, including
+  /// duplicates within the batch), then a persistent-store probe per owned
+  /// miss, then ONE \p Compute call over the still-unanswered rest, then
+  /// publication. Counter totals are therefore identical to issuing the
+  /// same formulas individually, which is the cold/warm and
+  /// incremental-vs-one-shot parity contract. Returns one result per input.
+  std::vector<CheckResult>
+  lookupOrComputeBatch(const std::vector<const logic::Term *> &Fs,
+                       const BatchComputeFn &Compute);
+
   std::string name() const override { return "cache(" + Backend->name() + ")"; }
 
   /// Attaches (or detaches, with null) a persistent store as the second
@@ -156,6 +189,11 @@ private:
   /// concurrent askers of the same formula wait on.
   CheckResult lookupOrCompute(const logic::Term *F, SmtSolver &ComputeBackend);
 
+  /// Probes the persistent tier for the owning miss of \p F (counting disk
+  /// hit/miss) and computes + writes through on a store miss. Shared by the
+  /// single and batched owner paths.
+  CheckResult computeOwned(const logic::Term *F, const ComputeFn &Compute);
+
   static constexpr size_t NumShards = 16;
   struct Shard {
     mutable std::mutex Mu;
@@ -174,6 +212,16 @@ private:
   std::atomic<uint64_t> DiskHits{0};
   std::atomic<uint64_t> DiskMisses{0};
 };
+
+/// Mints one private raw backend per job from \p Factory, each validated
+/// against \p C. Empty — callers must then stay serial — when \p Jobs == 0,
+/// the factory is invalid, or any backend cannot be minted. The raw-handle
+/// sibling of makeWorkerSolvers, for the incremental-session engines (which
+/// need push/pop on the backend itself); shared so the mint/validate
+/// sequence cannot diverge between placement and the invariant fixpoint.
+std::vector<std::unique_ptr<SmtSolver>>
+mintWorkerBackends(logic::TermContext &C, const SolverFactory &Factory,
+                   unsigned Jobs);
 
 /// Builds the per-worker solver handles for a parallel fan-out: one private
 /// backend per job minted by \p Factory, each wrapped as a session of

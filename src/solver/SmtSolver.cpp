@@ -35,13 +35,59 @@ Validity SmtSolver::checkValid(const Term *F) {
 
 namespace {
 
-/// MiniSmt-backed implementation.
+/// MiniSmt-backed implementation. Sessions are assertion-stack *snapshots*:
+/// push/pop/assertTerm maintain a plain vector of asserted terms (scope
+/// boundaries recorded as size marks) and every checkSatAssuming re-solves
+/// the accumulated conjunction with a fresh one-shot MiniSmt. That gives the
+/// full session API with exactly one-shot semantics — no incremental state
+/// to get wrong, no answer drift versus a fresh solve — at the cost of no
+/// incremental speedup (MiniSmt is the fallback backend; the perf lever is
+/// the native Z3 session).
 class MiniBackend : public SmtSolver {
 public:
   explicit MiniBackend(TermContext &C) : SmtSolver(C) {}
 
   CheckResult checkSat(const Term *F) override {
     ++Queries;
+    return solveOnce(F);
+  }
+
+  bool supportsIncremental() const override { return true; }
+
+  bool push() override {
+    Marks.push_back(Stack.size());
+    return true;
+  }
+
+  bool pop() override {
+    if (Marks.empty())
+      return false;
+    Stack.resize(Marks.back());
+    Marks.pop_back();
+    return true;
+  }
+
+  bool assertTerm(const Term *F) override {
+    if (!F || F->sort() != Sort::Bool)
+      return false;
+    Stack.push_back(F);
+    return true;
+  }
+
+  CheckResult checkSatAssuming(
+      const std::vector<const Term *> &Assumptions) override {
+    ++Queries;
+    if (Stack.empty() && Assumptions.size() == 1)
+      return solveOnce(Assumptions.front());
+    std::vector<const Term *> All(Stack.begin(), Stack.end());
+    All.insert(All.end(), Assumptions.begin(), Assumptions.end());
+    return solveOnce(Ctx.and_(std::move(All)));
+  }
+
+  std::string name() const override { return "mini"; }
+
+private:
+  CheckResult solveOnce(const Term *F) {
     smt::MiniSmt Solver(Ctx);
     smt::SmtResult R = Solver.checkSat(F);
     CheckResult Out;
@@ -61,7 +107,8 @@ public:
     return Out;
   }
 
-  std::string name() const override { return "mini"; }
+  std::vector<const Term *> Stack; ///< asserted terms, all open scopes
+  std::vector<size_t> Marks;       ///< Stack.size() at each push()
 };
 
 /// Runs two backends and aborts on disagreement (Unknown tolerated). The
@@ -89,6 +136,38 @@ public:
   }
 
   std::string name() const override { return "crosscheck"; }
+
+  // Sessions forward to both backends so the differential property suite
+  // can drive push/pop scripts through the cross-checker. Prefix assertions
+  // stay non-native (nativeIncremental() is false): both backends carry the
+  // full stack and every check is cross-validated against it.
+  bool supportsIncremental() const override {
+    return A->supportsIncremental() && B->supportsIncremental();
+  }
+
+  bool push() override { return A->push() && B->push(); }
+
+  bool pop() override { return A->pop() && B->pop(); }
+
+  bool assertTerm(const Term *F) override {
+    return A->assertTerm(F) && B->assertTerm(F);
+  }
+
+  CheckResult checkSatAssuming(
+      const std::vector<const Term *> &Assumptions) override {
+    ++Queries;
+    CheckResult RA = A->checkSatAssuming(Assumptions);
+    CheckResult RB = B->checkSatAssuming(Assumptions);
+    if (RA.TheAnswer != Answer::Unknown && RB.TheAnswer != Answer::Unknown &&
+        RA.TheAnswer != RB.TheAnswer) {
+      std::fprintf(stderr,
+                   "session solver disagreement: %s says %d, %s says %d\n",
+                   A->name().c_str(), static_cast<int>(RA.TheAnswer),
+                   B->name().c_str(), static_cast<int>(RB.TheAnswer));
+      std::abort();
+    }
+    return RA.TheAnswer != Answer::Unknown ? RA : RB;
+  }
 
 private:
   std::unique_ptr<SmtSolver> A, B;

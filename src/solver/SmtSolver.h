@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 namespace expresso {
 namespace solver {
@@ -71,6 +72,81 @@ public:
   bool isSat(const logic::Term *F, bool UnknownMeansSat = false) {
     Answer A = checkSat(F).TheAnswer;
     return A == Answer::Sat || (UnknownMeansSat && A == Answer::Unknown);
+  }
+
+  //===--------------------------------------------------------------------===
+  // Incremental session API
+  //===--------------------------------------------------------------------===
+  //
+  // A solver session is a stack of assertion scopes: push() opens a scope,
+  // assertTerm() adds a formula to the current scope, pop() discards the
+  // innermost scope and everything asserted in it, and checkSatAssuming(A)
+  // decides  sat(asserted-stack ∧ A)  without disturbing the stack. Plain
+  // checkSat() remains *absolute*: it ignores the session stack entirely
+  // (every backend guarantees this), so mixing one-shot and session traffic
+  // on one backend is safe.
+  //
+  // The base class fails closed: push/pop/assertTerm refuse (return false)
+  // and checkSatAssuming answers Unknown, so a caller that forgot to test
+  // supportsIncremental() can never extract a wrong answer — only a useless
+  // one. Backends opt in:
+  //   * Z3Backend keeps one long-lived z3::solver per instance and maps the
+  //     API onto native push/pop/check-with-assumptions (and discharges
+  //     checkSatBatch with assumption literals + unsat cores);
+  //   * the MiniSmt backend implements assertion-stack *snapshots*: the
+  //     stack is recorded term-by-term and every check re-solves the
+  //     accumulated conjunction one-shot (correctness, not speed);
+  //   * builds without Z3 (Z3Stub) have no Z3 backend at all — requesting
+  //     one yields null, which is as closed as failing gets.
+
+  /// True when this backend implements the session API (push/pop/assert/
+  /// checkSatAssuming) with stack ∧ assumptions semantics.
+  virtual bool supportsIncremental() const { return false; }
+
+  /// True when sessions are *natively* incremental — asserted prefixes live
+  /// inside the backend's solver state instead of being re-conjoined into
+  /// every check. Callers use this to decide whether asserting a shared
+  /// prefix is a win (Z3) or pure re-encoding overhead (MiniSmt snapshots).
+  virtual bool nativeIncremental() const { return false; }
+
+  /// Opens an assertion scope. Returns false (and changes nothing) when the
+  /// backend has no session support or the solver errored.
+  virtual bool push() { return false; }
+
+  /// Discards the innermost scope. False when no scope is open.
+  virtual bool pop() { return false; }
+
+  /// Asserts \p F in the current scope. False on failure; a failed assert
+  /// leaves the stack unchanged.
+  virtual bool assertTerm(const logic::Term *F) {
+    (void)F;
+    return false;
+  }
+
+  /// Decides sat(asserted-stack ∧ Assumptions). The assumptions are not
+  /// retained. Fail-closed default: Unknown.
+  virtual CheckResult checkSatAssuming(
+      const std::vector<const logic::Term *> &Assumptions) {
+    (void)Assumptions;
+    ++Queries;
+    return CheckResult();
+  }
+
+  /// Decides, for each \p Fs[i] *independently*, sat(asserted-stack ∧
+  /// Fs[i]), returning one CheckResult per formula. Semantically equivalent
+  /// to |Fs| checkSatAssuming({F}) calls — and the default implementation is
+  /// exactly that loop — but a native backend (Z3) discharges the whole
+  /// family against its current solver state with per-formula assumption
+  /// literals, extracting answers from one model / unsat cores instead of
+  /// re-asserting anything. Queries counts one per formula in every
+  /// implementation, so query accounting is batching-invariant.
+  virtual std::vector<CheckResult>
+  checkSatBatch(const std::vector<const logic::Term *> &Fs) {
+    std::vector<CheckResult> Out;
+    Out.reserve(Fs.size());
+    for (const logic::Term *F : Fs)
+      Out.push_back(checkSatAssuming({F}));
+    return Out;
   }
 
   uint64_t numQueries() const {

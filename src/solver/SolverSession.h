@@ -1,0 +1,149 @@
+//===- solver/SolverSession.h - Scoped incremental VC sessions --*- C++ -*-===//
+//
+// Part of expresso-cpp, a reproduction of "Symbolic Reasoning for Automatic
+// Signal Placement" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The discharge layer between signal placement and the solver stack when
+/// incremental sessions are on. One SolverSession pairs a worker's private
+/// backend with the shared CachingSolver (when caching is enabled) and
+/// exposes the scope structure Algorithm 1 needs:
+///
+///   * a session-lifetime *invariant scope* — the monitor invariant I is
+///     asserted once per worker and stays for every CCR the worker handles;
+///   * a per-CCR *guard scope* — Guard(w) is asserted (lazily) while the
+///     CCR's own checks run and popped when the CCR is done, so switching
+///     CCRs is one pop + one push instead of a new solver context.
+///
+/// Soundness contract: a formula may only be discharged under a scope whose
+/// assertions it *semantically entails*. Every placement VC is the negation
+/// of `Pre => wp(...)` with Pre = I ∧ Guard ∧ ..., so the negation is
+/// equivalent to Pre ∧ ¬wp(...) and entails I (and, for the signalling
+/// CCR's own checks, its guard). Asserting the entailed prefix is therefore
+/// redundant — sat(prefix ∧ F) == sat(F) — and the *equivalent one-shot
+/// formula* of every scoped query is the delta F itself. That identity is
+/// what keeps the cache on the path unchanged: scoped queries are keyed,
+/// counted, single-flighted, and persisted exactly like one-shot queries,
+/// byte-for-byte (see persist/TermCodec.h on key derivation).
+///
+/// Queries whose answers the backend fails to produce incrementally
+/// (session breakage, Unknown from an incremental check) are re-discharged
+/// one-shot, so the answers a session produces are the answers
+/// --incremental=off would have produced — the differential harness in
+/// tests/IncrementalSolverTest.cpp holds the two modes to byte parity.
+///
+/// Prefix assertion is applied only on natively incremental backends (Z3).
+/// Snapshot backends (MiniSmt) would pay re-encoding for nothing, so for
+/// them every scoped check degrades to the one-shot-equivalent single-
+/// assumption form; answers are identical either way.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXPRESSO_SOLVER_SOLVERSESSION_H
+#define EXPRESSO_SOLVER_SOLVERSESSION_H
+
+#include "solver/CachingSolver.h"
+
+#include <vector>
+
+namespace expresso {
+namespace solver {
+
+/// A per-worker incremental discharge session. Not thread-safe: one worker
+/// thread owns one session (and its backend) for the session's lifetime.
+class SolverSession {
+public:
+  /// \p Cache may be null (the --no-cache configuration); \p Backend is the
+  /// worker's private backend, borrowed for the session's lifetime.
+  SolverSession(CachingSolver *Cache, SmtSolver &Backend);
+  ~SolverSession();
+
+  SolverSession(const SolverSession &) = delete;
+  SolverSession &operator=(const SolverSession &) = delete;
+
+  /// Asserts the monitor invariant in the session-lifetime scope (first
+  /// call only; later calls must pass the same term and are no-ops). On
+  /// non-native or broken backends this records nothing and returns true —
+  /// discharges simply stay one-shot-equivalent.
+  bool setInvariant(const logic::Term *I);
+
+  /// Enters the per-CCR guard scope (the guard is pushed lazily, on the
+  /// first checkSatUnderGuard). Must be balanced with exitCcr().
+  void enterCcr(const logic::Term *Guard);
+  void exitCcr();
+
+  /// Decides sat(F) for an F that entails I ∧ Guard(current CCR).
+  CheckResult checkSatUnderGuard(const logic::Term *F);
+
+  /// Decides sat(F) for an F that entails I only (e.g. the one-wake checks,
+  /// whose precondition carries the *woken* CCR's guard). Drops the guard
+  /// scope if it is currently pushed.
+  CheckResult checkSatUnderInvariant(const logic::Term *F);
+
+  /// Batched form of checkSatUnderGuard: decides each formula independently
+  /// with one cache-batch + (at best) one backend checkSatBatch call.
+  std::vector<CheckResult>
+  checkSatBatchUnderGuard(const std::vector<const logic::Term *> &Fs);
+
+  /// An SmtSolver view of the *absolute* path — plain cached one-shot
+  /// checkSat, blind to every session scope. Hand this to code whose
+  /// queries entail no prefix at all (commutativity checks).
+  SmtSolver &absoluteSolver() { return Absolute; }
+
+  /// Total formulas this session decided (scoped + absolute), the analogue
+  /// of a worker solver handle's numQueries() in one-shot mode.
+  uint64_t numQueries() const { return Lookups; }
+
+  /// True while the backend session machinery is healthy AND natively
+  /// incremental; false means every discharge is one-shot-equivalent
+  /// (answers unchanged — this is a perf bit, not a correctness bit).
+  bool native() const { return Native; }
+
+private:
+  class AbsoluteView : public SmtSolver {
+  public:
+    AbsoluteView(SolverSession &Parent)
+        : SmtSolver(Parent.Backend.context()), Parent(Parent) {}
+    CheckResult checkSat(const logic::Term *F) override {
+      ++Queries;
+      return Parent.checkSatAbsolute(F);
+    }
+    std::string name() const override {
+      return "session-abs(" + Parent.Backend.name() + ")";
+    }
+
+  private:
+    SolverSession &Parent;
+  };
+
+  CheckResult checkSatAbsolute(const logic::Term *F);
+
+  /// Pops every scope this session pushed and downgrades to non-native
+  /// (one-shot-equivalent) discharge. Called on any push/assert failure.
+  void markBroken();
+
+  bool ensureGuardPushed();
+  void dropGuardScope();
+
+  /// Computes sat(stack ∧ F) on the backend, falling back to a one-shot
+  /// solve when the scoped answer is Unknown (or the session is not
+  /// native), so scoped answers can never be *weaker* than one-shot mode's.
+  CheckResult computeScoped(const logic::Term *F);
+
+  CachingSolver *Cache; ///< shared memo + persistent tier; may be null
+  SmtSolver &Backend;   ///< worker-private backend, borrowed
+  AbsoluteView Absolute;
+  bool Native = false;          ///< backend prefix assertion in effect
+  const logic::Term *Invariant = nullptr;
+  bool InvariantPushed = false;
+  const logic::Term *Guard = nullptr; ///< current CCR guard (null outside)
+  bool GuardPushed = false;
+  uint64_t Lookups = 0;
+};
+
+} // namespace solver
+} // namespace expresso
+
+#endif // EXPRESSO_SOLVER_SOLVERSESSION_H

@@ -11,13 +11,34 @@
 /// for checking logical validity"). Compiled only when z3++.h is available;
 /// Z3Stub.cpp provides the factory otherwise.
 ///
+/// Two discharge paths coexist per backend instance:
+///
+///   * checkSat() is *absolute and context-fresh*: a new z3::context and
+///     z3::solver per query, exactly the paper-style one-context-per-query
+///     configuration. This is deliberately not sped up — it is the
+///     --incremental=off ablation baseline.
+///   * The session API (push/pop/assertTerm/checkSatAssuming/checkSatBatch)
+///     runs against one lazily-created long-lived z3::context + z3::solver,
+///     with a persistent Term→expr translation memo, so shared prefixes are
+///     asserted and internalized once and each delta rides Z3's incremental
+///     state. checkSatBatch guards every formula with a fresh assumption
+///     literal and decides the family with check(assumptions) calls,
+///     reading answers out of one model (sat decides every formula at once)
+///     or unsat cores (a singleton core decides its formula; larger cores
+///     fall back to per-literal checks that still re-assert nothing).
+///
+/// Every session entry point catches z3 exceptions and fails closed (false
+/// or Unknown) — a broken session can cost performance, never an answer.
+///
 //===----------------------------------------------------------------------===//
 
 #include "solver/SmtSolver.h"
 
 #include <z3++.h>
 
+#include <memory>
 #include <unordered_map>
+#include <unordered_set>
 
 using namespace expresso;
 using namespace expresso::solver;
@@ -46,59 +67,325 @@ public:
     case z3::sat:
       break;
     }
-    Out.TheAnswer = Answer::Sat;
-    Out.ModelComplete = true;
-    z3::model Model = Solver.get_model();
-    for (const Term *V : freeVars(F)) {
-      z3::expr E = translate(Z3Ctx, V, Memo);
-      z3::expr Val = Model.eval(E, /*model_completion=*/true);
-      switch (V->sort()) {
-      case Sort::Int: {
-        int64_t I = 0;
-        if (Val.is_numeral_i64(I)) {
-          Out.Model[V->varName()] = Value::ofInt(I);
-        } else {
-          Out.ModelComplete = false;
-        }
-        break;
-      }
-      case Sort::Bool:
-        Out.Model[V->varName()] = Value::ofBool(Val.is_true());
-        break;
-      case Sort::IntArray:
-      case Sort::BoolArray: {
-        // Reconstruct pointwise through the select terms appearing in F.
-        Value AV = Value::ofArray(V->sort(), {}, 0);
-        for (const auto &[SelTerm, Unused] : Memo) {
-          (void)Unused;
-          if (SelTerm->kind() != TermKind::Select ||
-              SelTerm->operand(0) != V)
-            continue;
-          z3::expr Idx =
-              Model.eval(translate(Z3Ctx, SelTerm->operand(1), Memo), true);
-          z3::expr Elem = Model.eval(translate(Z3Ctx, SelTerm, Memo), true);
-          int64_t IdxV = 0;
-          if (!Idx.is_numeral_i64(IdxV))
-            continue;
-          if (SelTerm->sort() == Sort::Bool) {
-            AV.A[IdxV] = Elem.is_true() ? 1 : 0;
-          } else {
-            int64_t EV = 0;
-            if (Elem.is_numeral_i64(EV))
-              AV.A[IdxV] = EV;
-          }
-        }
-        Out.Model[V->varName()] = AV;
-        break;
-      }
-      }
-    }
+    extractModel(Out, Z3Ctx, Solver.get_model(), {F}, Memo);
     return Out;
   }
 
   std::string name() const override { return "z3"; }
 
+  //===--------------------------------------------------------------------===
+  // Incremental sessions: one long-lived z3::solver per backend instance.
+  //===--------------------------------------------------------------------===
+
+  bool supportsIncremental() const override { return true; }
+  bool nativeIncremental() const override { return true; }
+
+  bool push() override {
+    Session *S = session();
+    if (!S)
+      return false;
+    try {
+      S->Solver.push();
+      ++S->Depth;
+      return true;
+    } catch (const z3::exception &) {
+      killSession();
+      return false;
+    }
+  }
+
+  bool pop() override {
+    Session *S = session();
+    if (!S || S->Depth == 0)
+      return false;
+    try {
+      S->Solver.pop();
+      --S->Depth;
+      return true;
+    } catch (const z3::exception &) {
+      killSession();
+      return false;
+    }
+  }
+
+  bool assertTerm(const Term *F) override {
+    Session *S = session();
+    if (!S || !F || F->sort() != Sort::Bool)
+      return false;
+    try {
+      S->Solver.add(translate(S->Ctx, F, S->Memo));
+      return true;
+    } catch (const z3::exception &) {
+      killSession();
+      return false;
+    }
+  }
+
+  CheckResult checkSatAssuming(
+      const std::vector<const Term *> &Assumptions) override {
+    ++Queries;
+    CheckResult Out;
+    Session *S = session();
+    if (!S)
+      return Out;
+    // A temporary scope keeps the assumptions out of the persistent stack;
+    // arbitrary formulas (not just literals) are allowed this way.
+    try {
+      S->Solver.push();
+    } catch (const z3::exception &) {
+      killSession();
+      return Out;
+    }
+    try {
+      for (const Term *A : Assumptions)
+        S->Solver.add(translate(S->Ctx, A, S->Memo));
+      switch (S->Solver.check()) {
+      case z3::unsat:
+        Out.TheAnswer = Answer::Unsat;
+        break;
+      case z3::unknown:
+        break;
+      case z3::sat:
+        extractModel(Out, S->Ctx, S->Solver.get_model(), Assumptions,
+                     S->Memo);
+        break;
+      }
+      S->Solver.pop(); // matches the push above; Depth is untouched
+    } catch (const z3::exception &) {
+      killSession();
+      return CheckResult();
+    }
+    return Out;
+  }
+
+  std::vector<CheckResult>
+  checkSatBatch(const std::vector<const Term *> &Fs) override {
+    Queries.fetch_add(Fs.size(), std::memory_order_relaxed);
+    std::vector<CheckResult> Answers(Fs.size());
+    if (Fs.empty())
+      return Answers;
+    Session *S = session();
+    if (!S)
+      return Answers; // all Unknown — fail closed
+    try {
+      S->Solver.push();
+    } catch (const z3::exception &) {
+      killSession();
+      return Answers;
+    }
+    try {
+      // Guard every formula with a fresh assumption literal p_i and assert
+      // p_i => F_i once; all subsequent check(assumptions) calls reuse the
+      // internalized formulas without re-asserting anything.
+      std::vector<z3::expr> Proxies;
+      std::unordered_map<std::string, size_t> ProxyIndex;
+      Proxies.reserve(Fs.size());
+      for (size_t I = 0; I < Fs.size(); ++I) {
+        std::string Name =
+            "xpr!assume!" + std::to_string(S->ProxyBatch) + "!" +
+            std::to_string(I);
+        z3::expr P = S->Ctx.bool_const(Name.c_str());
+        S->Solver.add(z3::implies(P, translate(S->Ctx, Fs[I], S->Memo)));
+        ProxyIndex.emplace(Name, I);
+        Proxies.push_back(P);
+      }
+      ++S->ProxyBatch;
+
+      // Decide the family: check all remaining assumptions together. A sat
+      // answer's model satisfies every assumed formula, so it decides all
+      // of them at once; unsat yields a core whose singleton case decides
+      // one formula, and larger (or unknown) cases degrade to per-literal
+      // checks that still ride the session state.
+      std::vector<size_t> Remaining(Fs.size());
+      for (size_t I = 0; I < Fs.size(); ++I)
+        Remaining[I] = I;
+      auto checkOne = [&](size_t I) {
+        CheckResult R;
+        z3::expr_vector One(S->Ctx);
+        One.push_back(Proxies[I]);
+        switch (S->Solver.check(One)) {
+        case z3::unsat:
+          R.TheAnswer = Answer::Unsat;
+          break;
+        case z3::unknown:
+          break;
+        case z3::sat:
+          extractModel(R, S->Ctx, S->Solver.get_model(), {Fs[I]}, S->Memo);
+          break;
+        }
+        return R;
+      };
+      while (!Remaining.empty()) {
+        z3::expr_vector As(S->Ctx);
+        for (size_t I : Remaining)
+          As.push_back(Proxies[I]);
+        z3::check_result CR = S->Solver.check(As);
+        if (CR == z3::sat) {
+          z3::model Model = S->Solver.get_model();
+          for (size_t I : Remaining)
+            extractModel(Answers[I], S->Ctx, Model, {Fs[I]}, S->Memo);
+          break;
+        }
+        if (CR == z3::unknown) {
+          for (size_t I : Remaining)
+            Answers[I] = checkOne(I);
+          break;
+        }
+        // unsat: read the core of assumption literals.
+        std::vector<size_t> CoreIdx;
+        z3::expr_vector Core = S->Solver.unsat_core();
+        for (unsigned K = 0; K < Core.size(); ++K) {
+          auto It = ProxyIndex.find(Core[K].decl().name().str());
+          if (It != ProxyIndex.end())
+            CoreIdx.push_back(It->second);
+        }
+        if (CoreIdx.empty()) {
+          // The asserted stack alone is unsat: every formula is unsat
+          // relative to it.
+          for (size_t I : Remaining)
+            Answers[I].TheAnswer = Answer::Unsat;
+          break;
+        }
+        if (CoreIdx.size() == 1)
+          Answers[CoreIdx.front()].TheAnswer = Answer::Unsat;
+        else
+          for (size_t I : CoreIdx)
+            Answers[I] = checkOne(I);
+        std::vector<size_t> Next;
+        for (size_t I : Remaining) {
+          bool InCore = false;
+          for (size_t CI : CoreIdx)
+            InCore |= CI == I;
+          if (!InCore)
+            Next.push_back(I);
+        }
+        Remaining = std::move(Next);
+      }
+      S->Solver.pop();
+    } catch (const z3::exception &) {
+      killSession();
+      return std::vector<CheckResult>(Fs.size()); // all Unknown
+    }
+    return Answers;
+  }
+
 private:
+  /// Long-lived per-instance session state, created on first use. Terms are
+  /// interned and never freed, so the translation memo stays valid for the
+  /// backend's lifetime and shared subterms translate exactly once.
+  struct Session {
+    z3::context Ctx;
+    z3::solver Solver;
+    std::unordered_map<const Term *, z3::expr> Memo;
+    unsigned Depth = 0;      ///< open push() scopes
+    uint64_t ProxyBatch = 0; ///< uniquifies batch assumption literals
+    Session() : Solver(Ctx) {}
+  };
+
+  Session *session() {
+    if (SessionDead)
+      return nullptr;
+    if (!TheSession) {
+      try {
+        TheSession = std::make_unique<Session>();
+      } catch (const z3::exception &) {
+        SessionDead = true;
+        return nullptr;
+      }
+    }
+    return TheSession.get();
+  }
+
+  /// After any z3 exception the session state is unreliable; retire it so
+  /// every later session call fails closed (plain checkSat is unaffected —
+  /// it never touches the session).
+  void killSession() {
+    TheSession.reset();
+    SessionDead = true;
+  }
+
+  /// Collects the distinct Select nodes of \p T's DAG in deterministic
+  /// DFS order. Model extraction reads array contents through these — and
+  /// *only* these, never the whole translation memo: a session memo holds
+  /// terms from every earlier query, and scanning it would both cost
+  /// O(session lifetime) per extraction and inject other queries' select
+  /// points into this formula's model, breaking model parity with a
+  /// one-shot solve of the same formula.
+  static void collectSelects(const Term *T,
+                             std::unordered_set<const Term *> &Seen,
+                             std::vector<const Term *> &Out) {
+    if (!Seen.insert(T).second)
+      return;
+    if (T->kind() == TermKind::Select)
+      Out.push_back(T);
+    for (const Term *Op : T->operands())
+      collectSelects(Op, Seen, Out);
+  }
+
+  /// Fills \p Out with Sat plus a model over the free variables of \p
+  /// Roots, read from \p Model. Array variables are reconstructed pointwise
+  /// through the select terms occurring in \p Roots (all already translated
+  /// in \p Memo, since the roots themselves were).
+  void extractModel(CheckResult &Out, z3::context &Z, z3::model Model,
+                    const std::vector<const Term *> &Roots,
+                    std::unordered_map<const Term *, z3::expr> &Memo) {
+    Out.TheAnswer = Answer::Sat;
+    Out.ModelComplete = true;
+    std::unordered_set<const Term *> Seen;
+    std::vector<const Term *> Selects;
+    for (const Term *Root : Roots)
+      collectSelects(Root, Seen, Selects);
+    for (const Term *Root : Roots) {
+      for (const Term *V : freeVars(Root)) {
+        if (Out.Model.count(V->varName()))
+          continue;
+        z3::expr E = translate(Z, V, Memo);
+        z3::expr Val = Model.eval(E, /*model_completion=*/true);
+        switch (V->sort()) {
+        case Sort::Int: {
+          int64_t I = 0;
+          if (Val.is_numeral_i64(I)) {
+            Out.Model[V->varName()] = Value::ofInt(I);
+          } else {
+            Out.ModelComplete = false;
+          }
+          break;
+        }
+        case Sort::Bool:
+          Out.Model[V->varName()] = Value::ofBool(Val.is_true());
+          break;
+        case Sort::IntArray:
+        case Sort::BoolArray: {
+          // Reconstruct pointwise through the roots' own select terms.
+          Value AV = Value::ofArray(V->sort(), {}, 0);
+          for (const Term *SelTerm : Selects) {
+            if (SelTerm->operand(0) != V)
+              continue;
+            z3::expr Idx =
+                Model.eval(translate(Z, SelTerm->operand(1), Memo), true);
+            z3::expr Elem = Model.eval(translate(Z, SelTerm, Memo), true);
+            int64_t IdxV = 0;
+            if (!Idx.is_numeral_i64(IdxV))
+              continue;
+            if (SelTerm->sort() == Sort::Bool) {
+              AV.A[IdxV] = Elem.is_true() ? 1 : 0;
+            } else {
+              int64_t EV = 0;
+              if (Elem.is_numeral_i64(EV))
+                AV.A[IdxV] = EV;
+            }
+          }
+          Out.Model[V->varName()] = AV;
+          break;
+        }
+        }
+      }
+    }
+  }
+
+  std::unique_ptr<Session> TheSession;
+  bool SessionDead = false;
+
   z3::expr translate(z3::context &Z, const Term *T,
                      std::unordered_map<const Term *, z3::expr> &Memo) {
     auto It = Memo.find(T);

@@ -4,6 +4,15 @@
 // Signal Placement" (PLDI 2018).
 //
 //===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builds without z3++.h get no Z3 backend at all: the factory returns null
+/// and SolverKind::Default resolves to MiniSmt. That is also the session
+/// API's fail-closed story for such builds — there is no half-working Z3
+/// object whose push/pop could misbehave; incremental placement rides
+/// MiniSmt's assertion-stack snapshots instead (same answers, no speedup).
+///
+//===----------------------------------------------------------------------===//
 
 #include "solver/SmtSolver.h"
 

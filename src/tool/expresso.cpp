@@ -53,6 +53,11 @@ void printUsage() {
       "  --no-commutativity           disable the §4.3 weakening\n"
       "  --no-lazy-broadcast          emit eager signalAll broadcasts\n"
       "  --no-cache                   disable solver query memoization\n"
+      "  --incremental=on|off         discharge VCs through incremental\n"
+      "                               solver sessions (push/pop prefixes,\n"
+      "                               batched no-signal checks; default on)\n"
+      "                               vs one solver context per query; the\n"
+      "                               output is byte-identical either way\n"
       "  --cache-dir=DIR              persist solver answers in DIR and\n"
       "                               reuse answers cached by earlier runs\n"
       "                               (shared safely across processes)\n"
@@ -100,6 +105,20 @@ int main(int Argc, char **Argv) {
       Options.LazyBroadcast = false;
     } else if (std::strcmp(Arg, "--no-cache") == 0) {
       Options.CacheQueries = false;
+    } else if (std::strncmp(Arg, "--incremental=", 14) == 0 ||
+               std::strcmp(Arg, "--incremental") == 0) {
+      const char *Value = Arg[13] == '=' ? Arg + 14
+                          : I + 1 < Argc ? Argv[++I]
+                                         : "";
+      if (std::strcmp(Value, "on") == 0) {
+        Options.Incremental = true;
+      } else if (std::strcmp(Value, "off") == 0) {
+        Options.Incremental = false;
+      } else {
+        std::fprintf(stderr, "--incremental expects on|off (got '%s')\n",
+                     Value);
+        return 1;
+      }
     } else if (std::strncmp(Arg, "--cache-dir=", 12) == 0) {
       CacheDir = Arg + 12;
     } else if (std::strcmp(Arg, "--cache-readonly") == 0) {
@@ -246,6 +265,14 @@ int main(int Argc, char **Argv) {
                 Result.Stats.CommutativityWins);
     std::printf("  analysis time:        %.2fs (invariant %.2fs)\n", Elapsed,
                 Result.Stats.InvariantSeconds);
+    // Deliberately below summary(): Σ and the stats trailer are mode-
+    // independent; only this diagnostic line says how VCs were discharged.
+    std::printf("  incremental sessions: %s\n",
+                Result.Stats.IncrementalSessions
+                    ? "on"
+                    : (Options.Incremental ? "off (backend has no session "
+                                             "support)"
+                                           : "off"));
     std::printf("  placement jobs:       %u\n", Result.Stats.JobsUsed);
     for (size_t W = 0; W < Result.Stats.Workers.size(); ++W) {
       const core::WorkerStats &WS = Result.Stats.Workers[W];

@@ -1,0 +1,286 @@
+//===- tests/IncrementalPropertyTest.cpp - Session API property tests ---------===//
+//
+// Part of expresso-cpp, a reproduction of "Symbolic Reasoning for Automatic
+// Signal Placement" (PLDI 2018).
+//
+// Randomized differential validation of the incremental session API
+// (push/pop/assertTerm/checkSatAssuming/checkSatBatch): generated scripts
+// drive a session backend while the test mirrors the assertion stack, and
+// every check's answer is compared against a *fresh one-shot* solve of the
+// accumulated assertion set — the definition of session correctness. Runs
+// on MiniSmt (assertion-stack snapshots) always, on Z3 (native push/pop,
+// assumption literals, unsat cores) when the build has it, and through the
+// cross-checking backend. Seeded and fully reproducible.
+//
+//===----------------------------------------------------------------------===//
+
+#include "solver/SmtSolver.h"
+
+#include "tests/TestUtil.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+using namespace expresso;
+using namespace expresso::logic;
+using namespace expresso::solver;
+
+namespace {
+
+/// One-shot reference answer for "the asserted stack plus these assumptions"
+/// on a fresh backend of the same kind.
+Answer oneShotReference(TermContext &C, SolverKind Kind,
+                        const std::vector<const Term *> &Stack,
+                        const std::vector<const Term *> &Assumptions) {
+  std::vector<const Term *> All(Stack.begin(), Stack.end());
+  All.insert(All.end(), Assumptions.begin(), Assumptions.end());
+  const Term *F = All.empty() ? C.getTrue() : C.and_(All);
+  std::unique_ptr<SmtSolver> Fresh = createSolver(Kind, C);
+  return Fresh->checkSat(F).TheAnswer;
+}
+
+/// Drives \p NumScripts random push/pop/assert/check scripts against one
+/// session backend, cross-checking every answer. The shadow stack the test
+/// maintains is the spec: a backend whose internal bookkeeping drifts from
+/// it (bad pop, lost assertion, leaked scope) produces a wrong answer on
+/// some later check with high probability.
+void runScripts(SolverKind Kind, unsigned NumScripts, uint64_t Seed) {
+  TermContext C;
+  Rng R(Seed);
+  testutil::FormulaGen Gen(C, R);
+  std::unique_ptr<SmtSolver> S = createSolver(Kind, C);
+  ASSERT_NE(S, nullptr);
+  ASSERT_TRUE(S->supportsIncremental());
+
+  unsigned ChecksDone = 0;
+  for (unsigned Script = 0; Script < NumScripts; ++Script) {
+    // Shadow assertion stack: one vector of terms per open scope.
+    std::vector<std::vector<const Term *>> Scopes(1);
+    auto flat = [&] {
+      std::vector<const Term *> All;
+      for (const auto &Scope : Scopes)
+        All.insert(All.end(), Scope.begin(), Scope.end());
+      return All;
+    };
+
+    unsigned Steps = 3 + static_cast<unsigned>(R.below(10));
+    for (unsigned Step = 0; Step < Steps; ++Step) {
+      switch (R.below(5)) {
+      case 0: // push
+        if (Scopes.size() < 5) {
+          ASSERT_TRUE(S->push());
+          Scopes.emplace_back();
+        }
+        break;
+      case 1: // pop
+        if (Scopes.size() > 1) {
+          ASSERT_TRUE(S->pop());
+          Scopes.pop_back();
+        } else {
+          // Popping with no open scope must refuse and change nothing.
+          EXPECT_FALSE(S->pop());
+        }
+        break;
+      case 2: { // assert
+        const Term *F = Gen.randomFormula(2);
+        ASSERT_TRUE(S->assertTerm(F));
+        Scopes.back().push_back(F);
+        break;
+      }
+      case 3: { // checkSatAssuming with 0-2 assumptions
+        std::vector<const Term *> As;
+        for (uint64_t K = R.below(3); K > 0; --K)
+          As.push_back(Gen.randomFormula(2));
+        Answer Got = S->checkSatAssuming(As).TheAnswer;
+        Answer Want = oneShotReference(C, Kind, flat(), As);
+        if (Got != Answer::Unknown && Want != Answer::Unknown)
+          ASSERT_EQ(Got, Want)
+              << "script " << Script << " step " << Step << " (seed " << Seed
+              << ")";
+        ++ChecksDone;
+        break;
+      }
+      default: { // checkSatBatch with 1-4 formulas, decided independently
+        std::vector<const Term *> Fs;
+        for (uint64_t K = 1 + R.below(4); K > 0; --K)
+          Fs.push_back(Gen.randomFormula(2));
+        std::vector<CheckResult> Got = S->checkSatBatch(Fs);
+        ASSERT_EQ(Got.size(), Fs.size());
+        for (size_t I = 0; I < Fs.size(); ++I) {
+          Answer Want = oneShotReference(C, Kind, flat(), {Fs[I]});
+          if (Got[I].TheAnswer != Answer::Unknown && Want != Answer::Unknown)
+            ASSERT_EQ(Got[I].TheAnswer, Want)
+                << "script " << Script << " step " << Step << " batch index "
+                << I << " (seed " << Seed << ")";
+          ++ChecksDone;
+        }
+        break;
+      }
+      }
+    }
+    // Unwind so the next script starts from a clean stack.
+    while (Scopes.size() > 1) {
+      ASSERT_TRUE(S->pop());
+      Scopes.pop_back();
+    }
+    // The base scope's assertions persist for the backend's lifetime in a
+    // real session; scripts here want independence, so keep the base scope
+    // empty by asserting only inside pushed scopes... except we did assert
+    // at depth 0. Recreate the backend instead — cheap, and it also
+    // exercises many session lifetimes.
+    if (!Scopes.front().empty())
+      S = createSolver(Kind, C);
+  }
+  // The scripts must actually have exercised the API.
+  EXPECT_GE(ChecksDone, NumScripts);
+}
+
+TEST(IncrementalPropertyTest, MiniSnapshotSessions500Scripts) {
+  runScripts(SolverKind::Mini, 500, 0xC0FFEE);
+}
+
+TEST(IncrementalPropertyTest, Z3NativeSessions250Scripts) {
+  if (!hasZ3())
+    GTEST_SKIP() << "Z3 backend not built";
+  runScripts(SolverKind::Z3, 250, 0xBADC0DE);
+}
+
+TEST(IncrementalPropertyTest, CrossCheckSessions100Scripts) {
+  // Without Z3 the crosscheck factory degrades to plain MiniSmt; the run is
+  // still valid, just not differential.
+  runScripts(SolverKind::CrossCheck, 100, 0xFEEDFACE);
+}
+
+//===----------------------------------------------------------------------===//
+// Directed session edge cases
+//===----------------------------------------------------------------------===//
+
+class SessionEdgeTest : public ::testing::TestWithParam<SolverKind> {};
+
+TEST_P(SessionEdgeTest, PopWithoutPushRefuses) {
+  TermContext C;
+  std::unique_ptr<SmtSolver> S = createSolver(GetParam(), C);
+  ASSERT_NE(S, nullptr);
+  EXPECT_FALSE(S->pop());
+  // The refusal must not corrupt the session.
+  EXPECT_TRUE(S->push());
+  EXPECT_TRUE(S->assertTerm(C.getFalse()));
+  EXPECT_EQ(S->checkSatAssuming({}).TheAnswer, Answer::Unsat);
+  EXPECT_TRUE(S->pop());
+  EXPECT_EQ(S->checkSatAssuming({}).TheAnswer, Answer::Sat);
+}
+
+TEST_P(SessionEdgeTest, AssertionsScopeWithPushPop) {
+  TermContext C;
+  std::unique_ptr<SmtSolver> S = createSolver(GetParam(), C);
+  ASSERT_NE(S, nullptr);
+  const Term *X = C.var("x", Sort::Int);
+  ASSERT_TRUE(S->assertTerm(C.ge(X, C.intConst(5))));
+  EXPECT_EQ(S->checkSatAssuming({}).TheAnswer, Answer::Sat);
+  ASSERT_TRUE(S->push());
+  ASSERT_TRUE(S->assertTerm(C.le(X, C.intConst(3))));
+  EXPECT_EQ(S->checkSatAssuming({}).TheAnswer, Answer::Unsat);
+  ASSERT_TRUE(S->pop());
+  // The contradiction must be gone, the base assertion must remain.
+  EXPECT_EQ(S->checkSatAssuming({}).TheAnswer, Answer::Sat);
+  EXPECT_EQ(S->checkSatAssuming({C.le(X, C.intConst(4))}).TheAnswer,
+            Answer::Unsat);
+}
+
+TEST_P(SessionEdgeTest, BatchDecidesFormulasIndependently) {
+  TermContext C;
+  std::unique_ptr<SmtSolver> S = createSolver(GetParam(), C);
+  ASSERT_NE(S, nullptr);
+  const Term *X = C.var("x", Sort::Int);
+  ASSERT_TRUE(S->assertTerm(C.ge(X, C.getZero()))); // prefix: x >= 0
+  // Mixed batch relative to the prefix: sat, unsat, sat, unsat.
+  std::vector<const Term *> Fs = {
+      C.le(X, C.intConst(10)),          // sat
+      C.lt(X, C.getZero()),             // unsat under prefix
+      C.eq(X, C.intConst(3)),           // sat
+      C.and_(C.le(X, C.intConst(1)), C.ge(X, C.intConst(2)))}; // unsat
+  std::vector<CheckResult> Rs = S->checkSatBatch(Fs);
+  ASSERT_EQ(Rs.size(), 4u);
+  EXPECT_EQ(Rs[0].TheAnswer, Answer::Sat);
+  EXPECT_EQ(Rs[1].TheAnswer, Answer::Unsat);
+  EXPECT_EQ(Rs[2].TheAnswer, Answer::Sat);
+  EXPECT_EQ(Rs[3].TheAnswer, Answer::Unsat);
+}
+
+TEST_P(SessionEdgeTest, BatchAllUnsatViaContradictoryPrefix) {
+  TermContext C;
+  std::unique_ptr<SmtSolver> S = createSolver(GetParam(), C);
+  ASSERT_NE(S, nullptr);
+  ASSERT_TRUE(S->assertTerm(C.getFalse()));
+  std::vector<const Term *> Fs = {C.getTrue(), C.getTrue()};
+  for (const CheckResult &R : S->checkSatBatch(Fs))
+    EXPECT_EQ(R.TheAnswer, Answer::Unsat);
+}
+
+TEST_P(SessionEdgeTest, EmptyBatchAndEmptyAssumptions) {
+  TermContext C;
+  std::unique_ptr<SmtSolver> S = createSolver(GetParam(), C);
+  ASSERT_NE(S, nullptr);
+  EXPECT_TRUE(S->checkSatBatch({}).empty());
+  EXPECT_EQ(S->checkSatAssuming({}).TheAnswer, Answer::Sat); // empty stack
+}
+
+std::vector<SolverKind> sessionKinds() {
+  std::vector<SolverKind> Kinds = {SolverKind::Mini, SolverKind::CrossCheck};
+  if (hasZ3())
+    Kinds.push_back(SolverKind::Z3);
+  return Kinds;
+}
+
+std::string kindName(const ::testing::TestParamInfo<SolverKind> &Info) {
+  switch (Info.param) {
+  case SolverKind::Mini:
+    return "Mini";
+  case SolverKind::Z3:
+    return "Z3";
+  case SolverKind::CrossCheck:
+    return "CrossCheck";
+  case SolverKind::Default:
+    break;
+  }
+  return "Default";
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, SessionEdgeTest,
+                         ::testing::ValuesIn(sessionKinds()), kindName);
+
+//===----------------------------------------------------------------------===//
+// Fail-closed defaults
+//===----------------------------------------------------------------------===//
+
+TEST(SessionFailClosedTest, BaseClassRefusesEverything) {
+  // A backend that never opted into sessions must fail closed through the
+  // base-class defaults.
+  class Plain : public SmtSolver {
+  public:
+    explicit Plain(TermContext &C) : SmtSolver(C) {}
+    CheckResult checkSat(const Term *) override {
+      CheckResult R;
+      R.TheAnswer = Answer::Sat;
+      return R;
+    }
+    std::string name() const override { return "plain"; }
+  };
+  TermContext C;
+  Plain P(C);
+  EXPECT_FALSE(P.supportsIncremental());
+  EXPECT_FALSE(P.nativeIncremental());
+  EXPECT_FALSE(P.push());
+  EXPECT_FALSE(P.pop());
+  EXPECT_FALSE(P.assertTerm(C.getTrue()));
+  EXPECT_EQ(P.checkSatAssuming({C.getTrue()}).TheAnswer, Answer::Unknown);
+  std::vector<CheckResult> Rs = P.checkSatBatch({C.getTrue(), C.getFalse()});
+  ASSERT_EQ(Rs.size(), 2u);
+  for (const CheckResult &R : Rs)
+    EXPECT_EQ(R.TheAnswer, Answer::Unknown);
+}
+
+} // namespace
