@@ -52,6 +52,14 @@ struct HarnessOptions {
   /// (row order stays deterministic; per-row timings contend for cores, so
   /// use 1 when absolute times matter — see docs/BENCHMARKS.md).
   unsigned BuildJobs = 1;
+  /// --serve: after the table rows, start an in-process expressod on a
+  /// private socket and measure the serving protocol per workload — cold
+  /// request (daemon's first sight of the spec), warm request (shared
+  /// query-store hits, replay cache bypassed), and hot request (whole-
+  /// response replay) — emitting the serve_* column family into the JSON
+  /// artifact with Σ parity checked against the serial row.
+  bool Serve = false;
+  unsigned ServeWorkers = 2; ///< daemon scheduler width for --serve
   /// Placement knobs, including --incremental=on|off (Placement.Incremental):
   /// store-less table1 rows additionally measure the flipped discharge mode
   /// serially and report the pair as the 1shot/incspd columns and the

@@ -13,6 +13,7 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
+#include <ctime>
 #include <filesystem>
 #include <vector>
 
@@ -34,11 +35,18 @@ constexpr char LogMagic[8] = {'X', 'P', 'R', 'S', 'Q', 'R', 'Y', 'S'};
 constexpr size_t FrameOverhead = 4 + 8; // u32 payload length + u64 checksum
 constexpr size_t MaxPayload = 1u << 30;
 
+/// On-disk format version of the record log. v2 added the per-record
+/// last-used timestamp that LRU/TTL eviction keys on; older logs simply
+/// read as a version mismatch and start cold (never a wrong answer).
+constexpr uint32_t StoreVersion = 2;
+
+int64_t wallClockSeconds() { return static_cast<int64_t>(::time(nullptr)); }
+
 std::string buildHeader(const std::string &Profile) {
   std::vector<uint8_t> Buf;
   ByteWriter B(Buf);
   B.writeBytes(LogMagic, sizeof(LogMagic));
-  B.writeU32(CodecVersion);
+  B.writeU32(StoreVersion);
   B.writeString(Profile);
   return std::string(reinterpret_cast<const char *>(Buf.data()), Buf.size());
 }
@@ -46,7 +54,8 @@ std::string buildHeader(const std::string &Profile) {
 /// Parses and validates the log header. Returns the offset past it, or 0
 /// with \p Reason set when the log belongs to another format/version/solver.
 size_t parseHeader(const uint8_t *Data, size_t Size,
-                   const std::string &WantProfile, std::string &Reason) {
+                   const std::string &WantProfile, std::string &Reason,
+                   std::string *FoundProfile = nullptr) {
   ByteReader B(Data, Size);
   char Magic[sizeof(LogMagic)];
   for (char &Ch : Magic)
@@ -56,9 +65,9 @@ size_t parseHeader(const uint8_t *Data, size_t Size,
     return 0;
   }
   uint32_t Version = B.readU32();
-  if (B.failed() || Version != CodecVersion) {
+  if (B.failed() || Version != StoreVersion) {
     Reason = "version mismatch (log v" + std::to_string(Version) +
-             ", codec v" + std::to_string(CodecVersion) + ")";
+             ", store v" + std::to_string(StoreVersion) + ")";
     return 0;
   }
   std::string Profile;
@@ -66,7 +75,11 @@ size_t parseHeader(const uint8_t *Data, size_t Size,
     Reason = "truncated header";
     return 0;
   }
-  if (Profile != WantProfile) {
+  if (FoundProfile)
+    *FoundProfile = Profile;
+  // An empty WantProfile accepts any profile (fsck reports what it found);
+  // every cache-serving open passes the answering backend's name.
+  if (!WantProfile.empty() && Profile != WantProfile) {
     Reason = "profile mismatch (log '" + Profile + "', caller '" +
              WantProfile + "')";
     return 0;
@@ -105,14 +118,18 @@ bool parseValue(ByteReader &P, logic::Value &V) {
   return true;
 }
 
-/// Frames one (key, result) record: length, checksum, payload.
+/// Frames one (key, result, last-used) record: length, checksum, payload.
 void serializeRecord(const std::string &Key, const CheckResult &R,
-                     std::vector<uint8_t> &Out) {
+                     int64_t LastUsed, std::vector<uint8_t> &Out) {
   std::vector<uint8_t> Payload;
   ByteWriter P(Payload);
   P.writeString(Key);
   P.writeByte(static_cast<uint8_t>(R.TheAnswer));
   P.writeByte(R.ModelComplete ? 1 : 0);
+  // v2: the recency stamp LRU/TTL eviction keys on. Appends stamp creation
+  // time; compaction re-stamps each surviving record with its in-memory
+  // last-used time, so recency survives across processes.
+  P.writeSigned(LastUsed);
   P.writeVarint(R.Model.size());
   // Model is a std::map, so iteration (and therefore the record bytes) is
   // deterministic.
@@ -127,7 +144,7 @@ void serializeRecord(const std::string &Key, const CheckResult &R,
 }
 
 bool parsePayload(const uint8_t *Data, size_t Len, std::string &Key,
-                  CheckResult &R) {
+                  CheckResult &R, int64_t &LastUsed) {
   ByteReader P(Data, Len);
   if (!P.readString(Key, MaxPayload))
     return false;
@@ -138,6 +155,9 @@ bool parsePayload(const uint8_t *Data, size_t Len, std::string &Key,
     return false;
   R.TheAnswer = static_cast<Answer>(AnswerByte);
   R.ModelComplete = Complete != 0;
+  LastUsed = P.readSigned();
+  if (P.failed() || LastUsed < 0)
+    return false;
   uint64_t NumVars = P.readVarint();
   if (P.failed() || NumVars > (1u << 20))
     return false;
@@ -192,6 +212,12 @@ std::shared_ptr<QueryStore> QueryStore::open(const std::string &Dir,
     *Error = "persistent query store is not supported on this platform";
   return nullptr;
 #else
+  if (Dir.empty()) {
+    if (Error)
+      *Error = "empty cache directory (use createInMemory for a file-less "
+               "store)";
+    return nullptr;
+  }
   std::shared_ptr<QueryStore> Store(new QueryStore(Dir, Opts));
   std::string Err;
   if (!Store->initialize(&Err)) {
@@ -201,6 +227,17 @@ std::shared_ptr<QueryStore> QueryStore::open(const std::string &Dir,
   }
   return Store;
 #endif
+}
+
+std::shared_ptr<QueryStore>
+QueryStore::createInMemory(const std::string &Profile) {
+  Options Opts;
+  Opts.Profile = Profile;
+  // Empty Dir is the in-memory marker: Fd stays -1, so append() stops after
+  // populating the index and every file-touching path no-ops.
+  std::shared_ptr<QueryStore> Store(new QueryStore("", Opts));
+  Store->HeaderBytes = buildHeader(Profile); // keeps size accounting uniform
+  return Store;
 }
 
 std::shared_ptr<QueryStore>
@@ -345,9 +382,17 @@ size_t QueryStore::loadRecords(const uint8_t *Data, size_t Size,
       break; // corruption: stop trusting the log from here on
     std::string Key;
     CheckResult R;
-    if (!parsePayload(Payload, Len, Key, R))
+    int64_t LastUsed = 0;
+    if (!parsePayload(Payload, Len, Key, R, LastUsed))
       break;
-    Index.emplace(std::move(Key), std::move(R));
+    // First record's *answer* wins (matches append()), but a duplicate —
+    // two processes can each append the same key once — may carry a
+    // fresher recency stamp (e.g. written by a later compaction), which
+    // LRU/TTL eviction must not lose.
+    auto [It, Inserted] = Index.try_emplace(std::move(Key), R, LastUsed);
+    if (!Inserted &&
+        LastUsed > It->second.LastUsed.load(std::memory_order_relaxed))
+      It->second.LastUsed.store(LastUsed, std::memory_order_relaxed);
     ++TheStats.RecordsLoaded;
     Pos += FrameOverhead + Len;
   }
@@ -416,18 +461,21 @@ bool QueryStore::lookup(const std::string &Key, CheckResult &Out) {
   if (It == Index.end())
     return false;
   LookupHits.fetch_add(1, std::memory_order_relaxed);
-  Out = It->second;
+  Out = It->second.R;
+  // Recency stamp for LRU eviction: atomic, so the shared lock suffices.
+  It->second.LastUsed.store(wallClockSeconds(), std::memory_order_relaxed);
   return true;
 }
 
 void QueryStore::append(const std::string &Key, const CheckResult &R) {
   // Serialize before taking Mu; wasted work only in the duplicate-key case,
   // which the single-flight memo in front makes rare.
+  int64_t Now = wallClockSeconds();
   std::vector<uint8_t> Record;
-  serializeRecord(Key, R, Record);
+  serializeRecord(Key, R, Now, Record);
 
   std::unique_lock<std::shared_mutex> Lock(Mu);
-  if (!Index.emplace(Key, R).second)
+  if (!Index.try_emplace(Key, R, Now).second)
     return; // already cached (first answer wins)
   if (Opts.ReadOnly || Fd < 0)
     return;
@@ -486,8 +534,89 @@ void QueryStore::refreshUnderLock() {
   }
 }
 
+/// Evaluates the eviction policy without mutating anything: TTL first,
+/// then LRU-by-last-used until the serialized survivors (plus header) fit
+/// MaxBytes. Survivor bytes come back in canonical key order.
+QueryStore::EvictionPlan QueryStore::planEvictionLocked() {
+  EvictionPlan Plan;
+  int64_t Now = wallClockSeconds();
+
+  // Serialize every non-expired record (re-stamped with its live recency).
+  struct Rec {
+    const std::string *Key;
+    int64_t LastUsed;
+    std::vector<uint8_t> Bytes;
+  };
+  std::vector<Rec> Recs;
+  Recs.reserve(Index.size());
+  for (const auto &[Key, E] : Index) {
+    int64_t Used = E.LastUsed.load(std::memory_order_relaxed);
+    if (Policy.TtlSeconds > 0 && Now - Used > Policy.TtlSeconds) {
+      Plan.TtlVictims.push_back(Key);
+      continue;
+    }
+    Rec R;
+    R.Key = &Key;
+    R.LastUsed = Used;
+    serializeRecord(Key, E.R, Used, R.Bytes);
+    Recs.push_back(std::move(R));
+  }
+  std::sort(Recs.begin(), Recs.end(),
+            [](const Rec &A, const Rec &B) { return *A.Key < *B.Key; });
+
+  // Size pass: keep the most recently used records whose cumulative size
+  // (plus header) fits MaxBytes; evict the rest. Ties break by key so two
+  // processes compacting the same index evict identically.
+  std::vector<char> Keep(Recs.size(), 1);
+  if (Policy.MaxBytes > 0) {
+    uint64_t Total = HeaderBytes.size();
+    for (const Rec &R : Recs)
+      Total += R.Bytes.size();
+    if (Total > Policy.MaxBytes) {
+      std::vector<size_t> ByAge(Recs.size());
+      for (size_t I = 0; I < ByAge.size(); ++I)
+        ByAge[I] = I;
+      std::sort(ByAge.begin(), ByAge.end(), [&](size_t A, size_t B) {
+        if (Recs[A].LastUsed != Recs[B].LastUsed)
+          return Recs[A].LastUsed < Recs[B].LastUsed; // oldest first
+        return *Recs[A].Key < *Recs[B].Key;
+      });
+      for (size_t I : ByAge) {
+        if (Total <= Policy.MaxBytes)
+          break;
+        Keep[I] = 0;
+        Total -= Recs[I].Bytes.size();
+        Plan.SizeVictims.push_back(*Recs[I].Key);
+      }
+    }
+  }
+
+  for (size_t I = 0; I < Recs.size(); ++I)
+    if (Keep[I])
+      Plan.Records.insert(Plan.Records.end(), Recs[I].Bytes.begin(),
+                          Recs[I].Bytes.end());
+  return Plan;
+}
+
+void QueryStore::applyEvictionPlanLocked(const EvictionPlan &Plan) {
+  for (const std::string &Key : Plan.TtlVictims) {
+    Index.erase(Key);
+    ++TheStats.EvictedTtl;
+  }
+  for (const std::string &Key : Plan.SizeVictims) {
+    Index.erase(Key);
+    ++TheStats.EvictedSize;
+  }
+}
+
 bool QueryStore::compact(std::string *Error) {
   std::unique_lock<std::shared_mutex> Lock(Mu);
+  if (inMemory()) {
+    // No file to rewrite: compaction is just policy enforcement on the
+    // index (the daemon's size/TTL management for its resident warm tier).
+    applyEvictionPlanLocked(planEvictionLocked());
+    return true;
+  }
   if (Opts.ReadOnly || Fd < 0) {
     if (Error)
       *Error = "store is read-only or detached";
@@ -506,12 +635,10 @@ bool QueryStore::compact(std::string *Error) {
   // branch re-parses the new log before we rewrite it).
   refreshUnderLock();
 
-  std::vector<const std::string *> Keys;
-  Keys.reserve(Index.size());
-  for (const auto &[Key, R] : Index)
-    Keys.push_back(&Key);
-  std::sort(Keys.begin(), Keys.end(),
-            [](const std::string *A, const std::string *B) { return *A < *B; });
+  // Plan now, mutate later: evictions land in the index and the counters
+  // only once the rewrite is durably in place, so a failed rewrite really
+  // does leave this handle (and the log) untouched.
+  EvictionPlan Plan = planEvictionLocked();
 
   std::string TmpPath = logPath() + ".tmp." + std::to_string(::getpid());
   int TmpFd = ::open(TmpPath.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
@@ -522,8 +649,7 @@ bool QueryStore::compact(std::string *Error) {
     return false;
   }
   std::vector<uint8_t> Buf(HeaderBytes.begin(), HeaderBytes.end());
-  for (const std::string *Key : Keys)
-    serializeRecord(*Key, Index.at(*Key), Buf);
+  Buf.insert(Buf.end(), Plan.Records.begin(), Plan.Records.end());
   bool Ok = writeAll(TmpFd, Buf.data(), Buf.size()) && ::fsync(TmpFd) == 0;
   ::close(TmpFd);
   if (Ok && ::rename(TmpPath.c_str(), logPath().c_str()) != 0)
@@ -535,11 +661,245 @@ bool QueryStore::compact(std::string *Error) {
       *Error = "cannot write compacted log: " + std::string(strerror(errno));
     return false;
   }
+  applyEvictionPlanLocked(Plan);
   // Swap our handle onto the new inode; the old fd's lock dies with it.
   ::close(Fd);
   Fd = ::open(logPath().c_str(), O_RDWR | O_CREAT | O_APPEND, 0644);
   LogInode = Fd >= 0 ? inodeOf(Fd) : 0;
   LoadedEnd = Buf.size();
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// fsck
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// One fully valid record surviving an fsck scan.
+struct GoodRec {
+  std::string Key;
+  CheckResult R;
+  int64_t LastUsed;
+};
+
+/// Reads [0, EOF) of \p Fd. Returns false on I/O error.
+bool readWholeFile(int Fd, std::vector<uint8_t> &Out) {
+  struct stat St;
+  if (::fstat(Fd, &St) != 0)
+    return false;
+  Out.resize(static_cast<size_t>(St.st_size));
+  size_t Done = 0;
+  while (Done < Out.size()) {
+    ssize_t N = ::pread(Fd, Out.data() + Done, Out.size() - Done,
+                        static_cast<off_t>(Done));
+    if (N < 0 && errno == EINTR)
+      continue;
+    if (N <= 0)
+      return false;
+    Done += static_cast<size_t>(N);
+  }
+  return true;
+}
+
+/// The fsck scan proper: walks frames exactly like loadRecords, but
+/// additionally requires every key to decode as one complete canonical
+/// term blob — a key that is not a term can never be *served wrongly*
+/// (lookups are exact-byte probes), but it is dead weight and evidence of
+/// writer corruption. Fills \p Report and collects the survivors.
+void scanLogBytes(const std::vector<uint8_t> &Data,
+                  const std::string &ExpectProfile, FsckReport &Report,
+                  std::vector<GoodRec> &Good) {
+  Report = FsckReport();
+  Good.clear();
+  Report.TotalBytes = Data.size();
+
+  // Parse the header accepting any profile (structural validity first);
+  // an expectation mismatch is then flagged separately, because a healthy
+  // log of another backend is not corruption and must never be "repaired"
+  // away.
+  std::string Reason;
+  size_t HeaderEnd = Data.empty()
+                         ? 0
+                         : parseHeader(Data.data(), Data.size(), "", Reason,
+                                       &Report.Profile);
+  if (HeaderEnd == 0) {
+    Report.HeaderOk = false;
+    Report.Problem = Data.empty() ? "empty log" : Reason;
+    Report.BadBytes = Data.size();
+    return;
+  }
+  Report.HeaderOk = true;
+  if (!ExpectProfile.empty() && Report.Profile != ExpectProfile) {
+    Report.ProfileMismatch = true;
+    Report.Problem = "profile mismatch (log '" + Report.Profile +
+                     "', expected '" + ExpectProfile + "')";
+  }
+
+  std::unordered_map<std::string, size_t> Seen;
+  size_t Pos = HeaderEnd;
+  while (Pos + FrameOverhead <= Data.size()) {
+    ByteReader Frame(Data.data() + Pos, FrameOverhead);
+    uint32_t Len = Frame.readU32();
+    uint64_t Sum = Frame.readU64();
+    if (Len > MaxPayload || Pos + FrameOverhead + Len > Data.size())
+      break;
+    const uint8_t *Payload = Data.data() + Pos + FrameOverhead;
+    if (fnv1a(Payload, Len) != Sum)
+      break;
+    GoodRec G;
+    if (!parsePayload(Payload, Len, G.Key, G.R, G.LastUsed))
+      break;
+    logic::TermContext Scratch;
+    ByteReader KeyReader(reinterpret_cast<const uint8_t *>(G.Key.data()),
+                         G.Key.size());
+    TermReader TR(Scratch, KeyReader);
+    const logic::Term *T = TR.read();
+    if (!T || !KeyReader.atEnd()) {
+      ++Report.UndecodableKeys;
+      if (Report.Problem.empty())
+        Report.Problem = "record key is not a canonical term blob";
+    } else if (!Seen.emplace(G.Key, Good.size()).second) {
+      ++Report.DuplicateKeys;
+      ++Report.GoodRecords;
+    } else {
+      ++Report.GoodRecords;
+      Good.push_back(std::move(G));
+    }
+    Pos += FrameOverhead + Len;
+  }
+  Report.BadBytes = Data.size() - Pos;
+  if (Report.BadBytes > 0 && Report.Problem.empty())
+    Report.Problem = "unparseable tail (" + std::to_string(Report.BadBytes) +
+                     " bytes)";
+}
+
+} // namespace
+
+bool QueryStore::fsck(const std::string &Dir, const std::string &ExpectProfile,
+                      bool DropBad, FsckReport &Report, std::string *Error) {
+  Report = FsckReport();
+  std::string Path = Dir + "/queries.log";
+  int Fd = ::open(Path.c_str(), O_RDONLY);
+  if (Fd < 0) {
+    if (Error)
+      *Error = "cannot open " + Path + ": " + std::strerror(errno);
+    return false;
+  }
+  ::flock(Fd, LOCK_SH);
+  std::vector<uint8_t> Data;
+  bool ReadOk = readWholeFile(Fd, Data);
+  ::flock(Fd, LOCK_UN);
+  ::close(Fd);
+  if (!ReadOk) {
+    if (Error)
+      *Error = "cannot read " + Path;
+    return false;
+  }
+  std::vector<GoodRec> Good;
+  scanLogBytes(Data, ExpectProfile, Report, Good);
+
+  if (!DropBad || Report.clean())
+    return true;
+
+  // A healthy log of another backend is not damage: refuse to "repair"
+  // (i.e. erase) it. The caller either meant a different directory or
+  // should rerun with the log's own profile.
+  if (Report.ProfileMismatch) {
+    if (Error)
+      *Error = "log belongs to profile '" + Report.Profile +
+               "', not '" + ExpectProfile +
+               "' — refusing --drop-bad (this is a mismatch, not "
+               "corruption)";
+    return false;
+  }
+  // A repair of a log whose header is unreadable must know which backend
+  // the replacement header should name — writing an empty profile would
+  // produce a "repaired" store every subsequent open rejects as a
+  // mismatch and rotates aside.
+  if (!Report.HeaderOk && ExpectProfile.empty()) {
+    if (Error)
+      *Error = "cannot repair a log with an invalid header without "
+               "--profile (the replacement header must name the answering "
+               "backend)";
+    return false;
+  }
+
+  // Repair: rewrite with only the fully valid records. The rewrite must
+  // not trust the unlocked snapshot above — a cooperating writer may have
+  // appended between the scan and here — so the log is re-read and
+  // re-scanned *under the exclusive lock* (following any compaction
+  // rename, like lockLiveLog) and the rewrite is built from that locked
+  // scan. The atomic rename means readers either see the old log or the
+  // repaired one.
+  int LiveFd = -1;
+  for (int Tries = 0; Tries < 8; ++Tries) {
+    LiveFd = ::open(Path.c_str(), O_RDONLY);
+    if (LiveFd < 0)
+      break;
+    ::flock(LiveFd, LOCK_EX);
+    if (inodeOfPath(Path) == inodeOf(LiveFd))
+      break; // locked the inode the path names: this is the live log
+    ::flock(LiveFd, LOCK_UN);
+    ::close(LiveFd);
+    LiveFd = -1;
+  }
+  if (LiveFd < 0) {
+    if (Error)
+      *Error = "log disappeared during fsck";
+    return false;
+  }
+  std::vector<uint8_t> LockedData;
+  std::vector<GoodRec> LockedGood;
+  FsckReport LockedReport;
+  if (!readWholeFile(LiveFd, LockedData)) {
+    ::flock(LiveFd, LOCK_UN);
+    ::close(LiveFd);
+    if (Error)
+      *Error = "cannot re-read " + Path + " under lock";
+    return false;
+  }
+  scanLogBytes(LockedData, ExpectProfile, LockedReport, LockedGood);
+  if (LockedReport.ProfileMismatch) {
+    // Another process replaced the log with a different profile's store
+    // between the scans; same rule — never erase a healthy foreign log.
+    ::flock(LiveFd, LOCK_UN);
+    ::close(LiveFd);
+    if (Error)
+      *Error = "log changed to profile '" + LockedReport.Profile +
+               "' during fsck — refusing --drop-bad";
+    return false;
+  }
+
+  std::string Header =
+      buildHeader(LockedReport.HeaderOk ? LockedReport.Profile
+                                        : ExpectProfile);
+  std::vector<uint8_t> Buf(Header.begin(), Header.end());
+  for (const GoodRec &G : LockedGood)
+    serializeRecord(G.Key, G.R, G.LastUsed, Buf);
+  std::string TmpPath = Path + ".fsck." + std::to_string(::getpid());
+  int TmpFd = ::open(TmpPath.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  bool Ok = TmpFd >= 0 && writeAll(TmpFd, Buf.data(), Buf.size()) &&
+            ::fsync(TmpFd) == 0;
+  if (TmpFd >= 0)
+    ::close(TmpFd);
+  if (Ok && ::rename(TmpPath.c_str(), Path.c_str()) != 0)
+    Ok = false;
+  if (!Ok)
+    ::unlink(TmpPath.c_str());
+  ::flock(LiveFd, LOCK_UN);
+  ::close(LiveFd);
+  if (!Ok) {
+    if (Error)
+      *Error = "cannot rewrite repaired log";
+    return false;
+  }
+  // Report what the repair actually acted on (the locked scan), keeping
+  // the original TotalBytes/BadBytes so the caller sees the damage found.
+  Report.GoodRecords = LockedReport.GoodRecords;
+  Report.DuplicateKeys = LockedReport.DuplicateKeys;
+  Report.UndecodableKeys = LockedReport.UndecodableKeys;
+  Report.Rewritten = true;
   return true;
 }
 
@@ -555,9 +915,27 @@ bool QueryStore::lookup(const std::string &, CheckResult &) { return false; }
 void QueryStore::append(const std::string &, const CheckResult &) {}
 void QueryStore::refresh() {}
 void QueryStore::refreshUnderLock() {}
+QueryStore::EvictionPlan QueryStore::planEvictionLocked() { return {}; }
+void QueryStore::applyEvictionPlanLocked(const EvictionPlan &) {}
 bool QueryStore::compact(std::string *) { return false; }
+bool QueryStore::fsck(const std::string &, const std::string &, bool,
+                      FsckReport &, std::string *Error) {
+  if (Error)
+    *Error = "persistent query store is not supported on this platform";
+  return false;
+}
 
 #endif
+
+void QueryStore::setEvictionPolicy(const EvictionPolicy &P) {
+  std::unique_lock<std::shared_mutex> Lock(Mu);
+  Policy = P;
+}
+
+EvictionPolicy QueryStore::evictionPolicy() const {
+  std::shared_lock<std::shared_mutex> Lock(Mu);
+  return Policy;
+}
 
 size_t QueryStore::size() const {
   std::shared_lock<std::shared_mutex> Lock(Mu);

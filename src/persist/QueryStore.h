@@ -69,8 +69,46 @@ struct StoreStats {
   uint64_t RecordsAppended = 0; ///< records this handle wrote
   uint64_t Lookups = 0;
   uint64_t LookupHits = 0;
+  uint64_t EvictedTtl = 0;      ///< records dropped at compaction: TTL expiry
+  uint64_t EvictedSize = 0;     ///< records dropped at compaction: size cap
   bool Degraded = false;        ///< open found a damaged/mismatched log
   std::string DegradedReason;   ///< human-readable cause when Degraded
+
+  uint64_t evicted() const { return EvictedTtl + EvictedSize; }
+};
+
+/// Size/age bounds enforced when the store compacts (never during normal
+/// lookups/appends — the log is append-only between compactions, so
+/// enforcement is batched where the rewrite already happens). Zero fields
+/// mean "unbounded".
+struct EvictionPolicy {
+  uint64_t MaxBytes = 0;  ///< target upper bound for the compacted log size
+  int64_t TtlSeconds = 0; ///< drop records not used for this many seconds
+  bool enabled() const { return MaxBytes != 0 || TtlSeconds != 0; }
+};
+
+/// What `expresso cache fsck` found in one store directory. The scan is
+/// read-only unless DropBad was requested (then the log is rewritten with
+/// only the records that passed every check, via atomic rename).
+struct FsckReport {
+  bool HeaderOk = false;      ///< magic/version parsed (structurally valid)
+  /// Header is valid but names a different backend than the caller
+  /// expected. This is *not* corruption — the records are fine for their
+  /// own profile — so DropBad refuses to "repair" (i.e. erase) such a log.
+  bool ProfileMismatch = false;
+  std::string Profile;        ///< backend profile recorded in the header
+  std::string Problem;        ///< first structural problem (empty if clean)
+  uint64_t GoodRecords = 0;   ///< frames whose checksum + payload parse
+  uint64_t DuplicateKeys = 0; ///< well-formed records repeating an old key
+  uint64_t UndecodableKeys = 0; ///< records whose key is not a valid term blob
+  uint64_t TotalBytes = 0;    ///< log size on disk
+  uint64_t BadBytes = 0;      ///< unparseable tail (0 when the log is clean)
+  bool Rewritten = false;     ///< DropBad rewrote the log
+
+  bool clean() const {
+    return HeaderOk && !ProfileMismatch && BadBytes == 0 &&
+           UndecodableKeys == 0;
+  }
 };
 
 /// A disk-backed query cache directory. Thread-safe; open one handle per
@@ -102,6 +140,23 @@ public:
   openReportingWarnings(const std::string &Dir, bool ReadOnly,
                         const std::string &Profile, bool CacheEnabled);
 
+  /// A purely in-memory store: same index, counters, and first-answer-wins
+  /// semantics, but no backing file. This is the daemon's shared warm tier
+  /// when it runs without --cache-dir — canonical keys make it shareable
+  /// across every request's TermContext, exactly like the disk store, and
+  /// compact() applies the eviction policy to the index alone.
+  static std::shared_ptr<QueryStore> createInMemory(const std::string &Profile);
+
+  /// Validates the store in \p Dir record by record: header magic/version
+  /// (and profile when \p ExpectProfile is non-empty), frame checksums,
+  /// payload shape, and that every key decodes as a canonical term blob.
+  /// Read-only unless \p DropBad, which rewrites the log keeping only fully
+  /// valid records (atomic rename under the advisory lock). Returns false
+  /// (with \p Error) only when the directory/log cannot be read at all.
+  static bool fsck(const std::string &Dir, const std::string &ExpectProfile,
+                   bool DropBad, FsckReport &Report,
+                   std::string *Error = nullptr);
+
   ~QueryStore();
   QueryStore(const QueryStore &) = delete;
   QueryStore &operator=(const QueryStore &) = delete;
@@ -121,11 +176,21 @@ public:
 
   /// Rewrites the log as the deduplicated in-memory index (sorted by key,
   /// so compaction output is canonical) and atomically renames it into
-  /// place. Returns false (with \p Error) when writing fails; the original
-  /// log is untouched in that case. No-op in read-only mode.
+  /// place, enforcing the eviction policy on the way: TTL-expired records
+  /// are dropped first, then least-recently-used records until the rewrite
+  /// fits MaxBytes (ties broken by key, so eviction is deterministic).
+  /// Returns false (with \p Error) when writing fails; the original log is
+  /// untouched in that case. No-op in read-only mode; an in-memory store
+  /// applies the policy to its index and always succeeds.
   bool compact(std::string *Error = nullptr);
 
+  /// Installs the size/TTL bounds compact() enforces (thread-safe).
+  void setEvictionPolicy(const EvictionPolicy &P);
+  EvictionPolicy evictionPolicy() const;
+
   bool readOnly() const { return Opts.ReadOnly; }
+  /// True for createInMemory() stores (no backing file; directory() empty).
+  bool inMemory() const { return Dir.empty(); }
   const std::string &directory() const { return Dir; }
   const std::string &profile() const { return Opts.Profile; }
   size_t size() const;
@@ -149,6 +214,21 @@ private:
   /// — when lockLiveLog reset LoadedEnd after following a rename — the
   /// whole (re-validated) log. Requires Mu exclusive and the flock held.
   void refreshUnderLock();
+  /// The outcome of evaluating the eviction policy against the index:
+  /// serialized survivors (canonical key order) plus the keys to drop.
+  /// Planning never mutates — compact() applies the plan only after the
+  /// rewrite succeeded, so a failed rewrite leaves index and stats intact.
+  struct EvictionPlan {
+    std::vector<uint8_t> Records;
+    std::vector<std::string> TtlVictims;
+    std::vector<std::string> SizeVictims;
+  };
+  /// Evaluates the policy and serializes the survivors. Requires Mu
+  /// exclusive; does not modify the index or stats.
+  EvictionPlan planEvictionLocked();
+  /// Erases the plan's victims and bumps the evicted counters. Requires Mu
+  /// exclusive and an unchanged index since planEvictionLocked().
+  void applyEvictionPlanLocked(const EvictionPlan &Plan);
   /// Takes the advisory flock on the inode the log *path* currently names,
   /// following atomic-rename compactions by other processes (closing a
   /// superseded fd on the way). On true the caller holds the lock on the
@@ -159,8 +239,19 @@ private:
   std::string Dir;
   Options Opts;
 
+  /// One cached answer plus its recency stamp. LastUsed is an atomic so
+  /// shared-lock readers (lookup) can refresh it without upgrading to the
+  /// exclusive lock; unordered_map node stability keeps the atomic's address
+  /// fixed across rehashes.
+  struct Entry {
+    solver::CheckResult R;
+    std::atomic<int64_t> LastUsed{0};
+    Entry(const solver::CheckResult &R, int64_t T) : R(R), LastUsed(T) {}
+  };
+
   mutable std::shared_mutex Mu; ///< guards Index, Stats, fd bookkeeping
-  std::unordered_map<std::string, solver::CheckResult> Index;
+  std::unordered_map<std::string, Entry> Index;
+  EvictionPolicy Policy; ///< enforced by compact(); guarded by Mu
   StoreStats TheStats; ///< all fields written under exclusive Mu …
   /// … except the lookup counters, which concurrent shared-lock readers
   /// bump and are therefore atomics.

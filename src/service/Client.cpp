@@ -1,0 +1,97 @@
+//===- service/Client.cpp - expressod client ----------------------------------===//
+//
+// Part of expresso-cpp, a reproduction of "Symbolic Reasoning for Automatic
+// Signal Placement" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Client.h"
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+using namespace expresso;
+using namespace expresso::service;
+
+std::unique_ptr<ServiceClient> ServiceClient::connect(
+    const std::string &SocketPath, std::string *Error) {
+  int Fd = connectUnix(SocketPath, Error);
+  if (Fd < 0)
+    return nullptr;
+  return std::unique_ptr<ServiceClient>(new ServiceClient(Fd));
+}
+
+ServiceClient::~ServiceClient() {
+#ifndef _WIN32
+  if (Fd >= 0)
+    ::close(Fd);
+#endif
+}
+
+bool ServiceClient::roundTrip(MsgType SendType,
+                              const std::vector<uint8_t> &Payload,
+                              MsgType WantType, std::vector<uint8_t> &Reply,
+                              std::string *Error) {
+  if (Fd < 0) {
+    if (Error)
+      *Error = "not connected";
+    return false;
+  }
+  if (!sendFrame(Fd, SendType, Payload)) {
+    if (Error)
+      *Error = "cannot send request (daemon gone?)";
+    return false;
+  }
+  MsgType GotType;
+  if (!recvFrame(Fd, GotType, Reply)) {
+    if (Error)
+      *Error = "connection closed or malformed reply";
+    return false;
+  }
+  if (GotType != WantType) {
+    if (Error)
+      *Error = GotType == MsgType::ErrorResponse
+                   ? "daemon rejected the request (protocol error)"
+                   : "unexpected reply type";
+    return false;
+  }
+  return true;
+}
+
+bool ServiceClient::place(const PlaceRequest &Req, PlaceResponse &Out,
+                          std::string *Error) {
+  std::vector<uint8_t> Payload, Reply;
+  Req.encode(Payload);
+  if (!roundTrip(MsgType::PlaceRequest, Payload, MsgType::PlaceResponse,
+                 Reply, Error))
+    return false;
+  if (!PlaceResponse::decode(Reply.data(), Reply.size(), Out)) {
+    if (Error)
+      *Error = "malformed PlaceResponse payload";
+    return false;
+  }
+  return true;
+}
+
+bool ServiceClient::status(StatusResponse &Out, std::string *Error) {
+  std::vector<uint8_t> Payload, Reply;
+  if (!roundTrip(MsgType::StatusRequest, Payload, MsgType::StatusResponse,
+                 Reply, Error))
+    return false;
+  if (!StatusResponse::decode(Reply.data(), Reply.size(), Out)) {
+    if (Error)
+      *Error = "malformed StatusResponse payload";
+    return false;
+  }
+  return true;
+}
+
+bool ServiceClient::shutdown(bool Drain, std::string *Error) {
+  ShutdownRequest SR;
+  SR.Drain = Drain;
+  std::vector<uint8_t> Payload, Reply;
+  SR.encode(Payload);
+  return roundTrip(MsgType::ShutdownRequest, Payload,
+                   MsgType::ShutdownResponse, Reply, Error);
+}

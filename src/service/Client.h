@@ -1,0 +1,64 @@
+//===- service/Client.h - expressod client ----------------------*- C++ -*-===//
+//
+// Part of expresso-cpp, a reproduction of "Symbolic Reasoning for Automatic
+// Signal Placement" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The thin client side of the placement service: connect to a daemon's
+/// Unix socket, run request/response round trips, fail closed on anything
+/// the protocol layer rejects. Used by `expresso --connect`, the bench
+/// harness's serving measurements, and the service tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXPRESSO_SERVICE_CLIENT_H
+#define EXPRESSO_SERVICE_CLIENT_H
+
+#include "service/Protocol.h"
+
+#include <memory>
+#include <string>
+
+namespace expresso {
+namespace service {
+
+/// One connection to a running expressod. Not thread-safe (one round trip
+/// at a time); open one client per concurrent caller.
+class ServiceClient {
+public:
+  /// Connects to the daemon at \p SocketPath. Null (with \p Error) when the
+  /// socket cannot be reached.
+  static std::unique_ptr<ServiceClient> connect(const std::string &SocketPath,
+                                                std::string *Error = nullptr);
+  ~ServiceClient();
+
+  ServiceClient(const ServiceClient &) = delete;
+  ServiceClient &operator=(const ServiceClient &) = delete;
+
+  /// One placement round trip. False (with \p Error) on connection or
+  /// protocol failure; \p Out.Status distinguishes daemon-side outcomes.
+  bool place(const PlaceRequest &Req, PlaceResponse &Out,
+             std::string *Error = nullptr);
+
+  /// Daemon introspection round trip.
+  bool status(StatusResponse &Out, std::string *Error = nullptr);
+
+  /// Asks the daemon to shut down (drain or abort the queue). True once the
+  /// daemon acknowledged.
+  bool shutdown(bool Drain, std::string *Error = nullptr);
+
+private:
+  explicit ServiceClient(int Fd) : Fd(Fd) {}
+  bool roundTrip(MsgType SendType, const std::vector<uint8_t> &Payload,
+                 MsgType WantType, std::vector<uint8_t> &Reply,
+                 std::string *Error);
+
+  int Fd = -1;
+};
+
+} // namespace service
+} // namespace expresso
+
+#endif // EXPRESSO_SERVICE_CLIENT_H

@@ -1,0 +1,109 @@
+//===- service/Scheduler.cpp - Request admission and scheduling ---------------===//
+//
+// Part of expresso-cpp, a reproduction of "Symbolic Reasoning for Automatic
+// Signal Placement" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Scheduler.h"
+
+using namespace expresso;
+using namespace expresso::service;
+
+RequestScheduler::RequestScheduler(const Options &Opts)
+    : Workers(Opts.Workers == 0 ? 1 : Opts.Workers),
+      MaxQueue(Opts.MaxQueue == 0 ? 1 : Opts.MaxQueue) {
+  Threads.reserve(Workers);
+  for (unsigned I = 0; I < Workers; ++I)
+    Threads.emplace_back([this] { workerMain(); });
+}
+
+RequestScheduler::~RequestScheduler() { stop(); }
+
+bool RequestScheduler::submit(Priority P, Task T) {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (ShuttingDown || High.size() + Normal.size() >= MaxQueue) {
+      ++Counters.Rejected;
+      return false;
+    }
+    (P == Priority::High ? High : Normal).push_back(std::move(T));
+    ++Counters.Submitted;
+  }
+  QueueCv.notify_one();
+  return true;
+}
+
+bool RequestScheduler::nextTask(Task &Out) {
+  std::unique_lock<std::mutex> Lock(Mu);
+  QueueCv.wait(Lock, [&] {
+    return StopWorkers || !High.empty() || !Normal.empty();
+  });
+  // Drain semantics: StopWorkers with a non-empty queue still serves the
+  // queue first (drain() only discards nothing); stop() cleared it already.
+  std::deque<Task> &Q = !High.empty() ? High : Normal;
+  if (Q.empty())
+    return false; // StopWorkers and nothing queued
+  Out = std::move(Q.front());
+  Q.pop_front();
+  ++Active;
+  return true;
+}
+
+void RequestScheduler::workerMain() {
+  for (;;) {
+    Task T;
+    if (!nextTask(T))
+      return;
+    T(); // placement tasks are noexcept by design (like ThreadPool bodies)
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      --Active;
+      ++Counters.Executed;
+    }
+    IdleCv.notify_all();
+  }
+}
+
+void RequestScheduler::shutdown(bool RunQueued) {
+  {
+    std::unique_lock<std::mutex> Lock(Mu);
+    ShuttingDown = true;
+    if (!RunQueued) {
+      Counters.Discarded += High.size() + Normal.size();
+      High.clear();
+      Normal.clear();
+    }
+    // Wait for the queue to empty and every in-flight task to finish
+    // before telling workers to exit, so drain() really runs everything.
+    IdleCv.wait(Lock, [&] {
+      return High.empty() && Normal.empty() && Active == 0;
+    });
+    StopWorkers = true;
+  }
+  QueueCv.notify_all();
+  // Serialize the joins: drain() and the destructor's stop() may overlap
+  // when a shutdown request races process teardown, and join() from two
+  // threads on one std::thread is UB.
+  std::lock_guard<std::mutex> JoinLock(JoinMu);
+  for (std::thread &T : Threads)
+    if (T.joinable())
+      T.join();
+}
+
+void RequestScheduler::drain() { shutdown(/*RunQueued=*/true); }
+
+void RequestScheduler::stop() { shutdown(/*RunQueued=*/false); }
+
+bool RequestScheduler::shuttingDown() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return ShuttingDown;
+}
+
+SchedulerStats RequestScheduler::stats() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  SchedulerStats S = Counters;
+  S.QueuedNow = High.size() + Normal.size();
+  S.ActiveNow = Active;
+  return S;
+}

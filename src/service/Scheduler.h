@@ -1,0 +1,115 @@
+//===- service/Scheduler.h - Request admission and scheduling ---*- C++ -*-===//
+//
+// Part of expresso-cpp, a reproduction of "Symbolic Reasoning for Automatic
+// Signal Placement" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The daemon's admission/scheduling layer: a bounded two-level FIFO queue
+/// drained by a fixed pool of service workers. Admission is all-or-nothing
+/// — a full queue rejects immediately (the client sees Rejected and can
+/// back off) instead of building unbounded latency. High-priority requests
+/// are dequeued before normal ones but FIFO within their level, so equal
+/// work is served in arrival order.
+///
+/// The scheduler owns *which* request runs next, never *how wide* it runs —
+/// per-request parallelism is leased from the global support::JobBudget by
+/// the executing worker. Keeping the two separate means a wide request
+/// cannot wedge the queue: it is admitted, starts, and simply runs narrower
+/// while the budget is contended.
+///
+/// Shutdown has two shapes: drain() (stop admission, run everything already
+/// queued, then stop workers) and stop() (stop admission, discard the
+/// queue, finish only in-flight tasks). In-flight tasks are never
+/// interrupted — a placement mid-solve always completes and its response is
+/// delivered.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXPRESSO_SERVICE_SCHEDULER_H
+#define EXPRESSO_SERVICE_SCHEDULER_H
+
+#include "service/Protocol.h"
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace expresso {
+namespace service {
+
+/// Counter snapshot for StatusResponse and tests.
+struct SchedulerStats {
+  uint64_t Submitted = 0; ///< admitted into the queue
+  uint64_t Rejected = 0;  ///< refused: queue full or draining
+  uint64_t Executed = 0;  ///< tasks completed
+  uint64_t Discarded = 0; ///< queued tasks dropped by stop()
+  uint64_t QueuedNow = 0;
+  uint64_t ActiveNow = 0;
+};
+
+/// Bounded two-level FIFO executor.
+class RequestScheduler {
+public:
+  using Task = std::function<void()>;
+
+  struct Options {
+    unsigned Workers = 2;  ///< concurrent placements (clamped to >= 1)
+    size_t MaxQueue = 64;  ///< queued-but-not-running cap (>= 1)
+  };
+
+  explicit RequestScheduler(const Options &Opts);
+  ~RequestScheduler(); // equivalent to stop()
+
+  RequestScheduler(const RequestScheduler &) = delete;
+  RequestScheduler &operator=(const RequestScheduler &) = delete;
+
+  /// Admits \p T at \p P. False when the queue is full or shutdown has
+  /// begun; the task is then never run (caller must answer the client).
+  bool submit(Priority P, Task T);
+
+  /// Stops admission, runs every queued task to completion, then stops the
+  /// workers. Idempotent; safe to call concurrently with submit().
+  void drain();
+
+  /// Stops admission, discards queued tasks (counted in stats().Discarded),
+  /// waits only for in-flight tasks. Idempotent.
+  void stop();
+
+  /// True once drain()/stop() has begun (new submissions are refused).
+  bool shuttingDown() const;
+
+  SchedulerStats stats() const;
+
+private:
+  void workerMain();
+  /// Pops the next task by priority. Blocks; returns false at shutdown.
+  bool nextTask(Task &Out);
+  void shutdown(bool RunQueued);
+
+  const unsigned Workers;
+  const size_t MaxQueue;
+
+  mutable std::mutex Mu;
+  std::condition_variable QueueCv; ///< workers wait for work / shutdown
+  std::condition_variable IdleCv;  ///< shutdown waits for queue+active == 0
+  std::deque<Task> High;
+  std::deque<Task> Normal;
+  bool ShuttingDown = false; ///< no new admissions
+  bool StopWorkers = false;  ///< workers exit once the queue is empty
+  uint64_t Active = 0;       ///< tasks currently executing
+  SchedulerStats Counters;   ///< Submitted/Rejected/Executed/Discarded
+
+  std::mutex JoinMu; ///< serializes the join loop across shutdown callers
+  std::vector<std::thread> Threads;
+};
+
+} // namespace service
+} // namespace expresso
+
+#endif // EXPRESSO_SERVICE_SCHEDULER_H

@@ -1,0 +1,488 @@
+//===- service/Server.cpp - The expressod placement daemon --------------------===//
+//
+// Part of expresso-cpp, a reproduction of "Symbolic Reasoning for Automatic
+// Signal Placement" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Server.h"
+
+#include "codegen/Codegen.h"
+#include "core/SignalPlacement.h"
+#include "frontend/Parser.h"
+#include "persist/TermCodec.h"
+#include "solver/SolverRig.h"
+
+#include <cerrno>
+#include <future>
+
+#ifndef _WIN32
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+using namespace expresso;
+using namespace expresso::service;
+
+//===----------------------------------------------------------------------===//
+// PlacementService
+//===----------------------------------------------------------------------===//
+
+PlacementService::PlacementService(const ServerOptions &Opts)
+    : Opts(Opts),
+      Budget(Opts.JobsBudget == 0 ? support::ThreadPool::defaultWorkers()
+                                  : Opts.JobsBudget) {
+  // Resolve the store profile: profile strings must equal the answering
+  // backend's name() exactly (that is the store's never-mix-solvers key).
+  // An unbuildable kind (requests for it will fail individually) gets no
+  // store at all — opening --cache-dir under a guessed profile could
+  // rotate another backend's healthy log aside.
+  solver::SolverKind Kind = solver::parseSolverKind(Opts.SolverName);
+  Profile = solver::backendProfileName(Kind);
+  if (Profile.empty())
+    return;
+  if (Opts.CacheDir.empty())
+    Store = persist::QueryStore::createInMemory(Profile);
+  else
+    Store = persist::QueryStore::openReportingWarnings(
+        Opts.CacheDir, Opts.CacheReadOnly, Profile, /*CacheEnabled=*/true);
+  if (Store)
+    Store->setEvictionPolicy(Opts.Eviction);
+}
+
+std::string PlacementService::resultCacheKey(const PlaceRequest &Req) {
+  // Everything the response *bytes* are a function of. Jobs, priority, and
+  // the bypass flag are deliberately excluded: the parallel engine's
+  // determinism contract makes output invariant under Jobs, and the other
+  // two are scheduling concerns. Each string field is length-prefixed —
+  // Emit/Solver are unconstrained client bytes, so separator characters
+  // alone could not prevent two different (Emit, Solver, Source) triples
+  // from aliasing to one key.
+  std::vector<uint8_t> Bytes;
+  persist::ByteWriter B(Bytes);
+  B.writeString(Req.Emit);
+  B.writeString(Req.Solver);
+  B.writeByte(static_cast<uint8_t>((Req.UseInvariant ? 1 : 0) |
+                                   (Req.UseCommutativity ? 2 : 0) |
+                                   (Req.LazyBroadcast ? 4 : 0) |
+                                   (Req.CacheQueries ? 8 : 0) |
+                                   (Req.Incremental ? 16 : 0)));
+  B.writeString(Req.Source);
+  return std::string(reinterpret_cast<const char *>(Bytes.data()),
+                     Bytes.size());
+}
+
+PlaceResponse PlacementService::run(const PlaceRequest &Req,
+                                    double QueueSeconds) {
+  std::string Key;
+  if (Opts.ResultCache && !Req.BypassResultCache) {
+    Key = resultCacheKey(Req);
+    std::lock_guard<std::mutex> Lock(ResultMu);
+    auto It = ResultCache.find(Key);
+    if (It != ResultCache.end()) {
+      PlaceResponse R = It->second;
+      R.Replayed = true;
+      R.QueueSeconds = QueueSeconds;
+      ResultHits.fetch_add(1, std::memory_order_relaxed);
+      Served.fetch_add(1, std::memory_order_relaxed);
+      return R;
+    }
+  }
+
+  PlaceResponse R = execute(Req);
+  // Total wait = scheduler queue + budget contention inside execute().
+  R.QueueSeconds += QueueSeconds;
+
+  // Resident-store lifecycle: a long-lived daemon must enforce its size
+  // policy while serving, not only at exit — otherwise the warm tier grows
+  // without bound for the process lifetime. Compaction is batched (every
+  // CompactEvery executed requests) because it takes the store's exclusive
+  // lock and rewrites the log.
+  if (Opts.Eviction.enabled() &&
+      Executed.fetch_add(1, std::memory_order_relaxed) % CompactEvery ==
+          CompactEvery - 1)
+    compactStore();
+
+  if (!Key.empty() && R.Status == ResponseStatus::Ok) {
+    std::lock_guard<std::mutex> Lock(ResultMu);
+    if (ResultCache.emplace(Key, R).second) {
+      ResultOrder.push_back(Key);
+      while (ResultOrder.size() > Opts.ResultCacheCap) {
+        ResultCache.erase(ResultOrder.front());
+        ResultOrder.pop_front();
+      }
+    }
+  }
+  Served.fetch_add(1, std::memory_order_relaxed);
+  return R;
+}
+
+PlaceResponse PlacementService::execute(const PlaceRequest &Req) {
+  PlaceResponse R;
+  WallTimer Timer;
+
+  // The CLI pipeline, verbatim, against a request-private TermContext.
+  solver::SolverKind Kind = solver::parseSolverKind(Req.Solver);
+  logic::TermContext C;
+  DiagnosticEngine Diags;
+  std::unique_ptr<frontend::Monitor> M = frontend::parseMonitor(Req.Source,
+                                                                Diags);
+  if (!M) {
+    R.Status = ResponseStatus::ParseError;
+    R.Error = Diags.str();
+    return R;
+  }
+  std::unique_ptr<frontend::SemaInfo> Sema = frontend::analyze(*M, C, Diags);
+  if (!Sema) {
+    R.Status = ResponseStatus::ParseError;
+    R.Error = Diags.str();
+    return R;
+  }
+
+  // Lease parallelism out of the shared budget only once real solver work
+  // is imminent (a parse error must not queue behind a wide placement).
+  // Time blocked here is budget contention, not analysis: it lands in
+  // QueueSeconds (run() adds the scheduler wait on top) and is subtracted
+  // from AnalysisSeconds below.
+  WallTimer BudgetTimer;
+  support::JobBudget::Lease Lease = Budget.acquire(Req.Jobs);
+  double BudgetWait = BudgetTimer.elapsedSeconds();
+  R.QueueSeconds = BudgetWait;
+
+  // Cross-daemon pickup: a fleet of daemons sharing one --cache-dir sees
+  // each other's appends at request granularity.
+  if (Store && Req.CacheQueries && !Store->inMemory())
+    Store->refresh();
+
+  solver::SolverRig Rig = solver::buildSolverRig(
+      C, Kind, Req.CacheQueries, Req.CacheQueries ? Store : nullptr);
+  if (!Rig) {
+    R.Status = ResponseStatus::SolverUnavailable;
+    R.Error = "solver backend '" + Req.Solver +
+              "' is not available in this build";
+    return R;
+  }
+  R.StoreSkipped = Rig.StoreProfileMismatch;
+
+  core::PlacementOptions POpts;
+  POpts.UseInvariant = Req.UseInvariant;
+  POpts.UseCommutativity = Req.UseCommutativity;
+  POpts.LazyBroadcast = Req.LazyBroadcast;
+  POpts.CacheQueries = Req.CacheQueries;
+  POpts.Incremental = Req.Incremental;
+  POpts.Jobs = Lease.slots();
+  // Unconditionally, exactly like the CLI: serial runs still mint session
+  // backends from the factory (the incremental engine is per-worker even
+  // at Jobs == 1).
+  POpts.WorkerSolvers = solver::SolverFactory(Kind);
+
+  core::PlacementResult Result = core::placeSignals(C, *Sema, Rig.solver(),
+                                                    POpts);
+  R.AnalysisSeconds = Timer.elapsedSeconds() - BudgetWait;
+
+  if (Req.Emit == "cpp")
+    R.Artifact = codegen::emitCpp(Result);
+  else if (Req.Emit == "java")
+    R.Artifact = codegen::emitJava(Result);
+  else if (Req.Emit == "ir")
+    R.Artifact = codegen::printTargetIr(Result);
+  else
+    R.Artifact = Result.summary();
+  R.DecisionSummary = Result.decisionSummary();
+  R.SolverName = Rig.solver().name();
+
+  const core::PlacementStats &S = Result.Stats;
+  R.HoareChecks = S.HoareChecks;
+  R.SolverQueries = S.SolverQueries;
+  R.CacheHits = S.Cache.Hits;
+  R.CacheMisses = S.Cache.Misses;
+  R.SharedHits = S.Cache.DiskHits;
+  R.SharedMisses = S.Cache.DiskMisses;
+  R.PairsConsidered = S.PairsConsidered;
+  R.NoSignalProved = S.NoSignalProved;
+  R.Signals = S.Signals;
+  R.Broadcasts = S.Broadcasts;
+  R.Unconditional = S.Unconditional;
+  R.CommutativityWins = S.CommutativityWins;
+  R.InvariantSeconds = S.InvariantSeconds;
+  R.JobsUsed = S.JobsUsed;
+  R.Status = ResponseStatus::Ok;
+  return R;
+}
+
+void PlacementService::compactStore() {
+  if (Store && !Store->readOnly() && Store->evictionPolicy().enabled())
+    Store->compact();
+}
+
+//===----------------------------------------------------------------------===//
+// Server
+//===----------------------------------------------------------------------===//
+
+Server::Server(const ServerOptions &Opts) : Opts(Opts), Core(Opts) {
+  RequestScheduler::Options SchedOpts;
+  SchedOpts.Workers = Opts.Workers;
+  SchedOpts.MaxQueue = Opts.QueueDepth;
+  Sched = std::make_unique<RequestScheduler>(SchedOpts);
+}
+
+Server::~Server() {
+  if (!ShutdownFlagged.load()) {
+    requestShutdown(/*Drain=*/false);
+  }
+  // wait() may already have run; it is idempotent about the teardown steps.
+  wait();
+}
+
+#ifndef _WIN32
+
+bool Server::start(std::string *Error) {
+  ListenFd = listenUnix(Opts.SocketPath, /*Backlog=*/64, Error);
+  if (ListenFd < 0)
+    return false;
+  {
+    std::lock_guard<std::mutex> Lock(ConnMu);
+    AcceptingConnections = true;
+  }
+  Acceptor = std::thread([this] { acceptLoop(); });
+  return true;
+}
+
+void Server::acceptLoop() {
+  for (;;) {
+    int Fd = ::accept(ListenFd, nullptr, nullptr);
+    if (Fd < 0) {
+      if (errno == EINTR)
+        continue;
+      return; // listen socket shut down (or fatal): stop accepting
+    }
+    // Reap handlers that exited since the last accept (joins happen
+    // outside the lock), so a long-lived daemon serving many short
+    // connections never accumulates unjoined threads.
+    std::vector<std::thread> Reap;
+    bool Track = false;
+    {
+      std::lock_guard<std::mutex> Lock(ConnMu);
+      Reap.swap(Finished);
+      if (AcceptingConnections) {
+        Connections.emplace(Fd, std::thread([this, Fd] {
+                              connectionLoop(Fd);
+                            }));
+        Track = true;
+      }
+    }
+    for (std::thread &T : Reap)
+      T.join();
+    if (!Track)
+      ::close(Fd); // drain began between accept and tracking
+  }
+}
+
+bool Server::sendPlaceResponse(int Fd, const PlaceResponse &R) {
+  std::vector<uint8_t> Payload;
+  R.encode(Payload);
+  return sendFrame(Fd, MsgType::PlaceResponse, Payload);
+}
+
+void Server::handlePlace(int Fd, const std::vector<uint8_t> &Payload) {
+  PlaceRequest Req;
+  if (!PlaceRequest::decode(Payload.data(), Payload.size(), Req)) {
+    ProtocolErrors.fetch_add(1, std::memory_order_relaxed);
+    PlaceResponse R;
+    R.Status = ResponseStatus::Malformed;
+    R.Error = "malformed PlaceRequest payload";
+    sendPlaceResponse(Fd, R);
+    return;
+  }
+
+  // Hand the request to the scheduler and block this (cheap, connection-
+  // bound) thread on the outcome; execution width is the scheduler's.
+  auto Done = std::make_shared<std::promise<PlaceResponse>>();
+  std::future<PlaceResponse> Future = Done->get_future();
+  WallTimer QueueTimer;
+  bool Admitted = Sched->submit(Req.Prio, [this, Req, Done, QueueTimer] {
+    Done->set_value(Core.run(Req, QueueTimer.elapsedSeconds()));
+  });
+  PlaceResponse R;
+  if (!Admitted) {
+    R.Status = Sched->shuttingDown() ? ResponseStatus::Draining
+                                     : ResponseStatus::Rejected;
+    R.Error = Sched->shuttingDown()
+                  ? "daemon is draining"
+                  : "request queue is full, retry later";
+  } else {
+    try {
+      R = Future.get();
+    } catch (const std::future_error &) {
+      // stop() discarded the queued task (drain would have run it).
+      R = PlaceResponse();
+      R.Status = ResponseStatus::Draining;
+      R.Error = "daemon shut down before the request ran";
+    }
+  }
+  sendPlaceResponse(Fd, R);
+}
+
+void Server::connectionLoop(int Fd) {
+  for (;;) {
+    MsgType Type;
+    std::vector<uint8_t> Payload;
+    if (!recvFrame(Fd, Type, Payload))
+      break; // EOF or malformed frame: fail closed, no resync
+    if (Type == MsgType::PlaceRequest) {
+      handlePlace(Fd, Payload);
+    } else if (Type == MsgType::StatusRequest) {
+      StatusResponse S = status();
+      std::vector<uint8_t> Out;
+      S.encode(Out);
+      if (!sendFrame(Fd, MsgType::StatusResponse, Out))
+        break;
+    } else if (Type == MsgType::ShutdownRequest) {
+      ShutdownRequest SR;
+      if (!ShutdownRequest::decode(Payload.data(), Payload.size(), SR))
+        break;
+      std::vector<uint8_t> Out; // empty ack payload
+      sendFrame(Fd, MsgType::ShutdownResponse, Out);
+      requestShutdown(SR.Drain);
+      // Keep reading: wait() will SHUT_RD this connection when teardown
+      // reaches it, and the client usually just closes after the ack.
+    } else {
+      ProtocolErrors.fetch_add(1, std::memory_order_relaxed);
+      std::vector<uint8_t> Out;
+      sendFrame(Fd, MsgType::ErrorResponse, Out);
+      break; // a peer speaking the wrong direction: close
+    }
+  }
+  // Unregister before closing so wait() never touches a recycled fd.
+  {
+    std::lock_guard<std::mutex> Lock(ConnMu);
+    auto It = Connections.find(Fd);
+    if (It != Connections.end()) {
+      Finished.push_back(std::move(It->second));
+      Connections.erase(It);
+    }
+  }
+  ::close(Fd);
+}
+
+void Server::requestShutdown(bool Drain) {
+  // The flag flips under ShutdownMu: wait() checks its predicate under the
+  // same mutex, so the notify can never land in the window between a false
+  // predicate check and the wait going to sleep (the classic lost wakeup).
+  {
+    std::lock_guard<std::mutex> Lock(ShutdownMu);
+    bool Expected = false;
+    if (!ShutdownFlagged.compare_exchange_strong(Expected, true))
+      return; // first request wins (a drain cannot be upgraded mid-flight)
+    ShutdownDrain.store(Drain);
+  }
+  ShutdownCv.notify_all();
+}
+
+void Server::wait() {
+  {
+    std::unique_lock<std::mutex> Lock(ShutdownMu);
+    ShutdownCv.wait(Lock, [&] { return ShutdownFlagged.load(); });
+  }
+
+  // 1. Stop taking connections and wake the acceptor.
+  {
+    std::lock_guard<std::mutex> Lock(ConnMu);
+    AcceptingConnections = false;
+  }
+  if (ListenFd >= 0) {
+    ::shutdown(ListenFd, SHUT_RDWR);
+    // Self-connect fallback: some kernels leave a blocked accept() sleeping
+    // after shutdown(); a doomed connection guarantees it wakes.
+    int Poke = connectUnix(Opts.SocketPath, nullptr);
+    if (Poke >= 0)
+      ::close(Poke);
+  }
+  if (Acceptor.joinable())
+    Acceptor.join();
+  if (ListenFd >= 0) {
+    ::close(ListenFd);
+    ListenFd = -1;
+    ::unlink(Opts.SocketPath.c_str());
+  }
+
+  // 2. Settle the queue: drain runs everything admitted; stop discards the
+  // queue (handlePlace answers those clients Draining via the broken
+  // promise). Either way every in-flight placement completes and its
+  // response is written by its connection thread.
+  if (ShutdownDrain.load())
+    Sched->drain();
+  else
+    Sched->stop();
+
+  // 3. Wake idle connection threads (SHUT_RD: pending response writes
+  // still flush) and join everything.
+  for (;;) {
+    std::thread T;
+    {
+      std::lock_guard<std::mutex> Lock(ConnMu);
+      if (!Finished.empty()) {
+        T = std::move(Finished.back());
+        Finished.pop_back();
+      } else if (!Connections.empty()) {
+        ::shutdown(Connections.begin()->first, SHUT_RD);
+      } else {
+        break;
+      }
+    }
+    if (T.joinable())
+      T.join();
+    else
+      std::this_thread::yield(); // a poked connection is on its way out
+  }
+
+  // 4. Store lifecycle: apply the eviction policy before the process goes
+  // away (the daemon is the store's janitor; one-shot CLI runs are not).
+  Core.compactStore();
+}
+
+#else // _WIN32
+
+bool Server::start(std::string *Error) {
+  if (Error)
+    *Error = "the placement service is not supported on this platform";
+  return false;
+}
+void Server::acceptLoop() {}
+void Server::connectionLoop(int) {}
+void Server::handlePlace(int, const std::vector<uint8_t> &) {}
+bool Server::sendPlaceResponse(int, const PlaceResponse &) { return false; }
+void Server::requestShutdown(bool) { ShutdownFlagged.store(true); }
+void Server::wait() {}
+
+#endif
+
+int Server::serveForever(std::string *Error) {
+  if (!start(Error))
+    return 1;
+  wait();
+  return 0;
+}
+
+StatusResponse Server::status() const {
+  StatusResponse S;
+  S.RequestsServed = Core.requestsServed();
+  SchedulerStats Sc = Sched->stats();
+  S.RequestsActive = Sc.ActiveNow;
+  S.RequestsQueued = Sc.QueuedNow;
+  S.RequestsRejected = Sc.Rejected;
+  S.ResultCacheHits = Core.resultCacheHits();
+  // const_cast-free store access: stats are logically const.
+  PlacementService &Svc = const_cast<PlacementService &>(Core);
+  if (persist::QueryStore *St = Svc.store()) {
+    S.StoreRecords = St->size();
+    S.StoreEvicted = St->stats().evicted();
+    S.StoreProfile = St->profile();
+    S.StoreDir = St->directory();
+  }
+  S.JobsBudget = Svc.budget().total();
+  S.JobsAvailable = Svc.budget().available();
+  S.UptimeSeconds = Uptime.elapsedSeconds();
+  S.Draining = Sched->shuttingDown();
+  return S;
+}

@@ -1,0 +1,194 @@
+//===- service/Server.h - The expressod placement daemon -------*- C++ -*-===//
+//
+// Part of expresso-cpp, a reproduction of "Symbolic Reasoning for Automatic
+// Signal Placement" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The resident placement service. Two layers:
+///
+///   * PlacementService — the socket-free execution core: runs one
+///     PlaceRequest through the exact CLI pipeline (parse → sema → two-tier
+///     solver rig → placeSignals → emit) against a *fresh TermContext per
+///     request*, with all cross-request warmth flowing through two shared
+///     tiers that are sound by construction:
+///       1. the resident persist::QueryStore (in-memory by default, or the
+///          --cache-dir store) — keyed by canonical term blobs, so request
+///          N's VCs hit answers proven for request N−1 with exactly the
+///          cross-process determinism argument of the persistence layer;
+///       2. a whole-response replay cache keyed by (spec, emit, solver,
+///          semantic flags) — sound because the analysis is a deterministic
+///          function of that key (the parallel/incremental/persistence PRs
+///          each proved their slice of that invariance).
+///     Per-request parallelism is leased from one global support::JobBudget
+///     so concurrent requests share the machine instead of fighting for it.
+///
+///     Why not share one TermContext (and memo tier) across requests? The
+///     memo's keys are hash-consed pointers, valid only within a context —
+///     and a context shared across requests would assign Term ids in
+///     arrival order, perturbing the id-ordered iteration that PR 2 made
+///     the determinism backbone. A fresh context per request keeps every
+///     response byte-identical to the standalone CLI; the canonical-key
+///     store is exactly the context-free projection of the memo, so it is
+///     the tier that may be shared.
+///
+///   * Server — the Unix-domain-socket front end: an acceptor thread, one
+///     lightweight thread per connection (blocked on recv; execution
+///     parallelism is the scheduler's, not the connection count's), a
+///     bounded RequestScheduler, and a graceful drain path (stop admission,
+///     finish queued + in-flight work, deliver every response, compact the
+///     store if an eviction policy is set, exit).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXPRESSO_SERVICE_SERVER_H
+#define EXPRESSO_SERVICE_SERVER_H
+
+#include "persist/QueryStore.h"
+#include "service/Protocol.h"
+#include "service/Scheduler.h"
+#include "support/ThreadPool.h"
+#include "support/Timer.h"
+
+#include <atomic>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace expresso {
+namespace service {
+
+/// Configuration shared by expressod, the bench harness's --serve mode, and
+/// the service tests.
+struct ServerOptions {
+  std::string SocketPath;
+  unsigned Workers = 2;   ///< concurrent placements (scheduler width)
+  size_t QueueDepth = 64; ///< admission bound (queued, not yet running)
+  /// Global worker-slot budget requests lease --jobs from; 0 = one per
+  /// hardware thread.
+  unsigned JobsBudget = 0;
+  /// Backend the daemon's shared store is keyed to ("default" resolves to
+  /// the build's preferred solver). Requests may still ask for another
+  /// backend; they then run memo-only (never mixing profiles in one store).
+  std::string SolverName = "default";
+  std::string CacheDir;      ///< empty = resident in-memory store
+  bool CacheReadOnly = false;
+  persist::EvictionPolicy Eviction; ///< enforced when the store compacts
+  bool ResultCache = true;          ///< whole-response replay cache
+  size_t ResultCacheCap = 128;      ///< replay-cache entries (FIFO bound)
+};
+
+/// The socket-free execution core (tests and the bench harness drive it
+/// directly; the Server wraps it with framing and scheduling).
+class PlacementService {
+public:
+  explicit PlacementService(const ServerOptions &Opts);
+
+  /// Runs one request to completion (this is the scheduler task body).
+  /// \p QueueSeconds is admission-to-execution wait, echoed in the
+  /// response.
+  PlaceResponse run(const PlaceRequest &Req, double QueueSeconds);
+
+  /// The resolved backend profile of the shared store ("z3", "mini", …).
+  const std::string &profile() const { return Profile; }
+  persist::QueryStore *store() { return Store.get(); }
+  support::JobBudget &budget() { return Budget; }
+  uint64_t resultCacheHits() const {
+    return ResultHits.load(std::memory_order_relaxed);
+  }
+  uint64_t requestsServed() const {
+    return Served.load(std::memory_order_relaxed);
+  }
+
+  /// Store end-of-life management: applies the eviction policy via
+  /// compact() when one is configured and the store is writable. Called by
+  /// the Server at drain; safe to call any time.
+  void compactStore();
+
+private:
+  PlaceResponse execute(const PlaceRequest &Req);
+  static std::string resultCacheKey(const PlaceRequest &Req);
+
+  /// Executed (non-replayed) requests between in-service compactions when
+  /// an eviction policy is set.
+  static constexpr uint64_t CompactEvery = 64;
+
+  ServerOptions Opts;
+  std::string Profile;
+  std::shared_ptr<persist::QueryStore> Store;
+  support::JobBudget Budget;
+  std::atomic<uint64_t> Served{0};
+  std::atomic<uint64_t> Executed{0}; ///< requests that ran the pipeline
+  std::atomic<uint64_t> ResultHits{0};
+
+  std::mutex ResultMu;
+  std::unordered_map<std::string, PlaceResponse> ResultCache;
+  std::deque<std::string> ResultOrder; ///< FIFO eviction at ResultCacheCap
+};
+
+/// The daemon: socket front end over PlacementService + RequestScheduler.
+class Server {
+public:
+  explicit Server(const ServerOptions &Opts);
+  ~Server();
+
+  Server(const Server &) = delete;
+  Server &operator=(const Server &) = delete;
+
+  /// Binds the socket and starts the acceptor. False (with \p Error) when
+  /// the socket cannot be created.
+  bool start(std::string *Error);
+
+  /// Initiates shutdown from any thread (signal handlers use the atomic
+  /// flag + a self-wake connect instead of calling this directly).
+  /// \p Drain finishes queued work first; otherwise the queue is dropped
+  /// (in-flight requests still complete and respond).
+  void requestShutdown(bool Drain);
+
+  /// Blocks until a shutdown request arrives, then tears down: stops
+  /// admission, drains per the request, closes connections, joins threads,
+  /// compacts the store (if a policy is set), and removes the socket file.
+  void wait();
+
+  /// start() + wait() + exit code (the expressod main body).
+  int serveForever(std::string *Error);
+
+  StatusResponse status() const;
+  PlacementService &service() { return Core; }
+  const std::string &socketPath() const { return Opts.SocketPath; }
+
+private:
+  void acceptLoop();
+  void connectionLoop(int Fd);
+  void handlePlace(int Fd, const std::vector<uint8_t> &Payload);
+  bool sendPlaceResponse(int Fd, const PlaceResponse &R);
+
+  ServerOptions Opts;
+  PlacementService Core;
+  std::unique_ptr<RequestScheduler> Sched;
+  WallTimer Uptime;
+
+  int ListenFd = -1;
+  std::thread Acceptor;
+
+  std::mutex ConnMu;
+  std::unordered_map<int, std::thread> Connections; ///< fd → handler
+  std::vector<std::thread> Finished; ///< handlers that exited, to join
+  bool AcceptingConnections = false;
+
+  std::atomic<bool> ShutdownFlagged{false};
+  std::atomic<bool> ShutdownDrain{true};
+  std::mutex ShutdownMu;
+  std::condition_variable ShutdownCv;
+  std::atomic<uint64_t> ProtocolErrors{0};
+};
+
+} // namespace service
+} // namespace expresso
+
+#endif // EXPRESSO_SERVICE_SERVER_H

@@ -1,0 +1,60 @@
+//===- solver/SolverRig.cpp - Two-tier analysis solver assembly ---------------===//
+//
+// Part of expresso-cpp, a reproduction of "Symbolic Reasoning for Automatic
+// Signal Placement" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+
+#include "solver/SolverRig.h"
+
+#include "persist/QueryStore.h"
+
+#include <map>
+#include <mutex>
+
+using namespace expresso;
+using namespace expresso::solver;
+
+std::string solver::backendProfileName(SolverKind Kind) {
+  // A kind's profile is fixed per build, so the probe backend (cheap —
+  // heavyweight solver state is lazily created — but not free) is minted
+  // at most once per kind per process.
+  static std::mutex Mu;
+  static std::map<SolverKind, std::string> Memo;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    auto It = Memo.find(Kind);
+    if (It != Memo.end())
+      return It->second;
+  }
+  logic::TermContext Scratch;
+  std::unique_ptr<SmtSolver> Probe = createSolver(Kind, Scratch);
+  std::string Name = Probe ? Probe->name() : std::string();
+  std::lock_guard<std::mutex> Lock(Mu);
+  Memo.emplace(Kind, Name);
+  return Name;
+}
+
+SolverRig solver::buildSolverRig(logic::TermContext &C, SolverKind Kind,
+                                 bool CacheQueries,
+                                 std::shared_ptr<persist::QueryStore> Store) {
+  SolverRig Rig;
+  std::unique_ptr<SmtSolver> Backend = createSolver(Kind, C);
+  if (!Backend)
+    return Rig; // unbuildable configuration (e.g. --solver=z3 without Z3)
+
+  if (!CacheQueries) {
+    Rig.Backend = std::move(Backend);
+    return Rig;
+  }
+
+  std::string Profile = Backend->name();
+  Rig.Cache = CachingSolver::create(C, std::move(Backend));
+  if (Rig.Cache && Store) {
+    if (Store->profile() == Profile)
+      Rig.Cache->attachStore(std::move(Store));
+    else
+      Rig.StoreProfileMismatch = true; // memo-only: never mix solver answers
+  }
+  return Rig;
+}

@@ -68,3 +68,39 @@ void ThreadPool::parallelFor(
   DoneCv.wait(Lock, [&] { return ActiveWorkers == 0; });
   this->Body = nullptr;
 }
+
+//===----------------------------------------------------------------------===//
+// JobBudget
+//===----------------------------------------------------------------------===//
+
+JobBudget::Lease JobBudget::acquire(unsigned Want) {
+  if (Want == 0)
+    Want = 1;
+  std::unique_lock<std::mutex> Lock(Mu);
+  uint64_t Ticket = NextTicket++;
+  // FIFO: wait until it is this caller's turn AND a slot is free. The
+  // elastic grant (min(Want, Free), never zero) means the head of the queue
+  // always makes progress as soon as anything is released.
+  FreeCv.wait(Lock, [&] { return Ticket == ServingTicket && Free > 0; });
+  unsigned Granted = Want < Free ? Want : Free;
+  Free -= Granted;
+  ++ServingTicket;
+  // Wake the next ticket holder (it may still find Free == 0 and re-wait).
+  FreeCv.notify_all();
+  return Lease(this, Granted);
+}
+
+void JobBudget::release(unsigned Slots) {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Free += Slots;
+  }
+  FreeCv.notify_all();
+}
+
+void JobBudget::Lease::reset() {
+  if (Owner && Slots > 0)
+    Owner->release(Slots);
+  Owner = nullptr;
+  Slots = 0;
+}

@@ -74,6 +74,80 @@ private:
   bool ShuttingDown = false;
 };
 
+/// A counting budget of worker slots shared by concurrent consumers — the
+/// admission-control primitive of the placement service: the daemon owns one
+/// global budget (typically hardware concurrency) and every in-flight
+/// request leases its `--jobs` worth of slots out of it, so N concurrent
+/// requests degrade gracefully to fewer workers each instead of
+/// oversubscribing the machine N-fold.
+///
+/// acquire() is *elastic*: it blocks only until at least one slot is free,
+/// then grants min(Want, free) — a request never deadlocks waiting for its
+/// full ask, it just runs narrower. Grants are served FIFO (a ticket queue),
+/// so a wide request cannot be starved by a stream of narrow ones.
+class JobBudget {
+public:
+  /// RAII grant: releases its slots on destruction. Movable, not copyable.
+  class Lease {
+  public:
+    Lease() = default;
+    Lease(JobBudget *Owner, unsigned Slots) : Owner(Owner), Slots(Slots) {}
+    Lease(Lease &&O) noexcept : Owner(O.Owner), Slots(O.Slots) {
+      O.Owner = nullptr;
+      O.Slots = 0;
+    }
+    Lease &operator=(Lease &&O) noexcept {
+      if (this != &O) {
+        reset();
+        Owner = O.Owner;
+        Slots = O.Slots;
+        O.Owner = nullptr;
+        O.Slots = 0;
+      }
+      return *this;
+    }
+    ~Lease() { reset(); }
+    Lease(const Lease &) = delete;
+    Lease &operator=(const Lease &) = delete;
+
+    /// Number of worker slots granted (0 for an empty lease).
+    unsigned slots() const { return Slots; }
+    explicit operator bool() const { return Slots > 0; }
+
+    /// Returns the slots early (idempotent).
+    void reset();
+
+  private:
+    JobBudget *Owner = nullptr;
+    unsigned Slots = 0;
+  };
+
+  /// A budget of \p Total slots (clamped to at least 1).
+  explicit JobBudget(unsigned Total)
+      : Total(Total == 0 ? 1 : Total), Free(this->Total) {}
+
+  /// Leases up to \p Want slots (at least 1), blocking while the budget is
+  /// exhausted or earlier callers are still queued. \p Want == 0 asks for 1.
+  Lease acquire(unsigned Want);
+
+  unsigned total() const { return Total; }
+  unsigned available() const {
+    std::lock_guard<std::mutex> Lock(Mu);
+    return Free;
+  }
+
+private:
+  friend class Lease;
+  void release(unsigned Slots);
+
+  const unsigned Total;
+  mutable std::mutex Mu;
+  std::condition_variable FreeCv;
+  unsigned Free;
+  uint64_t NextTicket = 0;    ///< next ticket to hand out
+  uint64_t ServingTicket = 0; ///< ticket currently allowed to acquire
+};
+
 } // namespace support
 } // namespace expresso
 

@@ -8,11 +8,16 @@
 /// \file
 /// The `expresso` CLI: reads an implicit-signal monitor (a .mon file, a
 /// built-in benchmark, or stdin), infers a monitor invariant, runs signal
-/// placement, and emits the explicit-signal artifact of choice.
+/// placement, and emits the explicit-signal artifact of choice — locally,
+/// or through a resident `expressod` daemon (--connect) whose shared warm
+/// caches make repeated compilations orders of magnitude cheaper while
+/// keeping every artifact byte-identical.
 ///
 ///   expresso examples/monitors/rwlock.mon --emit=cpp
 ///   expresso --benchmark=BoundedBuffer --emit=java
 ///   expresso --benchmark=ReadersWriters --emit=ir --solver=mini
+///   expresso --connect=/tmp/expressod.sock --benchmark=BoundedBuffer
+///   expresso cache fsck qcache
 ///
 //===----------------------------------------------------------------------===//
 
@@ -22,6 +27,8 @@
 #include "frontend/Parser.h"
 #include "logic/Printer.h"
 #include "persist/QueryStore.h"
+#include "service/Client.h"
+#include "solver/SolverRig.h"
 #include "support/ThreadPool.h"
 #include "support/Timer.h"
 
@@ -39,6 +46,7 @@ void printUsage() {
   std::fprintf(
       stderr,
       "usage: expresso [options] <monitor.mon | ->\n"
+      "       expresso cache <fsck|warm|compact> <dir> [args...]\n"
       "\n"
       "Transforms an implicit-signal monitor into an explicit-signal one\n"
       "(PLDI'18 \"Symbolic Reasoning for Automatic Signal Placement\").\n"
@@ -62,9 +70,35 @@ void printUsage() {
       "                               reuse answers cached by earlier runs\n"
       "                               (shared safely across processes)\n"
       "  --cache-readonly             consult --cache-dir but never write it\n"
+      "  --cache-max-bytes=N          evict least-recently-used records\n"
+      "                               beyond N bytes when the store compacts\n"
+      "                               (compaction runs at end of this run)\n"
+      "  --cache-ttl=SECONDS          evict records unused for SECONDS at\n"
+      "                               compaction\n"
       "  --jobs N                     placement worker threads (also\n"
       "                               --jobs=N; \"auto\" = one per core;\n"
-      "                               default 1 = serial)\n");
+      "                               default 1 = serial)\n"
+      "\n"
+      "daemon client mode (the spec is analyzed by a resident expressod\n"
+      "with shared warm caches; artifacts stay byte-identical to local\n"
+      "runs):\n"
+      "  --connect=SOCKET             send this request to the daemon\n"
+      "  --priority=normal|high       scheduling priority (daemon queue)\n"
+      "  --no-result-cache            bypass the daemon's whole-response\n"
+      "                               replay cache (query store still warm)\n"
+      "  --daemon-status              print daemon status and exit\n"
+      "  --shutdown[=drain|now]       ask the daemon to exit (default:\n"
+      "                               drain queued work first)\n"
+      "\n"
+      "cache subcommands (see docs/ARCHITECTURE.md, persistence layer):\n"
+      "  cache fsck <dir> [--profile=NAME] [--drop-bad]\n"
+      "        validate header/checksums/records/keys; --drop-bad rewrites\n"
+      "        the log keeping only fully valid records\n"
+      "  cache warm <dir> [--solver=NAME] [--jobs=N] <spec|--benchmark=B>...\n"
+      "        pre-populate a store by analyzing specs (no artifact output)\n"
+      "  cache compact <dir> [--profile=NAME] [--cache-max-bytes=N]\n"
+      "                [--cache-ttl=SECONDS]\n"
+      "        rewrite the log deduplicated, enforcing the eviction policy\n");
 }
 
 /// Parses a --jobs value: a positive count or "auto"; 0 means invalid.
@@ -75,17 +109,424 @@ unsigned parseJobs(const char *Value) {
   return N > 0 ? static_cast<unsigned>(N) : 0;
 }
 
+/// Reads a spec from a benchmark name, a path, or "-" (stdin). Returns
+/// false with a diagnostic printed.
+bool loadSource(const std::string &BenchName, const std::string &InputPath,
+                std::string &Source) {
+  if (!BenchName.empty()) {
+    const bench::BenchmarkDef *Def = bench::findBenchmark(BenchName);
+    if (!Def) {
+      std::fprintf(stderr, "unknown benchmark '%s' (try --list-benchmarks)\n",
+                   BenchName.c_str());
+      return false;
+    }
+    Source = Def->Source;
+    return true;
+  }
+  if (InputPath == "-") {
+    std::ostringstream Buf;
+    Buf << std::cin.rdbuf();
+    Source = Buf.str();
+    return true;
+  }
+  if (!InputPath.empty()) {
+    std::ifstream In(InputPath);
+    if (!In) {
+      std::fprintf(stderr, "cannot open %s\n", InputPath.c_str());
+      return false;
+    }
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    Source = Buf.str();
+    return true;
+  }
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// cache subcommand
+//===----------------------------------------------------------------------===//
+
+int cacheFsck(int Argc, char **Argv) {
+  std::string Dir, Profile;
+  bool DropBad = false;
+  for (int I = 0; I < Argc; ++I) {
+    const char *Arg = Argv[I];
+    if (std::strncmp(Arg, "--profile=", 10) == 0)
+      Profile = Arg + 10;
+    else if (std::strcmp(Arg, "--drop-bad") == 0)
+      DropBad = true;
+    else if (Arg[0] == '-') {
+      std::fprintf(stderr, "cache fsck: unknown option %s\n", Arg);
+      return 2;
+    } else if (Dir.empty())
+      Dir = Arg;
+    else {
+      std::fprintf(stderr, "cache fsck: extra argument %s\n", Arg);
+      return 2;
+    }
+  }
+  if (Dir.empty()) {
+    std::fprintf(stderr, "usage: expresso cache fsck <dir> "
+                         "[--profile=NAME] [--drop-bad]\n");
+    return 2;
+  }
+  persist::FsckReport Report;
+  std::string Error;
+  if (!persist::QueryStore::fsck(Dir, Profile, DropBad, Report, &Error)) {
+    std::fprintf(stderr, "cache fsck: %s\n", Error.c_str());
+    return 2;
+  }
+  std::printf("store %s:\n", Dir.c_str());
+  std::printf("  header:           %s (profile '%s')\n",
+              Report.HeaderOk ? "ok" : "INVALID", Report.Profile.c_str());
+  std::printf("  records:          %llu valid (%llu duplicate keys)\n",
+              static_cast<unsigned long long>(Report.GoodRecords),
+              static_cast<unsigned long long>(Report.DuplicateKeys));
+  std::printf("  undecodable keys: %llu\n",
+              static_cast<unsigned long long>(Report.UndecodableKeys));
+  std::printf("  bytes:            %llu total, %llu bad\n",
+              static_cast<unsigned long long>(Report.TotalBytes),
+              static_cast<unsigned long long>(Report.BadBytes));
+  if (!Report.Problem.empty())
+    std::printf("  problem:          %s\n", Report.Problem.c_str());
+  if (Report.Rewritten)
+    std::printf("  repaired:         log rewritten with only valid records\n");
+  if (Report.clean() || Report.Rewritten) {
+    std::printf("  verdict:          clean\n");
+    return 0;
+  }
+  std::printf("  verdict:          UNCLEAN (rerun with --drop-bad to "
+              "repair)\n");
+  return 1;
+}
+
+int cacheWarm(int Argc, char **Argv) {
+  std::string Dir, SolverName = "default";
+  unsigned Jobs = 1;
+  struct Spec {
+    std::string Label;
+    std::string Source;
+  };
+  std::vector<Spec> Specs;
+  for (int I = 0; I < Argc; ++I) {
+    const char *Arg = Argv[I];
+    if (std::strncmp(Arg, "--solver=", 9) == 0) {
+      SolverName = Arg + 9;
+    } else if (std::strncmp(Arg, "--benchmark=", 12) == 0) {
+      Spec S;
+      S.Label = Arg + 12;
+      if (!loadSource(S.Label, "", S.Source))
+        return 2;
+      Specs.push_back(std::move(S));
+    } else if (std::strncmp(Arg, "--jobs=", 7) == 0) {
+      Jobs = parseJobs(Arg + 7);
+      if (Jobs == 0) {
+        std::fprintf(stderr, "cache warm: bad --jobs value\n");
+        return 2;
+      }
+    } else if (Arg[0] == '-') {
+      std::fprintf(stderr, "cache warm: unknown option %s\n", Arg);
+      return 2;
+    } else if (Dir.empty()) {
+      Dir = Arg;
+    } else {
+      Spec S;
+      S.Label = Arg;
+      if (!loadSource("", Arg, S.Source))
+        return 2;
+      Specs.push_back(std::move(S));
+    }
+  }
+  if (Dir.empty() || Specs.empty()) {
+    std::fprintf(stderr, "usage: expresso cache warm <dir> [--solver=NAME] "
+                         "[--jobs=N] <spec.mon|--benchmark=NAME>...\n");
+    return 2;
+  }
+
+  solver::SolverKind Kind = solver::parseSolverKind(SolverName);
+  // Resolve the store profile exactly like an analysis run would.
+  std::string Profile = solver::backendProfileName(Kind);
+  if (Profile.empty()) {
+    std::fprintf(stderr, "cache warm: solver backend '%s' is not "
+                         "available in this build\n",
+                 SolverName.c_str());
+    return 2;
+  }
+  std::shared_ptr<persist::QueryStore> Store =
+      persist::QueryStore::openReportingWarnings(Dir, /*ReadOnly=*/false,
+                                                 Profile,
+                                                 /*CacheEnabled=*/true);
+  if (!Store) {
+    std::fprintf(stderr, "cache warm: cannot open %s\n", Dir.c_str());
+    return 2;
+  }
+
+  for (const Spec &S : Specs) {
+    size_t Before = Store->size();
+    logic::TermContext C;
+    DiagnosticEngine Diags;
+    auto M = frontend::parseMonitor(S.Source, Diags);
+    if (!M) {
+      std::fprintf(stderr, "cache warm: %s failed to parse:\n%s",
+                   S.Label.c_str(), Diags.str().c_str());
+      return 1;
+    }
+    auto Sema = frontend::analyze(*M, C, Diags);
+    if (!Sema) {
+      std::fprintf(stderr, "cache warm: %s failed sema:\n%s", S.Label.c_str(),
+                   Diags.str().c_str());
+      return 1;
+    }
+    solver::SolverRig Rig = solver::buildSolverRig(C, Kind,
+                                                   /*CacheQueries=*/true,
+                                                   Store);
+    core::PlacementOptions Opts;
+    Opts.Jobs = Jobs;
+    Opts.WorkerSolvers = solver::SolverFactory(Kind);
+    WallTimer Timer;
+    core::PlacementResult Result = core::placeSignals(C, *Sema, Rig.solver(),
+                                                      Opts);
+    std::printf("warmed %-28s %6.2fs  %zu solver queries, store %zu -> %zu "
+                "records\n",
+                S.Label.c_str(), Timer.elapsedSeconds(),
+                Result.Stats.SolverQueries, Before, Store->size());
+  }
+  return 0;
+}
+
+int cacheCompact(int Argc, char **Argv) {
+  std::string Dir, Profile;
+  persist::EvictionPolicy Policy;
+  for (int I = 0; I < Argc; ++I) {
+    const char *Arg = Argv[I];
+    if (std::strncmp(Arg, "--profile=", 10) == 0)
+      Profile = Arg + 10;
+    else if (std::strncmp(Arg, "--cache-max-bytes=", 18) == 0)
+      Policy.MaxBytes = std::strtoull(Arg + 18, nullptr, 10);
+    else if (std::strncmp(Arg, "--cache-ttl=", 12) == 0)
+      Policy.TtlSeconds = std::atoll(Arg + 12);
+    else if (Arg[0] == '-') {
+      std::fprintf(stderr, "cache compact: unknown option %s\n", Arg);
+      return 2;
+    } else if (Dir.empty())
+      Dir = Arg;
+    else {
+      std::fprintf(stderr, "cache compact: extra argument %s\n", Arg);
+      return 2;
+    }
+  }
+  if (Dir.empty()) {
+    std::fprintf(stderr, "usage: expresso cache compact <dir> "
+                         "[--profile=NAME] [--cache-max-bytes=N] "
+                         "[--cache-ttl=SECONDS]\n");
+    return 2;
+  }
+  if (Profile.empty()) {
+    // Default to whatever the log says, so compaction never rotates a
+    // store aside just because this build prefers another backend.
+    persist::FsckReport Report;
+    std::string Error;
+    if (!persist::QueryStore::fsck(Dir, "", /*DropBad=*/false, Report,
+                                   &Error)) {
+      std::fprintf(stderr, "cache compact: %s\n", Error.c_str());
+      return 2;
+    }
+    if (!Report.HeaderOk) {
+      std::fprintf(stderr, "cache compact: %s (run cache fsck)\n",
+                   Report.Problem.c_str());
+      return 1;
+    }
+    Profile = Report.Profile;
+  }
+  persist::QueryStore::Options Opts;
+  Opts.Profile = Profile;
+  std::string Error;
+  std::shared_ptr<persist::QueryStore> Store =
+      persist::QueryStore::open(Dir, Opts, &Error);
+  if (!Store) {
+    std::fprintf(stderr, "cache compact: %s\n", Error.c_str());
+    return 2;
+  }
+  Store->setEvictionPolicy(Policy);
+  size_t Before = Store->size();
+  if (!Store->compact(&Error)) {
+    std::fprintf(stderr, "cache compact: %s\n", Error.c_str());
+    return 1;
+  }
+  persist::StoreStats S = Store->stats();
+  std::printf("compacted %s: %zu -> %zu records (%llu evicted: %llu ttl, "
+              "%llu size)\n",
+              Dir.c_str(), Before, Store->size(),
+              static_cast<unsigned long long>(S.evicted()),
+              static_cast<unsigned long long>(S.EvictedTtl),
+              static_cast<unsigned long long>(S.EvictedSize));
+  return 0;
+}
+
+int cacheMain(int Argc, char **Argv) {
+  if (Argc < 1) {
+    std::fprintf(stderr, "usage: expresso cache <fsck|warm|compact> <dir> "
+                         "[args...]\n");
+    return 2;
+  }
+  const char *Sub = Argv[0];
+  if (std::strcmp(Sub, "fsck") == 0)
+    return cacheFsck(Argc - 1, Argv + 1);
+  if (std::strcmp(Sub, "warm") == 0)
+    return cacheWarm(Argc - 1, Argv + 1);
+  if (std::strcmp(Sub, "compact") == 0)
+    return cacheCompact(Argc - 1, Argv + 1);
+  std::fprintf(stderr, "unknown cache subcommand '%s' (fsck, warm, "
+                       "compact)\n",
+               Sub);
+  return 2;
+}
+
+//===----------------------------------------------------------------------===//
+// Daemon client mode
+//===----------------------------------------------------------------------===//
+
+/// Sends the assembled request to an expressod and prints the response the
+/// way a local run would print its artifact. The artifact bytes (and for
+/// --emit=summary everything up to the statistics trailer) are
+/// byte-identical to a local run; the trailer reports daemon-side stats.
+int runConnected(const std::string &SocketPath,
+                 const service::PlaceRequest &Req, const std::string &Emit) {
+  std::string Error;
+  std::unique_ptr<service::ServiceClient> Client =
+      service::ServiceClient::connect(SocketPath, &Error);
+  if (!Client) {
+    std::fprintf(stderr, "cannot reach expressod: %s\n", Error.c_str());
+    return 1;
+  }
+  service::PlaceResponse R;
+  if (!Client->place(Req, R, &Error)) {
+    std::fprintf(stderr, "expressod request failed: %s\n", Error.c_str());
+    return 1;
+  }
+  if (R.Status != service::ResponseStatus::Ok) {
+    std::fprintf(stderr, "expressod: %s\n",
+                 R.Error.empty() ? "request failed" : R.Error.c_str());
+    return 1;
+  }
+  std::fputs(R.Artifact.c_str(), stdout);
+  if (Emit != "cpp" && Emit != "java" && Emit != "ir") {
+    std::printf("\nstatistics (served by expressod):\n");
+    std::printf("  solver backend:       %s\n", R.SolverName.c_str());
+    std::printf("  hoare checks:         %llu\n",
+                static_cast<unsigned long long>(R.HoareChecks));
+    std::printf("  solver queries:       %llu\n",
+                static_cast<unsigned long long>(R.SolverQueries));
+    double HitRate = R.CacheHits + R.CacheMisses == 0
+                         ? 0.0
+                         : 100.0 * static_cast<double>(R.CacheHits) /
+                               static_cast<double>(R.CacheHits +
+                                                   R.CacheMisses);
+    std::printf("  query cache:          %llu hits / %llu misses (%.0f%%)\n",
+                static_cast<unsigned long long>(R.CacheHits),
+                static_cast<unsigned long long>(R.CacheMisses), HitRate);
+    double SharedRate = R.SharedHits + R.SharedMisses == 0
+                            ? 0.0
+                            : 100.0 * static_cast<double>(R.SharedHits) /
+                                  static_cast<double>(R.SharedHits +
+                                                      R.SharedMisses);
+    std::printf("  shared warm cache:    %llu hits / %llu misses (%.0f%%)%s\n",
+                static_cast<unsigned long long>(R.SharedHits),
+                static_cast<unsigned long long>(R.SharedMisses), SharedRate,
+                R.StoreSkipped ? " [store skipped: profile mismatch]" : "");
+    std::printf("  pairs proved silent:  %llu / %llu\n",
+                static_cast<unsigned long long>(R.NoSignalProved),
+                static_cast<unsigned long long>(R.PairsConsidered));
+    std::printf("  signals / broadcasts: %llu / %llu\n",
+                static_cast<unsigned long long>(R.Signals),
+                static_cast<unsigned long long>(R.Broadcasts));
+    std::printf("  unconditional:        %llu\n",
+                static_cast<unsigned long long>(R.Unconditional));
+    std::printf("  §4.3 wins:            %llu\n",
+                static_cast<unsigned long long>(R.CommutativityWins));
+    std::printf("  analysis time:        %.2fs (invariant %.2fs, queue "
+                "%.2fs)\n",
+                R.AnalysisSeconds, R.InvariantSeconds, R.QueueSeconds);
+    std::printf("  placement jobs:       %u\n", R.JobsUsed);
+    std::printf("  replayed:             %s\n", R.Replayed ? "yes" : "no");
+  }
+  return 0;
+}
+
+int runDaemonStatus(const std::string &SocketPath) {
+  std::string Error;
+  std::unique_ptr<service::ServiceClient> Client =
+      service::ServiceClient::connect(SocketPath, &Error);
+  if (!Client) {
+    std::fprintf(stderr, "cannot reach expressod: %s\n", Error.c_str());
+    return 1;
+  }
+  service::StatusResponse S;
+  if (!Client->status(S, &Error)) {
+    std::fprintf(stderr, "expressod status failed: %s\n", Error.c_str());
+    return 1;
+  }
+  std::printf("expressod on %s:\n", SocketPath.c_str());
+  std::printf("  uptime:           %.1fs%s\n", S.UptimeSeconds,
+              S.Draining ? " (draining)" : "");
+  std::printf("  requests:         %llu served, %llu active, %llu queued, "
+              "%llu rejected\n",
+              static_cast<unsigned long long>(S.RequestsServed),
+              static_cast<unsigned long long>(S.RequestsActive),
+              static_cast<unsigned long long>(S.RequestsQueued),
+              static_cast<unsigned long long>(S.RequestsRejected));
+  std::printf("  replay cache:     %llu hits\n",
+              static_cast<unsigned long long>(S.ResultCacheHits));
+  std::printf("  shared store:     %llu records (%llu evicted), profile "
+              "'%s', %s\n",
+              static_cast<unsigned long long>(S.StoreRecords),
+              static_cast<unsigned long long>(S.StoreEvicted),
+              S.StoreProfile.c_str(),
+              S.StoreDir.empty() ? "in-memory" : S.StoreDir.c_str());
+  std::printf("  jobs budget:      %u total, %u available\n", S.JobsBudget,
+              S.JobsAvailable);
+  return 0;
+}
+
+int runDaemonShutdown(const std::string &SocketPath, bool Drain) {
+  std::string Error;
+  std::unique_ptr<service::ServiceClient> Client =
+      service::ServiceClient::connect(SocketPath, &Error);
+  if (!Client) {
+    std::fprintf(stderr, "cannot reach expressod: %s\n", Error.c_str());
+    return 1;
+  }
+  if (!Client->shutdown(Drain, &Error)) {
+    std::fprintf(stderr, "expressod shutdown failed: %s\n", Error.c_str());
+    return 1;
+  }
+  std::printf("expressod acknowledged shutdown (%s)\n",
+              Drain ? "drain" : "immediate");
+  return 0;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
+  if (Argc >= 2 && std::strcmp(Argv[1], "cache") == 0)
+    return cacheMain(Argc - 2, Argv + 2);
+
   std::string EmitKind = "summary";
   std::string SolverName = "default";
   std::string BenchName;
   std::string InputPath;
   std::string CacheDir;
+  std::string ConnectPath;
   bool CacheReadOnly = false;
+  persist::EvictionPolicy Eviction;
   core::PlacementOptions Options;
   bool ListBenchmarks = false;
+  service::Priority Prio = service::Priority::Normal;
+  bool NoResultCache = false;
+  bool WantDaemonStatus = false;
+  bool WantShutdown = false;
+  bool ShutdownDrain = true;
 
   for (int I = 1; I < Argc; ++I) {
     const char *Arg = Argv[I];
@@ -123,6 +564,41 @@ int main(int Argc, char **Argv) {
       CacheDir = Arg + 12;
     } else if (std::strcmp(Arg, "--cache-readonly") == 0) {
       CacheReadOnly = true;
+    } else if (std::strncmp(Arg, "--cache-max-bytes=", 18) == 0) {
+      Eviction.MaxBytes = std::strtoull(Arg + 18, nullptr, 10);
+    } else if (std::strncmp(Arg, "--cache-ttl=", 12) == 0) {
+      Eviction.TtlSeconds = std::atoll(Arg + 12);
+    } else if (std::strncmp(Arg, "--connect=", 10) == 0) {
+      ConnectPath = Arg + 10;
+    } else if (std::strncmp(Arg, "--priority=", 11) == 0) {
+      const char *Value = Arg + 11;
+      if (std::strcmp(Value, "high") == 0) {
+        Prio = service::Priority::High;
+      } else if (std::strcmp(Value, "normal") == 0) {
+        Prio = service::Priority::Normal;
+      } else {
+        std::fprintf(stderr, "--priority expects normal|high (got '%s')\n",
+                     Value);
+        return 1;
+      }
+    } else if (std::strcmp(Arg, "--no-result-cache") == 0) {
+      NoResultCache = true;
+    } else if (std::strcmp(Arg, "--daemon-status") == 0) {
+      WantDaemonStatus = true;
+    } else if (std::strncmp(Arg, "--shutdown", 10) == 0) {
+      WantShutdown = true;
+      if (Arg[10] == '=') {
+        if (std::strcmp(Arg + 11, "now") == 0)
+          ShutdownDrain = false;
+        else if (std::strcmp(Arg + 11, "drain") != 0) {
+          std::fprintf(stderr, "--shutdown expects drain|now (got '%s')\n",
+                       Arg + 11);
+          return 1;
+        }
+      } else if (Arg[10] != '\0') {
+        std::fprintf(stderr, "unknown option: %s\n", Arg);
+        return 1;
+      }
     } else if (std::strncmp(Arg, "--jobs=", 7) == 0 ||
                std::strcmp(Arg, "--jobs") == 0) {
       const char *Value = Arg[6] == '=' ? Arg + 7
@@ -155,32 +631,40 @@ int main(int Argc, char **Argv) {
     return 0;
   }
 
+  // Daemon control verbs need only the socket.
+  if (WantDaemonStatus || WantShutdown) {
+    if (ConnectPath.empty()) {
+      std::fprintf(stderr, "--daemon-status/--shutdown require "
+                           "--connect=SOCKET\n");
+      return 1;
+    }
+    return WantDaemonStatus ? runDaemonStatus(ConnectPath)
+                            : runDaemonShutdown(ConnectPath, ShutdownDrain);
+  }
+
   // Load the monitor source.
   std::string Source;
-  if (!BenchName.empty()) {
-    const bench::BenchmarkDef *Def = bench::findBenchmark(BenchName);
-    if (!Def) {
-      std::fprintf(stderr, "unknown benchmark '%s' (try --list-benchmarks)\n",
-                   BenchName.c_str());
-      return 1;
-    }
-    Source = Def->Source;
-  } else if (InputPath == "-") {
-    std::ostringstream Buf;
-    Buf << std::cin.rdbuf();
-    Source = Buf.str();
-  } else if (!InputPath.empty()) {
-    std::ifstream In(InputPath);
-    if (!In) {
-      std::fprintf(stderr, "cannot open %s\n", InputPath.c_str());
-      return 1;
-    }
-    std::ostringstream Buf;
-    Buf << In.rdbuf();
-    Source = Buf.str();
-  } else {
-    printUsage();
+  if (!loadSource(BenchName, InputPath, Source)) {
+    if (BenchName.empty() && InputPath.empty())
+      printUsage();
     return 1;
+  }
+
+  // Client mode: ship the request to the resident daemon.
+  if (!ConnectPath.empty()) {
+    service::PlaceRequest Req;
+    Req.Source = Source;
+    Req.Emit = EmitKind;
+    Req.Solver = SolverName;
+    Req.UseInvariant = Options.UseInvariant;
+    Req.UseCommutativity = Options.UseCommutativity;
+    Req.LazyBroadcast = Options.LazyBroadcast;
+    Req.CacheQueries = Options.CacheQueries;
+    Req.Incremental = Options.Incremental;
+    Req.Jobs = Options.Jobs;
+    Req.Prio = Prio;
+    Req.BypassResultCache = NoResultCache;
+    return runConnected(ConnectPath, Req, EmitKind);
   }
 
   // Pipeline: parse -> sema -> invariant -> placement.
@@ -198,35 +682,50 @@ int main(int Argc, char **Argv) {
     return 1;
   }
   solver::SolverKind Kind = solver::parseSolverKind(SolverName);
-  auto Solver = solver::createSolver(Kind, C);
-  if (!Solver) {
+
+  // Solver availability is checked *before* the store opens: a writable
+  // open of --cache-dir rotates profile-mismatched logs aside, and an
+  // unbuildable backend must stay a pure error path with no side effects
+  // on the cache directory.
+  std::string Profile = solver::backendProfileName(Kind);
+  if (Profile.empty()) {
     std::fprintf(stderr, "solver backend '%s' is not available in this "
                          "build\n",
                  SolverName.c_str());
     return 1;
   }
+
+  // Two-tier cache via the shared rig (identical assembly to the daemon
+  // and the bench harness): sharded memo in front, persistent store
+  // behind, keyed per backend profile so a directory warmed by
+  // --solver=mini never answers for z3.
+  std::shared_ptr<persist::QueryStore> Store =
+      persist::QueryStore::openReportingWarnings(CacheDir, CacheReadOnly,
+                                                 Profile,
+                                                 Options.CacheQueries);
+  if (Store)
+    Store->setEvictionPolicy(Eviction);
+  solver::SolverRig Rig = solver::buildSolverRig(C, Kind,
+                                                 Options.CacheQueries, Store);
+  if (!Rig) {
+    std::fprintf(stderr, "solver backend '%s' is not available in this "
+                         "build\n",
+                 SolverName.c_str());
+    return 1;
+  }
+  solver::SmtSolver &PlacementSolver = Rig.solver();
   // Each placement worker gets its own backend of the same kind.
   Options.WorkerSolvers = solver::SolverFactory(Kind);
-
-  // Two-tier cache: wrap the backend in the sharded memo here (placeSignals
-  // reuses an existing CachingSolver instead of stacking a second layer)
-  // and hang the persistent store behind it. The store is keyed per backend
-  // profile, so a directory warmed by --solver=mini never answers for z3.
-  std::shared_ptr<persist::QueryStore> Store =
-      persist::QueryStore::openReportingWarnings(
-          CacheDir, CacheReadOnly, Solver->name(), Options.CacheQueries);
-  std::unique_ptr<solver::CachingSolver> Cache;
-  if (Options.CacheQueries) {
-    Cache = solver::CachingSolver::create(C, std::move(Solver));
-    if (Cache && Store)
-      Cache->attachStore(Store);
-  }
-  solver::SmtSolver &PlacementSolver =
-      Cache ? static_cast<solver::SmtSolver &>(*Cache) : *Solver;
 
   core::PlacementResult Result =
       core::placeSignals(C, *Sema, PlacementSolver, Options);
   double Elapsed = Timer.elapsedSeconds();
+
+  // Store size management: with an eviction policy, this run is also the
+  // store's janitor — compact before reporting so the stats line can show
+  // what was evicted.
+  if (Store && !Store->readOnly() && Eviction.enabled())
+    Store->compact();
 
   if (EmitKind == "cpp") {
     std::fputs(codegen::emitCpp(Result).c_str(), stdout);
@@ -249,13 +748,24 @@ int main(int Argc, char **Argv) {
                 static_cast<unsigned long long>(Result.Stats.Cache.Misses),
                 Result.Stats.Cache.hitRate() * 100,
                 Options.CacheQueries ? "" : " [cache off]");
-    std::printf("  persistent cache:     %llu hits / %llu misses (%.0f%%)%s\n",
+    // The persistent-cache line additionally reports store eviction when an
+    // eviction policy ran (suffix only: the prefix stays grep-stable).
+    std::string EvictedSuffix;
+    if (Store && Eviction.enabled()) {
+      persist::StoreStats SS = Store->stats();
+      EvictedSuffix = " [" + std::to_string(SS.evicted()) + " evicted: " +
+                      std::to_string(SS.EvictedTtl) + " ttl, " +
+                      std::to_string(SS.EvictedSize) + " size; " +
+                      std::to_string(Store->size()) + " records kept]";
+    }
+    std::printf("  persistent cache:     %llu hits / %llu misses (%.0f%%)%s%s\n",
                 static_cast<unsigned long long>(Result.Stats.Cache.DiskHits),
                 static_cast<unsigned long long>(
                     Result.Stats.Cache.DiskMisses),
                 Result.Stats.Cache.diskHitRate() * 100,
                 Store ? (Store->readOnly() ? " [read-only]" : "")
-                      : " [no cache dir]");
+                      : " [no cache dir]",
+                EvictedSuffix.c_str());
     std::printf("  pairs proved silent:  %zu / %zu\n",
                 Result.Stats.NoSignalProved, Result.Stats.PairsConsidered);
     std::printf("  signals / broadcasts: %zu / %zu\n", Result.Stats.Signals,

@@ -30,9 +30,11 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <thread>
 
 using namespace expresso;
 using namespace expresso::logic;
@@ -347,12 +349,13 @@ TEST(PersistTest, VersionMismatchStartsCold) {
     for (const std::string &K : Keys)
       Store->append(K, unsatResult());
   }
-  // Bump the version field (offset 8, right after the magic).
+  // Clobber the version field (offset 8, right after the magic) with a
+  // value no store format will ever use.
   {
     std::fstream F(Dir.log(),
                    std::ios::in | std::ios::out | std::ios::binary);
     F.seekp(8);
-    F.put(static_cast<char>(CodecVersion + 1));
+    F.put(static_cast<char>(0x7f));
   }
   {
     auto RO = openStore(Dir.Path, /*ReadOnly=*/true);
@@ -535,6 +538,215 @@ TEST(PersistTest, CorruptedCacheDegradesToColdRunBehavior) {
   }
   PlacementOut Garbage = runBench("H2OBarrier", openStore(Dir.Path));
   EXPECT_EQ(Garbage.Sigma, Reference.Sigma);
+}
+
+//===----------------------------------------------------------------------===//
+// Size management: in-memory stores, TTL/LRU eviction, fsck
+//===----------------------------------------------------------------------===//
+
+TEST(PersistTest, InMemoryStoreAbsorbsAndServesWithoutAFile) {
+  auto Store = QueryStore::createInMemory("mini");
+  ASSERT_NE(Store, nullptr);
+  EXPECT_TRUE(Store->inMemory());
+  EXPECT_TRUE(Store->directory().empty());
+  TermContext C;
+  std::vector<std::string> Keys = makeKeys(C, 5);
+  for (size_t I = 0; I < Keys.size(); ++I)
+    Store->append(Keys[I], satResult(static_cast<int64_t>(I)));
+  EXPECT_EQ(Store->size(), Keys.size());
+  CheckResult R;
+  EXPECT_TRUE(Store->lookup(Keys[2], R));
+  EXPECT_EQ(R.Model, satResult(2).Model);
+  // Shared warm tier across placements, no disk anywhere: the daemon's
+  // default configuration.
+  PlacementOut Cold = runBench("BoundedBuffer", Store);
+  EXPECT_GT(Cold.Cache.DiskMisses, 0u);
+  PlacementOut Warm = runBench("BoundedBuffer", Store);
+  EXPECT_EQ(Warm.Sigma, Cold.Sigma);
+  EXPECT_GT(Warm.Cache.DiskHits, 0u);
+  EXPECT_EQ(Warm.Cache.DiskMisses, 0u);
+}
+
+TEST(PersistTest, TtlEvictionDropsExpiredRecordsAtCompaction) {
+  TempDir Dir;
+  TermContext C;
+  std::vector<std::string> Keys = makeKeys(C, 6);
+  auto Store = openStore(Dir.Path);
+  for (const std::string &K : Keys)
+    Store->append(K, unsatResult());
+  // A generous TTL keeps everything (records were stamped just now)…
+  EvictionPolicy Keep;
+  Keep.TtlSeconds = 3600;
+  Store->setEvictionPolicy(Keep);
+  ASSERT_TRUE(Store->compact());
+  EXPECT_EQ(Store->size(), Keys.size());
+  EXPECT_EQ(Store->stats().EvictedTtl, 0u);
+  // …while a negative-effective TTL (0 means unbounded, so use 1-second
+  // granularity with a backdated stamp via a rewritten log) drops them.
+  // Backdate by rewriting the log: compaction re-stamps from memory, so
+  // instead reopen the store after shifting its records' stamps is not
+  // possible from outside — emulate by waiting out a 1s TTL on a fresh
+  // handle whose stamps are >1s old by the time it compacts.
+  auto Reopened = openStore(Dir.Path);
+  EvictionPolicy Expire;
+  Expire.TtlSeconds = 1;
+  Reopened->setEvictionPolicy(Expire);
+  std::this_thread::sleep_for(std::chrono::milliseconds(2100));
+  ASSERT_TRUE(Reopened->compact());
+  EXPECT_EQ(Reopened->size(), 0u);
+  EXPECT_EQ(Reopened->stats().EvictedTtl, Keys.size());
+  // The rewritten log really is empty for the next process.
+  auto Fresh = openStore(Dir.Path);
+  EXPECT_EQ(Fresh->size(), 0u);
+}
+
+TEST(PersistTest, SizeEvictionKeepsMostRecentlyUsedWithinBudget) {
+  TempDir Dir;
+  TermContext C;
+  std::vector<std::string> Keys = makeKeys(C, 20);
+  auto Store = openStore(Dir.Path);
+  for (const std::string &K : Keys)
+    Store->append(K, unsatResult());
+  size_t FullSize = std::filesystem::file_size(Dir.log());
+
+  // Touch a couple of records so LRU has a signal; sleep so their stamps
+  // strictly exceed the others' (second granularity).
+  std::this_thread::sleep_for(std::chrono::milliseconds(1100));
+  CheckResult R;
+  EXPECT_TRUE(Store->lookup(Keys[3], R));
+  EXPECT_TRUE(Store->lookup(Keys[17], R));
+
+  EvictionPolicy Policy;
+  Policy.MaxBytes = FullSize / 2;
+  Store->setEvictionPolicy(Policy);
+  ASSERT_TRUE(Store->compact());
+  EXPECT_LT(Store->size(), Keys.size());
+  EXPECT_GT(Store->size(), 0u);
+  EXPECT_GT(Store->stats().EvictedSize, 0u);
+  EXPECT_LE(std::filesystem::file_size(Dir.log()), Policy.MaxBytes);
+  // The recently-used records survived the cut.
+  EXPECT_TRUE(Store->lookup(Keys[3], R));
+  EXPECT_TRUE(Store->lookup(Keys[17], R));
+  // Eviction is a cache shrink, not data damage: a fresh handle loads the
+  // survivors cleanly.
+  auto Reopened = openStore(Dir.Path);
+  EXPECT_FALSE(Reopened->stats().Degraded);
+  EXPECT_EQ(Reopened->size(), Store->size());
+}
+
+TEST(PersistTest, InMemoryCompactionAppliesPolicy) {
+  auto Store = QueryStore::createInMemory("mini");
+  TermContext C;
+  for (const std::string &K : makeKeys(C, 10))
+    Store->append(K, unsatResult());
+  EvictionPolicy Policy;
+  Policy.MaxBytes = 1; // evict (almost) everything
+  Store->setEvictionPolicy(Policy);
+  ASSERT_TRUE(Store->compact());
+  EXPECT_EQ(Store->size(), 0u);
+  EXPECT_GT(Store->stats().EvictedSize, 0u);
+}
+
+TEST(PersistTest, FsckReportsCleanStoreAndProfile) {
+  TempDir Dir;
+  TermContext C;
+  auto Store = openStore(Dir.Path);
+  for (const std::string &K : makeKeys(C, 8))
+    Store->append(K, satResult(1));
+  FsckReport Report;
+  ASSERT_TRUE(QueryStore::fsck(Dir.Path, "mini", false, Report));
+  EXPECT_TRUE(Report.clean());
+  EXPECT_TRUE(Report.HeaderOk);
+  EXPECT_EQ(Report.Profile, "mini");
+  EXPECT_EQ(Report.GoodRecords, 8u);
+  EXPECT_EQ(Report.BadBytes, 0u);
+  EXPECT_EQ(Report.UndecodableKeys, 0u);
+  // An empty expected profile accepts (and reports) whatever is there.
+  FsckReport AnyProfile;
+  ASSERT_TRUE(QueryStore::fsck(Dir.Path, "", false, AnyProfile));
+  EXPECT_TRUE(AnyProfile.HeaderOk);
+  EXPECT_EQ(AnyProfile.Profile, "mini");
+}
+
+TEST(PersistTest, FsckFlagsCorruptionAndDropBadRepairs) {
+  TempDir Dir;
+  TermContext C;
+  std::vector<std::string> Keys = makeKeys(C, 8);
+  std::vector<uintmax_t> Offsets;
+  {
+    auto Store = openStore(Dir.Path);
+    for (const std::string &K : Keys) {
+      Store->append(K, satResult(3));
+      Offsets.push_back(std::filesystem::file_size(Dir.log()));
+    }
+  }
+  // Corrupt record 6's payload.
+  {
+    std::fstream F(Dir.log(),
+                   std::ios::in | std::ios::out | std::ios::binary);
+    F.seekp(static_cast<std::streamoff>(Offsets[4] + 16));
+    F.put('\x5a');
+  }
+  FsckReport Report;
+  ASSERT_TRUE(QueryStore::fsck(Dir.Path, "mini", false, Report));
+  EXPECT_FALSE(Report.clean());
+  EXPECT_EQ(Report.GoodRecords, 5u);
+  EXPECT_GT(Report.BadBytes, 0u);
+
+  // Repair: the rewritten log keeps exactly the valid prefix records.
+  FsckReport Repair;
+  ASSERT_TRUE(QueryStore::fsck(Dir.Path, "mini", true, Repair));
+  EXPECT_TRUE(Repair.Rewritten);
+  FsckReport After;
+  ASSERT_TRUE(QueryStore::fsck(Dir.Path, "mini", false, After));
+  EXPECT_TRUE(After.clean());
+  EXPECT_EQ(After.GoodRecords, 5u);
+  auto Store = openStore(Dir.Path);
+  EXPECT_FALSE(Store->stats().Degraded);
+  EXPECT_EQ(Store->size(), 5u);
+  CheckResult R;
+  EXPECT_TRUE(Store->lookup(Keys[4], R));
+  EXPECT_FALSE(Store->lookup(Keys[6], R));
+}
+
+TEST(PersistTest, FsckRefusesToRepairAHealthyForeignProfileStore) {
+  TempDir Dir;
+  TermContext C;
+  std::vector<std::string> Keys = makeKeys(C, 5);
+  {
+    auto Store = openStore(Dir.Path, false, "mini");
+    for (const std::string &K : Keys)
+      Store->append(K, unsatResult());
+  }
+  // Scanning with the wrong expectation flags a mismatch, not corruption…
+  FsckReport Report;
+  ASSERT_TRUE(QueryStore::fsck(Dir.Path, "z3", false, Report));
+  EXPECT_TRUE(Report.HeaderOk);
+  EXPECT_TRUE(Report.ProfileMismatch);
+  EXPECT_FALSE(Report.clean());
+  EXPECT_EQ(Report.GoodRecords, Keys.size());
+  EXPECT_EQ(Report.BadBytes, 0u);
+  // …and --drop-bad refuses to erase the healthy foreign store.
+  FsckReport Repair;
+  std::string Error;
+  EXPECT_FALSE(QueryStore::fsck(Dir.Path, "z3", true, Repair, &Error));
+  EXPECT_NE(Error.find("mismatch"), std::string::npos);
+  auto Intact = openStore(Dir.Path, /*ReadOnly=*/true, "mini");
+  EXPECT_EQ(Intact->size(), Keys.size());
+  EXPECT_FALSE(Intact->stats().Degraded);
+}
+
+TEST(PersistTest, FsckRejectsForeignHeaderWithoutTouchingIt) {
+  TempDir Dir;
+  {
+    std::ofstream F(Dir.log(), std::ios::binary);
+    F << "garbage that is definitely not a query log";
+  }
+  FsckReport Report;
+  ASSERT_TRUE(QueryStore::fsck(Dir.Path, "mini", false, Report));
+  EXPECT_FALSE(Report.HeaderOk);
+  EXPECT_FALSE(Report.clean());
+  EXPECT_GT(Report.BadBytes, 0u);
 }
 
 } // namespace
