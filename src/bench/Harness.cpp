@@ -21,6 +21,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <thread>
 #include <vector>
 
@@ -106,6 +109,8 @@ HarnessOptions HarnessOptions::fromArgs(int Argc, char **Argv) {
       Opts.CacheDir = Arg + 12;
     } else if (std::strcmp(Arg, "--cache-readonly") == 0) {
       Opts.CacheReadOnly = true;
+    } else if (std::strncmp(Arg, "--corpus=", 9) == 0) {
+      Opts.CorpusDir = Arg + 9;
     } else if (std::strcmp(Arg, "--serve") == 0) {
       Opts.Serve = true;
     } else if (std::strncmp(Arg, "--serve-workers=", 16) == 0) {
@@ -536,6 +541,48 @@ std::vector<ServeRow> runServeProtocol(
 
 #endif
 
+/// Loads the --corpus directory: every *.mon file (sorted by filename for a
+/// deterministic row order) becomes a synthetic table-only BenchmarkDef
+/// named corpus/<stem> under figure "table_corpus". The defs carry no
+/// worker/config/gold-plan content beyond what BenchContext construction
+/// needs — corpus rows measure analysis time, never the runtime engines.
+std::vector<BenchmarkDef> loadCorpusDefs(const std::string &Dir) {
+  std::vector<BenchmarkDef> Out;
+  std::error_code Ec;
+  std::vector<std::filesystem::path> Paths;
+  for (const auto &Entry : std::filesystem::directory_iterator(Dir, Ec))
+    if (Entry.path().extension() == ".mon")
+      Paths.push_back(Entry.path());
+  if (Ec) {
+    std::fprintf(stderr, "--corpus: cannot read %s: %s\n", Dir.c_str(),
+                 Ec.message().c_str());
+    return Out;
+  }
+  std::sort(Paths.begin(), Paths.end());
+  for (const std::filesystem::path &Path : Paths) {
+    std::ifstream In(Path);
+    if (!In) {
+      std::fprintf(stderr, "--corpus: cannot open %s\n", Path.c_str());
+      continue;
+    }
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    BenchmarkDef D;
+    D.Name = "corpus/" + Path.stem().string();
+    D.Figure = "table_corpus";
+    D.Origin = "specgen stress corpus (see corpus/README.md)";
+    D.Source = Buf.str();
+    D.Config = [](unsigned) { return logic::Assignment{}; };
+    D.GoldPlan = [](const frontend::SemaInfo &S) {
+      return SignalPlanBuilder(S).build();
+    };
+    Out.push_back(std::move(D));
+  }
+  if (Out.empty())
+    std::fprintf(stderr, "--corpus: no *.mon files in %s\n", Dir.c_str());
+  return Out;
+}
+
 } // namespace
 
 int bench::tableMain(int Argc, char **Argv) {
@@ -590,6 +637,12 @@ int bench::tableMain(int Argc, char **Argv) {
   std::vector<const BenchmarkDef *> Defs;
   for (const BenchmarkDef &Def : allBenchmarks())
     Defs.push_back(&Def);
+  std::vector<BenchmarkDef> CorpusDefs;
+  if (!Opts.CorpusDir.empty()) {
+    CorpusDefs = loadCorpusDefs(Opts.CorpusDir);
+    for (const BenchmarkDef &Def : CorpusDefs)
+      Defs.push_back(&Def);
+  }
   std::vector<TableRow> Rows(Defs.size());
 
   // Satellite of the persistence PR (ROADMAP leftover from the parallel
@@ -682,13 +735,14 @@ int bench::tableMain(int Argc, char **Argv) {
 
     if (Json) {
       std::fprintf(Json,
-                   "%s\n    {\"name\": \"%s\", \"serial_seconds\": %.4f, "
+                   "%s\n    {\"name\": \"%s\", \"figure\": \"%s\", "
+                   "\"serial_seconds\": %.4f, "
                    "\"hoare_checks\": %zu, \"solver_queries\": %zu, "
                    "\"cache_hits\": %llu, \"cache_misses\": %llu, "
                    "\"disk_hits\": %llu, \"disk_misses\": %llu, "
                    "\"signals\": %zu, \"broadcasts\": %zu",
-                   FirstRow ? "" : ",", Def.Name.c_str(), Row.SerialSeconds,
-                   S.HoareChecks, S.SolverQueries,
+                   FirstRow ? "" : ",", Def.Name.c_str(), Def.Figure.c_str(),
+                   Row.SerialSeconds, S.HoareChecks, S.SolverQueries,
                    static_cast<unsigned long long>(S.Cache.Hits),
                    static_cast<unsigned long long>(S.Cache.Misses),
                    static_cast<unsigned long long>(S.Cache.DiskHits),

@@ -52,6 +52,10 @@ struct HarnessOptions {
   /// (row order stays deterministic; per-row timings contend for cores, so
   /// use 1 when absolute times matter — see docs/BENCHMARKS.md).
   unsigned BuildJobs = 1;
+  /// --corpus=DIR: table1 appends one row per *.mon file in DIR (sorted by
+  /// filename, named corpus/<stem>, figure "table_corpus") — the specgen
+  /// stress corpus rides the same artifact as the paper workloads.
+  std::string CorpusDir;
   /// --serve: after the table rows, start an in-process expressod on a
   /// private socket and measure the serving protocol per workload — cold
   /// request (daemon's first sight of the spec), warm request (shared

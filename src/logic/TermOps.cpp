@@ -372,3 +372,45 @@ std::vector<std::vector<const Term *>> logic::toDNF(TermContext &C,
     return {{T}};
   }
 }
+
+//===----------------------------------------------------------------------===//
+// Cross-context transfer
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+const Term *transferRec(TermContext &Dst, const Term *T,
+                        std::unordered_map<const Term *, const Term *> &Memo) {
+  auto It = Memo.find(T);
+  if (It != Memo.end())
+    return It->second;
+  std::vector<const Term *> Ops;
+  Ops.reserve(T->numOperands());
+  for (const Term *Op : T->operands())
+    Ops.push_back(transferRec(Dst, Op, Memo));
+  int64_t IntVal = 0;
+  std::string Name;
+  switch (T->kind()) {
+  case TermKind::Var:
+    Name = T->varName();
+    break;
+  case TermKind::IntConst:
+  case TermKind::BoolConst:
+  case TermKind::Divides:
+    IntVal = T->intValue();
+    break;
+  default:
+    break;
+  }
+  const Term *R = Dst.internRaw(T->kind(), T->sort(), IntVal, std::move(Name),
+                                std::move(Ops));
+  Memo.emplace(T, R);
+  return R;
+}
+
+} // namespace
+
+const Term *logic::transferTerm(TermContext &Dst, const Term *T) {
+  std::unordered_map<const Term *, const Term *> Memo;
+  return transferRec(Dst, T, Memo);
+}

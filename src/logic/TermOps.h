@@ -119,6 +119,18 @@ const Term *toNNF(TermContext &C, const Term *T);
 /// input sizes.
 std::vector<std::vector<const Term *>> toDNF(TermContext &C, const Term *T);
 
+//===----------------------------------------------------------------------===//
+// Cross-context transfer
+//===----------------------------------------------------------------------===//
+
+/// Rebuilds \p T node-for-node inside \p Dst, preserving structure exactly
+/// (operand order included; no canonicalization re-runs). Structurally
+/// equal inputs map to the same interned node in Dst regardless of their
+/// source context. Used to hand queries to a solver's private scratch
+/// context, so solver-side interning cannot perturb the analysis context's
+/// creation-id sequence (which TermContext::and_/or_ sort operands by).
+const Term *transferTerm(TermContext &Dst, const Term *T);
+
 } // namespace logic
 } // namespace expresso
 

@@ -49,7 +49,7 @@ public:
 
   CheckResult checkSat(const Term *F) override {
     ++Queries;
-    return solveOnce(F);
+    return solveOnce({F});
   }
 
   bool supportsIncremental() const override { return true; }
@@ -77,19 +77,29 @@ public:
   CheckResult checkSatAssuming(
       const std::vector<const Term *> &Assumptions) override {
     ++Queries;
-    if (Stack.empty() && Assumptions.size() == 1)
-      return solveOnce(Assumptions.front());
     std::vector<const Term *> All(Stack.begin(), Stack.end());
     All.insert(All.end(), Assumptions.begin(), Assumptions.end());
-    return solveOnce(Ctx.and_(std::move(All)));
+    return solveOnce(All);
   }
 
   std::string name() const override { return "mini"; }
 
 private:
-  CheckResult solveOnce(const Term *F) {
-    smt::MiniSmt Solver(Ctx);
-    smt::SmtResult R = Solver.checkSat(F);
+  /// Solves the conjunction of \p Fs inside a private scratch context.
+  /// MiniSmt interns auxiliary terms throughout preprocessing and QE;
+  /// doing that in the caller's context would make the caller's
+  /// creation-id sequence — and with it the operand order of every And/Or
+  /// built afterwards (TermContext sorts operands by id) — depend on which
+  /// queries were actually solved versus answered from a cache. Results
+  /// only carry variable names, so nothing transfers back.
+  CheckResult solveOnce(const std::vector<const Term *> &Fs) {
+    logic::TermContext Scratch;
+    std::vector<const Term *> Transferred;
+    Transferred.reserve(Fs.size());
+    for (const Term *F : Fs)
+      Transferred.push_back(logic::transferTerm(Scratch, F));
+    smt::MiniSmt Solver(Scratch);
+    smt::SmtResult R = Solver.checkSat(Scratch.and_(std::move(Transferred)));
     CheckResult Out;
     switch (R.Answer) {
     case smt::SatAnswer::Sat:

@@ -1,0 +1,809 @@
+//===- specgen/SpecGen.cpp - Seeded monitor-spec generator ----------------===//
+//
+// Part of expresso-cpp, a reproduction of "Symbolic Reasoning for Automatic
+// Signal Placement" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+
+#include "specgen/SpecGen.h"
+
+#include "support/Casting.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+using namespace expresso;
+using namespace expresso::specgen;
+using namespace expresso::frontend;
+
+//===----------------------------------------------------------------------===//
+// GuardShape names
+//===----------------------------------------------------------------------===//
+
+const char *specgen::guardShapeName(GuardShape S) {
+  switch (S) {
+  case GuardShape::Comparison:
+    return "comparison";
+  case GuardShape::Arithmetic:
+    return "arithmetic";
+  case GuardShape::Boolean:
+    return "boolean";
+  case GuardShape::Mixed:
+    return "mixed";
+  }
+  return "mixed";
+}
+
+bool specgen::parseGuardShape(const std::string &Name, GuardShape &Out) {
+  if (Name == "comparison")
+    Out = GuardShape::Comparison;
+  else if (Name == "arithmetic")
+    Out = GuardShape::Arithmetic;
+  else if (Name == "boolean")
+    Out = GuardShape::Boolean;
+  else if (Name == "mixed")
+    Out = GuardShape::Mixed;
+  else
+    return false;
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// GenConfig
+//===----------------------------------------------------------------------===//
+
+void GenConfig::normalize() {
+  if (Ccrs == 0)
+    Ccrs = 1;
+  if (MaxCcrsPerMethod == 0)
+    MaxCcrsPerMethod = 1;
+  MaxCcrsPerMethod = std::min(MaxCcrsPerMethod, Ccrs);
+  if (IntFields == 0)
+    IntFields = 1;
+  if (BodyStmts == 0)
+    BodyStmts = 1;
+  if (FanIn == 0)
+    FanIn = 1;
+  // A guard can only read fields that exist.
+  FanIn = std::min(FanIn, IntFields + BoolFields);
+  if (Name.empty())
+    Name = "Gen";
+}
+
+bool GenConfig::operator==(const GenConfig &O) const {
+  return Seed == O.Seed && Ccrs == O.Ccrs &&
+         MaxCcrsPerMethod == O.MaxCcrsPerMethod && IntFields == O.IntFields &&
+         BoolFields == O.BoolFields && PredicateDepth == O.PredicateDepth &&
+         FanIn == O.FanIn && Shape == O.Shape && BodyStmts == O.BodyStmts &&
+         ConstConfig == O.ConstConfig && AllowLoops == O.AllowLoops &&
+         AllowParams == O.AllowParams && Name == O.Name;
+}
+
+std::string specgen::configToString(const GenConfig &Config) {
+  std::ostringstream OS;
+  OS << "seed=" << Config.Seed << ",ccrs=" << Config.Ccrs
+     << ",perm=" << Config.MaxCcrsPerMethod << ",ints=" << Config.IntFields
+     << ",bools=" << Config.BoolFields << ",depth=" << Config.PredicateDepth
+     << ",fanin=" << Config.FanIn << ",shape=" << guardShapeName(Config.Shape)
+     << ",stmts=" << Config.BodyStmts << ",const=" << (Config.ConstConfig ? 1 : 0)
+     << ",loops=" << (Config.AllowLoops ? 1 : 0)
+     << ",params=" << (Config.AllowParams ? 1 : 0) << ",name=" << Config.Name;
+  return OS.str();
+}
+
+bool specgen::configFromString(const std::string &Text, GenConfig &Out,
+                               std::string *Error) {
+  auto fail = [&](const std::string &Msg) {
+    if (Error)
+      *Error = Msg;
+    return false;
+  };
+  GenConfig C;
+  std::istringstream IS(Text);
+  std::string Item;
+  while (std::getline(IS, Item, ',')) {
+    if (Item.empty())
+      continue;
+    size_t Eq = Item.find('=');
+    if (Eq == std::string::npos)
+      return fail("malformed config item '" + Item + "' (expected key=value)");
+    std::string Key = Item.substr(0, Eq);
+    std::string Value = Item.substr(Eq + 1);
+    auto asUnsigned = [&](unsigned &Slot) {
+      try {
+        Slot = static_cast<unsigned>(std::stoul(Value));
+      } catch (...) {
+        return false;
+      }
+      return true;
+    };
+    auto asBool = [&](bool &Slot) {
+      if (Value != "0" && Value != "1")
+        return false;
+      Slot = Value == "1";
+      return true;
+    };
+    bool Ok = true;
+    if (Key == "seed") {
+      try {
+        C.Seed = std::stoull(Value);
+      } catch (...) {
+        Ok = false;
+      }
+    } else if (Key == "ccrs") {
+      Ok = asUnsigned(C.Ccrs);
+    } else if (Key == "perm") {
+      Ok = asUnsigned(C.MaxCcrsPerMethod);
+    } else if (Key == "ints") {
+      Ok = asUnsigned(C.IntFields);
+    } else if (Key == "bools") {
+      Ok = asUnsigned(C.BoolFields);
+    } else if (Key == "depth") {
+      Ok = asUnsigned(C.PredicateDepth);
+    } else if (Key == "fanin") {
+      Ok = asUnsigned(C.FanIn);
+    } else if (Key == "shape") {
+      Ok = parseGuardShape(Value, C.Shape);
+    } else if (Key == "stmts") {
+      Ok = asUnsigned(C.BodyStmts);
+    } else if (Key == "const") {
+      Ok = asBool(C.ConstConfig);
+    } else if (Key == "loops") {
+      Ok = asBool(C.AllowLoops);
+    } else if (Key == "params") {
+      Ok = asBool(C.AllowParams);
+    } else if (Key == "name") {
+      if (Value.empty())
+        Ok = false;
+      else
+        C.Name = Value;
+    } else {
+      return fail("unknown config key '" + Key + "'");
+    }
+    if (!Ok)
+      return fail("bad value for config key '" + Key + "': '" + Value + "'");
+  }
+  C.normalize();
+  Out = C;
+  return true;
+}
+
+GenConfig specgen::sampleConfig(uint64_t Seed, const GenConfig &Max) {
+  // A distinct stream from the generator itself so knob sampling never
+  // perturbs spec content for a fixed config.
+  Rng R(Seed * 0x9e3779b97f4a7c15ULL + 0x5eedull);
+  GenConfig C;
+  C.Seed = Seed;
+  C.Ccrs = 1 + static_cast<unsigned>(R.below(std::max(1u, Max.Ccrs)));
+  C.MaxCcrsPerMethod =
+      1 + static_cast<unsigned>(R.below(std::max(1u, Max.MaxCcrsPerMethod)));
+  C.IntFields = 1 + static_cast<unsigned>(R.below(std::max(1u, Max.IntFields)));
+  C.BoolFields = static_cast<unsigned>(R.below(Max.BoolFields + 1));
+  C.PredicateDepth = static_cast<unsigned>(R.below(Max.PredicateDepth + 1));
+  C.FanIn = 1 + static_cast<unsigned>(R.below(std::max(1u, Max.FanIn)));
+  if (Max.Shape == GuardShape::Mixed) {
+    static const GuardShape Shapes[] = {GuardShape::Comparison,
+                                        GuardShape::Arithmetic,
+                                        GuardShape::Boolean, GuardShape::Mixed};
+    C.Shape = Shapes[R.below(4)];
+  } else {
+    C.Shape = Max.Shape;
+  }
+  C.BodyStmts = 1 + static_cast<unsigned>(R.below(std::max(1u, Max.BodyStmts)));
+  C.ConstConfig = Max.ConstConfig && R.chance(1, 2);
+  C.AllowLoops = Max.AllowLoops && R.chance(1, 3);
+  C.AllowParams = Max.AllowParams && R.chance(1, 2);
+  C.Name = Max.Name;
+  C.normalize();
+  return C;
+}
+
+//===----------------------------------------------------------------------===//
+// The generator
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// State for generating one monitor: the normalized config, the RNG stream,
+/// and the field names the guards/bodies may touch.
+class Generator {
+public:
+  Generator(const GenConfig &Config)
+      : C(Config), R(Config.Seed ^ 0x1ce5c0de5eedf00dULL) {
+    C.normalize();
+    for (unsigned I = 0; I < C.IntFields; ++I)
+      Ints.push_back("v" + std::to_string(I));
+    for (unsigned I = 0; I < C.BoolFields; ++I)
+      Bools.push_back("f" + std::to_string(I));
+    // The fan-in window: guards read only this prefix of the fields, so the
+    // FanIn knob is an upper bound on per-guard shared-variable coupling.
+    unsigned IntWindow = std::min<unsigned>(C.FanIn, C.IntFields);
+    if (IntWindow == 0)
+      IntWindow = 1;
+    for (unsigned I = 0; I < IntWindow; ++I)
+      GuardInts.push_back(Ints[I]);
+    unsigned BoolWindow =
+        std::min<unsigned>(C.FanIn > IntWindow ? C.FanIn - IntWindow : 0,
+                           C.BoolFields);
+    for (unsigned I = 0; I < BoolWindow; ++I)
+      GuardBools.push_back(Bools[I]);
+  }
+
+  std::string run();
+
+private:
+  std::string pickGuardInt() { return GuardInts[R.below(GuardInts.size())]; }
+  std::string pickInt() { return Ints[R.below(Ints.size())]; }
+  std::string pickBool() { return Bools[R.below(Bools.size())]; }
+
+  std::string comparisonAtom(bool AllowParam);
+  std::string arithmeticAtom();
+  std::string booleanAtom();
+  std::string atom(bool AllowParam, bool AllowNot);
+  std::string guard(bool First, bool HasParam);
+  std::string bodyStmt(bool HasParam, unsigned Indent);
+  std::string ccrBody(bool HasParam, unsigned Indent);
+
+  GenConfig C;
+  Rng R;
+  std::vector<std::string> Ints;  ///< all int field names
+  std::vector<std::string> Bools; ///< all bool field names
+  std::vector<std::string> GuardInts;  ///< fan-in window, int part
+  std::vector<std::string> GuardBools; ///< fan-in window, bool part
+  std::vector<std::string> GuardPool;  ///< param-free guards, for reuse
+  bool HasCap = false;
+  bool GuardUsedParam = false; ///< set when the current guard read `p`
+  unsigned LocalCounter = 0;   ///< uniquifies method-local names
+};
+
+static const char *CmpOps[] = {">", ">=", "<", "<=", "==", "!="};
+
+std::string Generator::comparisonAtom(bool AllowParam) {
+  std::ostringstream OS;
+  switch (R.below(AllowParam ? 4 : (HasCap ? 3 : 2))) {
+  case 0: // vi OP lit
+    OS << pickGuardInt() << " " << CmpOps[R.below(6)] << " " << R.range(0, 4);
+    break;
+  case 1: // vi OP vj
+    OS << pickGuardInt() << " " << CmpOps[R.below(6)] << " " << pickGuardInt();
+    break;
+  case 2: // vi OP cap (only when the const field exists)
+    if (HasCap) {
+      OS << pickGuardInt() << " " << CmpOps[R.below(4)] << " cap";
+      break;
+    }
+    OS << pickGuardInt() << " " << CmpOps[R.below(6)] << " " << R.range(0, 4);
+    break;
+  default: // vi OP p — a thread-local operand, minting placeholder classes
+    OS << pickGuardInt() << " " << CmpOps[R.below(6)] << " p";
+    GuardUsedParam = true;
+    break;
+  }
+  return OS.str();
+}
+
+std::string Generator::arithmeticAtom() {
+  std::ostringstream OS;
+  std::string A = pickGuardInt(), B = pickGuardInt();
+  switch (R.below(4)) {
+  case 0: // linear sum vs literal
+    OS << A << " + " << B << " " << CmpOps[R.below(6)] << " " << R.range(0, 6);
+    break;
+  case 1: // difference vs literal
+    OS << A << " - " << B << " " << CmpOps[R.below(6)] << " " << R.range(0, 4);
+    break;
+  case 2: { // constant-coefficient term (Sema demands a constant operand)
+    int64_t K = R.range(2, 3);
+    OS << K << " * " << A << " + " << B << " " << CmpOps[R.below(6)] << " "
+       << R.range(0, 8);
+    break;
+  }
+  default: { // divisibility: '%' only under ==/!= against a literal
+    int64_t D = R.range(2, 4);
+    OS << A << " % " << D << " " << (R.chance(1, 2) ? "==" : "!=") << " "
+       << R.range(0, D - 1);
+    break;
+  }
+  }
+  return OS.str();
+}
+
+std::string Generator::booleanAtom() {
+  if (GuardBools.empty())
+    return comparisonAtom(false);
+  std::string F = GuardBools[R.below(GuardBools.size())];
+  return R.chance(1, 2) ? F : "!" + F;
+}
+
+std::string Generator::atom(bool AllowParam, bool AllowNot) {
+  GuardShape S = C.Shape;
+  if (S == GuardShape::Mixed) {
+    static const GuardShape Pool[] = {GuardShape::Comparison,
+                                      GuardShape::Arithmetic,
+                                      GuardShape::Boolean};
+    S = Pool[R.below(3)];
+  }
+  switch (S) {
+  case GuardShape::Comparison:
+    return comparisonAtom(AllowParam);
+  case GuardShape::Arithmetic:
+    return arithmeticAtom();
+  case GuardShape::Boolean:
+    if (!AllowNot && !GuardBools.empty())
+      return GuardBools[R.below(GuardBools.size())];
+    return booleanAtom();
+  case GuardShape::Mixed:
+    break;
+  }
+  return comparisonAtom(AllowParam);
+}
+
+std::string Generator::guard(bool First, bool HasParam) {
+  if (First) {
+    // The calibration guard: its first atom sums the whole int fan-in
+    // window (hitting the FanIn knob exactly) and it stacks exactly
+    // PredicateDepth connectives, so measured shape tracks the knobs. Atoms
+    // avoid '!' here to keep the connective count exact.
+    std::ostringstream Sum;
+    for (size_t I = 0; I < GuardInts.size(); ++I)
+      Sum << (I ? " + " : "") << GuardInts[I];
+    Sum << " >= 0";
+    std::string G = Sum.str();
+    for (unsigned D = 0; D < C.PredicateDepth; ++D) {
+      std::string Next;
+      if (D == 0 && !GuardBools.empty())
+        Next = GuardBools[D % GuardBools.size()];
+      else
+        Next = atom(false, /*AllowNot=*/false);
+      G = "(" + G + ") " + (D % 2 ? "||" : "&&") + " (" + Next + ")";
+    }
+    GuardPool.push_back(G);
+    return G;
+  }
+
+  // Reuse an earlier guard 1 time in 4: shared syntactic predicates become
+  // shared predicate classes, the axis Algorithm 1's memoization lives on.
+  if (!GuardPool.empty() && R.chance(1, 4))
+    return GuardPool[R.below(GuardPool.size())];
+
+  // Otherwise build a fresh guard with a random connective depth budget.
+  GuardUsedParam = false;
+  unsigned Depth = static_cast<unsigned>(R.below(C.PredicateDepth + 1));
+  std::string G = atom(HasParam, /*AllowNot=*/Depth == 0);
+  for (unsigned D = 0; D < Depth; ++D)
+    G = "(" + G + ") " + (R.chance(1, 2) ? "&&" : "||") + " (" +
+        atom(HasParam, /*AllowNot=*/false) + ")";
+  // Guards that read the method parameter are method-specific; only
+  // param-free guards can be reused across CCRs.
+  if (!GuardUsedParam)
+    GuardPool.push_back(G);
+  return G;
+}
+
+std::string Generator::bodyStmt(bool HasParam, unsigned Indent) {
+  std::string Pad(Indent, ' ');
+  std::ostringstream OS;
+  unsigned NumKinds = 6;
+  if (!Bools.empty())
+    NumKinds += 2;
+  if (HasParam)
+    NumKinds += 1;
+  if (C.AllowLoops)
+    NumKinds += 1;
+  unsigned Kind = static_cast<unsigned>(R.below(NumKinds));
+  std::string A = pickInt(), B = pickInt();
+  switch (Kind) {
+  case 0:
+    OS << Pad << A << " = " << A << " + 1;";
+    break;
+  case 1:
+    OS << Pad << A << " = " << A << " - 1;";
+    break;
+  case 2:
+    OS << Pad << "if (" << A << " > 0) { " << A << " = " << A << " - 1; " << B
+       << " = " << B << " + 1; }";
+    break;
+  case 3:
+    OS << Pad << A << " = " << A << " + " << R.range(2, 3) << " * " << B
+       << ";";
+    break;
+  case 4:
+    OS << Pad << "if (" << A << " " << CmpOps[R.below(4)] << " " << B << ") "
+       << A << " = " << B << "; else " << B << " = " << A << ";";
+    break;
+  case 5: {
+    std::string T = "t" + std::to_string(LocalCounter++);
+    OS << Pad << "int " << T << " = " << A << " + 1; " << B << " = " << T
+       << ";";
+    break;
+  }
+  case 6:
+    if (!Bools.empty()) {
+      std::string F = pickBool();
+      switch (R.below(3)) {
+      case 0:
+        OS << Pad << F << " = true;";
+        break;
+      case 1:
+        OS << Pad << F << " = false;";
+        break;
+      default:
+        OS << Pad << F << " = !" << F << ";";
+        break;
+      }
+      break;
+    }
+    [[fallthrough]];
+  case 7:
+    if (!Bools.empty()) {
+      OS << Pad << "if (" << pickBool() << ") " << A << " = " << A
+         << " + 1; else " << B << " = " << B << " + 1;";
+      break;
+    }
+    [[fallthrough]];
+  case 8:
+    if (HasParam) {
+      OS << Pad << A << " = " << A << " + p;";
+      break;
+    }
+    [[fallthrough]];
+  default:
+    if (C.AllowLoops) {
+      OS << Pad << "while (" << A << " > 0) { " << A << " = " << A << " - 1; "
+         << B << " = " << B << " + 1; }";
+      break;
+    }
+    OS << Pad << A << " = " << B << " + " << R.range(0, 2) << ";";
+    break;
+  }
+  return OS.str();
+}
+
+std::string Generator::ccrBody(bool HasParam, unsigned Indent) {
+  unsigned N = 1 + static_cast<unsigned>(R.below(C.BodyStmts));
+  std::ostringstream OS;
+  for (unsigned I = 0; I < N; ++I)
+    OS << bodyStmt(HasParam, Indent) << "\n";
+  return OS.str();
+}
+
+std::string Generator::run() {
+  std::ostringstream OS;
+  OS << "monitor " << C.Name << " {\n";
+
+  HasCap = C.ConstConfig;
+  if (HasCap) {
+    int64_t Cap = R.range(3, 5);
+    OS << "  const int cap = " << Cap << ";\n";
+    OS << "  requires cap >= " << R.range(1, 2) << ";\n";
+  }
+  for (const std::string &V : Ints)
+    OS << "  int " << V << " = " << R.range(0, 2) << ";\n";
+  for (const std::string &F : Bools)
+    OS << "  bool " << F << " = " << (R.chance(1, 2) ? "true" : "false")
+       << ";\n";
+
+  // Deal the CCR budget into methods of at most MaxCcrsPerMethod regions.
+  std::vector<unsigned> PerMethod;
+  unsigned Remaining = C.Ccrs;
+  while (Remaining > 0) {
+    unsigned Take = 1 + static_cast<unsigned>(R.below(
+                            std::min(C.MaxCcrsPerMethod, Remaining)));
+    PerMethod.push_back(Take);
+    Remaining -= Take;
+  }
+
+  bool First = true;
+  for (size_t MI = 0; MI < PerMethod.size(); ++MI) {
+    bool HasParam = C.AllowParams && R.chance(1, 4);
+    OS << "  void m" << MI << "(" << (HasParam ? "int p" : "") << ") {\n";
+    for (unsigned WI = 0; WI < PerMethod[MI]; ++WI) {
+      OS << "    waituntil (" << guard(First, HasParam) << ") {\n";
+      OS << ccrBody(HasParam, 6);
+      OS << "    }\n";
+      First = false;
+    }
+    OS << "  }\n";
+  }
+  OS << "}\n";
+  return OS.str();
+}
+
+} // namespace
+
+std::string specgen::generateMonitorSource(const GenConfig &Config) {
+  Generator G(Config);
+  return G.run();
+}
+
+//===----------------------------------------------------------------------===//
+// Shape measurement
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+unsigned connectiveDepth(const Expr *E) {
+  if (const auto *U = dyn_cast<Unary>(E)) {
+    if (U->op() == UnaryOp::Not)
+      return 1 + connectiveDepth(U->operand());
+    return connectiveDepth(U->operand());
+  }
+  if (const auto *B = dyn_cast<Binary>(E)) {
+    if (B->op() == BinaryOp::And || B->op() == BinaryOp::Or)
+      return 1 + std::max(connectiveDepth(B->lhs()), connectiveDepth(B->rhs()));
+    return 0; // comparisons and arithmetic are atoms
+  }
+  return 0;
+}
+
+void collectVarNames(const Expr *E, std::set<std::string> &Out) {
+  if (!E)
+    return;
+  if (const auto *V = dyn_cast<VarRef>(E)) {
+    Out.insert(V->name());
+    return;
+  }
+  if (const auto *A = dyn_cast<ArrayRef>(E)) {
+    Out.insert(A->array());
+    collectVarNames(A->index(), Out);
+    return;
+  }
+  if (const auto *U = dyn_cast<Unary>(E)) {
+    collectVarNames(U->operand(), Out);
+    return;
+  }
+  if (const auto *B = dyn_cast<Binary>(E)) {
+    collectVarNames(B->lhs(), Out);
+    collectVarNames(B->rhs(), Out);
+  }
+}
+
+void collectStmtNames(const Stmt *S, std::set<std::string> &Out) {
+  if (!S)
+    return;
+  switch (S->kind()) {
+  case Stmt::Kind::Skip:
+    return;
+  case Stmt::Kind::Assign: {
+    const auto *A = cast<AssignStmt>(S);
+    Out.insert(A->target());
+    collectVarNames(A->value(), Out);
+    return;
+  }
+  case Stmt::Kind::Store: {
+    const auto *St = cast<StoreStmt>(S);
+    Out.insert(St->array());
+    collectVarNames(St->index(), Out);
+    collectVarNames(St->value(), Out);
+    return;
+  }
+  case Stmt::Kind::Seq:
+    for (const Stmt *Child : cast<SeqStmt>(S)->stmts())
+      collectStmtNames(Child, Out);
+    return;
+  case Stmt::Kind::If: {
+    const auto *I = cast<IfStmt>(S);
+    collectVarNames(I->cond(), Out);
+    collectStmtNames(I->thenStmt(), Out);
+    collectStmtNames(I->elseStmt(), Out);
+    return;
+  }
+  case Stmt::Kind::While: {
+    const auto *W = cast<WhileStmt>(S);
+    collectVarNames(W->cond(), Out);
+    collectStmtNames(W->body(), Out);
+    return;
+  }
+  case Stmt::Kind::LocalDecl:
+    collectVarNames(cast<LocalDeclStmt>(S)->init(), Out);
+    return;
+  }
+}
+
+} // namespace
+
+SpecShape specgen::measureShape(const Monitor &M) {
+  SpecShape Shape;
+  Shape.Methods = static_cast<unsigned>(M.Methods.size());
+  for (const Field &F : M.Fields) {
+    if (F.IsConst)
+      continue;
+    if (F.Type == TypeKind::Int || F.Type == TypeKind::IntArray)
+      ++Shape.IntFields;
+    else
+      ++Shape.BoolFields;
+  }
+  for (const Method &Meth : M.Methods) {
+    for (const WaitUntil &W : Meth.Body) {
+      ++Shape.Ccrs;
+      Shape.MaxGuardDepth =
+          std::max(Shape.MaxGuardDepth, connectiveDepth(W.Guard));
+      std::set<std::string> Names;
+      collectVarNames(W.Guard, Names);
+      // Fan-in counts mutable shared state only: const fields and
+      // thread-local operands don't couple CCRs through the invariant.
+      unsigned FanIn = 0;
+      for (const std::string &N : Names) {
+        const Field *F = M.findField(N);
+        if (F && !F->IsConst)
+          ++FanIn;
+      }
+      Shape.MaxGuardFanIn = std::max(Shape.MaxGuardFanIn, FanIn);
+    }
+  }
+  return Shape;
+}
+
+//===----------------------------------------------------------------------===//
+// Monitor printing and shrink edits
+//===----------------------------------------------------------------------===//
+
+bool ShrinkEdit::isIdentity() const {
+  return DropMethod < 0 && DropCcrMethod < 0 && TrueGuardMethod < 0 &&
+         DropStmtMethod < 0 && DropField < 0 && DropRequires < 0;
+}
+
+namespace {
+
+void printTypeAndName(std::ostream &OS, TypeKind T, const std::string &Name) {
+  switch (T) {
+  case TypeKind::Int:
+    OS << "int " << Name;
+    return;
+  case TypeKind::Bool:
+    OS << "bool " << Name;
+    return;
+  case TypeKind::IntArray:
+    OS << "int[] " << Name;
+    return;
+  case TypeKind::BoolArray:
+    OS << "bool[] " << Name;
+    return;
+  }
+}
+
+/// Top-level statements of a CCR body (a Seq's children, or the statement
+/// itself): the granularity DropStmt edits work at.
+std::vector<const Stmt *> topLevelStmts(const Stmt *Body) {
+  if (const auto *Seq = dyn_cast<SeqStmt>(Body))
+    return Seq->stmts();
+  return {Body};
+}
+
+} // namespace
+
+std::string specgen::printMonitor(const Monitor &M, const ShrinkEdit &Edit) {
+  std::ostringstream OS;
+  OS << "monitor " << M.Name << " {\n";
+
+  for (size_t FI = 0; FI < M.Fields.size(); ++FI) {
+    if (Edit.DropField == static_cast<int>(FI))
+      continue;
+    const Field &F = M.Fields[FI];
+    OS << "  ";
+    if (F.IsConst)
+      OS << "const ";
+    printTypeAndName(OS, F.Type, F.Name);
+    if (F.Init)
+      OS << " = " << printExpr(F.Init);
+    OS << ";\n";
+  }
+
+  for (size_t RI = 0; RI < M.Requires.size(); ++RI) {
+    if (Edit.DropRequires == static_cast<int>(RI))
+      continue;
+    OS << "  requires " << printExpr(M.Requires[RI]) << ";\n";
+  }
+
+  if (M.InitBody) {
+    OS << "  init {\n";
+    OS << printStmt(M.InitBody, 4);
+    OS << "  }\n";
+  }
+
+  for (size_t MI = 0; MI < M.Methods.size(); ++MI) {
+    if (Edit.DropMethod == static_cast<int>(MI))
+      continue;
+    const Method &Meth = M.Methods[MI];
+    OS << "  void " << Meth.Name << "(";
+    for (size_t PI = 0; PI < Meth.Params.size(); ++PI) {
+      if (PI)
+        OS << ", ";
+      printTypeAndName(OS, Meth.Params[PI].Type, Meth.Params[PI].Name);
+    }
+    OS << ") {\n";
+    for (size_t WI = 0; WI < Meth.Body.size(); ++WI) {
+      if (Edit.DropCcrMethod == static_cast<int>(MI) &&
+          Edit.DropCcrIndex == static_cast<int>(WI))
+        continue;
+      const WaitUntil &W = Meth.Body[WI];
+      bool ForceTrue = Edit.TrueGuardMethod == static_cast<int>(MI) &&
+                       Edit.TrueGuardIndex == static_cast<int>(WI);
+      OS << "    waituntil (" << (ForceTrue ? "true" : printExpr(W.Guard))
+         << ") {\n";
+      std::vector<const Stmt *> Stmts = topLevelStmts(W.Body);
+      bool Dropping = Edit.DropStmtMethod == static_cast<int>(MI) &&
+                      Edit.DropStmtCcr == static_cast<int>(WI);
+      bool Printed = false;
+      for (size_t SI = 0; SI < Stmts.size(); ++SI) {
+        if (Dropping && Edit.DropStmtIndex == static_cast<int>(SI))
+          continue;
+        OS << printStmt(Stmts[SI], 6);
+        Printed = true;
+      }
+      if (!Printed)
+        OS << "      skip;\n";
+      OS << "    }\n";
+    }
+    OS << "  }\n";
+  }
+  OS << "}\n";
+  return OS.str();
+}
+
+bool specgen::fieldReferenced(const Monitor &M, size_t FieldIndex) {
+  if (FieldIndex >= M.Fields.size())
+    return false;
+  const std::string &Name = M.Fields[FieldIndex].Name;
+  std::set<std::string> Names;
+  for (const Expr *Req : M.Requires)
+    collectVarNames(Req, Names);
+  collectStmtNames(M.InitBody, Names);
+  for (const Method &Meth : M.Methods) {
+    for (const WaitUntil &W : Meth.Body) {
+      collectVarNames(W.Guard, Names);
+      collectStmtNames(W.Body, Names);
+    }
+  }
+  return Names.count(Name) != 0;
+}
+
+//===----------------------------------------------------------------------===//
+// The legacy PropertyTest generator (verbatim)
+//===----------------------------------------------------------------------===//
+
+std::string specgen::legacyRandomMonitorSource(Rng &R) {
+  std::ostringstream OS;
+  OS << "monitor Gen {\n";
+  // Initial-state diversity lives in the declared initializers: the
+  // invariant's initiation check (and hence Theorem 4.1) is relative to
+  // constructor-reachable states, so overriding σ from outside would test a
+  // claim the paper does not make.
+  OS << "  int a = " << R.range(0, 2) << ";\n";
+  OS << "  int b = " << R.range(0, 2) << ";\n";
+  OS << "  bool flag = " << (R.chance(1, 2) ? "true" : "false") << ";\n";
+
+  const char *Guards[] = {
+      "a > 0",          "b > 0",        "a >= b",
+      "a + b <= 3",     "flag",         "!flag",
+      "a == 0",         "b < 2",        "a > 0 && !flag",
+      "b > 0 || flag",
+  };
+  const char *Bodies[] = {
+      "a++;",
+      "a--;",
+      "b++;",
+      "if (b > 0) b--;",
+      "a = a + 1; b = b + 1;",
+      "if (a > 0) { a--; b++; }",
+      "flag = true;",
+      "flag = false;",
+      "flag = !flag; a = a + 1;",
+      "if (flag) a = a + 2; else b = b + 1;",
+  };
+
+  unsigned NumMethods = 2 + static_cast<unsigned>(R.below(2));
+  for (unsigned I = 0; I < NumMethods; ++I) {
+    OS << "  void m" << I << "() {\n";
+    if (R.chance(3, 4)) {
+      OS << "    waituntil (" << Guards[R.below(std::size(Guards))] << ") { "
+         << Bodies[R.below(std::size(Bodies))] << " }\n";
+    } else {
+      OS << "    " << Bodies[R.below(std::size(Bodies))] << "\n";
+    }
+    OS << "  }\n";
+  }
+  OS << "}\n";
+  return OS.str();
+}

@@ -1,0 +1,168 @@
+//===- specgen/SpecGen.h - Seeded monitor-spec generator --------*- C++ -*-===//
+//
+// Part of expresso-cpp, a reproduction of "Symbolic Reasoning for Automatic
+// Signal Placement" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A seeded, deterministic generator of well-typed implicit-signal monitor
+/// specs. The paper validates Theorem 4.1 on fourteen fixed benchmarks;
+/// this library manufactures arbitrarily many machines no author ever saw,
+/// parameterized by the axes that drive analysis cost and shape:
+///
+///   * CCR count           — how many waituntil regions the monitor has
+///                           (placement work is O(CCR x predicate-class));
+///   * predicate depth     — boolean-connective nesting in guards;
+///   * shared-variable     — how many distinct fields one guard reads
+///     fan-in                (couples CCRs through the invariant);
+///   * guard shape         — comparison-only, linear-arithmetic (incl. the
+///                           divisibility fragment), boolean-flag, or mixed.
+///
+/// Every generated spec is well-typed by construction: the generator emits
+/// only the statement and expression forms Sema accepts (linear arithmetic,
+/// constant-operand multiplication, literal-divisor '%' under (in)equality,
+/// requires clauses over const fields). Generation is a pure function of
+/// GenConfig — same config, byte-identical spec — which is what makes
+/// *.repro files replayable and the corpus reproducible.
+///
+/// The library is the promoted form of the ad-hoc generator that lived in
+/// tests/PropertyTest.cpp; `legacyRandomMonitorSource` preserves that
+/// generator byte-for-byte so the historical property-test seeds keep their
+/// exact coverage.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXPRESSO_SPECGEN_SPECGEN_H
+#define EXPRESSO_SPECGEN_SPECGEN_H
+
+#include "frontend/Ast.h"
+#include "support/Rng.h"
+
+#include <cstdint>
+#include <string>
+
+namespace expresso {
+namespace specgen {
+
+/// The syntactic family guard predicates are drawn from.
+enum class GuardShape {
+  Comparison, ///< field-vs-literal / field-vs-field comparisons
+  Arithmetic, ///< linear sums, const-coefficient terms, '%' divisibility
+  Boolean,    ///< boolean-flag atoms (falls back to comparisons as needed)
+  Mixed,      ///< the union (default)
+};
+
+const char *guardShapeName(GuardShape S);
+bool parseGuardShape(const std::string &Name, GuardShape &Out);
+
+/// The knob surface. Defaults generate a small mixed-shape monitor; the
+/// differential rig and the corpus generator turn the dials.
+struct GenConfig {
+  uint64_t Seed = 1;
+
+  unsigned Ccrs = 4;             ///< total waituntil regions in the monitor
+  unsigned MaxCcrsPerMethod = 2; ///< CCR sequences inside one method
+  unsigned IntFields = 3;        ///< shared int fields v0..
+  unsigned BoolFields = 1;       ///< shared bool fields f0..
+  unsigned PredicateDepth = 2;   ///< max connective nesting in guards
+  unsigned FanIn = 2;            ///< distinct shared vars one guard reads
+  GuardShape Shape = GuardShape::Mixed;
+  unsigned BodyStmts = 2;        ///< max top-level statements per CCR body
+
+  bool ConstConfig = true; ///< emit a `const int cap` + requires clause
+  bool AllowLoops = false; ///< rare bounded while-loops in bodies
+  bool AllowParams = true; ///< methods may take an int parameter (guards
+                           ///< over it mint placeholder predicate classes)
+
+  std::string Name = "Gen"; ///< monitor name
+
+  /// Clamps nonsensical values (zero CCRs, zero int fields, fan-in beyond
+  /// the field count) to the nearest generatable configuration.
+  void normalize();
+
+  bool operator==(const GenConfig &O) const;
+};
+
+/// Renders \p Config as a stable `key=value,...` string (the repro-file and
+/// CLI wire format).
+std::string configToString(const GenConfig &Config);
+
+/// Parses a `key=value,...` string produced by configToString (unknown keys
+/// are an error). Returns false with \p Error set.
+bool configFromString(const std::string &Text, GenConfig &Out,
+                      std::string *Error);
+
+/// Generates the monitor source for \p Config. Pure: same config,
+/// byte-identical output. The result always parses and passes Sema.
+std::string generateMonitorSource(const GenConfig &Config);
+
+/// Derives a varied GenConfig for \p Seed, sampling each knob up to the
+/// ceilings in \p Max (the differential rig's per-seed diversity). Pure.
+GenConfig sampleConfig(uint64_t Seed, const GenConfig &Max);
+
+//===----------------------------------------------------------------------===//
+// Shape measurement (the knob-monotonicity contract)
+//===----------------------------------------------------------------------===//
+
+/// Measured structural shape of a monitor spec.
+struct SpecShape {
+  unsigned Ccrs = 0;          ///< waituntil regions
+  unsigned Methods = 0;
+  unsigned IntFields = 0;     ///< non-const int fields
+  unsigned BoolFields = 0;
+  unsigned MaxGuardDepth = 0; ///< max connective nesting over all guards
+  unsigned MaxGuardFanIn = 0; ///< max distinct fields read by one guard
+};
+
+/// Measures \p M (guard depth counts And/Or/Not nesting above atoms;
+/// fan-in counts distinct field references per guard).
+SpecShape measureShape(const frontend::Monitor &M);
+
+//===----------------------------------------------------------------------===//
+// Monitor printing (shrinker substrate)
+//===----------------------------------------------------------------------===//
+
+/// An edit applied while printing a monitor back to source — the shrinker's
+/// reduction operators. Indices select the target; -1 means "no edit of
+/// this kind". At most one edit is applied per print.
+struct ShrinkEdit {
+  int DropMethod = -1;     ///< omit method with this index
+  int DropCcrMethod = -1;  ///< with DropCcrIndex: omit one waituntil
+  int DropCcrIndex = -1;
+  int TrueGuardMethod = -1; ///< with TrueGuardIndex: replace guard by true
+  int TrueGuardIndex = -1;
+  int DropStmtMethod = -1; ///< with DropStmtCcr/DropStmtIndex: drop one
+  int DropStmtCcr = -1;    ///< top-level statement of a CCR body
+  int DropStmtIndex = -1;
+  int DropField = -1;      ///< omit field with this index (caller ensures
+                           ///< it is unreferenced)
+  int DropRequires = -1;   ///< omit requires clause with this index
+
+  bool isIdentity() const;
+};
+
+/// Prints \p M back to parseable monitor-language source, applying \p Edit.
+/// printMonitor(parse(S)) is semantically S (modulo whitespace and the
+/// waituntil(true) normalization the parser applies to bare statements).
+std::string printMonitor(const frontend::Monitor &M,
+                         const ShrinkEdit &Edit = ShrinkEdit());
+
+/// True when field \p FieldIndex of \p M is referenced anywhere outside its
+/// own declaration (guards, bodies, requires clauses, other initializers).
+bool fieldReferenced(const frontend::Monitor &M, size_t FieldIndex);
+
+//===----------------------------------------------------------------------===//
+// The legacy PropertyTest generator
+//===----------------------------------------------------------------------===//
+
+/// The original tests/PropertyTest.cpp generator, preserved byte-for-byte:
+/// a random monitor over two counters and a flag with guarded
+/// transfer/toggle methods. Consumes \p R exactly as the historical code
+/// did, so existing seeds generate identical machines.
+std::string legacyRandomMonitorSource(Rng &R);
+
+} // namespace specgen
+} // namespace expresso
+
+#endif // EXPRESSO_SPECGEN_SPECGEN_H

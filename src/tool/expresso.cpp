@@ -29,6 +29,7 @@
 #include "persist/QueryStore.h"
 #include "service/Client.h"
 #include "solver/SolverRig.h"
+#include "specgen/SpecGen.h"
 #include "support/ThreadPool.h"
 #include "support/Timer.h"
 
@@ -47,6 +48,7 @@ void printUsage() {
       stderr,
       "usage: expresso [options] <monitor.mon | ->\n"
       "       expresso cache <fsck|warm|compact> <dir> [args...]\n"
+      "       expresso specgen [--seed=N --ccrs=N ...]   (see specgen --help)\n"
       "\n"
       "Transforms an implicit-signal monitor into an explicit-signal one\n"
       "(PLDI'18 \"Symbolic Reasoning for Automatic Signal Placement\").\n"
@@ -384,6 +386,122 @@ int cacheMain(int Argc, char **Argv) {
 }
 
 //===----------------------------------------------------------------------===//
+// Spec generation subcommand
+//===----------------------------------------------------------------------===//
+
+/// `expresso specgen`: print a generated monitor spec to stdout. The same
+/// generator powers the expresso-diff fuzz rig and the checked-in corpus;
+/// this subcommand regenerates any of their specs from a config string.
+int specgenMain(int Argc, char **Argv) {
+  specgen::GenConfig Config;
+  bool Check = false;
+  auto parseU = [](const char *V, unsigned &Out) {
+    char *End = nullptr;
+    unsigned long N = std::strtoul(V, &End, 10);
+    if (End == V || *End != '\0')
+      return false;
+    Out = static_cast<unsigned>(N);
+    return true;
+  };
+  for (int I = 0; I < Argc; ++I) {
+    const char *Arg = Argv[I];
+    unsigned U = 0;
+    if (std::strncmp(Arg, "--seed=", 7) == 0) {
+      Config.Seed = std::strtoull(Arg + 7, nullptr, 10);
+    } else if (std::strncmp(Arg, "--ccrs=", 7) == 0 && parseU(Arg + 7, U)) {
+      Config.Ccrs = U;
+    } else if (std::strncmp(Arg, "--ccrs-per-method=", 18) == 0 &&
+               parseU(Arg + 18, U)) {
+      Config.MaxCcrsPerMethod = U;
+    } else if (std::strncmp(Arg, "--depth=", 8) == 0 && parseU(Arg + 8, U)) {
+      Config.PredicateDepth = U;
+    } else if (std::strncmp(Arg, "--fan-in=", 9) == 0 && parseU(Arg + 9, U)) {
+      Config.FanIn = U;
+    } else if (std::strncmp(Arg, "--ints=", 7) == 0 && parseU(Arg + 7, U)) {
+      Config.IntFields = U;
+    } else if (std::strncmp(Arg, "--bools=", 8) == 0 && parseU(Arg + 8, U)) {
+      Config.BoolFields = U;
+    } else if (std::strncmp(Arg, "--stmts=", 8) == 0 && parseU(Arg + 8, U)) {
+      Config.BodyStmts = U;
+    } else if (std::strncmp(Arg, "--shape=", 8) == 0) {
+      if (!specgen::parseGuardShape(Arg + 8, Config.Shape)) {
+        std::fprintf(stderr, "unknown --shape '%s' (comparison, arithmetic, "
+                             "boolean, mixed)\n",
+                     Arg + 8);
+        return 2;
+      }
+    } else if (std::strcmp(Arg, "--loops") == 0) {
+      Config.AllowLoops = true;
+    } else if (std::strcmp(Arg, "--no-params") == 0) {
+      Config.AllowParams = false;
+    } else if (std::strcmp(Arg, "--no-const") == 0) {
+      Config.ConstConfig = false;
+    } else if (std::strncmp(Arg, "--name=", 7) == 0) {
+      Config.Name = Arg + 7;
+    } else if (std::strncmp(Arg, "--config=", 9) == 0) {
+      std::string Error;
+      if (!specgen::configFromString(Arg + 9, Config, &Error)) {
+        std::fprintf(stderr, "bad --config: %s\n", Error.c_str());
+        return 2;
+      }
+    } else if (std::strcmp(Arg, "--check") == 0) {
+      Check = true;
+    } else if (std::strcmp(Arg, "--help") == 0 || std::strcmp(Arg, "-h") == 0) {
+      std::fprintf(
+          stderr,
+          "usage: expresso specgen [options]\n"
+          "Prints a deterministically generated monitor spec to stdout\n"
+          "(same seed + knobs => byte-identical spec).\n"
+          "  --seed=N --ccrs=N --ccrs-per-method=N --depth=N --fan-in=N\n"
+          "  --ints=N --bools=N --stmts=N --shape=SHAPE --loops\n"
+          "  --no-params --no-const --name=STR\n"
+          "  --config=STR   full key=value,... config (see header comment\n"
+          "                 in generated corpus files); overrides knobs so\n"
+          "                 far, later flags still apply\n"
+          "  --check        also parse + semantically check the generated\n"
+          "                 spec and verify the config round-trips; exits\n"
+          "                 nonzero on any failure\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown specgen option '%s' (try --help)\n", Arg);
+      return 2;
+    }
+  }
+
+  Config.normalize();
+  std::string Source = specgen::generateMonitorSource(Config);
+  std::string ConfigStr = specgen::configToString(Config);
+  std::printf("// expresso specgen --config=%s\n%s", ConfigStr.c_str(),
+              Source.c_str());
+
+  if (Check) {
+    specgen::GenConfig RoundTrip;
+    std::string Error;
+    if (!specgen::configFromString(ConfigStr, RoundTrip, &Error) ||
+        !(RoundTrip == Config)) {
+      std::fprintf(stderr, "specgen: config round-trip failed: %s\n",
+                   Error.c_str());
+      return 1;
+    }
+    DiagnosticEngine Diags;
+    auto M = frontend::parseMonitor(Source, Diags);
+    if (!M) {
+      std::fprintf(stderr, "specgen: generated spec does not parse\n%s",
+                   Diags.str().c_str());
+      return 1;
+    }
+    logic::TermContext C;
+    if (!frontend::analyze(*M, C, Diags)) {
+      std::fprintf(stderr, "specgen: generated spec fails sema\n%s",
+                   Diags.str().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "specgen: ok (parses, passes sema)\n");
+  }
+  return 0;
+}
+
+//===----------------------------------------------------------------------===//
 // Daemon client mode
 //===----------------------------------------------------------------------===//
 
@@ -511,6 +629,8 @@ int runDaemonShutdown(const std::string &SocketPath, bool Drain) {
 int main(int Argc, char **Argv) {
   if (Argc >= 2 && std::strcmp(Argv[1], "cache") == 0)
     return cacheMain(Argc - 2, Argv + 2);
+  if (Argc >= 2 && std::strcmp(Argv[1], "specgen") == 0)
+    return specgenMain(Argc - 2, Argv + 2);
 
   std::string EmitKind = "summary";
   std::string SolverName = "default";

@@ -1,0 +1,313 @@
+//===- tool/expresso_diff.cpp - Differential fuzzing driver ---------------===//
+//
+// Part of expresso-cpp, a reproduction of "Symbolic Reasoning for Automatic
+// Signal Placement" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The `expresso-diff` CLI: generate seeded monitor specs (src/specgen) and
+/// run each through the whole execution-mode matrix — {serial, --jobs N} x
+/// {incremental on/off} x {cache off/cold/warm} x {MiniSmt, Z3 when
+/// present} x {local, daemon} — asserting Σ, stats, and cache-counter
+/// parity. Divergences shrink to minimal *.repro files; a repro replays
+/// with --replay=FILE. See docs/FUZZING.md.
+///
+///   expresso-diff --count=100 --quick
+///   expresso-diff --count=500 --seed-start=1000 --ccrs=12 --depth=3
+///   expresso-diff --replay=repros/diff-seed42-min.repro
+///
+//===----------------------------------------------------------------------===//
+
+#include "specgen/Diff.h"
+#include "specgen/SpecGen.h"
+#include "support/Timer.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+using namespace expresso;
+
+namespace {
+
+void printUsage() {
+  std::fprintf(
+      stderr,
+      "usage: expresso-diff [options]\n"
+      "       expresso-diff --replay=FILE.repro\n"
+      "\n"
+      "Differential fuzzing for the placement pipeline: every generated\n"
+      "spec runs across {serial,--jobs N} x {incremental on/off} x\n"
+      "{cache off/cold/warm} x {MiniSmt,Z3} x {local,daemon}; any parity\n"
+      "divergence is shrunk to a minimal *.repro.\n"
+      "\n"
+      "generation:\n"
+      "  --count=N           specs to check (default 100)\n"
+      "  --seed-start=N      first seed (default 1)\n"
+      "  --ccrs=N            max CCRs per spec (default 6)\n"
+      "  --depth=N           max guard connective depth (default 3)\n"
+      "  --fan-in=N          max shared vars per guard (default 3)\n"
+      "  --ints=N --bools=N  max field counts (default 4 / 2)\n"
+      "  --stmts=N           max statements per CCR body (default 2)\n"
+      "  --shape=S           comparison|arithmetic|boolean|mixed (default\n"
+      "                      mixed; mixed also varies the shape per seed)\n"
+      "  --loops             allow bounded while-loops in bodies\n"
+      "  --config=STR        check exactly one spec from a key=value,...\n"
+      "                      config string (ignores the knobs above)\n"
+      "\n"
+      "matrix:\n"
+      "  --jobs=N            parallel leg width (default 4; 1 = serial only)\n"
+      "  --parallel=N        concurrently forked matrix cells (default:\n"
+      "                      hardware threads, clamped to [4, 16])\n"
+      "  --solver=mini|z3|both\n"
+      "                      backend groups (default both when Z3 is built)\n"
+      "  --no-daemon         skip the in-process expressod cells\n"
+      "  --timeout=SECONDS   per-cell deadline; an overdue cell skips the\n"
+      "                      spec instead of wedging the run (default 300)\n"
+      "  --spec-budget=SECONDS\n"
+      "                      wall budget for one spec's whole matrix; a\n"
+      "                      slow spec degrades to a skipped-and-logged\n"
+      "                      row (default 0 = unlimited)\n"
+      "\n"
+      "failure handling:\n"
+      "  --repro-dir=DIR     where *.repro files land (default: repros)\n"
+      "  --no-shrink         keep the original divergent spec unreduced\n"
+      "  --replay=FILE       re-check one *.repro across the full matrix\n"
+      "\n"
+      "misc:\n"
+      "  --quick             small preset: --count=25 --ccrs=4 --depth=2\n"
+      "  --print-specs       dump each generated spec before checking it\n"
+      "  --verbose           per-cell progress on stderr\n");
+}
+
+bool parseUnsigned(const char *Value, unsigned &Out) {
+  char *End = nullptr;
+  unsigned long V = std::strtoul(Value, &End, 10);
+  if (End == Value || *End != '\0')
+    return false;
+  Out = static_cast<unsigned>(V);
+  return true;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  specgen::DiffOptions Opts;
+  Opts.ReproDir = "repros";
+  specgen::GenConfig Max;
+  Max.Ccrs = 6;
+  Max.MaxCcrsPerMethod = 3;
+  Max.IntFields = 4;
+  Max.BoolFields = 2;
+  Max.PredicateDepth = 3;
+  Max.FanIn = 3;
+  Max.BodyStmts = 2;
+  Max.AllowLoops = false;
+
+  unsigned Count = 100;
+  bool CountSet = false;
+  uint64_t SeedStart = 1;
+  std::string Replay;
+  std::string FixedConfig;
+  std::string SolverSel = "both";
+  bool PrintSpecs = false;
+
+  for (int I = 1; I < Argc; ++I) {
+    const char *Arg = Argv[I];
+    unsigned U = 0;
+    if (std::strncmp(Arg, "--count=", 8) == 0 && parseUnsigned(Arg + 8, U)) {
+      Count = U;
+      CountSet = true;
+    } else if (std::strncmp(Arg, "--seed-start=", 13) == 0) {
+      SeedStart = std::strtoull(Arg + 13, nullptr, 10);
+    } else if (std::strncmp(Arg, "--ccrs=", 7) == 0 &&
+               parseUnsigned(Arg + 7, U)) {
+      Max.Ccrs = U;
+    } else if (std::strncmp(Arg, "--depth=", 8) == 0 &&
+               parseUnsigned(Arg + 8, U)) {
+      Max.PredicateDepth = U;
+    } else if (std::strncmp(Arg, "--fan-in=", 9) == 0 &&
+               parseUnsigned(Arg + 9, U)) {
+      Max.FanIn = U;
+    } else if (std::strncmp(Arg, "--ints=", 7) == 0 &&
+               parseUnsigned(Arg + 7, U)) {
+      Max.IntFields = U;
+    } else if (std::strncmp(Arg, "--bools=", 8) == 0 &&
+               parseUnsigned(Arg + 8, U)) {
+      Max.BoolFields = U;
+    } else if (std::strncmp(Arg, "--stmts=", 8) == 0 &&
+               parseUnsigned(Arg + 8, U)) {
+      Max.BodyStmts = U;
+    } else if (std::strncmp(Arg, "--shape=", 8) == 0) {
+      if (!specgen::parseGuardShape(Arg + 8, Max.Shape)) {
+        std::fprintf(stderr, "unknown --shape '%s'\n", Arg + 8);
+        return 2;
+      }
+    } else if (std::strcmp(Arg, "--loops") == 0) {
+      Max.AllowLoops = true;
+    } else if (std::strncmp(Arg, "--config=", 9) == 0) {
+      FixedConfig = Arg + 9;
+    } else if (std::strncmp(Arg, "--jobs=", 7) == 0 &&
+               parseUnsigned(Arg + 7, U) && U > 0) {
+      Opts.JobsMax = U;
+    } else if (std::strncmp(Arg, "--parallel=", 11) == 0 &&
+               parseUnsigned(Arg + 11, U) && U > 0) {
+      Opts.Parallel = U;
+    } else if (std::strncmp(Arg, "--solver=", 9) == 0) {
+      SolverSel = Arg + 9;
+    } else if (std::strcmp(Arg, "--no-daemon") == 0) {
+      Opts.UseDaemon = false;
+    } else if (std::strncmp(Arg, "--timeout=", 10) == 0 &&
+               parseUnsigned(Arg + 10, U) && U > 0) {
+      Opts.TimeoutSeconds = static_cast<int>(U);
+    } else if (std::strncmp(Arg, "--repro-dir=", 12) == 0) {
+      Opts.ReproDir = Arg + 12;
+    } else if (std::strcmp(Arg, "--no-shrink") == 0) {
+      Opts.Shrink = false;
+    } else if (std::strncmp(Arg, "--replay=", 9) == 0) {
+      Replay = Arg + 9;
+    } else if (std::strncmp(Arg, "--spec-budget=", 14) == 0 &&
+               parseUnsigned(Arg + 14, U)) {
+      Opts.SpecBudgetSeconds = static_cast<int>(U);
+    } else if (std::strcmp(Arg, "--quick") == 0) {
+      if (!CountSet)
+        Count = 25;
+      Max.Ccrs = 4;
+      Max.PredicateDepth = 2;
+      Max.FanIn = 2;
+      Max.BodyStmts = 2;
+      if (Opts.SpecBudgetSeconds == 0)
+        Opts.SpecBudgetSeconds = 5;
+    } else if (std::strcmp(Arg, "--print-specs") == 0) {
+      PrintSpecs = true;
+    } else if (std::strcmp(Arg, "--verbose") == 0) {
+      Opts.Verbose = true;
+    } else if (std::strcmp(Arg, "--help") == 0 || std::strcmp(Arg, "-h") == 0) {
+      printUsage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n\n", Arg);
+      printUsage();
+      return 2;
+    }
+  }
+
+  if (SolverSel == "mini") {
+    Opts.Backends = {solver::SolverKind::Mini};
+  } else if (SolverSel == "z3") {
+    if (!solver::hasZ3()) {
+      std::fprintf(stderr, "--solver=z3 requested but Z3 is not built in\n");
+      return 2;
+    }
+    Opts.Backends = {solver::SolverKind::Z3};
+  } else if (SolverSel != "both") {
+    std::fprintf(stderr, "--solver expects mini|z3|both (got '%s')\n",
+                 SolverSel.c_str());
+    return 2;
+  }
+
+  // Replay mode: one spec from a *.repro file, full matrix, no generation.
+  if (!Replay.empty()) {
+    std::string Source, Error;
+    if (!specgen::readRepro(Replay, Source, &Error)) {
+      std::fprintf(stderr, "replay: %s\n", Error.c_str());
+      return 2;
+    }
+    std::printf("replaying %s across the full matrix...\n", Replay.c_str());
+    specgen::SpecVerdict V =
+        specgen::checkSpec(Source, "replay=" + Replay, Opts);
+    switch (V.K) {
+    case specgen::SpecVerdict::Kind::Parity:
+      std::printf("replay: parity holds (%u cells) — the divergence did not "
+                  "reproduce\n",
+                  V.Cells);
+      return 0;
+    case specgen::SpecVerdict::Kind::Divergence:
+      std::printf("replay: DIVERGENCE: %s\n", V.Detail.c_str());
+      if (!V.ReproPath.empty())
+        std::printf("  repro: %s\n", V.ReproPath.c_str());
+      if (!V.MinReproPath.empty())
+        std::printf("  minimized: %s\n  rerun: expresso-diff --replay=%s\n",
+                    V.MinReproPath.c_str(), V.MinReproPath.c_str());
+      return 1;
+    case specgen::SpecVerdict::Kind::Skipped:
+      std::printf("replay: skipped (%s)\n", V.Detail.c_str());
+      return 1;
+    case specgen::SpecVerdict::Kind::Invalid:
+      std::printf("replay: spec invalid:\n%s", V.Detail.c_str());
+      return 2;
+    }
+    return 2;
+  }
+
+  WallTimer Total;
+  unsigned Parity = 0, Divergences = 0, Skipped = 0, Invalid = 0;
+  unsigned TotalCells = 0;
+  for (unsigned I = 0; I < Count; ++I) {
+    uint64_t Seed = SeedStart + I;
+    specgen::GenConfig Config;
+    if (!FixedConfig.empty()) {
+      std::string Error;
+      if (!specgen::configFromString(FixedConfig, Config, &Error)) {
+        std::fprintf(stderr, "--config: %s\n", Error.c_str());
+        return 2;
+      }
+      Count = 1; // a fixed config describes exactly one spec
+    } else {
+      Config = specgen::sampleConfig(Seed, Max);
+    }
+    std::string ConfigStr = specgen::configToString(Config);
+    std::string Source = specgen::generateMonitorSource(Config);
+    if (PrintSpecs)
+      std::printf("--- %s\n%s", ConfigStr.c_str(), Source.c_str());
+
+    WallTimer SpecTimer;
+    specgen::SpecVerdict V = specgen::checkSpec(Source, ConfigStr, Opts);
+    TotalCells += V.Cells;
+    const char *Tag = "";
+    switch (V.K) {
+    case specgen::SpecVerdict::Kind::Parity:
+      ++Parity;
+      Tag = "parity";
+      break;
+    case specgen::SpecVerdict::Kind::Divergence:
+      ++Divergences;
+      Tag = "DIVERGENCE";
+      break;
+    case specgen::SpecVerdict::Kind::Skipped:
+      ++Skipped;
+      Tag = "skipped";
+      break;
+    case specgen::SpecVerdict::Kind::Invalid:
+      ++Invalid;
+      Tag = "INVALID";
+      break;
+    }
+    std::printf("[%u/%u] seed=%llu %-10s %u cells %.1fs  (%s)\n", I + 1,
+                Count, static_cast<unsigned long long>(Seed), Tag, V.Cells,
+                SpecTimer.elapsedSeconds(), ConfigStr.c_str());
+    if (V.K == specgen::SpecVerdict::Kind::Divergence) {
+      std::printf("  %s\n", V.Detail.c_str());
+      if (!V.ReproPath.empty())
+        std::printf("  repro written: %s\n  rerun: expresso-diff "
+                    "--replay=%s\n",
+                    V.ReproPath.c_str(), V.ReproPath.c_str());
+      if (!V.MinReproPath.empty())
+        std::printf("  minimized: %s\n  rerun: expresso-diff --replay=%s\n",
+                    V.MinReproPath.c_str(), V.MinReproPath.c_str());
+    } else if (V.K == specgen::SpecVerdict::Kind::Skipped) {
+      std::printf("  %s\n", V.Detail.c_str());
+    } else if (V.K == specgen::SpecVerdict::Kind::Invalid) {
+      std::printf("  generator emitted a spec the frontend rejects — this "
+                  "is a specgen bug:\n%s", V.Detail.c_str());
+    }
+  }
+
+  std::printf("\nchecked %u specs / %u matrix cells in %.1fs: %u parity, %u "
+              "divergences, %u skipped, %u invalid\n",
+              Parity + Divergences + Skipped + Invalid, TotalCells,
+              Total.elapsedSeconds(), Parity, Divergences, Skipped, Invalid);
+  return (Divergences || Invalid) ? 1 : 0;
+}
