@@ -56,9 +56,13 @@ Run runWith(const bench::BenchmarkDef &Def, unsigned Jobs, bool Cache) {
 
 int main(int Argc, char **Argv) {
   bool Cache = true;
-  for (int I = 1; I < Argc; ++I)
+  std::string JsonPath;
+  for (int I = 1; I < Argc; ++I) {
     if (std::strcmp(Argv[I], "--no-cache") == 0)
       Cache = false;
+    else if (std::strncmp(Argv[I], "--json=", 7) == 0)
+      JsonPath = Argv[I] + 7;
+  }
 
   std::printf("# Ablation: placement jobs (MiniSmt backend, cache %s)\n",
               Cache ? "on" : "off");
@@ -66,7 +70,21 @@ int main(int Argc, char **Argv) {
   std::printf("%-28s %10s %8s %8s %8s %6s\n", "benchmark", "serial(s)",
               "x2", "x4", "x8", "match");
 
+  std::FILE *Json = nullptr;
+  if (!JsonPath.empty()) {
+    Json = std::fopen(JsonPath.c_str(), "w");
+    if (!Json) {
+      std::fprintf(stderr, "cannot open %s for writing\n", JsonPath.c_str());
+      return 1;
+    }
+    std::fprintf(Json,
+                 "{\n  \"bench\": \"ablation_jobs\",\n  \"cache\": %s,\n"
+                 "  \"results\": [",
+                 Cache ? "true" : "false");
+  }
+
   int Exit = 0;
+  bool FirstRow = true;
   for (const bench::BenchmarkDef &Def : bench::allBenchmarks()) {
     Run Serial = runWith(Def, 1, Cache);
     bool Match = true;
@@ -87,6 +105,21 @@ int main(int Argc, char **Argv) {
                 Serial.Seconds, Speedup[0], Speedup[1], Speedup[2],
                 Match ? "yes" : "NO");
     std::fflush(stdout);
+    if (Json) {
+      std::fprintf(Json,
+                   "%s\n    {\"name\": \"%s\", \"serial_seconds\": %.4f, "
+                   "\"speedup_x2\": %.3f, \"speedup_x4\": %.3f, "
+                   "\"speedup_x8\": %.3f, \"match\": %s}",
+                   FirstRow ? "" : ",", Def.Name.c_str(), Serial.Seconds,
+                   Speedup[0], Speedup[1], Speedup[2],
+                   Match ? "true" : "false");
+      FirstRow = false;
+    }
+  }
+  if (Json) {
+    std::fprintf(Json, "\n  ]\n}\n");
+    std::fclose(Json);
+    std::printf("# wrote %s\n", JsonPath.c_str());
   }
   return Exit;
 }

@@ -1,0 +1,295 @@
+//===- bench/micro_intern.cpp --------------------------------------------------===//
+//
+// Part of expresso-cpp, a reproduction of "Symbolic Reasoning for Automatic
+// Signal Placement" (PLDI 2018).
+//
+// Microbenchmark: term interning throughput, sharded lock-free interner vs
+// the retired single-mutex design. Interning is the hottest shared path in
+// the engine (every VC built on a --jobs worker, every transferTerm into a
+// solver scratch context), so this is the number the TermContext sharding
+// refactor has to move — and the number the CI perf gate watches.
+//
+// The baseline is a faithful in-file replica of the pre-refactor interner
+// (one std::mutex around an unordered_map keyed by full structure, heap-
+// allocated nodes), NOT the real TermContext, so the comparison stays
+// honest after the refactor lands. Both sides consume identical descriptor
+// streams:
+//
+//   hit   every thread re-interns a pre-warmed working set (pure lookup)
+//   miss  every thread interns thread-private fresh structures (pure insert)
+//   mix   50/50 interleave of the two
+//
+// Run with no arguments for the full {1,2,4,8}-thread sweep; --json=PATH
+// additionally writes machine-readable rows for BENCH_table1.json. The
+// sweep is deliberately standalone (no google-benchmark): the CI bench job
+// installs no benchmark library, and the in-tree harness style keeps the
+// binary runnable anywhere the engine builds.
+//
+//===----------------------------------------------------------------------===//
+
+#include "logic/Term.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+using namespace expresso;
+using namespace expresso::logic;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Single-mutex baseline: the pre-refactor TermContext interner, inlined.
+//===----------------------------------------------------------------------===//
+
+struct LockedNode {
+  TermKind Kind;
+  Sort TheSort;
+  int64_t IntVal;
+  std::string Name;
+  std::vector<const LockedNode *> Ops;
+  uint32_t Id;
+};
+
+struct LockedKey {
+  TermKind Kind;
+  Sort TheSort;
+  int64_t IntVal;
+  std::string Name;
+  std::vector<const LockedNode *> Ops;
+  bool operator==(const LockedKey &O) const {
+    return Kind == O.Kind && TheSort == O.TheSort && IntVal == O.IntVal &&
+           Name == O.Name && Ops == O.Ops;
+  }
+};
+
+struct LockedKeyHash {
+  size_t operator()(const LockedKey &K) const {
+    size_t H = std::hash<int>()(static_cast<int>(K.Kind) * 131 +
+                                static_cast<int>(K.TheSort));
+    H ^= std::hash<int64_t>()(K.IntVal) + 0x9e3779b9 + (H << 6) + (H >> 2);
+    H ^= std::hash<std::string>()(K.Name) + 0x9e3779b9 + (H << 6) + (H >> 2);
+    for (const LockedNode *Op : K.Ops)
+      H ^= std::hash<const void *>()(Op) + 0x9e3779b9 + (H << 6) + (H >> 2);
+    return H;
+  }
+};
+
+/// The old design: every intern — hit or miss — takes the one mutex.
+class LockedInterner {
+public:
+  const LockedNode *intern(TermKind K, Sort S, int64_t IntVal,
+                           std::string Name,
+                           std::vector<const LockedNode *> Ops) {
+    std::lock_guard<std::mutex> Lock(Mu);
+    LockedKey Key{K, S, IntVal, Name, Ops};
+    auto It = Interned.find(Key);
+    if (It != Interned.end())
+      return It->second;
+    auto Node = std::make_unique<LockedNode>();
+    Node->Kind = K;
+    Node->TheSort = S;
+    Node->IntVal = IntVal;
+    Node->Name = std::move(Name);
+    Node->Ops = std::move(Ops);
+    Node->Id = NextId++;
+    const LockedNode *Raw = Node.get();
+    Arena.push_back(std::move(Node));
+    Interned.emplace(std::move(Key), Raw);
+    return Raw;
+  }
+
+private:
+  std::mutex Mu;
+  std::unordered_map<LockedKey, const LockedNode *, LockedKeyHash> Interned;
+  std::vector<std::unique_ptr<LockedNode>> Arena;
+  uint32_t NextId = 0;
+};
+
+//===----------------------------------------------------------------------===//
+// Descriptor streams — identical shapes fed to both implementations.
+//===----------------------------------------------------------------------===//
+
+/// One term to intern: le(var[VarIdx], const(ConstVal)) — two leaf interns
+/// plus one interior intern, the shape mix of real VC construction.
+struct Descriptor {
+  unsigned VarIdx;
+  int64_t ConstVal;
+};
+
+constexpr unsigned NumVars = 16;
+
+/// Thread T's stream for one workload. Hits draw from a shared pre-warmed
+/// window of constants; misses draw from a thread-private disjoint range.
+std::vector<Descriptor> makeStream(const char *Mixture, unsigned Thread,
+                                   size_t Ops) {
+  std::vector<Descriptor> Out;
+  Out.reserve(Ops);
+  // Deterministic LCG so every run (and both implementations) sees the
+  // exact same sequence; seeded per-thread so threads do not march in
+  // lockstep over the same shared-window element.
+  uint64_t State = 0x243f6a8885a308d3ULL + Thread * 0x9e3779b97f4a7c15ULL;
+  auto Next = [&State]() {
+    State = State * 6364136223846793005ULL + 1442695040888963407ULL;
+    return State >> 16;
+  };
+  const int64_t SharedWindow = 4096; // pre-warmed hit universe
+  const int64_t MissBase = 1'000'000 + static_cast<int64_t>(Thread) * Ops * 2;
+  int64_t MissNext = MissBase;
+  for (size_t I = 0; I < Ops; ++I) {
+    bool Hit = std::strcmp(Mixture, "hit") == 0 ||
+               (std::strcmp(Mixture, "mix") == 0 && (I & 1) == 0);
+    Descriptor D;
+    D.VarIdx = static_cast<unsigned>(Next() % NumVars);
+    D.ConstVal = Hit ? static_cast<int64_t>(Next() % SharedWindow)
+                     : MissNext++;
+    Out.push_back(D);
+  }
+  return Out;
+}
+
+/// Pre-warms the shared hit universe so "hit" streams are pure lookups.
+template <typename InternLeFn> void warm(InternLeFn InternLe) {
+  for (int64_t C = 0; C < 4096; ++C)
+    for (unsigned V = 0; V < NumVars; ++V)
+      InternLe(V, C);
+}
+
+double secondsSince(std::chrono::steady_clock::time_point T0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
+      .count();
+}
+
+/// Runs one (implementation, threads, mixture) cell; returns ops/sec.
+/// \p Impl is "sharded" or "mutex".
+double runCell(const char *Impl, unsigned Threads, const char *Mixture,
+               size_t OpsPerThread) {
+  std::vector<std::vector<Descriptor>> Streams;
+  for (unsigned T = 0; T < Threads; ++T)
+    Streams.push_back(makeStream(Mixture, T, OpsPerThread));
+
+  std::atomic<unsigned> Ready{0};
+  std::atomic<bool> Go{false};
+  auto Launch = [&](auto Work) {
+    std::vector<std::thread> Pool;
+    for (unsigned T = 0; T < Threads; ++T)
+      Pool.emplace_back([&, T] {
+        Ready.fetch_add(1);
+        while (!Go.load(std::memory_order_acquire))
+          std::this_thread::yield();
+        Work(T);
+      });
+    while (Ready.load() != Threads)
+      std::this_thread::yield();
+    auto T0 = std::chrono::steady_clock::now();
+    Go.store(true, std::memory_order_release);
+    for (auto &Th : Pool)
+      Th.join();
+    return secondsSince(T0);
+  };
+
+  double Elapsed = 0;
+  if (std::strcmp(Impl, "sharded") == 0) {
+    TermContext C;
+    std::vector<const Term *> Vars;
+    for (unsigned V = 0; V < NumVars; ++V)
+      Vars.push_back(C.var("v" + std::to_string(V), Sort::Int));
+    warm([&](unsigned V, int64_t K) { C.le(Vars[V], C.intConst(K)); });
+    Elapsed = Launch([&](unsigned T) {
+      for (const Descriptor &D : Streams[T])
+        C.le(Vars[D.VarIdx], C.intConst(D.ConstVal));
+    });
+  } else {
+    LockedInterner L;
+    std::vector<const LockedNode *> Vars;
+    for (unsigned V = 0; V < NumVars; ++V)
+      Vars.push_back(
+          L.intern(TermKind::Var, Sort::Int, 0, "v" + std::to_string(V), {}));
+    auto Le = [&](unsigned V, int64_t K) {
+      const LockedNode *C = L.intern(TermKind::IntConst, Sort::Int, K, "", {});
+      return L.intern(TermKind::Le, Sort::Bool, 0, "", {Vars[V], C});
+    };
+    warm(Le);
+    Elapsed = Launch([&](unsigned T) {
+      for (const Descriptor &D : Streams[T])
+        Le(D.VarIdx, D.ConstVal);
+    });
+  }
+  double TotalOps = static_cast<double>(OpsPerThread) * Threads;
+  return TotalOps / (Elapsed > 0 ? Elapsed : 1e-9);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  size_t OpsPerThread = 200000;
+  std::string JsonPath;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strncmp(Argv[I], "--json=", 7) == 0)
+      JsonPath = Argv[I] + 7;
+    else if (std::strncmp(Argv[I], "--ops=", 6) == 0)
+      OpsPerThread = static_cast<size_t>(std::atoll(Argv[I] + 6));
+    else if (std::strcmp(Argv[I], "--quick") == 0)
+      OpsPerThread = 40000;
+  }
+
+  const unsigned ThreadCounts[] = {1, 2, 4, 8};
+  const char *Mixtures[] = {"hit", "miss", "mix"};
+  const unsigned Cores = std::thread::hardware_concurrency();
+
+  std::printf("# micro_intern: term interning throughput (ops/sec)\n");
+  std::printf("# %zu interns/thread, %u hardware threads; speedup = "
+              "sharded/mutex at equal thread count\n",
+              OpsPerThread, Cores);
+  std::printf("%-6s %8s %14s %14s %9s\n", "mix", "threads", "sharded",
+              "mutex", "speedup");
+
+  std::FILE *Json = nullptr;
+  if (!JsonPath.empty()) {
+    Json = std::fopen(JsonPath.c_str(), "w");
+    if (!Json) {
+      std::fprintf(stderr, "cannot open %s for writing\n", JsonPath.c_str());
+      return 1;
+    }
+    std::fprintf(Json,
+                 "{\n  \"bench\": \"micro_intern\",\n"
+                 "  \"ops_per_thread\": %zu,\n  \"hardware_threads\": %u,\n"
+                 "  \"results\": [",
+                 OpsPerThread, Cores);
+  }
+
+  bool FirstRow = true;
+  for (const char *Mix : Mixtures) {
+    for (unsigned Threads : ThreadCounts) {
+      double Sharded = runCell("sharded", Threads, Mix, OpsPerThread);
+      double Mutex = runCell("mutex", Threads, Mix, OpsPerThread);
+      double Speedup = Sharded / (Mutex > 0 ? Mutex : 1e-9);
+      std::printf("%-6s %8u %14.0f %14.0f %8.2fx\n", Mix, Threads, Sharded,
+                  Mutex, Speedup);
+      std::fflush(stdout);
+      if (Json) {
+        std::fprintf(Json,
+                     "%s\n    {\"mix\": \"%s\", \"threads\": %u, "
+                     "\"sharded_ops_per_sec\": %.0f, "
+                     "\"mutex_ops_per_sec\": %.0f, "
+                     "\"speedup_vs_mutex\": %.3f}",
+                     FirstRow ? "" : ",", Mix, Threads, Sharded, Mutex,
+                     Speedup);
+        FirstRow = false;
+      }
+    }
+  }
+  if (Json) {
+    std::fprintf(Json, "\n  ]\n}\n");
+    std::fclose(Json);
+    std::printf("# wrote %s\n", JsonPath.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Perf-regression gate for the BENCH_table1.json trajectory.
+
+Compares the freshly produced bench artifact against the previous run's and
+fails (exit 1) when the geomean of per-row time ratios regresses by more
+than the threshold in the gated column families:
+
+  * table1 ``serial_seconds`` (cold analysis time, every row), and
+  * table1 ``warm_seconds``  (warm persistent-cache rerun, rows that have it).
+
+Rows are matched by ``name``; rows present on only one side are reported
+but never gated (workloads come and go — a renamed benchmark must not wall
+off CI). Timing noise on shared runners is real, which is why the gate is a
+*geomean over all rows* at a generous threshold rather than a per-row
+check: a genuine serialization-point regression (say, a lock reintroduced
+on the interning fast path) moves every row at once, while one noisy
+workload cannot trip it.
+
+Intentional regressions ride through with ``--override`` (CI passes it when
+the PR carries the ``perf-override`` label or the commit message contains
+``[perf-override]``): the diff is still printed, the exit code is forced
+to 0.
+
+Exit codes: 0 pass (or overridden / no baseline), 1 regression, 2 usage or
+unreadable current artifact.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def rows_by_name(doc):
+    return {r["name"]: r for r in doc.get("results", []) if "name" in r}
+
+
+def geomean(xs):
+    return math.exp(sum(math.log(x) for x in xs) / len(xs)) if xs else 1.0
+
+
+def collect_ratios(prev_rows, cur_rows, field, floor_s):
+    """Per-row current/previous time ratios for one column (>1 = slower).
+
+    Rows where either side is missing the field or is below ``floor_s``
+    seconds are skipped: at sub-floor durations the measurement is mostly
+    process noise and a ratio of tiny numbers would dominate the geomean.
+    """
+    ratios, skipped = [], []
+    for name in sorted(set(prev_rows) & set(cur_rows)):
+        p = prev_rows[name].get(field)
+        c = cur_rows[name].get(field)
+        if p is None or c is None:
+            continue
+        if p < floor_s or c < floor_s:
+            skipped.append(name)
+            continue
+        ratios.append((name, c / p))
+    return ratios, skipped
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--current", required=True,
+                    help="fresh BENCH_table1.json from this run")
+    ap.add_argument("--previous", required=True,
+                    help="BENCH_table1.json from the previous run's artifact")
+    ap.add_argument("--threshold", type=float, default=0.20,
+                    help="max tolerated geomean slowdown (0.20 = 20%%)")
+    ap.add_argument("--floor-seconds", type=float, default=0.01,
+                    help="ignore rows faster than this on either side")
+    ap.add_argument("--override", action="store_true",
+                    help="report but never fail (intentional perf change)")
+    args = ap.parse_args()
+
+    try:
+        cur = load(args.current)
+    except (OSError, ValueError) as e:
+        print(f"perf-gate: cannot read current artifact {args.current}: {e}")
+        return 2
+
+    try:
+        prev = load(args.previous)
+    except (OSError, ValueError) as e:
+        # First run on a branch, expired cache, schema from before the gate
+        # existed: nothing to compare against is a pass, not a failure —
+        # the gate guards the trajectory, it does not bootstrap it.
+        print(f"perf-gate: no usable baseline ({e}); passing")
+        return 0
+
+    prev_rows, cur_rows = rows_by_name(prev), rows_by_name(cur)
+    only_prev = sorted(set(prev_rows) - set(cur_rows))
+    only_cur = sorted(set(cur_rows) - set(prev_rows))
+    if only_prev:
+        print(f"perf-gate: rows gone since previous run (not gated): {only_prev}")
+    if only_cur:
+        print(f"perf-gate: new rows (no baseline, not gated): {only_cur}")
+
+    failed = False
+    for field in ("serial_seconds", "warm_seconds"):
+        ratios, skipped = collect_ratios(prev_rows, cur_rows, field,
+                                         args.floor_seconds)
+        if skipped:
+            print(f"perf-gate: {field}: {len(skipped)} sub-floor rows "
+                  f"ignored: {skipped}")
+        if not ratios:
+            print(f"perf-gate: {field}: no comparable rows; skipping column")
+            continue
+        g = geomean([r for _, r in ratios])
+        worst = max(ratios, key=lambda nr: nr[1])
+        print(f"perf-gate: {field}: geomean ratio {g:.3f} over "
+              f"{len(ratios)} rows (worst: {worst[0]} at {worst[1]:.3f}); "
+              f"limit {1 + args.threshold:.3f}")
+        if g > 1 + args.threshold:
+            print(f"perf-gate: FAIL: {field} regressed "
+                  f"{(g - 1) * 100:.1f}% > {args.threshold * 100:.0f}%")
+            failed = True
+
+    if failed and args.override:
+        print("perf-gate: regression overridden (perf-override); passing")
+        return 0
+    if failed:
+        print("perf-gate: add the 'perf-override' label (or [perf-override] "
+              "in the commit message) if this slowdown is intentional")
+        return 1
+    print("perf-gate: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,6 +3,31 @@
 // Part of expresso-cpp, a reproduction of "Symbolic Reasoning for Automatic
 // Signal Placement" (PLDI 2018).
 //
+// Interning is the engine's hottest shared path: every VC built on a
+// placement worker, every scratch-context transfer into a solver, and every
+// persistent-store decode funnels through here. The original design guarded
+// one hash map with one mutex, which serialized all of it. This file
+// replaces that with:
+//
+//  * 16 shards selected by the term's structural hash (a pure function of
+//    shape, computable before any allocation);
+//  * per-shard open-addressed tables of atomic buckets — the hit path is a
+//    lock-free probe, the miss path publishes with a bucket CAS;
+//  * per-shard bump-pointer arenas for the nodes themselves — a miss costs
+//    one atomic offset bump instead of a heap allocation;
+//  * table growth as a sealed-generation migration: the grower seals the
+//    old table, drains in-flight publishers (a Dekker-style Writers gate,
+//    all seq_cst), rehashes into a double-size successor, and publishes it.
+//    Old generations stay alive until the context dies, so lock-free
+//    readers never chase freed memory; a stale read is harmless because
+//    entries are immutable and a stale *miss* re-checks the current
+//    generation on the insert path.
+//
+// Determinism contract (see Term.h): ids come from one relaxed global
+// counter claimed at candidate construction, so serial runs reproduce the
+// single-mutex id sequence exactly, and with it operand sort order, printed
+// Σ, and canonical TermCodec bytes.
+//
 //===----------------------------------------------------------------------===//
 
 #include "logic/Term.h"
@@ -10,6 +35,8 @@
 #include "logic/Printer.h"
 
 #include <algorithm>
+#include <new>
+#include <thread>
 
 using namespace expresso;
 using namespace expresso::logic;
@@ -66,16 +93,67 @@ const char *logic::kindName(TermKind K) {
 
 std::string Term::str() const { return printTerm(this); }
 
-size_t TermContext::KeyHash::operator()(const Key &K) const {
-  size_t H = static_cast<size_t>(K.Kind) * 0x9e3779b97f4a7c15ULL;
-  H ^= static_cast<size_t>(K.S) + 0x517cc1b727220a95ULL + (H << 6) + (H >> 2);
-  H ^= std::hash<int64_t>()(K.IntVal) + (H << 6) + (H >> 2);
-  H ^= std::hash<std::string>()(K.Name) + (H << 6) + (H >> 2);
-  for (const Term *Op : K.Ops)
-    H ^= std::hash<const void *>()(Op) + 0x9e3779b97f4a7c15ULL + (H << 6) +
-         (H >> 2);
+namespace {
+
+/// Structural hash of a prospective node, identical to the value the
+/// original interner stamped after construction: shape only — kind, sort,
+/// payload, name bytes (FNV-1a, not std::hash, for cross-process
+/// stability), operand structural hashes. Computable before allocating the
+/// node, which is what lets it double as the shard selector and table
+/// probe hash.
+uint64_t structuralHashOf(TermKind K, Sort S, int64_t IntVal,
+                          const std::string &Name,
+                          const std::vector<const Term *> &Ops) {
+  uint64_t H = 0x9e3779b97f4a7c15ULL * (static_cast<uint64_t>(K) + 1);
+  auto Mix = [&H](uint64_t V) {
+    H ^= V + 0x9e3779b97f4a7c15ULL + (H << 12) + (H >> 7);
+    H *= 0xff51afd7ed558ccdULL;
+  };
+  Mix(static_cast<uint64_t>(S));
+  Mix(static_cast<uint64_t>(IntVal));
+  uint64_t NameH = 0xcbf29ce484222325ULL;
+  for (char Ch : Name)
+    NameH = (NameH ^ static_cast<unsigned char>(Ch)) * 0x100000001b3ULL;
+  Mix(NameH);
+  for (const Term *Op : Ops)
+    Mix(Op->structuralHash());
   return H;
 }
+
+/// Full structural key comparison — the tie-breaker behind hash-equal
+/// buckets. Operand comparison is pointer-wise: operands are already
+/// canonical within the context.
+bool matches(const Term *E, TermKind K, Sort S, int64_t IntVal,
+             const std::string &Name,
+             const std::vector<const Term *> &Ops) {
+  if (E->kind() != K || E->sort() != S)
+    return false;
+  switch (K) {
+  case TermKind::IntConst:
+  case TermKind::BoolConst:
+  case TermKind::Divides:
+    if (E->intValue() != IntVal)
+      return false;
+    break;
+  case TermKind::Var:
+    if (E->varName() != Name)
+      return false;
+    break;
+  default:
+    break;
+  }
+  return E->operands() == Ops;
+}
+
+constexpr size_t InitialTableSlots = 64;       // per shard, power of two
+constexpr size_t InitialChunkTerms = 64;       // first arena block
+constexpr size_t MaxChunkBytes = 1u << 20;     // arena blocks cap at 1 MiB
+
+} // namespace
+
+TermContext::ArenaChunk::ArenaChunk(size_t Bytes)
+    : Mem(new unsigned char[Bytes - Bytes % sizeof(Term)]),
+      Capacity(Bytes - Bytes % sizeof(Term)) {}
 
 TermContext::TermContext() {
   True = intern(TermKind::BoolConst, Sort::Bool, 1, "", {});
@@ -84,45 +162,181 @@ TermContext::TermContext() {
   One = intern(TermKind::IntConst, Sort::Int, 1, "", {});
 }
 
+TermContext::~TermContext() {
+  // Nodes are arena-resident; destroy them in place so their Name/Ops heap
+  // storage is released. Every offset below min(Used, Capacity) was a
+  // successful allocation holding a constructed node (Capacity is a
+  // multiple of sizeof(Term), and a racing over-bump only pushes Used past
+  // Capacity without handing out an in-range offset).
+  for (Shard &Sh : Shards)
+    for (auto &Ch : Sh.Chunks) {
+      size_t End = std::min(Ch->Used.load(std::memory_order_relaxed),
+                            Ch->Capacity);
+      for (size_t Off = 0; Off + sizeof(Term) <= End; Off += sizeof(Term))
+        reinterpret_cast<Term *>(Ch->Mem.get() + Off)->~Term();
+    }
+}
+
+Term *TermContext::allocateNode(Shard &Sh) {
+  for (;;) {
+    ArenaChunk *Ch = Sh.Chunk.load(std::memory_order_acquire);
+    if (Ch) {
+      size_t Off = Ch->Used.fetch_add(sizeof(Term), std::memory_order_relaxed);
+      if (Off + sizeof(Term) <= Ch->Capacity)
+        return reinterpret_cast<Term *>(Ch->Mem.get() + Off);
+    }
+    // First allocation or chunk exhausted: roll over under the arena mutex.
+    // (Distinct from GrowMu: a publisher registered in the Writers gate may
+    // land here, and table migration must never wait on the same lock.)
+    std::lock_guard<std::mutex> Lock(Sh.ArenaMu);
+    if (Sh.Chunk.load(std::memory_order_acquire) == Ch) {
+      size_t Bytes = Ch ? std::min(Ch->Capacity * 2, MaxChunkBytes)
+                        : InitialChunkTerms * sizeof(Term);
+      auto Next = std::make_unique<ArenaChunk>(Bytes);
+      ArenaChunk *P = Next.get();
+      Sh.Chunks.push_back(std::move(Next));
+      Sh.Chunk.store(P, std::memory_order_release);
+    }
+  }
+}
+
+void TermContext::growTable(Shard &Sh, Table *Old) {
+  std::lock_guard<std::mutex> Lock(Sh.GrowMu);
+  if (Sh.Current.load(std::memory_order_acquire) != Old)
+    return; // lost the race: another thread already migrated (or created)
+  if (Old) {
+    // Seal, then drain in-flight publishers. Publishers register in
+    // Writers *before* re-checking Sealed (both seq_cst), so either they
+    // see the seal and back off, or this wait observes their registration
+    // and their CAS lands before the rehash scan below — no published
+    // entry can be missed.
+    Old->Sealed.store(true, std::memory_order_seq_cst);
+    while (Sh.Writers.load(std::memory_order_seq_cst) != 0)
+      std::this_thread::yield();
+  }
+  size_t NewCap = Old ? Old->Capacity * 2 : InitialTableSlots;
+  auto NewT = std::make_unique<Table>(NewCap);
+  if (Old) {
+    const size_t Mask = NewCap - 1;
+    size_t Moved = 0;
+    for (size_t I = 0; I < Old->Capacity; ++I) {
+      const Term *E = Old->Slots[I].load(std::memory_order_relaxed);
+      if (!E)
+        continue;
+      size_t Idx = E->structuralHash() & Mask;
+      while (NewT->Slots[Idx].load(std::memory_order_relaxed))
+        Idx = (Idx + 1) & Mask;
+      NewT->Slots[Idx].store(E, std::memory_order_relaxed);
+      ++Moved;
+    }
+    NewT->Used.store(Moved, std::memory_order_relaxed);
+  }
+  Table *Published = NewT.get();
+  Sh.Tables.push_back(std::move(NewT));
+  // Release-publish after all slot stores: a reader that acquires the new
+  // generation sees every migrated entry. The old generation stays in
+  // Sh.Tables untouched — concurrent lock-free readers may still probe it,
+  // and since entries are immutable their hits stay valid; their misses
+  // re-check the current generation via the insert path.
+  Sh.Current.store(Published, std::memory_order_release);
+}
+
 const Term *TermContext::intern(TermKind K, Sort S, int64_t IntVal,
                                 std::string Name,
                                 std::vector<const Term *> Ops) {
-  std::lock_guard<std::mutex> Lock(Mu);
-  return internLocked(K, S, IntVal, std::move(Name), std::move(Ops));
+  uint64_t H = structuralHashOf(K, S, IntVal, Name, Ops);
+  Shard &Sh = Shards[H >> (64 - NumShardsLog2)];
+  // Lock-free hit path: one acquire load of the table, one probe. Empty
+  // buckets terminate the probe (entries are never removed).
+  if (Table *T = Sh.Current.load(std::memory_order_acquire)) {
+    const size_t Mask = T->Capacity - 1;
+    size_t Idx = H & Mask;
+    // Bounded probe: concurrent writers can briefly push a generation past
+    // its load-factor target, so cap the scan at one full wrap and let the
+    // miss path (which can grow the table) sort it out.
+    for (size_t Step = 0; Step <= Mask; ++Step, Idx = (Idx + 1) & Mask) {
+      const Term *E = T->Slots[Idx].load(std::memory_order_acquire);
+      if (!E)
+        break;
+      if (E->structuralHash() == H && matches(E, K, S, IntVal, Name, Ops))
+        return E;
+    }
+  }
+  return internMiss(Sh, H, K, S, IntVal, std::move(Name), std::move(Ops));
 }
 
-const Term *TermContext::internLocked(TermKind K, Sort S, int64_t IntVal,
-                                      std::string Name,
-                                      std::vector<const Term *> Ops) {
-  Key TheKey{K, S, IntVal, Name, Ops};
-  auto It = Interned.find(TheKey);
-  if (It != Interned.end())
-    return It->second;
-  auto Node = std::unique_ptr<Term>(
-      new Term(K, S, NextId++, IntVal, std::move(Name), std::move(Ops)));
-  // Structural hash over shape only: operands contribute their own
-  // structural hashes, so the value is independent of pointer identity and
-  // interning order (see Term::structuralHash).
-  uint64_t H = 0x9e3779b97f4a7c15ULL * (static_cast<uint64_t>(K) + 1);
-  auto Mix = [&H](uint64_t V) {
-    H ^= V + 0x9e3779b97f4a7c15ULL + (H << 12) + (H >> 7);
-    H *= 0xff51afd7ed558ccdULL;
-  };
-  Mix(static_cast<uint64_t>(S));
-  Mix(static_cast<uint64_t>(Node->IntVal));
-  // FNV-1a over the name bytes: std::hash would be implementation-defined,
-  // breaking the documented cross-process stability.
-  uint64_t NameH = 0xcbf29ce484222325ULL;
-  for (char Ch : Node->Name)
-    NameH = (NameH ^ static_cast<unsigned char>(Ch)) * 0x100000001b3ULL;
-  Mix(NameH);
-  for (const Term *Op : Node->Ops)
-    Mix(Op->structuralHash());
-  Node->StructHash = H;
-  const Term *Result = Node.get();
-  Arena.push_back(std::move(Node));
-  Interned.emplace(std::move(TheKey), Result);
-  return Result;
+const Term *TermContext::internMiss(Shard &Sh, uint64_t H, TermKind K, Sort S,
+                                    int64_t IntVal, std::string Name,
+                                    std::vector<const Term *> Ops) {
+  Term *Candidate = nullptr;
+  for (;;) {
+    Table *T = Sh.Current.load(std::memory_order_acquire);
+    if (!T ||
+        (T->Used.load(std::memory_order_relaxed) + 1) * 4 > T->Capacity * 3) {
+      growTable(Sh, T); // first table, or load factor above 3/4
+      continue;
+    }
+    // Register as an in-flight publisher, then re-check the seal (Dekker
+    // pairing with growTable's seal-then-drain; both sides seq_cst).
+    Sh.Writers.fetch_add(1, std::memory_order_seq_cst);
+    if (T->Sealed.load(std::memory_order_seq_cst) ||
+        Sh.Current.load(std::memory_order_acquire) != T) {
+      Sh.Writers.fetch_sub(1, std::memory_order_seq_cst);
+      { std::lock_guard<std::mutex> Wait(Sh.GrowMu); } // migration in flight
+      continue;
+    }
+    // Once a candidate exists, Name/Ops have been moved into it; key
+    // comparisons from then on read the candidate's own fields.
+    const std::string &KeyName = Candidate ? Candidate->Name : Name;
+    const std::vector<const Term *> &KeyOps = Candidate ? Candidate->Ops : Ops;
+    const size_t Mask = T->Capacity - 1;
+    size_t Idx = H & Mask;
+    size_t Step = 0;
+    for (;; Idx = (Idx + 1) & Mask, ++Step) {
+      if (Step > Mask) {
+        // Wrapped the whole generation without a usable bucket — writers
+        // racing past the load-factor check filled it. Deregister and grow.
+        Sh.Writers.fetch_sub(1, std::memory_order_seq_cst);
+        growTable(Sh, T);
+        break;
+      }
+      const Term *E = T->Slots[Idx].load(std::memory_order_acquire);
+      if (E) {
+        if (E->structuralHash() == H &&
+            matches(E, K, S, IntVal, KeyName, KeyOps)) {
+          // Someone published this structure first. A constructed candidate
+          // stays in the arena (destroyed with the context); its claimed id
+          // becomes a gap, which only happens under concurrency.
+          Sh.Writers.fetch_sub(1, std::memory_order_seq_cst);
+          return E;
+        }
+        continue;
+      }
+      if (!Candidate) {
+        Candidate = allocateNode(Sh);
+        new (Candidate)
+            Term(K, S, NextId.fetch_add(1, std::memory_order_relaxed), H,
+                 IntVal, std::move(Name), std::move(Ops));
+      }
+      const Term *Expected = nullptr;
+      if (T->Slots[Idx].compare_exchange_strong(Expected, Candidate,
+                                                std::memory_order_acq_rel,
+                                                std::memory_order_acquire)) {
+        T->Used.fetch_add(1, std::memory_order_relaxed);
+        Sh.Count.fetch_add(1, std::memory_order_release);
+        Sh.Writers.fetch_sub(1, std::memory_order_seq_cst);
+        return Candidate;
+      }
+      // Lost the bucket; Expected now holds the winner. Fall through to
+      // re-examine this slot on the next loop turn (the winner may be our
+      // own key), by not advancing past it unexamined.
+      if (Expected->structuralHash() == H &&
+          matches(Expected, K, S, IntVal, KeyName, KeyOps)) {
+        Sh.Writers.fetch_sub(1, std::memory_order_seq_cst);
+        return Expected;
+      }
+    }
+  }
 }
 
 const Term *TermContext::internRaw(TermKind K, Sort S, int64_t IntVal,
@@ -155,30 +369,30 @@ const Term *TermContext::intConst(int64_t V) {
 const Term *TermContext::boolConst(bool B) { return B ? True : False; }
 
 const Term *TermContext::var(const std::string &Name, Sort S) {
-  std::lock_guard<std::mutex> Lock(Mu);
+  std::lock_guard<std::mutex> Lock(VarsMu);
   auto It = VarsByName.find(Name);
   if (It != VarsByName.end()) {
     assert(It->second->sort() == S && "variable re-declared at another sort");
     return It->second;
   }
-  const Term *V = internLocked(TermKind::Var, S, 0, Name, {});
+  const Term *V = intern(TermKind::Var, S, 0, Name, {});
   VarsByName.emplace(Name, V);
   return V;
 }
 
 const Term *TermContext::lookupVar(const std::string &Name) const {
-  std::lock_guard<std::mutex> Lock(Mu);
+  std::lock_guard<std::mutex> Lock(VarsMu);
   auto It = VarsByName.find(Name);
   return It == VarsByName.end() ? nullptr : It->second;
 }
 
 const Term *TermContext::freshVar(const std::string &Hint, Sort S) {
-  std::lock_guard<std::mutex> Lock(Mu);
+  std::lock_guard<std::mutex> Lock(VarsMu);
   for (;;) {
     std::string Name = Hint + "!" + std::to_string(FreshCounter++);
     if (VarsByName.count(Name))
       continue;
-    const Term *V = internLocked(TermKind::Var, S, 0, Name, {});
+    const Term *V = intern(TermKind::Var, S, 0, Name, {});
     VarsByName.emplace(Name, V);
     return V;
   }

@@ -28,6 +28,7 @@
 #ifndef EXPRESSO_LOGIC_TERM_H
 #define EXPRESSO_LOGIC_TERM_H
 
+#include <atomic>
 #include <cassert>
 #include <cstdint>
 #include <memory>
@@ -78,19 +79,31 @@ enum class TermKind : uint8_t {
 const char *kindName(TermKind K);
 
 /// An immutable node in the hash-consed term DAG. Create via TermContext.
+///
+/// Nodes live in their context's bump-pointer arenas (one arena per intern
+/// shard): allocation is an atomic offset bump, nodes are never moved or
+/// freed individually, and the whole population is destroyed with the
+/// context. Pointers to terms therefore stay valid for exactly the
+/// context's lifetime — the same contract the old heap-allocated nodes had,
+/// now without a per-node malloc on the interning fast path.
 class Term {
 public:
   TermKind kind() const { return Kind; }
   Sort sort() const { return TheSort; }
 
-  /// Stable creation index; used for deterministic operand ordering.
+  /// Stable creation index; used for deterministic operand ordering. Ids
+  /// are drawn from one context-global atomic counter at publish time, so a
+  /// serial run assigns exactly the sequence the single-mutex interner did.
+  /// Under concurrent interning a candidate that loses its publish race
+  /// leaves a gap; order stays strict and unique either way.
   uint32_t id() const { return Id; }
 
-  /// Structural hash, computed once at intern time. Depends only on the
-  /// term's shape (kind, sort, payload, operand hashes) — never on pointer
-  /// values or creation order — so it is stable across runs and identical
-  /// for structurally equal terms built in different TermContexts. Used by
-  /// solver::CachingSolver to memoize checkSat results.
+  /// Structural hash, computed before intern-table insertion. Depends only
+  /// on the term's shape (kind, sort, payload, operand hashes) — never on
+  /// pointer values or creation order — so it is stable across runs and
+  /// identical for structurally equal terms built in different
+  /// TermContexts. It is also the intern table's probe hash and the shard
+  /// selector. Used by solver::CachingSolver to memoize checkSat results.
   uint64_t structuralHash() const { return StructHash; }
 
   /// Value of an IntConst / BoolConst, or the divisor of a Divides node.
@@ -134,10 +147,10 @@ public:
 
 private:
   friend class TermContext;
-  Term(TermKind K, Sort S, uint32_t Id, int64_t IntVal, std::string Name,
-       std::vector<const Term *> Ops)
+  Term(TermKind K, Sort S, uint32_t Id, uint64_t StructHash, int64_t IntVal,
+       std::string Name, std::vector<const Term *> Ops)
       : Kind(K), TheSort(S), Id(Id), IntVal(IntVal), Name(std::move(Name)),
-        Ops(std::move(Ops)) {}
+        Ops(std::move(Ops)), StructHash(StructHash) {}
 
   TermKind Kind;
   Sort TheSort;
@@ -145,7 +158,7 @@ private:
   int64_t IntVal;
   std::string Name;
   std::vector<const Term *> Ops;
-  uint64_t StructHash = 0; ///< set by TermContext::intern
+  uint64_t StructHash;
 };
 
 /// Hasher for term-keyed hash maps that uses the precomputed structural
@@ -173,17 +186,36 @@ struct TermIdLess {
 /// Owns and interns terms. All terms built from one context may be mixed
 /// freely; terms from different contexts must never meet.
 ///
-/// Thread safety: interning (and therefore every smart constructor) is
-/// guarded by an internal mutex, so concurrent term construction from
-/// multiple threads is safe — the parallel placement engine builds VCs on
-/// worker threads, and MiniSmt interns auxiliary terms mid-checkSat. Terms
-/// themselves are immutable after interning and may be read without
-/// synchronization. Note that freshVar names depend on the global counter,
-/// so fresh-variable *names* are interleaving-dependent under concurrency
-/// (never colliding, and never semantically significant).
+/// Thread safety: interning (and therefore every smart constructor) is safe
+/// to call from any number of threads — the parallel placement engine
+/// builds VCs on worker threads, and solver scratch contexts intern during
+/// transferTerm. Unlike the original single-mutex design, the intern table
+/// is sharded 16 ways by structural hash, and within a shard the *hit*
+/// path (the overwhelming majority of hash-consing traffic) is entirely
+/// lock-free: an atomic load of the shard's open-addressed table and a
+/// linear probe over atomic bucket entries. Misses allocate the node from
+/// the shard's bump-pointer arena and publish it with a bucket
+/// compare-exchange; only table growth takes the shard's mutex, and only
+/// variable-name registration (var/freshVar/lookupVar) shares a dedicated
+/// name-map mutex. Terms themselves are immutable after publication and may
+/// be read without synchronization.
+///
+/// Determinism: Term::id values come from one context-global counter,
+/// claimed when a candidate node is built. A serial construction sequence
+/// therefore yields exactly the id sequence the single-mutex interner
+/// produced — byte-for-byte identical operand sorting, printing, and
+/// canonical (TermCodec) bytes. Concurrent interning can interleave id
+/// claims (and waste an id when two threads race to publish the same
+/// structure), which is the same schedule-dependence the single mutex had;
+/// everything observable downstream is already guarded against it (see
+/// ARCHITECTURE.md, "Determinism argument"). Note that freshVar names
+/// depend on the global counter, so fresh-variable *names* are
+/// interleaving-dependent under concurrency (never colliding, and never
+/// semantically significant).
 class TermContext {
 public:
   TermContext();
+  ~TermContext();
   TermContext(const TermContext &) = delete;
   TermContext &operator=(const TermContext &) = delete;
 
@@ -270,41 +302,85 @@ public:
   const Term *internRaw(TermKind K, Sort S, int64_t IntVal, std::string Name,
                         std::vector<const Term *> Ops);
 
-  /// Number of distinct terms interned so far (for tests/stats).
+  /// Number of distinct terms interned so far (for tests/stats). Lock-free:
+  /// sums the shards' publish counters.
   size_t numTerms() const {
-    std::lock_guard<std::mutex> Lock(Mu);
-    return Arena.size();
+    size_t N = 0;
+    for (const Shard &Sh : Shards)
+      N += Sh.Count.load(std::memory_order_acquire);
+    return N;
   }
 
 private:
   const Term *intern(TermKind K, Sort S, int64_t IntVal, std::string Name,
                      std::vector<const Term *> Ops);
-  /// Interning body; requires Mu to be held.
-  const Term *internLocked(TermKind K, Sort S, int64_t IntVal,
-                           std::string Name, std::vector<const Term *> Ops);
 
-  struct Key {
-    TermKind Kind;
-    Sort S;
-    int64_t IntVal;
-    std::string Name;
-    std::vector<const Term *> Ops;
-    bool operator==(const Key &O) const {
-      return Kind == O.Kind && S == O.S && IntVal == O.IntVal &&
-             Name == O.Name && Ops == O.Ops;
+  /// One open-addressed generation of a shard's intern table. Buckets hold
+  /// published Term pointers; empty buckets are null. Entries are only ever
+  /// added (terms are immortal within the context), so a null bucket
+  /// terminates any probe. `Sealed` flips once, when the generation is
+  /// being migrated to a larger successor; see internMiss for the
+  /// writer-draining protocol.
+  struct Table {
+    explicit Table(size_t Cap)
+        : Capacity(Cap), Slots(new std::atomic<const Term *>[Cap]) {
+      for (size_t I = 0; I < Cap; ++I)
+        Slots[I].store(nullptr, std::memory_order_relaxed);
     }
-  };
-  struct KeyHash {
-    size_t operator()(const Key &K) const;
+    const size_t Capacity; ///< power of two
+    std::atomic<size_t> Used{0};
+    std::atomic<bool> Sealed{false};
+    std::unique_ptr<std::atomic<const Term *>[]> Slots;
   };
 
-  /// Guards Arena, Interned, VarsByName, NextId, and FreshCounter.
-  mutable std::mutex Mu;
-  std::vector<std::unique_ptr<Term>> Arena;
-  std::unordered_map<Key, const Term *, KeyHash> Interned;
+  /// One bump-pointer arena block. `Used` is bumped with fetch_add; an
+  /// allocation only succeeds when its whole object fits, so on races the
+  /// counter may overshoot Capacity harmlessly (the dtor clamps). Capacity
+  /// is a multiple of sizeof(Term), so every in-range offset that was
+  /// handed out holds a constructed node.
+  struct ArenaChunk {
+    explicit ArenaChunk(size_t Bytes);
+    std::unique_ptr<unsigned char[]> Mem;
+    size_t Capacity; ///< bytes, multiple of sizeof(Term)
+    std::atomic<size_t> Used{0};
+  };
+
+  /// One intern shard: the current table generation, its predecessors
+  /// (kept alive — lock-free readers may still hold them), the arena, and
+  /// the migration gate. Padded to a cache line so shard metadata does not
+  /// false-share under concurrent interning.
+  struct alignas(64) Shard {
+    std::atomic<Table *> Current{nullptr};
+    std::atomic<ArenaChunk *> Chunk{nullptr};
+    std::atomic<size_t> Count{0};      ///< published terms
+    std::atomic<unsigned> Writers{0};  ///< in-flight bucket publishers
+    std::mutex GrowMu;                 ///< table creation/migration
+    std::mutex ArenaMu;                ///< chunk rollover
+    std::vector<std::unique_ptr<Table>> Tables;      ///< under GrowMu
+    std::vector<std::unique_ptr<ArenaChunk>> Chunks; ///< under ArenaMu
+  };
+
+  const Term *internMiss(Shard &Sh, uint64_t H, TermKind K, Sort S,
+                         int64_t IntVal, std::string Name,
+                         std::vector<const Term *> Ops);
+  Term *allocateNode(Shard &Sh);
+  void growTable(Shard &Sh, Table *Old);
+
+  static constexpr unsigned NumShardsLog2 = 4;
+  static constexpr unsigned NumShards = 1u << NumShardsLog2;
+  Shard Shards[NumShards];
+
+  /// Sequenced id publication: one global counter keeps serial id
+  /// assignment byte-identical to the single-mutex design (see class
+  /// comment). A relaxed fetch_add, not a serialization point.
+  std::atomic<uint32_t> NextId{0};
+
+  /// Guards VarsByName and FreshCounter. Variable registration is a tiny
+  /// fraction of interning traffic; the name map is not sharded.
+  mutable std::mutex VarsMu;
   std::unordered_map<std::string, const Term *> VarsByName;
-  uint32_t NextId = 0;
   uint64_t FreshCounter = 0;
+
   const Term *True = nullptr;
   const Term *False = nullptr;
   const Term *Zero = nullptr;

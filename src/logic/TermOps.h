@@ -129,6 +129,11 @@ std::vector<std::vector<const Term *>> toDNF(TermContext &C, const Term *T);
 /// source context. Used to hand queries to a solver's private scratch
 /// context, so solver-side interning cannot perturb the analysis context's
 /// creation-id sequence (which TermContext::and_/or_ sort operands by).
+///
+/// Safe to call from multiple threads against the same \p Dst: the rebuild
+/// funnels through Dst's sharded lock-free interner, so concurrent
+/// transfers of overlapping DAGs converge on identical node pointers. The
+/// memo table is per-call (stack-local), never shared.
 const Term *transferTerm(TermContext &Dst, const Term *T);
 
 } // namespace logic

@@ -28,7 +28,12 @@
 /// cycles unrepresentable), and the root is the last node. DFS order is
 /// determined by the term's own operand order, which the smart constructors
 /// already canonicalize (commutative operands sorted, sums flattened), so
-/// the whole blob is deterministic.
+/// the whole blob is deterministic. In particular the sharding of the
+/// interner is invisible here: nothing in the encoding depends on which
+/// shard, table generation, or arena chunk a node lives in, and
+/// PersistTest's pre-refactor golden blobs pin this down — blobs written
+/// by the single-mutex interner must keep decoding and re-encoding
+/// byte-identically forever.
 ///
 /// TermReader re-interns through a TermContext (TermContext::internRaw) so
 /// loaded terms are first-class hash-consed terms: decoding a blob into the

@@ -749,4 +749,174 @@ TEST(PersistTest, FsckRejectsForeignHeaderWithoutTouchingIt) {
   EXPECT_GT(Report.BadBytes, 0u);
 }
 
+//===----------------------------------------------------------------------===//
+// Pre-refactor golden fixtures
+//===----------------------------------------------------------------------===//
+//
+// Captured from the single-mutex interner the day before TermContext went
+// sharded: canonical blobs (with their structural hashes) for a corpus of
+// representative terms, plus a complete queries.log written by the old
+// code. These pin the compatibility contract — canonical bytes and
+// structural hashes are pure functions of term *structure*, so no interner
+// implementation detail (sharding, id gaps, table generations, arena
+// layout) may ever leak into them. If one of these fails, data written by
+// released builds has silently become unreadable.
+
+/// Decodes a lowercase hex string into raw bytes.
+std::string fromHex(const std::string &Hex) {
+  EXPECT_EQ(Hex.size() % 2, 0u);
+  std::string Out;
+  Out.reserve(Hex.size() / 2);
+  auto Nibble = [](char C) -> unsigned {
+    return C <= '9' ? C - '0' : C - 'a' + 10;
+  };
+  for (size_t I = 0; I + 1 < Hex.size(); I += 2)
+    Out.push_back(static_cast<char>((Nibble(Hex[I]) << 4) | Nibble(Hex[I + 1])));
+  return Out;
+}
+
+struct GoldenBlob {
+  const char *Label;
+  const char *Hex;      ///< encodeTermKey bytes from the pre-refactor build
+  uint64_t StructHash;  ///< Term::structuralHash from the same build
+};
+
+const GoldenBlob GoldenBlobs[] = {
+    {"var_int",
+     "01020000017800",
+     0xb8599b4fa12b089bULL},
+    {"const_42",
+     "010000540000",
+     0x7c76ebe8832070d4ULL},
+    {"const_neg",
+     "0100000d0000",
+     0xf0774c3201b45aefULL},
+    {"bool_true",
+     "010101020000",
+     0x8af3aeacf25ab456ULL},
+    {"sum",
+     "0402000001780002000001790000000600000300000003000102",
+     0xa7bc03485db8807bULL},
+    {"scaled",
+     "0300000a000002000001780004000000020001",
+     0x239570101c24bf53ULL},
+    {"ite",
+     "0402010004666c6167000200000178000200000179000500000003000102",
+     0x0833740ab4712939ULL},
+    {"select_store",
+     "080200000178000000020000030000000200010801000002000202000001"
+     "790002020005736c6f747300060000000205020500000003030406",
+     0xdc8bb9159cebbcbaULL},
+    {"atom_eq",
+     "0500000e0000020000017800020000017900030000000201020801000002"
+     "0003",
+     0xc121eaf6f8774dffULL},
+    {"atom_le",
+     "03020000017800000014000009010000020001",
+     0x1a596c3bd4f9433dULL},
+    {"divides",
+     "04020000017800020000017900030000000200010b0106000102",
+     0x08910c18bd750b8aULL},
+    {"conj",
+     "0a0200000178000000140000090100000200010000000000090100000203"
+     "0002010004666c6167000c01000001050200000179000b01040001070d01"
+     "00000402040608",
+     0xe4d0133b36db200cULL},
+    {"disj",
+     "0802010004666c6167000200000178000200000179000a01000002010200"
+     "00c8010000090100000202040c01000001050e01000003000306",
+     0xf61907332896509bULL},
+    {"nested_vc",
+     "120200000178000000010000020000017900040000000201020300000002"
+     "00030b010800010400000400000400000002060203000000020007000080"
+     "01000009010000020809000000000009010000020b0002010004666c6167"
+     "000c010000010d0d010000020c0e0c010000010f0e01000003050a10",
+     0xcb964856d82f05bbULL},
+};
+
+/// A complete 3-record queries.log (profile "mini") written by the
+/// pre-refactor QueryStore: keys are the conj / disj / nested_vc blobs
+/// above with answers Unsat / Sat / Unsat.
+const char *GoldenStoreLogHex =
+    "585052535152595302000000046d696e694c0000005309bec27b3108b443"
+    "0a0200000178000000140000090100000200010000000000090100000203"
+    "0002010004666c6167000c01000001050200000179000b01040001070d01"
+    "00000402040608010098c7b4a70d0041000000e15e43966ed848cf380802"
+    "010004666c6167000200000178000200000179000a0100000201020000c8"
+    "010000090100000202040c01000001050e01000003000306000098c7b4a7"
+    "0d007f000000d4e0c3605f0a7eef76120200000178000000010000020000"
+    "01790004000000020102030000000200030b010800010400000400000400"
+    "000002060203000000020007000080010000090100000208090000000000"
+    "09010000020b0002010004666c6167000c010000010d0d010000020c0e0c"
+    "010000010f0e01000003050a10010098c7b4a70d00";
+
+// Every golden blob must decode through today's TermReader, re-intern to a
+// term whose structural hash equals the recorded pre-refactor value, and
+// re-encode to the exact original bytes.
+TEST(PersistTest, GoldenBlobsFromPreShardingInternerStillRoundTrip) {
+  TermContext C;
+  for (const GoldenBlob &G : GoldenBlobs) {
+    std::string Bytes = fromHex(G.Hex);
+    ByteReader R(reinterpret_cast<const uint8_t *>(Bytes.data()),
+                 Bytes.size());
+    TermReader TR(C, R);
+    const Term *T = TR.read();
+    ASSERT_NE(T, nullptr) << "golden blob failed to decode: " << G.Label;
+    EXPECT_EQ(T->structuralHash(), G.StructHash)
+        << "structural hash drifted for " << G.Label << ": " << T->str();
+    EXPECT_EQ(encodeTermKey(T), Bytes)
+        << "canonical bytes drifted for " << G.Label << ": " << T->str();
+  }
+}
+
+// The golden store log must open cleanly under the current code with every
+// record intact and answers preserved — and its keys must equal what
+// today's interner encodes for the same structures, proving key lookups
+// from pre-refactor stores still hit.
+TEST(PersistTest, GoldenStoreLogFromPreShardingInternerStillReads) {
+  TempDir Dir;
+  std::string Log = fromHex(GoldenStoreLogHex);
+  {
+    std::ofstream F(Dir.log(), std::ios::binary);
+    F.write(Log.data(), static_cast<std::streamsize>(Log.size()));
+  }
+  auto Store = openStore(Dir.Path, /*ReadOnly=*/true, "mini");
+  ASSERT_NE(Store, nullptr);
+  EXPECT_EQ(Store->size(), 3u);
+  EXPECT_FALSE(Store->stats().Degraded);
+
+  const Answer Expected[] = {Answer::Unsat, Answer::Sat, Answer::Unsat};
+  const char *Labels[] = {"conj", "disj", "nested_vc"};
+  for (int I = 0; I < 3; ++I) {
+    const GoldenBlob *G = nullptr;
+    for (const GoldenBlob &B : GoldenBlobs)
+      if (std::string(B.Label) == Labels[I])
+        G = &B;
+    ASSERT_NE(G, nullptr);
+    CheckResult R;
+    ASSERT_TRUE(Store->lookup(fromHex(G->Hex), R))
+        << "pre-refactor record not found for " << Labels[I];
+    EXPECT_EQ(R.TheAnswer, Expected[I]);
+  }
+
+  // The same structures decoded and re-keyed through the current interner
+  // produce the very keys the old store holds (lookup-compatibility both
+  // ways).
+  TermContext C;
+  for (const char *L : Labels) {
+    for (const GoldenBlob &B : GoldenBlobs)
+      if (std::string(B.Label) == L) {
+        std::string Bytes = fromHex(B.Hex);
+        ByteReader R(reinterpret_cast<const uint8_t *>(Bytes.data()),
+                     Bytes.size());
+        TermReader TR(C, R);
+        const Term *T = TR.read();
+        ASSERT_NE(T, nullptr);
+        CheckResult Res;
+        EXPECT_TRUE(Store->lookup(encodeTermKey(T), Res))
+            << "freshly-encoded key missed the pre-refactor store: " << L;
+      }
+  }
+}
+
 } // namespace
