@@ -105,6 +105,8 @@ analysis::abduce(logic::TermContext &C, solver::SmtSolver &Solver,
   for (const auto &Keep : Subsets) {
     if (Result.size() >= Cfg.MaxCandidates)
       break;
+    if (Cfg.Cancel && Cfg.Cancel->expired())
+      break; // cancelled: QE per subset is the expensive step here
     // Eliminate everything not kept.
     std::vector<const Term *> Elim;
     bool HasArray = false;

@@ -41,6 +41,10 @@ struct AbductionConfig {
   size_t MaxSubsetSize = 2;
   /// Cap on candidates returned per query.
   size_t MaxCandidates = 16;
+  /// Cooperative cancellation: polled per abducible subset; an expired
+  /// token cuts the enumeration short (the partial candidate list is
+  /// discarded with the rest of the cancelled run). Not owned.
+  const support::CancelToken *Cancel = nullptr;
 };
 
 /// Computes candidate strengthenings ψ of P sufficient for Goal, over the

@@ -151,16 +151,19 @@ InvariantResult analysis::inferMonitorInvariant(logic::TermContext &C,
   // inferred invariant depend on heap layout.
   std::set<const Term *, logic::TermIdLess> Universe;
   size_t Queries = 0;
+  AbductionConfig AbdCfg = Cfg.Abduction;
+  AbdCfg.Cancel = Cfg.Cancel;
+  auto Expired = [&Cfg] { return Cfg.Cancel && Cfg.Cancel->expired(); };
   for (const auto &[Pre, Goal] : Theta) {
     if (Queries >= Cfg.MaxAbductionQueries ||
-        Universe.size() >= Cfg.MaxCandidates)
+        Universe.size() >= Cfg.MaxCandidates || Expired())
       break;
     const Term *VC = logic::simplify(C, C.implies(Pre, Goal));
     if (VC->isTrue())
       continue; // already provable without an invariant
     ++Queries;
     for (const Term *Psi :
-         abduce(C, *Discharge, Pre, Goal, Vocab, Cfg.Abduction)) {
+         abduce(C, *Discharge, Pre, Goal, Vocab, AbdCfg)) {
       if (Universe.size() >= Cfg.MaxCandidates)
         break;
       Universe.insert(Psi);
@@ -219,6 +222,13 @@ InvariantResult analysis::inferMonitorInvariant(logic::TermContext &C,
           std::make_unique<HoareChecker>(C, Sema, *Workers[J].Solver);
     }
   }
+  if (Cfg.Cancel)
+    for (FixpointWorker &W : Workers) {
+      if (W.RawBackend)
+        W.RawBackend->setCancelToken(Cfg.Cancel);
+      if (W.Solver)
+        W.Solver->setCancelToken(Cfg.Cancel);
+    }
   std::unique_ptr<support::ThreadPool> Pool;
   if (!Workers.empty())
     Pool = std::make_unique<support::ThreadPool>(
@@ -243,6 +253,8 @@ InvariantResult analysis::inferMonitorInvariant(logic::TermContext &C,
   std::vector<const Term *> UniverseVec(Universe.begin(), Universe.end());
   std::vector<char> Keep(UniverseVec.size(), 0);
   forEachCandidate(UniverseVec.size(), [&](unsigned WorkerId, size_t Idx) {
+    if (Expired())
+      return; // drop the candidate — conservative, and the run is doomed
     HoareChecker &Chk = checkerFor(WorkerId);
     const Term *InitVc = logic::simplify(
         C, C.implies(Req, Chk.wpEngine().wpConstructor(UniverseVec[Idx])));
@@ -254,10 +266,14 @@ InvariantResult analysis::inferMonitorInvariant(logic::TermContext &C,
       Phi.push_back(UniverseVec[Idx]);
 
   for (;;) {
+    if (Expired())
+      break; // keep whatever Φ holds; still a sound (if weak) conjunction
     ++Result.NumIterations;
     const Term *I = C.and_(Phi);
     Keep.assign(Phi.size(), 0);
     forEachCandidate(Phi.size(), [&](unsigned WorkerId, size_t Idx) {
+      if (Expired())
+        return; // conservative drop, as in the initiation filter
       HoareChecker &Chk = checkerFor(WorkerId);
       bool Preserved = true;
       for (const CcrInfo &W : Sema.Ccrs) {
@@ -294,6 +310,8 @@ InvariantResult analysis::inferMonitorInvariant(logic::TermContext &C,
   // keeps the invariant presentable (e.g. plain `readers >= 0` for the
   // readers-writers monitor) without weakening it.
   for (size_t I = 0; I < Phi.size();) {
+    if (Expired())
+      break;
     std::vector<const Term *> Others;
     for (size_t K = 0; K < Phi.size(); ++K)
       if (K != I)

@@ -55,6 +55,12 @@ struct InvariantConfig {
   /// this with PlacementOptions::Incremental so one flag governs the whole
   /// analysis.
   bool Incremental = true;
+  /// Cooperative cancellation: polled at candidate/round boundaries in both
+  /// phases (and forwarded into abduction and the worker backends). An
+  /// expired token makes inference wind down with whatever conservative
+  /// partial invariant it has — callers discard the whole run anyway.
+  /// Not owned; null disables. placeSignals forwards its own token here.
+  support::CancelToken *Cancel = nullptr;
 };
 
 /// Result of invariant inference with simple provenance for tests/benches.

@@ -432,6 +432,13 @@ PlacementResult core::placeSignals(logic::TermContext &C,
   solver::CacheStats StatsBefore =
       SharedCache ? SharedCache->stats() : solver::CacheStats();
 
+  // Cooperative cancellation: hand the token to the discharge path — the
+  // backends poll it inside each solve, and the caching layer stops
+  // publishing to the persistent store once it expires. Attached only when
+  // a token exists, so deadline-free runs execute exactly as before.
+  if (Options.Cancel)
+    Solver.setCancelToken(Options.Cancel);
+
   // --- Monitor invariant (Algorithm 2). -----------------------------------
   // Runs serially, before the fan-out, so the invariant (and every term it
   // interns) is identical whatever Jobs is.
@@ -448,6 +455,7 @@ PlacementResult core::placeSignals(logic::TermContext &C,
       InvCfg.WorkerSolvers = Options.WorkerSolvers;
     }
     InvCfg.Incremental = Options.Incremental;
+    InvCfg.Cancel = Options.Cancel;
     InvariantResult IR = inferMonitorInvariant(C, Sema, Solver, InvCfg);
     Result.Invariant = IR.Invariant;
     InvariantWorkerQueries = IR.WorkerQueries;
@@ -528,22 +536,44 @@ PlacementResult core::placeSignals(logic::TermContext &C,
       }
     }
   }
+  if (Options.Cancel)
+    for (PlacementWorker &W : Workers) {
+      if (W.RawBackend)
+        W.RawBackend->setCancelToken(Options.Cancel);
+      if (W.Solver)
+        W.Solver->setCancelToken(Options.Cancel);
+    }
   Result.Stats.JobsUsed = Jobs;
+
+  // Loop-boundary cancellation polls below break out at the next pair/CCR;
+  // mid-check expiry resolves through the backends' own polls (every
+  // remaining query answers Unknown near-instantly, the conservative
+  // direction), so the whole run winds down within ~one solver poll
+  // interval either way.
+  auto Expired = [&Options] {
+    return Options.Cancel && Options.Cancel->expired();
+  };
 
   if (Jobs <= 1) {
     if (WantSessions && Underlying.supportsIncremental()) {
       Result.Stats.IncrementalSessions = true;
       solver::SolverSession Sess(SharedCache, Underlying);
       HoareChecker Checker(C, Sema, Sess.absoluteSolver());
-      for (size_t CcrIdx = 0; CcrIdx < Sema.Ccrs.size(); ++CcrIdx)
+      for (size_t CcrIdx = 0; CcrIdx < Sema.Ccrs.size(); ++CcrIdx) {
+        if (Expired())
+          break; // partial; flagged Cancelled below
         checkCcrIncremental(Env, Sema.Ccrs[CcrIdx], Checker, Sess,
                             &Outcomes[CcrIdx * NumClasses]);
+      }
     } else {
       HoareChecker Checker(C, Sema, Solver);
-      for (size_t Pair = 0; Pair < NumPairs; ++Pair)
+      for (size_t Pair = 0; Pair < NumPairs; ++Pair) {
+        if (Expired())
+          break; // partial; flagged Cancelled below
         Outcomes[Pair] = checkPair(Env, Sema.Ccrs[Pair / NumClasses],
                                    Sema.Classes[Pair % NumClasses].get(),
                                    Checker, Solver);
+      }
     }
   } else if (ParSessions) {
     // Session fan-out is CCR-granular: one task = one CCR = one session
@@ -553,6 +583,8 @@ PlacementResult core::placeSignals(logic::TermContext &C,
     Result.Stats.IncrementalSessions = true;
     support::ThreadPool Pool(Jobs);
     Pool.parallelFor(Sema.Ccrs.size(), [&](unsigned WorkerId, size_t CcrIdx) {
+      if (Expired())
+        return; // leave the slots untouched; flagged Cancelled below
       PlacementWorker &W = Workers[WorkerId];
       WallTimer CcrTimer;
       checkCcrIncremental(Env, Sema.Ccrs[CcrIdx], *W.Checker, *W.Session,
@@ -567,6 +599,8 @@ PlacementResult core::placeSignals(logic::TermContext &C,
   } else {
     support::ThreadPool Pool(Jobs);
     Pool.parallelFor(NumPairs, [&](unsigned WorkerId, size_t Pair) {
+      if (Expired())
+        return; // leave the slot untouched; flagged Cancelled below
       PlacementWorker &W = Workers[WorkerId];
       WallTimer PairTimer;
       Outcomes[Pair] = checkPair(Env, Sema.Ccrs[Pair / NumClasses],
@@ -621,5 +655,11 @@ PlacementResult core::placeSignals(logic::TermContext &C,
     Result.Stats.Cache.DiskHits = Now.DiskHits - StatsBefore.DiskHits;
     Result.Stats.Cache.DiskMisses = Now.DiskMisses - StatsBefore.DiskMisses;
   }
+  // The flag is the token's *final* state, not the loops' break
+  // bookkeeping: even a pair that "finished" after expiry may have absorbed
+  // a cancellation Unknown into a conservative decision, so any expiry
+  // during the run taints the whole result. A never-fired token reads
+  // false here, leaving completed runs byte-identical to deadline-free ones.
+  Result.Cancelled = Options.Cancel && Options.Cancel->expired();
   return Result;
 }

@@ -82,6 +82,13 @@ struct PlacementOptions {
   /// serially on the caller's solver.
   solver::SolverFactory WorkerSolvers;
   analysis::InvariantConfig Invariants;
+  /// Cooperative cancellation/deadline token. Polled at Hoare-check
+  /// granularity by the placement loops (and once per theory round inside
+  /// the backends); once expired, the run winds down within about one
+  /// solver poll interval and the result carries Cancelled = true with
+  /// whatever partial stats accrued. A token that never fires leaves every
+  /// byte of the result untouched. Not owned; null disables.
+  support::CancelToken *Cancel = nullptr;
 };
 
 /// Per-worker accounting for one parallel placement run.
@@ -121,6 +128,10 @@ struct PlacementResult {
   /// Aligned with Sema->Ccrs.
   std::vector<CcrPlacement> Placements;
   PlacementStats Stats;
+  /// True when Options.Cancel expired before the run finished. The
+  /// Placements/Stats are partial; callers must not treat them as Σ (the
+  /// daemon answers DeadlineExceeded and publishes nothing).
+  bool Cancelled = false;
 
   const CcrPlacement &placementFor(const frontend::WaitUntil *W) const;
 

@@ -7,7 +7,11 @@
 
 #include "service/Client.h"
 
+#include <cerrno>
+
 #ifndef _WIN32
+#include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 #endif
 
@@ -29,6 +33,28 @@ ServiceClient::~ServiceClient() {
 #endif
 }
 
+bool ServiceClient::setReceiveTimeout(double Seconds) {
+#ifndef _WIN32
+  if (Fd < 0)
+    return false;
+  struct timeval Tv;
+  if (Seconds <= 0) {
+    Tv.tv_sec = 0;
+    Tv.tv_usec = 0; // zero timeval = blocking again
+  } else {
+    Tv.tv_sec = static_cast<time_t>(Seconds);
+    Tv.tv_usec = static_cast<suseconds_t>(
+        (Seconds - static_cast<double>(Tv.tv_sec)) * 1e6);
+    if (Tv.tv_sec == 0 && Tv.tv_usec == 0)
+      Tv.tv_usec = 1; // sub-microsecond ask: the smallest non-zero bound
+  }
+  return ::setsockopt(Fd, SOL_SOCKET, SO_RCVTIMEO, &Tv, sizeof(Tv)) == 0;
+#else
+  (void)Seconds;
+  return false;
+#endif
+}
+
 bool ServiceClient::roundTrip(MsgType SendType,
                               const std::vector<uint8_t> &Payload,
                               MsgType WantType, std::vector<uint8_t> &Reply,
@@ -46,7 +72,9 @@ bool ServiceClient::roundTrip(MsgType SendType,
   MsgType GotType;
   if (!recvFrame(Fd, GotType, Reply)) {
     if (Error)
-      *Error = "connection closed or malformed reply";
+      *Error = errno == EAGAIN || errno == EWOULDBLOCK
+                   ? "timed out waiting for expressod reply"
+                   : "connection closed or malformed reply";
     return false;
   }
   if (GotType != WantType) {

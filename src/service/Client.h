@@ -37,6 +37,15 @@ public:
   ServiceClient(const ServiceClient &) = delete;
   ServiceClient &operator=(const ServiceClient &) = delete;
 
+  /// Bounds every subsequent recv (SO_RCVTIMEO): if the daemon wedges, the
+  /// round trip fails with a clear timeout message instead of blocking the
+  /// client forever. Non-positive \p Seconds clears the bound. Callers
+  /// sending a deadline should allow slack on top of it — the daemon's
+  /// cooperative wind-down takes a poll interval, and a DeadlineExceeded
+  /// *response* still has to travel back. False when the socket option
+  /// cannot be set.
+  bool setReceiveTimeout(double Seconds);
+
   /// One placement round trip. False (with \p Error) on connection or
   /// protocol failure; \p Out.Status distinguishes daemon-side outcomes.
   bool place(const PlaceRequest &Req, PlaceResponse &Out,

@@ -73,6 +73,9 @@ void PlaceRequest::encode(std::vector<uint8_t> &Out) const {
   B.writeVarint(Jobs);
   B.writeByte(static_cast<uint8_t>(Prio));
   writeBool(B, BypassResultCache);
+  // v2 tail: appended so a v1 daemon-side decode of a v1 client's payload
+  // is unchanged, and our decode treats absence as DeadlineMs = 0.
+  B.writeVarint(DeadlineMs);
 }
 
 bool PlaceRequest::decode(const uint8_t *Data, size_t Size, PlaceRequest &Out) {
@@ -94,6 +97,11 @@ bool PlaceRequest::decode(const uint8_t *Data, size_t Size, PlaceRequest &Out) {
   Out.Prio = static_cast<Priority>(Prio);
   if (!readBool(B, Out.BypassResultCache))
     return false;
+  if (!B.atEnd()) { // v2 tail; a v1 payload ends here (DeadlineMs = 0)
+    Out.DeadlineMs = B.readVarint();
+    if (B.failed())
+      return false;
+  }
   return finish(B);
 }
 
@@ -128,7 +136,8 @@ bool PlaceResponse::decode(const uint8_t *Data, size_t Size,
                            PlaceResponse &Out) {
   ByteReader B(Data, Size);
   uint8_t Status = B.readByte();
-  if (B.failed() || Status > static_cast<uint8_t>(ResponseStatus::InternalError))
+  if (B.failed() ||
+      Status > static_cast<uint8_t>(ResponseStatus::DeadlineExceeded))
     return false;
   Out.Status = static_cast<ResponseStatus>(Status);
   if (!B.readString(Out.Error, MaxFramePayload) ||
@@ -175,6 +184,14 @@ void StatusResponse::encode(std::vector<uint8_t> &Out) const {
   writeBool(B, Draining);
   B.writeString(StoreProfile);
   B.writeString(StoreDir);
+  // v2 tail: outcome breakdown and completed-request latency percentiles.
+  B.writeVarint(RequestsRejectedFull);
+  B.writeVarint(RequestsRejectedDraining);
+  B.writeVarint(RequestsExpiredQueued);
+  B.writeVarint(RequestsCancelledRunning);
+  B.writeVarint(RequestsCompleted);
+  writeDouble(B, LatencyP50Seconds);
+  writeDouble(B, LatencyP99Seconds);
 }
 
 bool StatusResponse::decode(const uint8_t *Data, size_t Size,
@@ -195,6 +212,17 @@ bool StatusResponse::decode(const uint8_t *Data, size_t Size,
   if (!B.readString(Out.StoreProfile, 64) ||
       !B.readString(Out.StoreDir, 1 << 16))
     return false;
+  if (!B.atEnd()) { // v2 tail; a v1 daemon's payload ends here
+    Out.RequestsRejectedFull = B.readVarint();
+    Out.RequestsRejectedDraining = B.readVarint();
+    Out.RequestsExpiredQueued = B.readVarint();
+    Out.RequestsCancelledRunning = B.readVarint();
+    Out.RequestsCompleted = B.readVarint();
+    Out.LatencyP50Seconds = readDouble(B);
+    Out.LatencyP99Seconds = readDouble(B);
+    if (B.failed())
+      return false;
+  }
   return finish(B);
 }
 
@@ -282,7 +310,8 @@ bool service::recvFrame(int Fd, MsgType &Type, std::vector<uint8_t> &Payload) {
   uint8_t TypeByte = B.readByte();
   uint32_t Len = B.readU32();
   uint64_t Sum = B.readU64();
-  if (Magic != FrameMagic || Version != ProtocolVersion)
+  if (Magic != FrameMagic || Version < MinProtocolVersion ||
+      Version > ProtocolVersion)
     return false;
   if (TypeByte < static_cast<uint8_t>(MsgType::PlaceRequest) ||
       TypeByte > static_cast<uint8_t>(MsgType::ErrorResponse))

@@ -47,9 +47,17 @@
 namespace expresso {
 namespace service {
 
-/// Bumped on any wire-format change; the daemon answers a mismatched client
-/// with ErrorResponse instead of guessing.
-constexpr uint8_t ProtocolVersion = 1;
+/// Bumped on any wire-format change; the daemon answers a client speaking a
+/// newer version with ErrorResponse instead of guessing. Version 2 added
+/// request deadlines (PlaceRequest::DeadlineMs, ResponseStatus::
+/// DeadlineExceeded) and the outcome/latency fields of StatusResponse; all
+/// additions are appended and decoded only when present, so version-1
+/// frames remain accepted (see MinProtocolVersion).
+constexpr uint8_t ProtocolVersion = 2;
+
+/// Oldest frame version still accepted (v1 payloads are strict prefixes of
+/// v2 payloads, so the decoders handle both).
+constexpr uint8_t MinProtocolVersion = 1;
 
 /// "XSV1" little-endian.
 constexpr uint32_t FrameMagic = 0x31565358u;
@@ -87,6 +95,13 @@ struct PlaceRequest {
   /// Skip the daemon's whole-response replay cache for this request (used
   /// by benchmarks and tests that measure the query-tier warmth beneath).
   bool BypassResultCache = false;
+  /// Soft deadline for the whole request, milliseconds from admission;
+  /// 0 = none (and what a version-1 client gets). A request still queued
+  /// past its deadline is answered DeadlineExceeded without burning a
+  /// worker; one already placing is cooperatively cancelled at the next
+  /// Hoare-check/solver-poll boundary. A request that completes in time is
+  /// byte-identical to the same request with no deadline.
+  uint64_t DeadlineMs = 0;
 
   void encode(std::vector<uint8_t> &Out) const;
   static bool decode(const uint8_t *Data, size_t Size, PlaceRequest &Out);
@@ -100,6 +115,11 @@ enum class ResponseStatus : uint8_t {
   Draining = 4,          ///< daemon is shutting down, not accepting work
   Malformed = 5,         ///< request payload did not decode
   InternalError = 6,
+  /// The request's deadline fired before placement finished. Partial stats
+  /// (Hoare checks, queries, queue wait) are still populated; Artifact and
+  /// DecisionSummary are empty — a cancelled run publishes nothing, not
+  /// even into the daemon's shared caches.
+  DeadlineExceeded = 7,
 };
 
 /// One placement answer. Artifact is byte-identical to what the standalone
@@ -137,12 +157,13 @@ struct PlaceResponse {
   static bool decode(const uint8_t *Data, size_t Size, PlaceResponse &Out);
 };
 
-/// Daemon introspection snapshot.
+/// Daemon introspection snapshot. Fields after StoreDir were appended in
+/// protocol v2 and decode to their defaults when absent (v1 daemon).
 struct StatusResponse {
   uint64_t RequestsServed = 0;
   uint64_t RequestsActive = 0;
   uint64_t RequestsQueued = 0;
-  uint64_t RequestsRejected = 0;
+  uint64_t RequestsRejected = 0; ///< total (= RejectedFull + RejectedDraining)
   uint64_t ResultCacheHits = 0;
   uint64_t StoreRecords = 0;
   uint64_t StoreEvicted = 0;
@@ -152,6 +173,15 @@ struct StatusResponse {
   bool Draining = false;
   std::string StoreProfile;
   std::string StoreDir; ///< empty = resident in-memory store
+
+  // --- v2 additions (appended; absent in v1 payloads) ---
+  uint64_t RequestsRejectedFull = 0;     ///< admission: queue at capacity
+  uint64_t RequestsRejectedDraining = 0; ///< admission: daemon shutting down
+  uint64_t RequestsExpiredQueued = 0;    ///< deadline fired while still queued
+  uint64_t RequestsCancelledRunning = 0; ///< deadline fired mid-placement
+  uint64_t RequestsCompleted = 0;        ///< placements that ran to completion
+  double LatencyP50Seconds = 0; ///< admission-to-answer, completed requests
+  double LatencyP99Seconds = 0; ///< (sliding window; 0 until any complete)
 
   void encode(std::vector<uint8_t> &Out) const;
   static bool decode(const uint8_t *Data, size_t Size, StatusResponse &Out);

@@ -21,41 +21,79 @@ RequestScheduler::RequestScheduler(const Options &Opts)
 RequestScheduler::~RequestScheduler() { stop(); }
 
 bool RequestScheduler::submit(Priority P, Task T) {
+  return submit(P, std::move(T), nullptr, nullptr);
+}
+
+bool RequestScheduler::submit(Priority P, Task T,
+                              std::shared_ptr<support::CancelToken> Cancel,
+                              Task OnExpire) {
   {
     std::lock_guard<std::mutex> Lock(Mu);
-    if (ShuttingDown || High.size() + Normal.size() >= MaxQueue) {
+    if (ShuttingDown) {
+      ++Counters.RejectedDraining;
       ++Counters.Rejected;
       return false;
     }
-    (P == Priority::High ? High : Normal).push_back(std::move(T));
+    if (High.size() + Normal.size() >= MaxQueue) {
+      ++Counters.RejectedFull;
+      ++Counters.Rejected;
+      return false;
+    }
+    Entry E;
+    E.Run = std::move(T);
+    E.Cancel = std::move(Cancel);
+    E.OnExpire = std::move(OnExpire);
+    (P == Priority::High ? High : Normal).push_back(std::move(E));
     ++Counters.Submitted;
   }
   QueueCv.notify_one();
   return true;
 }
 
-bool RequestScheduler::nextTask(Task &Out) {
+bool RequestScheduler::nextTask(Entry &Out) {
   std::unique_lock<std::mutex> Lock(Mu);
-  QueueCv.wait(Lock, [&] {
-    return StopWorkers || !High.empty() || !Normal.empty();
-  });
-  // Drain semantics: StopWorkers with a non-empty queue still serves the
-  // queue first (drain() only discards nothing); stop() cleared it already.
-  std::deque<Task> &Q = !High.empty() ? High : Normal;
-  if (Q.empty())
-    return false; // StopWorkers and nothing queued
-  Out = std::move(Q.front());
-  Q.pop_front();
-  ++Active;
-  return true;
+  for (;;) {
+    QueueCv.wait(Lock, [&] {
+      return StopWorkers || !High.empty() || !Normal.empty();
+    });
+    // Drain semantics: StopWorkers with a non-empty queue still serves the
+    // queue first (drain() only discards nothing); stop() cleared it already.
+    std::deque<Entry> &Q = !High.empty() ? High : Normal;
+    if (Q.empty())
+      return false; // StopWorkers and nothing queued
+    Entry E = std::move(Q.front());
+    Q.pop_front();
+    if (E.Cancel && E.Cancel->expired()) {
+      // Already past its deadline: answer it immediately (off-lock — the
+      // handler writes to a client socket) and keep looking. Neither
+      // Active nor Executed ticks; this was never real work.
+      ++Counters.ExpiredQueued;
+      IdleCv.notify_all(); // the queue shrank; a drain() may be waiting
+      if (E.OnExpire) {
+        Lock.unlock();
+        E.OnExpire();
+        Lock.lock();
+      }
+      continue;
+    }
+    Out = std::move(E);
+    ++Active;
+    return true;
+  }
 }
 
 void RequestScheduler::workerMain() {
   for (;;) {
-    Task T;
-    if (!nextTask(T))
+    Entry E;
+    if (!nextTask(E))
       return;
-    T(); // placement tasks are noexcept by design (like ThreadPool bodies)
+    // A placement task that throws must not take the daemon down with
+    // std::terminate (the task body answers the client InternalError
+    // itself; this is the last-resort backstop for anything it missed).
+    try {
+      E.Run();
+    } catch (...) {
+    }
     {
       std::lock_guard<std::mutex> Lock(Mu);
       --Active;

@@ -19,11 +19,17 @@
 /// cannot wedge the queue: it is admitted, starts, and simply runs narrower
 /// while the budget is contended.
 ///
+/// Requests may carry a deadline token: a queued entry whose deadline fires
+/// before any worker reaches it is answered by its expiry handler instead
+/// of running — past-deadline work never costs a worker slot. Once running,
+/// the scheduler never preempts; the task itself polls the token
+/// (cooperative cancellation inside the placement pipeline).
+///
 /// Shutdown has two shapes: drain() (stop admission, run everything already
 /// queued, then stop workers) and stop() (stop admission, discard the
 /// queue, finish only in-flight tasks). In-flight tasks are never
-/// interrupted — a placement mid-solve always completes and its response is
-/// delivered.
+/// interrupted by the scheduler — a placement mid-solve winds down on its
+/// own terms and its response is delivered.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -31,11 +37,13 @@
 #define EXPRESSO_SERVICE_SCHEDULER_H
 
 #include "service/Protocol.h"
+#include "support/CancelToken.h"
 
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -45,10 +53,13 @@ namespace service {
 
 /// Counter snapshot for StatusResponse and tests.
 struct SchedulerStats {
-  uint64_t Submitted = 0; ///< admitted into the queue
-  uint64_t Rejected = 0;  ///< refused: queue full or draining
-  uint64_t Executed = 0;  ///< tasks completed
-  uint64_t Discarded = 0; ///< queued tasks dropped by stop()
+  uint64_t Submitted = 0;        ///< admitted into the queue
+  uint64_t Rejected = 0;         ///< total refusals (= Full + Draining)
+  uint64_t RejectedFull = 0;     ///< refused: queue at capacity
+  uint64_t RejectedDraining = 0; ///< refused: shutdown had begun
+  uint64_t ExpiredQueued = 0;    ///< deadline fired before a worker started it
+  uint64_t Executed = 0;         ///< tasks completed
+  uint64_t Discarded = 0;        ///< queued tasks dropped by stop()
   uint64_t QueuedNow = 0;
   uint64_t ActiveNow = 0;
 };
@@ -73,6 +84,15 @@ public:
   /// begun; the task is then never run (caller must answer the client).
   bool submit(Priority P, Task T);
 
+  /// Deadline-aware admission: if \p Cancel has expired by the time a
+  /// worker would start \p T, the scheduler runs the (cheap) \p OnExpire
+  /// handler instead — the client gets DeadlineExceeded without a worker
+  /// ever burning time on a request that is already late. At most one of
+  /// T / OnExpire runs (neither when stop() discards the queue, exactly as
+  /// with plain submit). Null Cancel degrades to plain submit().
+  bool submit(Priority P, Task T,
+              std::shared_ptr<support::CancelToken> Cancel, Task OnExpire);
+
   /// Stops admission, runs every queued task to completion, then stops the
   /// workers. Idempotent; safe to call concurrently with submit().
   void drain();
@@ -87,9 +107,20 @@ public:
   SchedulerStats stats() const;
 
 private:
+  /// A queued request: the work itself plus (optionally) its deadline token
+  /// and the cheap answer to give if the deadline fires first.
+  struct Entry {
+    Task Run;
+    std::shared_ptr<support::CancelToken> Cancel;
+    Task OnExpire;
+  };
+
   void workerMain();
-  /// Pops the next task by priority. Blocks; returns false at shutdown.
-  bool nextTask(Task &Out);
+  /// Pops the next live task by priority, expiring queued entries whose
+  /// deadline already fired on the way (their OnExpire handlers run here,
+  /// off-lock, so an expired client is answered even when no further work
+  /// follows). Blocks; returns false at shutdown.
+  bool nextTask(Entry &Out);
   void shutdown(bool RunQueued);
 
   const unsigned Workers;
@@ -98,8 +129,8 @@ private:
   mutable std::mutex Mu;
   std::condition_variable QueueCv; ///< workers wait for work / shutdown
   std::condition_variable IdleCv;  ///< shutdown waits for queue+active == 0
-  std::deque<Task> High;
-  std::deque<Task> Normal;
+  std::deque<Entry> High;
+  std::deque<Entry> Normal;
   bool ShuttingDown = false; ///< no new admissions
   bool StopWorkers = false;  ///< workers exit once the queue is empty
   uint64_t Active = 0;       ///< tasks currently executing

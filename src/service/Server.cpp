@@ -13,7 +13,9 @@
 #include "persist/TermCodec.h"
 #include "solver/SolverRig.h"
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <future>
 
 #ifndef _WIN32
@@ -73,7 +75,9 @@ std::string PlacementService::resultCacheKey(const PlaceRequest &Req) {
 }
 
 PlaceResponse PlacementService::run(const PlaceRequest &Req,
-                                    double QueueSeconds) {
+                                    double QueueSeconds,
+                                    support::CancelToken *Cancel) {
+  WallTimer RunTimer;
   std::string Key;
   if (Opts.ResultCache && !Req.BypassResultCache) {
     Key = resultCacheKey(Req);
@@ -85,11 +89,12 @@ PlaceResponse PlacementService::run(const PlaceRequest &Req,
       R.QueueSeconds = QueueSeconds;
       ResultHits.fetch_add(1, std::memory_order_relaxed);
       Served.fetch_add(1, std::memory_order_relaxed);
+      noteCompleted(QueueSeconds + RunTimer.elapsedSeconds());
       return R;
     }
   }
 
-  PlaceResponse R = execute(Req);
+  PlaceResponse R = execute(Req, Cancel);
   // Total wait = scheduler queue + budget contention inside execute().
   R.QueueSeconds += QueueSeconds;
 
@@ -103,6 +108,8 @@ PlaceResponse PlacementService::run(const PlaceRequest &Req,
           CompactEvery - 1)
     compactStore();
 
+  // Only Ok responses enter the replay cache — a DeadlineExceeded answer
+  // in particular must never be replayed to a later patient client.
   if (!Key.empty() && R.Status == ResponseStatus::Ok) {
     std::lock_guard<std::mutex> Lock(ResultMu);
     if (ResultCache.emplace(Key, R).second) {
@@ -114,10 +121,41 @@ PlaceResponse PlacementService::run(const PlaceRequest &Req,
     }
   }
   Served.fetch_add(1, std::memory_order_relaxed);
+  if (R.Status == ResponseStatus::DeadlineExceeded)
+    CancelledRunning.fetch_add(1, std::memory_order_relaxed);
+  else if (R.Status == ResponseStatus::Ok)
+    noteCompleted(QueueSeconds + RunTimer.elapsedSeconds());
   return R;
 }
 
-PlaceResponse PlacementService::execute(const PlaceRequest &Req) {
+void PlacementService::noteCompleted(double LatencySeconds) {
+  Completed.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> Lock(LatencyMu);
+  Latencies.push_back(LatencySeconds);
+  while (Latencies.size() > LatencyWindow)
+    Latencies.pop_front();
+}
+
+void PlacementService::latencyPercentiles(double &P50, double &P99) const {
+  std::vector<double> Sample;
+  {
+    std::lock_guard<std::mutex> Lock(LatencyMu);
+    Sample.assign(Latencies.begin(), Latencies.end());
+  }
+  P50 = P99 = 0;
+  if (Sample.empty())
+    return;
+  auto Nth = [&Sample](double Q) {
+    size_t I = static_cast<size_t>(Q * static_cast<double>(Sample.size() - 1));
+    std::nth_element(Sample.begin(), Sample.begin() + I, Sample.end());
+    return Sample[I];
+  };
+  P50 = Nth(0.5);
+  P99 = Nth(0.99);
+}
+
+PlaceResponse PlacementService::execute(const PlaceRequest &Req,
+                                        support::CancelToken *Cancel) {
   PlaceResponse R;
   WallTimer Timer;
 
@@ -149,6 +187,15 @@ PlaceResponse PlacementService::execute(const PlaceRequest &Req) {
   double BudgetWait = BudgetTimer.elapsedSeconds();
   R.QueueSeconds = BudgetWait;
 
+  // Budget contention may have eaten the whole deadline; bail before any
+  // solver work (acquire itself is not interruptible — the lease was worth
+  // waiting for only if time remains).
+  if (Cancel && Cancel->expired()) {
+    R.Status = ResponseStatus::DeadlineExceeded;
+    R.Error = "deadline exceeded waiting for the job budget";
+    return R;
+  }
+
   // Cross-daemon pickup: a fleet of daemons sharing one --cache-dir sees
   // each other's appends at request granularity.
   if (Store && Req.CacheQueries && !Store->inMemory())
@@ -175,10 +222,33 @@ PlaceResponse PlacementService::execute(const PlaceRequest &Req) {
   // backends from the factory (the incremental engine is per-worker even
   // at Jobs == 1).
   POpts.WorkerSolvers = solver::SolverFactory(Kind);
+  POpts.Cancel = Cancel;
 
   core::PlacementResult Result = core::placeSignals(C, *Sema, Rig.solver(),
                                                     POpts);
   R.AnalysisSeconds = Timer.elapsedSeconds() - BudgetWait;
+
+  if (Result.Cancelled) {
+    // The pipeline wound down cooperatively. Report the partial stats (they
+    // tell the client how far it got) but no artifact — a cancelled run's
+    // decisions are incomplete and must not look like an answer. Nothing
+    // was published into the shared store (CachingSolver gates appends on
+    // the same token) and run() refuses to replay-cache this status.
+    const core::PlacementStats &S = Result.Stats;
+    R.HoareChecks = S.HoareChecks;
+    R.SolverQueries = S.SolverQueries;
+    R.CacheHits = S.Cache.Hits;
+    R.CacheMisses = S.Cache.Misses;
+    R.SharedHits = S.Cache.DiskHits;
+    R.SharedMisses = S.Cache.DiskMisses;
+    R.PairsConsidered = S.PairsConsidered;
+    R.InvariantSeconds = S.InvariantSeconds;
+    R.JobsUsed = S.JobsUsed;
+    R.SolverName = Rig.solver().name();
+    R.Status = ResponseStatus::DeadlineExceeded;
+    R.Error = "deadline exceeded during placement";
+    return R;
+  }
 
   if (Req.Emit == "cpp")
     R.Artifact = codegen::emitCpp(Result);
@@ -249,13 +319,31 @@ bool Server::start(std::string *Error) {
 }
 
 void Server::acceptLoop() {
+  int BackoffMs = 1;
   for (;;) {
     int Fd = ::accept(ListenFd, nullptr, nullptr);
     if (Fd < 0) {
       if (errno == EINTR)
         continue;
+      // Transient pressure must not permanently kill the acceptor: fd
+      // exhaustion (EMFILE/ENFILE — connections in flight will close and
+      // free slots), a peer that reset before we got to it (ECONNABORTED,
+      // EPROTO), or momentary kernel memory pressure (ENOBUFS/ENOMEM).
+      // Back off briefly and retry; only a genuinely dead listen socket
+      // (EBADF/EINVAL after shutdown() teardown, or anything unknown)
+      // ends the loop.
+      if (errno == ECONNABORTED || errno == EPROTO || errno == EMFILE ||
+          errno == ENFILE || errno == ENOBUFS || errno == ENOMEM ||
+          errno == EAGAIN || errno == EWOULDBLOCK) {
+        if (ShutdownFlagged.load())
+          return; // teardown in progress: stop retrying
+        std::this_thread::sleep_for(std::chrono::milliseconds(BackoffMs));
+        BackoffMs = BackoffMs < 64 ? BackoffMs * 2 : 100;
+        continue;
+      }
       return; // listen socket shut down (or fatal): stop accepting
     }
+    BackoffMs = 1;
     // Reap handlers that exited since the last accept (joins happen
     // outside the lock), so a long-lived daemon serving many short
     // connections never accumulates unjoined threads.
@@ -295,14 +383,52 @@ void Server::handlePlace(int Fd, const std::vector<uint8_t> &Payload) {
     return;
   }
 
+  // Deadline starts at admission: the clock covers queueing, budget
+  // contention, and the placement itself. The request's own deadline wins
+  // over the daemon-wide default.
+  std::shared_ptr<support::CancelToken> Tok;
+  uint64_t DeadlineMs =
+      Req.DeadlineMs != 0 ? Req.DeadlineMs : Opts.DefaultDeadlineMs;
+  if (DeadlineMs != 0) {
+    Tok = std::make_shared<support::CancelToken>();
+    Tok->setDeadlineAfterSeconds(static_cast<double>(DeadlineMs) / 1000.0);
+  }
+
   // Hand the request to the scheduler and block this (cheap, connection-
   // bound) thread on the outcome; execution width is the scheduler's.
   auto Done = std::make_shared<std::promise<PlaceResponse>>();
   std::future<PlaceResponse> Future = Done->get_future();
   WallTimer QueueTimer;
-  bool Admitted = Sched->submit(Req.Prio, [this, Req, Done, QueueTimer] {
-    Done->set_value(Core.run(Req, QueueTimer.elapsedSeconds()));
-  });
+  bool Admitted = Sched->submit(
+      Req.Prio,
+      [this, Req, Done, QueueTimer, Tok] {
+        // An exception out of the pipeline must neither kill the worker
+        // (std::terminate) nor leave the client hanging: answer
+        // InternalError and keep serving.
+        PlaceResponse Resp;
+        try {
+          Resp = Core.run(Req, QueueTimer.elapsedSeconds(), Tok.get());
+        } catch (const std::exception &E) {
+          Resp = PlaceResponse();
+          Resp.Status = ResponseStatus::InternalError;
+          Resp.Error = std::string("internal error: ") + E.what();
+        } catch (...) {
+          Resp = PlaceResponse();
+          Resp.Status = ResponseStatus::InternalError;
+          Resp.Error = "internal error";
+        }
+        Done->set_value(std::move(Resp));
+      },
+      Tok,
+      [Done, QueueTimer] {
+        // Deadline fired while still queued: answer without burning a
+        // worker on work that is already late.
+        PlaceResponse Resp;
+        Resp.Status = ResponseStatus::DeadlineExceeded;
+        Resp.Error = "deadline exceeded while queued";
+        Resp.QueueSeconds = QueueTimer.elapsedSeconds();
+        Done->set_value(std::move(Resp));
+      });
   PlaceResponse R;
   if (!Admitted) {
     R.Status = Sched->shuttingDown() ? ResponseStatus::Draining
@@ -471,6 +597,12 @@ StatusResponse Server::status() const {
   S.RequestsActive = Sc.ActiveNow;
   S.RequestsQueued = Sc.QueuedNow;
   S.RequestsRejected = Sc.Rejected;
+  S.RequestsRejectedFull = Sc.RejectedFull;
+  S.RequestsRejectedDraining = Sc.RejectedDraining;
+  S.RequestsExpiredQueued = Sc.ExpiredQueued;
+  S.RequestsCancelledRunning = Core.requestsCancelledRunning();
+  S.RequestsCompleted = Core.requestsCompleted();
+  Core.latencyPercentiles(S.LatencyP50Seconds, S.LatencyP99Seconds);
   S.ResultCacheHits = Core.resultCacheHits();
   // const_cast-free store access: stats are logically const.
   PlacementService &Svc = const_cast<PlacementService &>(Core);

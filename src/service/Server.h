@@ -48,6 +48,7 @@
 #include "persist/QueryStore.h"
 #include "service/Protocol.h"
 #include "service/Scheduler.h"
+#include "support/CancelToken.h"
 #include "support/ThreadPool.h"
 #include "support/Timer.h"
 
@@ -81,6 +82,10 @@ struct ServerOptions {
   persist::EvictionPolicy Eviction; ///< enforced when the store compacts
   bool ResultCache = true;          ///< whole-response replay cache
   size_t ResultCacheCap = 128;      ///< replay-cache entries (FIFO bound)
+  /// Deadline applied to requests that do not carry one (PlaceRequest::
+  /// DeadlineMs == 0); 0 = no default. A request's own deadline always
+  /// wins.
+  uint64_t DefaultDeadlineMs = 0;
 };
 
 /// The socket-free execution core (tests and the bench harness drive it
@@ -91,8 +96,12 @@ public:
 
   /// Runs one request to completion (this is the scheduler task body).
   /// \p QueueSeconds is admission-to-execution wait, echoed in the
-  /// response.
-  PlaceResponse run(const PlaceRequest &Req, double QueueSeconds);
+  /// response. \p Cancel (optional, not owned) is polled cooperatively
+  /// through the whole pipeline; an expired token yields a
+  /// DeadlineExceeded response with partial stats, and the cancelled run
+  /// publishes nothing into the shared store or the replay cache.
+  PlaceResponse run(const PlaceRequest &Req, double QueueSeconds,
+                    support::CancelToken *Cancel = nullptr);
 
   /// The resolved backend profile of the shared store ("z3", "mini", …).
   const std::string &profile() const { return Profile; }
@@ -104,6 +113,18 @@ public:
   uint64_t requestsServed() const {
     return Served.load(std::memory_order_relaxed);
   }
+  /// Requests that produced a real answer (Ok, replay hits included).
+  uint64_t requestsCompleted() const {
+    return Completed.load(std::memory_order_relaxed);
+  }
+  /// Requests whose deadline fired mid-placement (the pipeline wound down
+  /// cooperatively and answered DeadlineExceeded).
+  uint64_t requestsCancelledRunning() const {
+    return CancelledRunning.load(std::memory_order_relaxed);
+  }
+  /// Admission-to-answer latency percentiles over a sliding window of
+  /// completed requests (both 0 until anything completes).
+  void latencyPercentiles(double &P50, double &P99) const;
 
   /// Store end-of-life management: applies the eviction policy via
   /// compact() when one is configured and the store is writable. Called by
@@ -111,12 +132,16 @@ public:
   void compactStore();
 
 private:
-  PlaceResponse execute(const PlaceRequest &Req);
+  PlaceResponse execute(const PlaceRequest &Req, support::CancelToken *Cancel);
   static std::string resultCacheKey(const PlaceRequest &Req);
+  void noteCompleted(double LatencySeconds);
 
   /// Executed (non-replayed) requests between in-service compactions when
   /// an eviction policy is set.
   static constexpr uint64_t CompactEvery = 64;
+  /// Sliding latency window (enough for stable p99 without unbounded
+  /// memory in a long-lived daemon).
+  static constexpr size_t LatencyWindow = 512;
 
   ServerOptions Opts;
   std::string Profile;
@@ -125,10 +150,15 @@ private:
   std::atomic<uint64_t> Served{0};
   std::atomic<uint64_t> Executed{0}; ///< requests that ran the pipeline
   std::atomic<uint64_t> ResultHits{0};
+  std::atomic<uint64_t> Completed{0};
+  std::atomic<uint64_t> CancelledRunning{0};
 
   std::mutex ResultMu;
   std::unordered_map<std::string, PlaceResponse> ResultCache;
   std::deque<std::string> ResultOrder; ///< FIFO eviction at ResultCacheCap
+
+  mutable std::mutex LatencyMu;
+  std::deque<double> Latencies; ///< last LatencyWindow completed requests
 };
 
 /// The daemon: socket front end over PlacementService + RequestScheduler.

@@ -461,6 +461,11 @@ SmtResult MiniSmt::checkSat(const Term *F) {
   LiaSolver Lia(Cfg.Lia);
   for (int Round = 0; Round < Cfg.MaxTheoryRounds; ++Round) {
     ++TheoryRounds;
+    // Cancellation poll: one relaxed load per theory round. An expired
+    // token degrades the answer to Unknown, which every caller treats
+    // conservatively (and a cancelled placement discards outright).
+    if (Cfg.Cancel && Cfg.Cancel->expired())
+      return Result; // Unknown: cancelled
     if (Sat.solve() == SatSolver::Result::Unsat) {
       Result.Answer = SatAnswer::Unsat;
       return Result;

@@ -31,6 +31,7 @@
 
 #include "logic/TermOps.h"
 #include "smt/LiaSolver.h"
+#include "support/CancelToken.h"
 
 #include <cstdint>
 
@@ -60,6 +61,9 @@ public:
     /// Use Cooper's procedure to decide conjunctions the FM+B&B layer gave
     /// up on (keeps the solver complete for pure LIA).
     bool UseCooperFallback = true;
+    /// Cooperative cancellation: polled at the top of every CDCL/theory
+    /// round; an expired token makes checkSat answer Unknown. Not owned.
+    const support::CancelToken *Cancel = nullptr;
   };
 
   explicit MiniSmt(logic::TermContext &C) : C(C) {}

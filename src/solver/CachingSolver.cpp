@@ -43,7 +43,11 @@ CheckResult CachingSolver::computeOwned(const Term *F,
     } else {
       DiskMisses.fetch_add(1, std::memory_order_relaxed);
       R = Compute(F);
-      QS->append(Key, R); // no-op when the store is read-only
+      // Publication gate: a result computed under an expired token is a
+      // cancellation artifact (Unknown), not the formula's answer — keep
+      // it out of the shared store. (append is a no-op when read-only.)
+      if (!cancelled())
+        QS->append(Key, R);
     }
   } else {
     R = Compute(F);
@@ -172,7 +176,9 @@ CachingSolver::lookupOrComputeBatch(const std::vector<const Term *> &Fs,
             "CachingSolver batch compute returned wrong result count");
       for (size_t K = 0; K < ResidualIdx.size(); ++K) {
         size_t I = ResidualIdx[K];
-        if (QS)
+        // Same publication gate as computeOwned: no store writes once the
+        // token has expired.
+        if (QS && !cancelled())
           QS->append(ResidualKeys[K], Rs[K]);
         Promises[I].set_value(std::move(Rs[K]));
         Owner[I] = 0; // published
@@ -203,6 +209,11 @@ CachingSolver::lookupOrComputeBatch(const std::vector<const Term *> &Fs,
 
 CheckResult CachingSolver::checkSat(const Term *F) {
   return lookupOrCompute(F, *Backend);
+}
+
+void CachingSolver::setCancelToken(support::CancelToken *T) {
+  SmtSolver::setCancelToken(T);
+  Backend->setCancelToken(T);
 }
 
 size_t CachingSolver::cacheSize() const {
@@ -236,6 +247,11 @@ public:
 
   std::string name() const override {
     return "session(" + WorkerBackend->name() + ")";
+  }
+
+  void setCancelToken(support::CancelToken *T) override {
+    SmtSolver::setCancelToken(T);
+    WorkerBackend->setCancelToken(T);
   }
 
 private:

@@ -146,6 +146,14 @@ public:
 
   std::string name() const override { return "cache(" + Backend->name() + ")"; }
 
+  /// Forwards the token to the primary backend and additionally gates the
+  /// persistent tier: once the token expires, owned misses are still
+  /// computed (they come back Unknown almost immediately) but are *never*
+  /// written through to the store — a cancelled run's Unknowns are
+  /// artifacts of the deadline, not of the formula, and publishing them
+  /// would poison every later process that trusts the store.
+  void setCancelToken(support::CancelToken *T) override;
+
   /// Attaches (or detaches, with null) a persistent store as the second
   /// tier: memo misses first probe the store by the formula's canonical
   /// encoding; store misses are computed on the backend and written through

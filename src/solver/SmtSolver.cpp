@@ -93,12 +93,16 @@ private:
   /// queries were actually solved versus answered from a cache. Results
   /// only carry variable names, so nothing transfers back.
   CheckResult solveOnce(const std::vector<const Term *> &Fs) {
+    if (cancelled())
+      return CheckResult(); // Unknown without touching the solver
     logic::TermContext Scratch;
     std::vector<const Term *> Transferred;
     Transferred.reserve(Fs.size());
     for (const Term *F : Fs)
       Transferred.push_back(logic::transferTerm(Scratch, F));
-    smt::MiniSmt Solver(Scratch);
+    smt::MiniSmt::Config Cfg;
+    Cfg.Cancel = Cancel; // polled once per CDCL/theory round
+    smt::MiniSmt Solver(Scratch, Cfg);
     smt::SmtResult R = Solver.checkSat(Scratch.and_(std::move(Transferred)));
     CheckResult Out;
     switch (R.Answer) {
@@ -177,6 +181,12 @@ public:
       std::abort();
     }
     return RA.TheAnswer != Answer::Unknown ? RA : RB;
+  }
+
+  void setCancelToken(support::CancelToken *T) override {
+    SmtSolver::setCancelToken(T);
+    A->setCancelToken(T);
+    B->setCancelToken(T);
   }
 
 private:

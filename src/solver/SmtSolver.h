@@ -21,6 +21,7 @@
 #define EXPRESSO_SOLVER_SMTSOLVER_H
 
 #include "logic/TermOps.h"
+#include "support/CancelToken.h"
 
 #include <atomic>
 #include <cstdint>
@@ -153,13 +154,30 @@ public:
     return Queries.load(std::memory_order_relaxed);
   }
 
+  /// Attaches a cooperative cancellation token. Every subsequent check
+  /// polls it and answers Unknown once it expires — the conservative
+  /// direction for all of Expresso's analyses (an unproved triple only
+  /// costs signals). Backends with native interruption (Z3) additionally
+  /// register interrupt hooks so an explicit cancel() aborts a solve in
+  /// flight instead of waiting for its next poll point. Null detaches.
+  /// Must not be called while checks are executing on other threads.
+  virtual void setCancelToken(support::CancelToken *T) { Cancel = T; }
+
+  support::CancelToken *cancelToken() const { return Cancel; }
+
   logic::TermContext &context() { return Ctx; }
 
 protected:
+  /// True once the attached token (if any) has expired; checked by every
+  /// backend at query entry.
+  bool cancelled() const { return Cancel && Cancel->expired(); }
+
   logic::TermContext &Ctx;
   /// Atomic so a solver shared across placement workers (the sharded
   /// CachingSolver) keeps an exact count under concurrent checkSat calls.
   std::atomic<uint64_t> Queries{0};
+  /// Cooperative cancellation token; not owned, null when detached.
+  support::CancelToken *Cancel = nullptr;
 };
 
 /// Which backend to instantiate.

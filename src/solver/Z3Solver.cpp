@@ -36,6 +36,8 @@
 
 #include <z3++.h>
 
+#include <climits>
+#include <cmath>
 #include <memory>
 #include <unordered_map>
 #include <unordered_set>
@@ -53,21 +55,33 @@ public:
   CheckResult checkSat(const Term *F) override {
     ++Queries;
     CheckResult Out;
+    if (cancelled())
+      return Out; // Unknown without spinning up a context
     z3::context Z3Ctx;
-    z3::solver Solver(Z3Ctx);
-    std::unordered_map<const Term *, z3::expr> Memo;
-    Solver.add(translate(Z3Ctx, F, Memo));
-    switch (Solver.check()) {
-    case z3::unsat:
-      Out.TheAnswer = Answer::Unsat;
-      return Out;
-    case z3::unknown:
-      Out.TheAnswer = Answer::Unknown;
-      return Out;
-    case z3::sat:
-      break;
+    try {
+      z3::solver Solver(Z3Ctx);
+      applyDeadline(Solver);
+      // An explicit cancel() interrupts the live context mid-solve; the
+      // deadline itself rides Z3's native timeout watchdog (applyDeadline),
+      // which cannot perturb a check that completes in time.
+      support::ScopedInterrupt Guard(Cancel,
+                                     [&Z3Ctx] { Z3Ctx.interrupt(); });
+      std::unordered_map<const Term *, z3::expr> Memo;
+      Solver.add(translate(Z3Ctx, F, Memo));
+      switch (Solver.check()) {
+      case z3::unsat:
+        Out.TheAnswer = Answer::Unsat;
+        return Out;
+      case z3::unknown:
+        Out.TheAnswer = Answer::Unknown;
+        return Out;
+      case z3::sat:
+        break;
+      }
+      extractModel(Out, Z3Ctx, Solver.get_model(), {F}, Memo);
+    } catch (const z3::exception &) {
+      return CheckResult(); // Unknown — an interrupted solve may throw
     }
-    extractModel(Out, Z3Ctx, Solver.get_model(), {F}, Memo);
     return Out;
   }
 
@@ -125,6 +139,8 @@ public:
       const std::vector<const Term *> &Assumptions) override {
     ++Queries;
     CheckResult Out;
+    if (cancelled())
+      return Out;
     Session *S = session();
     if (!S)
       return Out;
@@ -137,6 +153,9 @@ public:
       return Out;
     }
     try {
+      applyDeadline(S->Solver);
+      support::ScopedInterrupt Guard(Cancel,
+                                     [S] { S->Ctx.interrupt(); });
       for (const Term *A : Assumptions)
         S->Solver.add(translate(S->Ctx, A, S->Memo));
       switch (S->Solver.check()) {
@@ -155,6 +174,10 @@ public:
       killSession();
       return CheckResult();
     }
+    // Fail closed: a session whose check was cut short by cancellation is
+    // retired, not resumed — later sessions start from a clean context.
+    if (Out.TheAnswer == Answer::Unknown && cancelled())
+      killSession();
     return Out;
   }
 
@@ -162,7 +185,7 @@ public:
   checkSatBatch(const std::vector<const Term *> &Fs) override {
     Queries.fetch_add(Fs.size(), std::memory_order_relaxed);
     std::vector<CheckResult> Answers(Fs.size());
-    if (Fs.empty())
+    if (Fs.empty() || cancelled())
       return Answers;
     Session *S = session();
     if (!S)
@@ -174,6 +197,9 @@ public:
       return Answers;
     }
     try {
+      applyDeadline(S->Solver);
+      support::ScopedInterrupt Guard(Cancel,
+                                     [S] { S->Ctx.interrupt(); });
       // Guard every formula with a fresh assumption literal p_i and assert
       // p_i => F_i once; all subsequent check(assumptions) calls reuse the
       // internalized formulas without re-asserting anything.
@@ -266,6 +292,8 @@ public:
       killSession();
       return std::vector<CheckResult>(Fs.size()); // all Unknown
     }
+    if (cancelled())
+      killSession(); // fail-closed retirement, as in checkSatAssuming
     return Answers;
   }
 
@@ -302,6 +330,25 @@ private:
   void killSession() {
     TheSession.reset();
     SessionDead = true;
+  }
+
+  /// Arms Z3's per-check timeout watchdog with the token's remaining
+  /// budget. A watchdog only *interrupts* — it never changes how a check
+  /// that finishes in time searches — so checks completed under deadline
+  /// stay byte-identical to a run with no deadline at all.
+  void applyDeadline(z3::solver &Solver) {
+    if (!Cancel)
+      return;
+    double Left = Cancel->remainingSeconds();
+    if (!std::isfinite(Left))
+      return; // cancel-only token: the interrupt hook covers it
+    double Ms = Left * 1000.0 + 1.0;
+    unsigned Timeout =
+        Ms >= static_cast<double>(UINT_MAX) ? UINT_MAX
+                                            : static_cast<unsigned>(Ms);
+    z3::params P(Solver.ctx());
+    P.set("timeout", Timeout);
+    Solver.set(P);
   }
 
   /// Collects the distinct Select nodes of \p T's DAG in deterministic

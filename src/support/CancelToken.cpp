@@ -1,0 +1,61 @@
+//===- support/CancelToken.cpp - Cooperative cancellation ---------------------===//
+//
+// Part of expresso-cpp, a reproduction of "Symbolic Reasoning for Automatic
+// Signal Placement" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/CancelToken.h"
+
+#include <limits>
+
+using namespace expresso;
+using namespace expresso::support;
+
+void CancelToken::setDeadlineAfterSeconds(double Seconds) {
+  if (Seconds <= 0) {
+    cancel();
+    return;
+  }
+  int64_t Delta = static_cast<int64_t>(Seconds * 1e9);
+  DeadlineNs.store(nowNs() + Delta, std::memory_order_relaxed);
+}
+
+void CancelToken::cancel() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  // Exchange under the lock so exactly one caller fires the hooks, and a
+  // racing registerInterrupt either sees Cancelled (fires itself) or lands
+  // in Hooks before this loop runs.
+  if (Cancelled.exchange(true, std::memory_order_relaxed))
+    return;
+  for (auto &Entry : Hooks)
+    if (Entry.second)
+      Entry.second();
+}
+
+double CancelToken::remainingSeconds() const {
+  if (Cancelled.load(std::memory_order_relaxed))
+    return 0.0;
+  int64_t D = DeadlineNs.load(std::memory_order_relaxed);
+  if (D == 0)
+    return std::numeric_limits<double>::infinity();
+  int64_t Left = D - nowNs();
+  return Left > 0 ? static_cast<double>(Left) * 1e-9 : 0.0;
+}
+
+uint64_t CancelToken::registerInterrupt(InterruptHook H) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (Cancelled.load(std::memory_order_relaxed)) {
+    if (H)
+      H();
+    return 0;
+  }
+  uint64_t Handle = NextHandle++;
+  Hooks.emplace(Handle, std::move(H));
+  return Handle;
+}
+
+void CancelToken::unregisterInterrupt(uint64_t Handle) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Hooks.erase(Handle);
+}

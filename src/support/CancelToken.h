@@ -1,0 +1,119 @@
+//===- support/CancelToken.h - Cooperative cancellation ---------*- C++ -*-===//
+//
+// Part of expresso-cpp, a reproduction of "Symbolic Reasoning for Automatic
+// Signal Placement" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A cooperative cancellation/deadline token. One token is shared by every
+/// participant in a placement run — the driver loops in placeSignals, the
+/// Houdini fixpoint, abduction, and the solver backends — each of which
+/// polls expired() at its natural granularity (a Hoare check for the outer
+/// loops, a theory round for MiniSmt) and bails out conservatively.
+///
+/// Two trigger paths:
+///
+///   * a *deadline* (steady-clock instant) makes expired() flip on its own
+///     — cheap to poll, no thread ever blocks on it;
+///   * an explicit cancel() additionally fires registered interrupt hooks,
+///     which is how a live z3::context gets interrupted mid-solve instead
+///     of waiting for its next poll point.
+///
+/// Hooks fire under the token's mutex; registerInterrupt() on an
+/// already-cancelled token fires the hook immediately so a solve that
+/// started after cancellation still gets interrupted. unregisterInterrupt()
+/// blocks until any in-flight firing completes, so a hook's captures may be
+/// destroyed the moment it returns.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXPRESSO_SUPPORT_CANCELTOKEN_H
+#define EXPRESSO_SUPPORT_CANCELTOKEN_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+
+namespace expresso {
+namespace support {
+
+class CancelToken {
+public:
+  using InterruptHook = std::function<void()>;
+
+  CancelToken() = default;
+  CancelToken(const CancelToken &) = delete;
+  CancelToken &operator=(const CancelToken &) = delete;
+
+  /// Arms the deadline \p Seconds from now. Call before sharing the token;
+  /// a non-positive value cancels immediately.
+  void setDeadlineAfterSeconds(double Seconds);
+
+  /// Explicit cancellation: flips expired() and fires every registered
+  /// interrupt hook exactly once. Idempotent.
+  void cancel();
+
+  /// True once cancel() was called or the deadline passed. The hot-path
+  /// poll: one relaxed load plus (when a deadline is armed) one clock read.
+  bool expired() const {
+    if (Cancelled.load(std::memory_order_relaxed))
+      return true;
+    int64_t D = DeadlineNs.load(std::memory_order_relaxed);
+    return D != 0 && nowNs() >= D;
+  }
+
+  /// Seconds until the deadline; a large sentinel when none is armed, and
+  /// 0 once expired. Used to derive per-query solver timeouts.
+  double remainingSeconds() const;
+
+  /// Registers \p H to fire on cancel(); returns a handle for
+  /// unregisterInterrupt. Fires \p H immediately when already cancelled.
+  uint64_t registerInterrupt(InterruptHook H);
+
+  /// Removes a hook. Safe to call concurrently with cancel(); returns only
+  /// once no firing of this hook is in flight.
+  void unregisterInterrupt(uint64_t Handle);
+
+private:
+  static int64_t nowNs() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  std::atomic<bool> Cancelled{false};
+  /// Deadline as steady-clock nanoseconds; 0 means "no deadline".
+  std::atomic<int64_t> DeadlineNs{0};
+
+  std::mutex Mu; // guards Hooks; cancel() fires hooks while holding it
+  std::map<uint64_t, InterruptHook> Hooks;
+  uint64_t NextHandle = 1;
+};
+
+/// RAII registration of an interrupt hook against a (possibly null) token.
+class ScopedInterrupt {
+public:
+  ScopedInterrupt(CancelToken *T, CancelToken::InterruptHook H) : Tok(T) {
+    if (Tok)
+      Handle = Tok->registerInterrupt(std::move(H));
+  }
+  ~ScopedInterrupt() {
+    if (Tok && Handle)
+      Tok->unregisterInterrupt(Handle);
+  }
+  ScopedInterrupt(const ScopedInterrupt &) = delete;
+  ScopedInterrupt &operator=(const ScopedInterrupt &) = delete;
+
+private:
+  CancelToken *Tok = nullptr;
+  uint64_t Handle = 0;
+};
+
+} // namespace support
+} // namespace expresso
+
+#endif // EXPRESSO_SUPPORT_CANCELTOKEN_H

@@ -30,6 +30,7 @@
 #include "service/Client.h"
 #include "solver/SolverRig.h"
 #include "specgen/SpecGen.h"
+#include "support/CancelToken.h"
 #include "support/ThreadPool.h"
 #include "support/Timer.h"
 
@@ -80,6 +81,12 @@ void printUsage() {
       "  --jobs N                     placement worker threads (also\n"
       "                               --jobs=N; \"auto\" = one per core;\n"
       "                               default 1 = serial)\n"
+      "  --deadline=SECONDS           give up if placement runs past the\n"
+      "                               deadline (exit 1; a run finishing in\n"
+      "                               time is byte-identical to one with no\n"
+      "                               deadline). With --connect the daemon\n"
+      "                               enforces it and answers\n"
+      "                               DeadlineExceeded\n"
       "\n"
       "daemon client mode (the spec is analyzed by a resident expressod\n"
       "with shared warm caches; artifacts stay byte-identical to local\n"
@@ -510,7 +517,8 @@ int specgenMain(int Argc, char **Argv) {
 /// --emit=summary everything up to the statistics trailer) are
 /// byte-identical to a local run; the trailer reports daemon-side stats.
 int runConnected(const std::string &SocketPath,
-                 const service::PlaceRequest &Req, const std::string &Emit) {
+                 const service::PlaceRequest &Req, const std::string &Emit,
+                 double DeadlineSeconds) {
   std::string Error;
   std::unique_ptr<service::ServiceClient> Client =
       service::ServiceClient::connect(SocketPath, &Error);
@@ -518,9 +526,24 @@ int runConnected(const std::string &SocketPath,
     std::fprintf(stderr, "cannot reach expressod: %s\n", Error.c_str());
     return 1;
   }
+  // A deadline also bounds the wait for the *reply*: if the daemon wedges
+  // outright, the client times out instead of hanging forever. The slack
+  // covers the daemon's cooperative wind-down (a solver poll interval) and
+  // the response's trip back.
+  if (DeadlineSeconds > 0)
+    Client->setReceiveTimeout(DeadlineSeconds + 5.0);
   service::PlaceResponse R;
   if (!Client->place(Req, R, &Error)) {
     std::fprintf(stderr, "expressod request failed: %s\n", Error.c_str());
+    return 1;
+  }
+  if (R.Status == service::ResponseStatus::DeadlineExceeded) {
+    std::fprintf(stderr,
+                 "expressod: %s (%llu hoare checks, %llu queries before "
+                 "cancellation)\n",
+                 R.Error.empty() ? "deadline exceeded" : R.Error.c_str(),
+                 static_cast<unsigned long long>(R.HoareChecks),
+                 static_cast<unsigned long long>(R.SolverQueries));
     return 1;
   }
   if (R.Status != service::ResponseStatus::Ok) {
@@ -594,6 +617,18 @@ int runDaemonStatus(const std::string &SocketPath) {
               static_cast<unsigned long long>(S.RequestsActive),
               static_cast<unsigned long long>(S.RequestsQueued),
               static_cast<unsigned long long>(S.RequestsRejected));
+  std::printf("  outcomes:         %llu completed, %llu expired queued, "
+              "%llu cancelled running\n",
+              static_cast<unsigned long long>(S.RequestsCompleted),
+              static_cast<unsigned long long>(S.RequestsExpiredQueued),
+              static_cast<unsigned long long>(S.RequestsCancelledRunning));
+  std::printf("  admission:        %llu rejected (%llu queue full, %llu "
+              "draining)\n",
+              static_cast<unsigned long long>(S.RequestsRejected),
+              static_cast<unsigned long long>(S.RequestsRejectedFull),
+              static_cast<unsigned long long>(S.RequestsRejectedDraining));
+  std::printf("  latency:          p50 %.3fs, p99 %.3fs\n",
+              S.LatencyP50Seconds, S.LatencyP99Seconds);
   std::printf("  replay cache:     %llu hits\n",
               static_cast<unsigned long long>(S.ResultCacheHits));
   std::printf("  shared store:     %llu records (%llu evicted), profile "
@@ -647,6 +682,7 @@ int main(int Argc, char **Argv) {
   bool WantDaemonStatus = false;
   bool WantShutdown = false;
   bool ShutdownDrain = true;
+  double DeadlineSeconds = 0;
 
   for (int I = 1; I < Argc; ++I) {
     const char *Arg = Argv[I];
@@ -699,6 +735,16 @@ int main(int Argc, char **Argv) {
       } else {
         std::fprintf(stderr, "--priority expects normal|high (got '%s')\n",
                      Value);
+        return 1;
+      }
+    } else if (std::strncmp(Arg, "--deadline=", 11) == 0) {
+      char *End = nullptr;
+      DeadlineSeconds = std::strtod(Arg + 11, &End);
+      if (End == Arg + 11 || *End != '\0' || DeadlineSeconds <= 0) {
+        std::fprintf(stderr,
+                     "--deadline expects a positive number of seconds "
+                     "(got '%s')\n",
+                     Arg + 11);
         return 1;
       }
     } else if (std::strcmp(Arg, "--no-result-cache") == 0) {
@@ -784,7 +830,8 @@ int main(int Argc, char **Argv) {
     Req.Jobs = Options.Jobs;
     Req.Prio = Prio;
     Req.BypassResultCache = NoResultCache;
-    return runConnected(ConnectPath, Req, EmitKind);
+    Req.DeadlineMs = static_cast<uint64_t>(DeadlineSeconds * 1000.0);
+    return runConnected(ConnectPath, Req, EmitKind, DeadlineSeconds);
   }
 
   // Pipeline: parse -> sema -> invariant -> placement.
@@ -837,9 +884,27 @@ int main(int Argc, char **Argv) {
   // Each placement worker gets its own backend of the same kind.
   Options.WorkerSolvers = solver::SolverFactory(Kind);
 
+  // Deadline: cooperative, polled at Hoare-check granularity through the
+  // whole pipeline. A run finishing in time is untouched by the token.
+  support::CancelToken Deadline;
+  if (DeadlineSeconds > 0) {
+    Deadline.setDeadlineAfterSeconds(DeadlineSeconds);
+    Options.Cancel = &Deadline;
+  }
+
   core::PlacementResult Result =
       core::placeSignals(C, *Sema, PlacementSolver, Options);
   double Elapsed = Timer.elapsedSeconds();
+
+  if (Result.Cancelled) {
+    std::fprintf(stderr,
+                 "expresso: deadline of %gs exceeded during placement "
+                 "(%zu hoare checks, %zu solver queries before "
+                 "cancellation)\n",
+                 DeadlineSeconds, Result.Stats.HoareChecks,
+                 Result.Stats.SolverQueries);
+    return 1;
+  }
 
   // Store size management: with an eviction policy, this run is also the
   // store's janitor — compact before reporting so the stats line can show

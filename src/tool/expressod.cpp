@@ -61,6 +61,11 @@ void printUsage() {
       "  --cache-ttl=SECONDS      evict records unused for SECONDS at\n"
       "                           compaction\n"
       "  --no-result-cache        disable the whole-response replay cache\n"
+      "  --default-deadline=SECONDS\n"
+      "                           deadline for requests that carry none\n"
+      "                           (cooperatively cancelled past it; a\n"
+      "                           request's own --deadline always wins;\n"
+      "                           default: none)\n"
       "\n"
       "SIGINT/SIGTERM (or a client shutdown request) drains gracefully:\n"
       "admission stops, queued and in-flight requests finish and respond,\n"
@@ -117,6 +122,15 @@ int main(int Argc, char **Argv) {
       Opts.Eviction.TtlSeconds = std::atoll(Arg + 12);
     } else if (std::strcmp(Arg, "--no-result-cache") == 0) {
       Opts.ResultCache = false;
+    } else if (std::strncmp(Arg, "--default-deadline=", 19) == 0) {
+      char *End = nullptr;
+      double Seconds = std::strtod(Arg + 19, &End);
+      if (End == Arg + 19 || *End != '\0' || Seconds <= 0) {
+        std::fprintf(stderr, "--default-deadline expects a positive number "
+                             "of seconds\n");
+        return 1;
+      }
+      Opts.DefaultDeadlineMs = static_cast<uint64_t>(Seconds * 1000.0);
     } else if (std::strcmp(Arg, "--help") == 0 || std::strcmp(Arg, "-h") == 0) {
       printUsage();
       return 0;
