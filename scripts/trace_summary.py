@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Per-phase summary of an ``expresso --trace-out`` Chrome trace.
+
+Reads a trace_event JSON document — either the ``{"traceEvents": [...]}``
+object form the tracer emits or a bare event array — and prints one row per
+span name: how many spans ran, their total wall time, and the p50/p99 span
+durations. Complete ("ph": "X") events are summarized; metadata ("ph": "M")
+and anything else is ignored. Timestamps are microseconds, as in the trace
+format; the table prints milliseconds.
+
+Typical use, after ``expresso --benchmark=... --trace-out=trace.json``::
+
+    python3 scripts/trace_summary.py trace.json
+
+which doubles as CI's structural validation of the export: malformed JSON,
+a missing event list, or an event without the required keys exits 2, and an
+empty trace (no "X" events at all) exits 1 — a trace that summarizes to
+nothing is a broken trace.
+
+Exit codes: 0 summarized, 1 no complete events, 2 unreadable/malformed
+input.
+"""
+
+import argparse
+import json
+import sys
+
+
+def percentile(sorted_values, q):
+    """The repo's historical percentile: index floor(q * (n - 1))."""
+    return sorted_values[int(q * (len(sorted_values) - 1))]
+
+
+def load_events(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    if isinstance(doc, dict):
+        events = doc.get("traceEvents")
+        if not isinstance(events, list):
+            raise ValueError("no \"traceEvents\" array in trace object")
+    elif isinstance(doc, list):
+        events = doc
+    else:
+        raise ValueError("trace must be an object or an event array")
+    return events
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="summarize a Chrome trace_event file per span name")
+    ap.add_argument("trace", help="trace JSON written by --trace-out")
+    ap.add_argument("--sort", choices=["total", "count", "name"],
+                    default="total", help="row order (default: total time)")
+    args = ap.parse_args()
+
+    try:
+        events = load_events(args.trace)
+    except (OSError, ValueError, json.JSONDecodeError) as e:
+        print("trace_summary: %s: %s" % (args.trace, e), file=sys.stderr)
+        return 2
+
+    durations = {}  # name -> list of dur (us)
+    threads = set()
+    for ev in events:
+        if not isinstance(ev, dict):
+            print("trace_summary: non-object trace event", file=sys.stderr)
+            return 2
+        if ev.get("ph") != "X":
+            continue
+        name = ev.get("name")
+        dur = ev.get("dur")
+        ts = ev.get("ts")
+        if (not isinstance(name, str)
+                or not isinstance(dur, (int, float))
+                or not isinstance(ts, (int, float))):
+            print("trace_summary: complete event missing name/ts/dur",
+                  file=sys.stderr)
+            return 2
+        durations.setdefault(name, []).append(float(dur))
+        threads.add(ev.get("tid"))
+
+    if not durations:
+        print("trace_summary: no complete (\"X\") events in %s" % args.trace,
+              file=sys.stderr)
+        return 1
+
+    rows = []
+    for name, ds in durations.items():
+        ds.sort()
+        rows.append((name, len(ds), sum(ds),
+                     percentile(ds, 0.5), percentile(ds, 0.99)))
+    if args.sort == "total":
+        rows.sort(key=lambda r: -r[2])
+    elif args.sort == "count":
+        rows.sort(key=lambda r: (-r[1], r[0]))
+    else:
+        rows.sort(key=lambda r: r[0])
+
+    name_w = max(len("span"), max(len(r[0]) for r in rows))
+    print("%-*s %8s %12s %12s %12s" %
+          (name_w, "span", "count", "total_ms", "p50_ms", "p99_ms"))
+    for name, count, total, p50, p99 in rows:
+        print("%-*s %8d %12.3f %12.3f %12.3f" %
+              (name_w, name, count, total / 1000.0, p50 / 1000.0,
+               p99 / 1000.0))
+    print("%d spans across %d threads" %
+          (sum(r[1] for r in rows), len(threads)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

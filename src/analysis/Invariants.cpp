@@ -9,6 +9,7 @@
 
 #include "logic/Simplify.h"
 #include "logic/TermOps.h"
+#include "obs/Trace.h"
 #include "solver/CachingSolver.h"
 #include "solver/SolverSession.h"
 #include "support/ThreadPool.h"
@@ -122,6 +123,7 @@ InvariantResult analysis::inferMonitorInvariant(logic::TermContext &C,
 
   // --- Phase 1: candidate universe Φ from abduction over Θ. --------------
   // Θ is the triple set PlaceSignals generates with I = true (paper, §5).
+  obs::Span AbdSpan(Cfg.Trace, "invariant.abduction");
   std::vector<std::pair<const Term *, const Term *>> Theta; // (Pre, Goal=wp)
   for (const CcrInfo &W : Sema.Ccrs) {
     for (const auto &QPtr : Sema.Classes) {
@@ -172,6 +174,9 @@ InvariantResult analysis::inferMonitorInvariant(logic::TermContext &C,
   Result.NumCandidates = Universe.size();
   Result.AbductionSeconds = PhaseTimer.elapsedSeconds();
   PhaseTimer.restart();
+  AbdSpan.arg("candidates", static_cast<uint64_t>(Universe.size()));
+  AbdSpan.arg("queries", static_cast<uint64_t>(Queries));
+  AbdSpan.finish();
 
   // --- Phase 2: Houdini fixpoint. -----------------------------------------
   // Every candidate's fate is decided by its own checks alone — initiation
@@ -249,6 +254,7 @@ InvariantResult analysis::inferMonitorInvariant(logic::TermContext &C,
       };
 
   // Initiation is independent of Φ: filter once.
+  obs::Span InitSpan(Cfg.Trace, "invariant.initiation");
   const Term *Req = requiresTerm(C, Sema);
   std::vector<const Term *> UniverseVec(Universe.begin(), Universe.end());
   std::vector<char> Keep(UniverseVec.size(), 0);
@@ -264,11 +270,16 @@ InvariantResult analysis::inferMonitorInvariant(logic::TermContext &C,
   for (size_t Idx = 0; Idx < UniverseVec.size(); ++Idx)
     if (Keep[Idx])
       Phi.push_back(UniverseVec[Idx]);
+  InitSpan.arg("kept", static_cast<uint64_t>(Phi.size()));
+  InitSpan.finish();
 
   for (;;) {
     if (Expired())
       break; // keep whatever Φ holds; still a sound (if weak) conjunction
     ++Result.NumIterations;
+    obs::Span RoundSpan(Cfg.Trace, "invariant.houdini.round");
+    RoundSpan.arg("round", static_cast<uint64_t>(Result.NumIterations));
+    RoundSpan.arg("candidates", static_cast<uint64_t>(Phi.size()));
     const Term *I = C.and_(Phi);
     Keep.assign(Phi.size(), 0);
     forEachCandidate(Phi.size(), [&](unsigned WorkerId, size_t Idx) {
@@ -309,6 +320,7 @@ InvariantResult analysis::inferMonitorInvariant(logic::TermContext &C,
   // Minimize: greedily drop predicates implied by the remaining ones. This
   // keeps the invariant presentable (e.g. plain `readers >= 0` for the
   // readers-writers monitor) without weakening it.
+  obs::Span MinSpan(Cfg.Trace, "invariant.minimize");
   for (size_t I = 0; I < Phi.size();) {
     if (Expired())
       break;
@@ -323,6 +335,7 @@ InvariantResult analysis::inferMonitorInvariant(logic::TermContext &C,
     }
     ++I;
   }
+  MinSpan.finish();
 
   Result.Predicates = Phi;
   Result.Invariant = logic::simplify(C, C.and_(Phi));

@@ -31,6 +31,9 @@
 #include <vector>
 
 namespace expresso {
+namespace obs {
+class Tracer;
+}
 namespace analysis {
 
 struct InvariantConfig {
@@ -61,6 +64,13 @@ struct InvariantConfig {
   /// partial invariant it has — callers discard the whole run anyway.
   /// Not owned; null disables. placeSignals forwards its own token here.
   support::CancelToken *Cancel = nullptr;
+  /// Span tracer for phase attribution: abduction, the initiation filter,
+  /// each Houdini round, and minimization record spans (solver queries get
+  /// their own through the caching tier). Tracing is byte-invisible to the
+  /// inferred invariant and every counter — it only reads clocks. Not
+  /// owned; null (the default) disables. placeSignals forwards its own
+  /// tracer here.
+  obs::Tracer *Trace = nullptr;
 };
 
 /// Result of invariant inference with simple provenance for tests/benches.

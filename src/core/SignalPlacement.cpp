@@ -35,6 +35,7 @@
 #include "analysis/Hoare.h"
 #include "logic/Printer.h"
 #include "logic/Simplify.h"
+#include "obs/Trace.h"
 #include "solver/CachingSolver.h"
 #include "solver/SolverSession.h"
 #include "support/ThreadPool.h"
@@ -373,7 +374,12 @@ void checkCcrIncremental(PairEnv &Env, const CcrInfo &W,
       BatchIdx.push_back(Qi);
     }
   }
-  std::vector<solver::CheckResult> BatchRs = S.checkSatBatchUnderGuard(Batch);
+  std::vector<solver::CheckResult> BatchRs;
+  {
+    obs::Span BatchSpan(Env.Options.Trace, "vc.batch");
+    BatchSpan.arg("n", static_cast<uint64_t>(Batch.size()));
+    BatchRs = S.checkSatBatchUnderGuard(Batch);
+  }
   for (size_t K = 0; K < BatchIdx.size(); ++K)
     if (BatchRs[K].TheAnswer == solver::Answer::Unsat)
       AProved[BatchIdx[K]] = 1;
@@ -439,10 +445,28 @@ PlacementResult core::placeSignals(logic::TermContext &C,
   if (Options.Cancel)
     Solver.setCancelToken(Options.Cancel);
 
+  // Tracing: the root span covers the whole run; the caching tier records
+  // per-query spans while attached. The guard detaches it before return —
+  // the tracer's lifetime is the caller's (often one daemon request), while
+  // a shared cache may outlive many.
+  obs::Span PlaceSpan(Options.Trace, "place");
+  struct TracerDetach {
+    solver::CachingSolver *CS = nullptr;
+    ~TracerDetach() {
+      if (CS)
+        CS->setTracer(nullptr);
+    }
+  } TraceGuard;
+  if (Options.Trace && SharedCache) {
+    SharedCache->setTracer(Options.Trace);
+    TraceGuard.CS = SharedCache;
+  }
+
   // --- Monitor invariant (Algorithm 2). -----------------------------------
   // Runs serially, before the fan-out, so the invariant (and every term it
   // interns) is identical whatever Jobs is.
   WallTimer InvTimer;
+  obs::Span InvSpan(Options.Trace, "invariants");
   uint64_t InvariantWorkerQueries = 0;
   if (ProvidedInvariant) {
     Result.Invariant = ProvidedInvariant;
@@ -456,6 +480,7 @@ PlacementResult core::placeSignals(logic::TermContext &C,
     }
     InvCfg.Incremental = Options.Incremental;
     InvCfg.Cancel = Options.Cancel;
+    InvCfg.Trace = Options.Trace;
     InvariantResult IR = inferMonitorInvariant(C, Sema, Solver, InvCfg);
     Result.Invariant = IR.Invariant;
     InvariantWorkerQueries = IR.WorkerQueries;
@@ -463,6 +488,7 @@ PlacementResult core::placeSignals(logic::TermContext &C,
     Result.Invariant = C.getTrue();
   }
   Result.Stats.InvariantSeconds = InvTimer.elapsedSeconds();
+  InvSpan.finish();
 
   WallTimer PlaceTimer;
   PairEnv Env(C, Sema, Options);
@@ -562,6 +588,8 @@ PlacementResult core::placeSignals(logic::TermContext &C,
       for (size_t CcrIdx = 0; CcrIdx < Sema.Ccrs.size(); ++CcrIdx) {
         if (Expired())
           break; // partial; flagged Cancelled below
+        obs::Span CcrSpan(Options.Trace, "ccr");
+        CcrSpan.arg("ccr", static_cast<uint64_t>(CcrIdx));
         checkCcrIncremental(Env, Sema.Ccrs[CcrIdx], Checker, Sess,
                             &Outcomes[CcrIdx * NumClasses]);
       }
@@ -570,6 +598,9 @@ PlacementResult core::placeSignals(logic::TermContext &C,
       for (size_t Pair = 0; Pair < NumPairs; ++Pair) {
         if (Expired())
           break; // partial; flagged Cancelled below
+        obs::Span PairSpan(Options.Trace, "pair");
+        PairSpan.arg("ccr", static_cast<uint64_t>(Pair / NumClasses));
+        PairSpan.arg("class", static_cast<uint64_t>(Pair % NumClasses));
         Outcomes[Pair] = checkPair(Env, Sema.Ccrs[Pair / NumClasses],
                                    Sema.Classes[Pair % NumClasses].get(),
                                    Checker, Solver);
@@ -587,6 +618,8 @@ PlacementResult core::placeSignals(logic::TermContext &C,
         return; // leave the slots untouched; flagged Cancelled below
       PlacementWorker &W = Workers[WorkerId];
       WallTimer CcrTimer;
+      obs::Span CcrSpan(Options.Trace, "ccr");
+      CcrSpan.arg("ccr", static_cast<uint64_t>(CcrIdx));
       checkCcrIncremental(Env, Sema.Ccrs[CcrIdx], *W.Checker, *W.Session,
                           &Outcomes[CcrIdx * NumClasses]);
       W.Stats.BusySeconds += CcrTimer.elapsedSeconds();
@@ -603,6 +636,9 @@ PlacementResult core::placeSignals(logic::TermContext &C,
         return; // leave the slot untouched; flagged Cancelled below
       PlacementWorker &W = Workers[WorkerId];
       WallTimer PairTimer;
+      obs::Span PairSpan(Options.Trace, "pair");
+      PairSpan.arg("ccr", static_cast<uint64_t>(Pair / NumClasses));
+      PairSpan.arg("class", static_cast<uint64_t>(Pair % NumClasses));
       Outcomes[Pair] = checkPair(Env, Sema.Ccrs[Pair / NumClasses],
                                  Sema.Classes[Pair % NumClasses].get(),
                                  *W.Checker, *W.Solver);
@@ -661,5 +697,12 @@ PlacementResult core::placeSignals(logic::TermContext &C,
   // during the run taints the whole result. A never-fired token reads
   // false here, leaving completed runs byte-identical to deadline-free ones.
   Result.Cancelled = Options.Cancel && Options.Cancel->expired();
+  if (PlaceSpan.enabled()) {
+    PlaceSpan.arg("ccrs", static_cast<uint64_t>(Sema.Ccrs.size()));
+    PlaceSpan.arg("classes", static_cast<uint64_t>(NumClasses));
+    PlaceSpan.arg("jobs", static_cast<uint64_t>(Jobs));
+    PlaceSpan.arg("queries",
+                  static_cast<uint64_t>(Result.Stats.SolverQueries));
+  }
   return Result;
 }

@@ -40,6 +40,9 @@
 #include <vector>
 
 namespace expresso {
+namespace obs {
+class Tracer;
+}
 namespace core {
 
 /// One notification emitted after a CCR body: the (p, cond, bcast) triples
@@ -89,6 +92,16 @@ struct PlacementOptions {
   /// whatever partial stats accrued. A token that never fires leaves every
   /// byte of the result untouched. Not owned; null disables.
   support::CancelToken *Cancel = nullptr;
+  /// Span tracer (obs::Tracer): when attached, the run records nested,
+  /// thread-attributed phase spans — invariant inference (forwarded into
+  /// InvariantConfig::Trace), per-CCR sessions, per-pair checks, VC
+  /// batches, and individual solver queries with their cache-tier outcome
+  /// (attached to the CachingSolver for the duration of the run). Tracing
+  /// is byte-invisible: Σ, every stat, and every cache counter are
+  /// identical with it on or off (differential-pinned in
+  /// tests/ObsTest.cpp). Not owned; null (the default) disables at the
+  /// cost of one branch per span site.
+  obs::Tracer *Trace = nullptr;
 };
 
 /// Per-worker accounting for one parallel placement run.

@@ -1,0 +1,166 @@
+//===- obs/Metrics.cpp - Unified metrics registry -------------------------===//
+//
+// Part of expresso-cpp, a reproduction of "Symbolic Reasoning for Automatic
+// Signal Placement" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+namespace expresso {
+namespace obs {
+
+namespace {
+
+/// Fixed, locale-independent double rendering for the stable text dump.
+std::string formatDouble(double X) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.9g", X);
+  return Buf;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Histogram
+//===----------------------------------------------------------------------===//
+
+Histogram::Histogram(std::vector<double> Bounds, size_t WindowSize)
+    : Bounds(std::move(Bounds)), Window(WindowSize == 0 ? 1 : WindowSize),
+      Buckets(this->Bounds.size() + 1, 0) {
+  assert(std::is_sorted(this->Bounds.begin(), this->Bounds.end()) &&
+         "histogram bounds must be ascending");
+}
+
+void Histogram::observe(double X) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  size_t I =
+      std::lower_bound(Bounds.begin(), Bounds.end(), X) - Bounds.begin();
+  ++Buckets[I];
+  ++Count;
+  Sum += X;
+  Samples.push_back(X);
+  while (Samples.size() > Window)
+    Samples.pop_front();
+}
+
+double Histogram::percentile(double Q) const {
+  // The daemon's historical latency computation, verbatim (bit-compatible
+  // StatusResponse p50/p99): copy the window, nth_element at Q * (n - 1).
+  std::vector<double> Sample;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Sample.assign(Samples.begin(), Samples.end());
+  }
+  if (Sample.empty())
+    return 0;
+  size_t I = static_cast<size_t>(Q * static_cast<double>(Sample.size() - 1));
+  std::nth_element(Sample.begin(), Sample.begin() + I, Sample.end());
+  return Sample[I];
+}
+
+uint64_t Histogram::count() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Count;
+}
+
+double Histogram::sum() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Sum;
+}
+
+std::vector<uint64_t> Histogram::bucketCounts() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Buckets;
+}
+
+std::vector<double> Histogram::defaultLatencyBounds() {
+  return {0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+          0.25,  0.5,    1.0,   2.5,  5.0,   10.0};
+}
+
+//===----------------------------------------------------------------------===//
+// Registry
+//===----------------------------------------------------------------------===//
+
+Counter &Registry::counter(const std::string &Name, const std::string &Help) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Entry &E = Metrics[Name];
+  if (!E.C) {
+    E.K = Entry::Kind::Counter;
+    E.Help = Help;
+    E.C = std::make_unique<Counter>();
+  }
+  return *E.C;
+}
+
+Gauge &Registry::gauge(const std::string &Name, const std::string &Help) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Entry &E = Metrics[Name];
+  if (!E.G) {
+    E.K = Entry::Kind::Gauge;
+    E.Help = Help;
+    E.G = std::make_unique<Gauge>();
+  }
+  return *E.G;
+}
+
+Histogram &Registry::histogram(const std::string &Name,
+                               std::vector<double> Bounds, size_t WindowSize,
+                               const std::string &Help) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Entry &E = Metrics[Name];
+  if (!E.H) {
+    E.K = Entry::Kind::Histogram;
+    E.Help = Help;
+    E.H = std::make_unique<Histogram>(std::move(Bounds), WindowSize);
+  }
+  return *E.H;
+}
+
+std::string Registry::renderText() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::string Out;
+  for (const auto &KV : Metrics) {
+    const std::string &Name = KV.first;
+    const Entry &E = KV.second;
+    if (!E.Help.empty())
+      Out += "# HELP " + Name + " " + E.Help + "\n";
+    switch (E.K) {
+    case Entry::Kind::Counter:
+      Out += "# TYPE " + Name + " counter\n";
+      Out += Name + " " + std::to_string(E.C->value()) + "\n";
+      break;
+    case Entry::Kind::Gauge:
+      Out += "# TYPE " + Name + " gauge\n";
+      Out += Name + " " + formatDouble(E.G->value()) + "\n";
+      break;
+    case Entry::Kind::Histogram: {
+      Out += "# TYPE " + Name + " histogram\n";
+      const std::vector<double> &Bounds = E.H->bounds();
+      std::vector<uint64_t> Buckets = E.H->bucketCounts();
+      uint64_t Cum = 0;
+      for (size_t I = 0; I < Bounds.size(); ++I) {
+        Cum += Buckets[I];
+        Out += Name + "_bucket{le=\"" + formatDouble(Bounds[I]) + "\"} " +
+               std::to_string(Cum) + "\n";
+      }
+      Cum += Buckets.back();
+      Out += Name + "_bucket{le=\"+Inf\"} " + std::to_string(Cum) + "\n";
+      Out += Name + "_count " + std::to_string(E.H->count()) + "\n";
+      Out += Name + "_sum " + formatDouble(E.H->sum()) + "\n";
+      Out += Name + "_p50 " + formatDouble(E.H->percentile(0.5)) + "\n";
+      Out += Name + "_p99 " + formatDouble(E.H->percentile(0.99)) + "\n";
+      break;
+    }
+    }
+  }
+  return Out;
+}
+
+} // namespace obs
+} // namespace expresso

@@ -1,0 +1,144 @@
+//===- obs/Metrics.h - Unified metrics registry -----------------*- C++ -*-===//
+//
+// Part of expresso-cpp, a reproduction of "Symbolic Reasoning for Automatic
+// Signal Placement" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small metrics registry — counters, gauges, and fixed-bucket histograms
+/// — unifying the daemon's previously ad-hoc accounting (outcome atomics
+/// and the hand-rolled 512-entry latency window in service/Server) behind
+/// one facility with a stable text dump (served over protocol v3's
+/// MetricsRequest and `expresso --daemon-metrics`).
+///
+/// Bit-compatibility contract: obs::Histogram keeps an exact sliding sample
+/// window (default 512 entries) alongside its buckets, and percentile()
+/// reproduces the daemon's historical computation verbatim — copy the
+/// window, nth_element at index `size_t(Q * (n-1))` — so the
+/// StatusResponse latency fields are the same doubles, bit for bit, as
+/// before the registry existed (pinned by the v2 status tests).
+///
+/// Counters and gauges are single atomics (safe to bump from any thread
+/// with no lock); histogram observations take a short mutex — they happen
+/// once per completed request, never on the solver hot path. renderText()
+/// is deterministic: metrics sort by name, doubles print with a fixed
+/// format.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXPRESSO_OBS_METRICS_H
+#define EXPRESSO_OBS_METRICS_H
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace expresso {
+namespace obs {
+
+/// Monotonically increasing event count.
+class Counter {
+public:
+  /// Increments and returns the new value (so cadence checks like "every
+  /// Nth event" need no separate atomic).
+  uint64_t inc(uint64_t N = 1) {
+    return V.fetch_add(N, std::memory_order_relaxed) + N;
+  }
+  uint64_t value() const { return V.load(std::memory_order_relaxed); }
+
+private:
+  std::atomic<uint64_t> V{0};
+};
+
+/// A point-in-time value (queue depth, budget slots free, uptime).
+class Gauge {
+public:
+  void set(double X) { V.store(X, std::memory_order_relaxed); }
+  double value() const { return V.load(std::memory_order_relaxed); }
+
+private:
+  std::atomic<double> V{0.0};
+};
+
+/// Fixed-bucket histogram with an exact sliding sample window.
+///
+/// Buckets (cumulative counts per upper bound, +Inf implied) summarize the
+/// full observation history for the text dump; the sample window backs
+/// percentile() with the daemon's exact historical p50/p99 math (see the
+/// file comment). Both views update under one short mutex per observe().
+class Histogram {
+public:
+  /// \p Bounds must be ascending bucket upper bounds; an implicit +Inf
+  /// bucket is appended. \p WindowSize bounds the percentile sample.
+  explicit Histogram(std::vector<double> Bounds, size_t WindowSize = 512);
+
+  void observe(double X);
+
+  /// Exact percentile over the sliding window: copies the sample and takes
+  /// nth_element at `size_t(Q * (n-1))`. Returns 0 while empty — matching
+  /// StatusResponse's "0 until anything completes" behavior.
+  double percentile(double Q) const;
+
+  uint64_t count() const;
+  double sum() const;
+  const std::vector<double> &bounds() const { return Bounds; }
+  /// Per-bucket counts, one per bound plus the +Inf overflow bucket.
+  std::vector<uint64_t> bucketCounts() const;
+
+  /// Default bounds for request-latency seconds (sub-ms to tens of
+  /// seconds, roughly logarithmic).
+  static std::vector<double> defaultLatencyBounds();
+
+private:
+  const std::vector<double> Bounds;
+  const size_t Window;
+  mutable std::mutex Mu;
+  std::vector<uint64_t> Buckets; ///< Bounds.size() + 1 (overflow last)
+  uint64_t Count = 0;
+  double Sum = 0;
+  std::deque<double> Samples; ///< last Window observations
+};
+
+/// Owns named metrics; registration is idempotent (the first registration
+/// of a name wins and later calls return the same object), so call sites
+/// can look metrics up by name without coordinating.
+class Registry {
+public:
+  Registry() = default;
+  Registry(const Registry &) = delete;
+  Registry &operator=(const Registry &) = delete;
+
+  Counter &counter(const std::string &Name, const std::string &Help = "");
+  Gauge &gauge(const std::string &Name, const std::string &Help = "");
+  Histogram &histogram(const std::string &Name, std::vector<double> Bounds,
+                       size_t WindowSize = 512, const std::string &Help = "");
+
+  /// Stable text dump (Prometheus-flavored): metrics ordered by name,
+  /// `# HELP`/`# TYPE` headers, histogram buckets as cumulative
+  /// `_bucket{le="..."}` lines plus `_count`/`_sum` and the exact
+  /// window-backed `_p50`/`_p99`.
+  std::string renderText() const;
+
+private:
+  struct Entry {
+    enum class Kind { Counter, Gauge, Histogram } K = Kind::Counter;
+    std::string Help;
+    std::unique_ptr<Counter> C;
+    std::unique_ptr<Gauge> G;
+    std::unique_ptr<Histogram> H;
+  };
+
+  mutable std::mutex Mu;
+  std::map<std::string, Entry> Metrics; ///< ordered => deterministic dump
+};
+
+} // namespace obs
+} // namespace expresso
+
+#endif // EXPRESSO_OBS_METRICS_H

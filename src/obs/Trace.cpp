@@ -1,0 +1,196 @@
+//===- obs/Trace.cpp - Low-overhead span tracer ---------------------------===//
+//
+// Part of expresso-cpp, a reproduction of "Symbolic Reasoning for Automatic
+// Signal Placement" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+
+namespace expresso {
+namespace obs {
+
+namespace {
+
+/// Process-unique tracer ids; never reused, so a stale thread-local cache
+/// entry from a destroyed tracer can never match a live one.
+std::atomic<uint64_t> NextTracerId{1};
+
+/// One-entry per-thread cache mapping the most recent tracer this thread
+/// recorded into to its buffer. A single entry suffices: a thread records
+/// into one tracer at a time (one traced run per request).
+struct TlsCache {
+  uint64_t TracerId = 0;
+  void *Buf = nullptr;
+};
+thread_local TlsCache Cache;
+
+void appendJsonString(std::string &Out, const std::string &S) {
+  Out.push_back('"');
+  Out += jsonEscape(S);
+  Out.push_back('"');
+}
+
+} // namespace
+
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x",
+                      static_cast<unsigned>(static_cast<unsigned char>(C)));
+        Out += Buf;
+      } else {
+        Out.push_back(C);
+      }
+    }
+  }
+  return Out;
+}
+
+Tracer::Tracer()
+    : Id(NextTracerId.fetch_add(1, std::memory_order_relaxed)),
+      Epoch(WallTimer::Clock::now()) {}
+
+Tracer::~Tracer() = default;
+
+Tracer::ThreadBuf &Tracer::threadBuf() {
+  if (Cache.TracerId == Id)
+    return *static_cast<ThreadBuf *>(Cache.Buf);
+  std::lock_guard<std::mutex> Lock(Mu);
+  Bufs.push_back(std::make_unique<ThreadBuf>());
+  ThreadBuf &B = *Bufs.back();
+  B.Tid = static_cast<uint32_t>(Bufs.size() - 1);
+  Cache.TracerId = Id;
+  Cache.Buf = &B;
+  return B;
+}
+
+void Tracer::record(const char *Name, uint64_t StartNs, uint64_t EndNs,
+                    std::string Args) {
+  ThreadBuf &B = threadBuf();
+  SpanRecord R;
+  R.Name = Name;
+  R.StartNs = StartNs;
+  R.DurNs = EndNs >= StartNs ? EndNs - StartNs : 0;
+  R.Tid = B.Tid;
+  R.Args = std::move(Args);
+  B.Spans.push_back(std::move(R));
+}
+
+size_t Tracer::spanCount() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  size_t N = 0;
+  for (const auto &B : Bufs)
+    N += B->Spans.size();
+  return N;
+}
+
+std::vector<SpanRecord> Tracer::snapshot() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::vector<SpanRecord> Out;
+  for (const auto &B : Bufs)
+    Out.insert(Out.end(), B->Spans.begin(), B->Spans.end());
+  std::stable_sort(Out.begin(), Out.end(),
+                   [](const SpanRecord &A, const SpanRecord &B) {
+                     if (A.Tid != B.Tid)
+                       return A.Tid < B.Tid;
+                     return A.StartNs < B.StartNs;
+                   });
+  return Out;
+}
+
+std::string Tracer::exportChromeJson() const {
+  std::vector<SpanRecord> Spans = snapshot();
+  uint32_t MaxTid = 0;
+  for (const SpanRecord &S : Spans)
+    MaxTid = std::max(MaxTid, S.Tid);
+
+  std::string Out = "{\"traceEvents\":[";
+  bool First = true;
+  char Buf[160];
+
+  // Thread metadata so Perfetto shows stable lane names.
+  uint32_t Lanes = Spans.empty() ? 0 : MaxTid + 1;
+  for (uint32_t T = 0; T < Lanes; ++T) {
+    if (!First)
+      Out.push_back(',');
+    First = false;
+    std::snprintf(Buf, sizeof(Buf),
+                  "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+                  "\"tid\":%u,\"args\":{\"name\":\"%s-%u\"}}",
+                  T, T == 0 ? "main" : "worker", T);
+    Out += Buf;
+  }
+
+  for (const SpanRecord &S : Spans) {
+    if (!First)
+      Out.push_back(',');
+    First = false;
+    Out += "{\"name\":";
+    appendJsonString(Out, S.Name);
+    std::snprintf(Buf, sizeof(Buf),
+                  ",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,"
+                  "\"tid\":%u",
+                  static_cast<double>(S.StartNs) / 1000.0,
+                  static_cast<double>(S.DurNs) / 1000.0, S.Tid);
+    Out += Buf;
+    if (!S.Args.empty()) {
+      Out += ",\"args\":{";
+      Out += S.Args;
+      Out.push_back('}');
+    }
+    Out += "}";
+  }
+  Out += "]}";
+  return Out;
+}
+
+void Span::arg(const char *Key, const char *Value) {
+  if (!T)
+    return;
+  if (!Args.empty())
+    Args.push_back(',');
+  Args.push_back('"');
+  Args += jsonEscape(Key);
+  Args += "\":\"";
+  Args += jsonEscape(Value);
+  Args.push_back('"');
+}
+
+void Span::arg(const char *Key, uint64_t Value) {
+  if (!T)
+    return;
+  if (!Args.empty())
+    Args.push_back(',');
+  char Buf[48];
+  std::snprintf(Buf, sizeof(Buf), "\"%s\":%llu", Key,
+                static_cast<unsigned long long>(Value));
+  Args += Buf;
+}
+
+} // namespace obs
+} // namespace expresso

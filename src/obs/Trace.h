@@ -1,0 +1,181 @@
+//===- obs/Trace.h - Low-overhead span tracer -------------------*- C++ -*-===//
+//
+// Part of expresso-cpp, a reproduction of "Symbolic Reasoning for Automatic
+// Signal Placement" (PLDI 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A low-overhead span tracer for the analysis pipeline. A Tracer collects
+/// nested, thread-attributed phase spans — parse/sema, invariant inference
+/// (abduction, Houdini rounds), per-CCR placement, VC batches, individual
+/// solver queries with backend and cache-tier outcome — and exports them as
+/// Chrome `trace_event` JSON (loadable in Perfetto / chrome://tracing, or
+/// summarized by scripts/trace_summary.py).
+///
+/// Design constraints, in order:
+///
+///   1. *Byte-invisible to the analysis.* A tracer never touches a
+///      TermContext, a stats counter, or a cache tier: it only reads wall
+///      clocks and copies strings. Σ, PlacementStats, and every cache
+///      counter are identical with tracing on or off (pinned by the
+///      differential in tests/ObsTest.cpp).
+///   2. *Free when disabled.* The pipeline threads a `Tracer *` that is
+///      null by default (the same idiom as support::CancelToken): a
+///      disabled span is a null pointer check and nothing else.
+///   3. *No locks on the hot path.* Each recording thread appends to its
+///      own buffer; the tracer-wide mutex is taken once per thread (buffer
+///      registration) and at export. Timestamps come from the same
+///      steady clock as support::WallTimer, so span durations line up with
+///      the `*Seconds` stats and can never go negative under wall-clock
+///      adjustment.
+///
+/// Concurrency contract: record() may race record() freely across threads;
+/// snapshot()/exportChromeJson() must only run once the traced work has
+/// quiesced (placeSignals has returned and its pool tasks joined) — exactly
+/// when callers want to serialize the trace anyway.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXPRESSO_OBS_TRACE_H
+#define EXPRESSO_OBS_TRACE_H
+
+#include "support/Timer.h"
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace expresso {
+namespace obs {
+
+/// One completed span. Name is a static string from the span taxonomy
+/// (docs/OBSERVABILITY.md); Args is a pre-rendered JSON object body
+/// (`"key":"value",...`, no braces), empty when the span carried none.
+struct SpanRecord {
+  const char *Name = "";
+  uint64_t StartNs = 0; ///< steady-clock time since the tracer's epoch
+  uint64_t DurNs = 0;
+  uint32_t Tid = 0; ///< tracer-local thread index (registration order)
+  std::string Args;
+};
+
+/// Collects spans from any number of threads. One Tracer per traced run
+/// (one CLI invocation, one daemon request); cheap to construct.
+class Tracer {
+public:
+  Tracer();
+  ~Tracer();
+
+  Tracer(const Tracer &) = delete;
+  Tracer &operator=(const Tracer &) = delete;
+
+  /// Nanoseconds since this tracer's construction, on WallTimer's steady
+  /// clock.
+  uint64_t nowNs() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            WallTimer::Clock::now() - Epoch)
+            .count());
+  }
+
+  /// Appends one completed span to the calling thread's buffer. Lock-free
+  /// after the thread's first record against this tracer.
+  void record(const char *Name, uint64_t StartNs, uint64_t EndNs,
+              std::string Args);
+
+  /// Total spans recorded so far (takes the registry mutex; see the
+  /// quiescence contract above).
+  size_t spanCount() const;
+
+  /// All spans, ordered by (thread index, start time). Quiescence required.
+  std::vector<SpanRecord> snapshot() const;
+
+  /// Chrome trace_event JSON: `{"traceEvents":[...]}` with one complete
+  /// ("ph":"X") event per span plus thread_name metadata. Timestamps are
+  /// microseconds since the tracer epoch. Quiescence required.
+  std::string exportChromeJson() const;
+
+private:
+  struct ThreadBuf {
+    uint32_t Tid = 0;
+    std::vector<SpanRecord> Spans;
+  };
+
+  /// The calling thread's buffer, registering it on first use (the only
+  /// mutex acquisition on the record path, once per thread per tracer).
+  ThreadBuf &threadBuf();
+
+  const uint64_t Id; ///< process-unique, for the thread-local buffer cache
+  const WallTimer::Clock::time_point Epoch;
+  mutable std::mutex Mu; ///< guards Bufs (registration, snapshot/export)
+  std::vector<std::unique_ptr<ThreadBuf>> Bufs;
+};
+
+/// RAII span: stamps the start time at construction, records itself on
+/// destruction (or an explicit finish()). With a null tracer every member
+/// is a no-op — the pipeline constructs spans unconditionally and pays one
+/// branch when tracing is off.
+class Span {
+public:
+  Span() = default;
+  Span(Tracer *T, const char *Name) : T(T), Name(Name) {
+    if (T)
+      StartNs = T->nowNs();
+  }
+
+  Span(const Span &) = delete;
+  Span &operator=(const Span &) = delete;
+  Span(Span &&O) noexcept
+      : T(O.T), Name(O.Name), StartNs(O.StartNs), Args(std::move(O.Args)) {
+    O.T = nullptr;
+  }
+  Span &operator=(Span &&O) noexcept {
+    if (this != &O) {
+      finish();
+      T = O.T;
+      Name = O.Name;
+      StartNs = O.StartNs;
+      Args = std::move(O.Args);
+      O.T = nullptr;
+    }
+    return *this;
+  }
+
+  ~Span() { finish(); }
+
+  bool enabled() const { return T != nullptr; }
+
+  /// Attach a key/value argument (rendered into the event's "args" object).
+  /// No-ops when disabled, so callers may compute values lazily behind
+  /// enabled() if they are expensive.
+  void arg(const char *Key, const char *Value);
+  void arg(const char *Key, const std::string &Value) {
+    arg(Key, Value.c_str());
+  }
+  void arg(const char *Key, uint64_t Value);
+
+  /// Records the span now (idempotent; the destructor calls it).
+  void finish() {
+    if (!T)
+      return;
+    T->record(Name, StartNs, T->nowNs(), std::move(Args));
+    T = nullptr;
+  }
+
+private:
+  Tracer *T = nullptr;
+  const char *Name = "";
+  uint64_t StartNs = 0;
+  std::string Args; ///< accumulated `"k":v` fragments, comma-separated
+};
+
+/// Escapes \p S for inclusion inside a JSON string literal.
+std::string jsonEscape(const std::string &S);
+
+} // namespace obs
+} // namespace expresso
+
+#endif // EXPRESSO_OBS_TRACE_H

@@ -115,6 +115,21 @@ bool ServiceClient::status(StatusResponse &Out, std::string *Error) {
   return true;
 }
 
+bool ServiceClient::metrics(std::string &Out, std::string *Error) {
+  std::vector<uint8_t> Payload, Reply;
+  if (!roundTrip(MsgType::MetricsRequest, Payload, MsgType::MetricsResponse,
+                 Reply, Error))
+    return false;
+  MetricsResponse MR;
+  if (!MetricsResponse::decode(Reply.data(), Reply.size(), MR)) {
+    if (Error)
+      *Error = "malformed MetricsResponse payload";
+    return false;
+  }
+  Out = std::move(MR.Text);
+  return true;
+}
+
 bool ServiceClient::shutdown(bool Drain, std::string *Error) {
   ShutdownRequest SR;
   SR.Drain = Drain;

@@ -54,6 +54,10 @@ public:
   /// Daemon introspection round trip.
   bool status(StatusResponse &Out, std::string *Error = nullptr);
 
+  /// Fetches the daemon's metrics dump (protocol v3). \p Out receives the
+  /// registry's stable text rendering.
+  bool metrics(std::string &Out, std::string *Error = nullptr);
+
   /// Asks the daemon to shut down (drain or abort the queue). True once the
   /// daemon acknowledged.
   bool shutdown(bool Drain, std::string *Error = nullptr);

@@ -76,6 +76,8 @@ void PlaceRequest::encode(std::vector<uint8_t> &Out) const {
   // v2 tail: appended so a v1 daemon-side decode of a v1 client's payload
   // is unchanged, and our decode treats absence as DeadlineMs = 0.
   B.writeVarint(DeadlineMs);
+  // v3 tail: absence decodes as WantTrace = false.
+  writeBool(B, WantTrace);
 }
 
 bool PlaceRequest::decode(const uint8_t *Data, size_t Size, PlaceRequest &Out) {
@@ -100,6 +102,10 @@ bool PlaceRequest::decode(const uint8_t *Data, size_t Size, PlaceRequest &Out) {
   if (!B.atEnd()) { // v2 tail; a v1 payload ends here (DeadlineMs = 0)
     Out.DeadlineMs = B.readVarint();
     if (B.failed())
+      return false;
+  }
+  if (!B.atEnd()) { // v3 tail; a v2 payload ends here (WantTrace = false)
+    if (!readBool(B, Out.WantTrace))
       return false;
   }
   return finish(B);
@@ -130,6 +136,9 @@ void PlaceResponse::encode(std::vector<uint8_t> &Out) const {
   B.writeVarint(JobsUsed);
   writeBool(B, Replayed);
   writeBool(B, StoreSkipped);
+  // v3 tail: trace id + optional attached Chrome trace.
+  B.writeVarint(TraceId);
+  B.writeString(TraceJson);
 }
 
 bool PlaceResponse::decode(const uint8_t *Data, size_t Size,
@@ -166,6 +175,11 @@ bool PlaceResponse::decode(const uint8_t *Data, size_t Size,
   Out.JobsUsed = static_cast<uint32_t>(Jobs);
   if (!readBool(B, Out.Replayed) || !readBool(B, Out.StoreSkipped))
     return false;
+  if (!B.atEnd()) { // v3 tail; a v2 payload ends here (TraceId = 0, no JSON)
+    Out.TraceId = B.readVarint();
+    if (B.failed() || !B.readString(Out.TraceJson, MaxFramePayload))
+      return false;
+  }
   return finish(B);
 }
 
@@ -223,6 +237,19 @@ bool StatusResponse::decode(const uint8_t *Data, size_t Size,
     if (B.failed())
       return false;
   }
+  return finish(B);
+}
+
+void MetricsResponse::encode(std::vector<uint8_t> &Out) const {
+  ByteWriter B(Out);
+  B.writeString(Text);
+}
+
+bool MetricsResponse::decode(const uint8_t *Data, size_t Size,
+                             MetricsResponse &Out) {
+  ByteReader B(Data, Size);
+  if (!B.readString(Out.Text, MaxFramePayload))
+    return false;
   return finish(B);
 }
 
@@ -314,7 +341,7 @@ bool service::recvFrame(int Fd, MsgType &Type, std::vector<uint8_t> &Payload) {
       Version > ProtocolVersion)
     return false;
   if (TypeByte < static_cast<uint8_t>(MsgType::PlaceRequest) ||
-      TypeByte > static_cast<uint8_t>(MsgType::ErrorResponse))
+      TypeByte > static_cast<uint8_t>(MsgType::MetricsResponse))
     return false;
   if (Len > MaxFramePayload)
     return false;

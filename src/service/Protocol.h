@@ -34,6 +34,9 @@
 ///   ShutdownRequest/…Response    — ask the daemon to drain and exit
 ///   ErrorResponse                — protocol-level rejection (bad version,
 ///                                  unknown message type)
+///   MetricsRequest/…Response     — the daemon's full obs::Registry as a
+///                                  stable text dump (v3; empty request
+///                                  payload, like StatusRequest)
 ///
 //===----------------------------------------------------------------------===//
 
@@ -50,13 +53,15 @@ namespace service {
 /// Bumped on any wire-format change; the daemon answers a client speaking a
 /// newer version with ErrorResponse instead of guessing. Version 2 added
 /// request deadlines (PlaceRequest::DeadlineMs, ResponseStatus::
-/// DeadlineExceeded) and the outcome/latency fields of StatusResponse; all
-/// additions are appended and decoded only when present, so version-1
-/// frames remain accepted (see MinProtocolVersion).
-constexpr uint8_t ProtocolVersion = 2;
+/// DeadlineExceeded) and the outcome/latency fields of StatusResponse.
+/// Version 3 added per-request tracing (PlaceRequest::WantTrace,
+/// PlaceResponse::TraceId/TraceJson) and the Metrics message pair. All
+/// additions are appended and decoded only when present, so version-1 and
+/// version-2 frames remain accepted (see MinProtocolVersion).
+constexpr uint8_t ProtocolVersion = 3;
 
-/// Oldest frame version still accepted (v1 payloads are strict prefixes of
-/// v2 payloads, so the decoders handle both).
+/// Oldest frame version still accepted (v1/v2 payloads are strict prefixes
+/// of v3 payloads, so the decoders handle all of them).
 constexpr uint8_t MinProtocolVersion = 1;
 
 /// "XSV1" little-endian.
@@ -75,6 +80,8 @@ enum class MsgType : uint8_t {
   ShutdownRequest = 5,
   ShutdownResponse = 6,
   ErrorResponse = 7,
+  MetricsRequest = 8,  ///< v3; empty payload
+  MetricsResponse = 9, ///< v3; obs::Registry text dump
 };
 
 enum class Priority : uint8_t { Normal = 0, High = 1 };
@@ -102,6 +109,13 @@ struct PlaceRequest {
   /// Hoare-check/solver-poll boundary. A request that completes in time is
   /// byte-identical to the same request with no deadline.
   uint64_t DeadlineMs = 0;
+  /// Record a per-request span trace daemon-side and ship it back in
+  /// PlaceResponse::TraceJson (Chrome trace_event JSON). Tracing is
+  /// byte-invisible to the placement answer — Σ, stats, and cache counters
+  /// are identical with this on or off — and a traced response is never
+  /// served from (or published into) the whole-response replay cache, so
+  /// the trace always describes a real run. v3; absent = false.
+  bool WantTrace = false;
 
   void encode(std::vector<uint8_t> &Out) const;
   static bool decode(const uint8_t *Data, size_t Size, PlaceRequest &Out);
@@ -153,6 +167,16 @@ struct PlaceResponse {
   bool Replayed = false;       ///< served from the whole-response cache
   bool StoreSkipped = false;   ///< store profile != backend, ran memo-only
 
+  // --- v3 additions (appended; absent in v1/v2 payloads) ---
+  /// Daemon-assigned monotonic request id, echoed here and in the daemon's
+  /// structured request log (--request-log) so one request can be joined
+  /// across the response, the log line, and an attached trace. 0 from a
+  /// pre-v3 daemon.
+  uint64_t TraceId = 0;
+  /// Chrome trace_event JSON for this request's run (Perfetto-loadable);
+  /// empty unless PlaceRequest::WantTrace was set and the run executed.
+  std::string TraceJson;
+
   void encode(std::vector<uint8_t> &Out) const;
   static bool decode(const uint8_t *Data, size_t Size, PlaceResponse &Out);
 };
@@ -185,6 +209,17 @@ struct StatusResponse {
 
   void encode(std::vector<uint8_t> &Out) const;
   static bool decode(const uint8_t *Data, size_t Size, StatusResponse &Out);
+};
+
+/// The daemon's unified metrics registry rendered as stable text (sorted
+/// metric names; counters, gauges, and histograms with cumulative buckets
+/// plus the window p50/p99 that back StatusResponse). v3; the request
+/// (MsgType::MetricsRequest) carries an empty payload like StatusRequest.
+struct MetricsResponse {
+  std::string Text;
+
+  void encode(std::vector<uint8_t> &Out) const;
+  static bool decode(const uint8_t *Data, size_t Size, MetricsResponse &Out);
 };
 
 struct ShutdownRequest {

@@ -10,12 +10,15 @@
 #include "codegen/Codegen.h"
 #include "core/SignalPlacement.h"
 #include "frontend/Parser.h"
+#include "obs/Trace.h"
 #include "persist/TermCodec.h"
 #include "solver/SolverRig.h"
 
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
+#include <cstring>
 #include <future>
 
 #ifndef _WIN32
@@ -26,6 +29,34 @@
 using namespace expresso;
 using namespace expresso::service;
 
+namespace {
+
+/// Stable outcome names for the request log (and nothing else — the wire
+/// carries the enum).
+const char *statusName(ResponseStatus S) {
+  switch (S) {
+  case ResponseStatus::Ok:
+    return "ok";
+  case ResponseStatus::ParseError:
+    return "parse_error";
+  case ResponseStatus::SolverUnavailable:
+    return "solver_unavailable";
+  case ResponseStatus::Rejected:
+    return "rejected";
+  case ResponseStatus::Draining:
+    return "draining";
+  case ResponseStatus::Malformed:
+    return "malformed";
+  case ResponseStatus::InternalError:
+    return "internal_error";
+  case ResponseStatus::DeadlineExceeded:
+    return "deadline_exceeded";
+  }
+  return "unknown";
+}
+
+} // namespace
+
 //===----------------------------------------------------------------------===//
 // PlacementService
 //===----------------------------------------------------------------------===//
@@ -33,7 +64,24 @@ using namespace expresso::service;
 PlacementService::PlacementService(const ServerOptions &Opts)
     : Opts(Opts),
       Budget(Opts.JobsBudget == 0 ? support::ThreadPool::defaultWorkers()
-                                  : Opts.JobsBudget) {
+                                  : Opts.JobsBudget),
+      Served(Reg.counter("expressod_requests_served_total",
+                         "Requests answered (replay hits included)")),
+      Executed(Reg.counter("expressod_requests_executed_total",
+                           "Requests that ran the full pipeline")),
+      ResultHits(Reg.counter("expressod_result_cache_hits_total",
+                             "Whole-response replay cache hits")),
+      Completed(Reg.counter("expressod_requests_completed_total",
+                            "Requests that produced a real answer (Ok)")),
+      CancelledRunning(
+          Reg.counter("expressod_requests_cancelled_running_total",
+                      "Deadlines that fired mid-placement")),
+      Latency(Reg.histogram("expressod_request_latency_seconds",
+                            obs::Histogram::defaultLatencyBounds(),
+                            LatencyWindow,
+                            "Admission-to-answer latency of completed "
+                            "requests (window percentiles back "
+                            "StatusResponse)")) {
   // Resolve the store profile: profile strings must equal the answering
   // backend's name() exactly (that is the store's never-mix-solvers key).
   // An unbuildable kind (requests for it will fail individually) gets no
@@ -79,7 +127,10 @@ PlaceResponse PlacementService::run(const PlaceRequest &Req,
                                     support::CancelToken *Cancel) {
   WallTimer RunTimer;
   std::string Key;
-  if (Opts.ResultCache && !Req.BypassResultCache) {
+  // A traced request never reads (or below, writes) the replay cache: the
+  // attached trace must describe a real run, and replayed responses carry
+  // no trace.
+  if (Opts.ResultCache && !Req.BypassResultCache && !Req.WantTrace) {
     Key = resultCacheKey(Req);
     std::lock_guard<std::mutex> Lock(ResultMu);
     auto It = ResultCache.find(Key);
@@ -87,25 +138,32 @@ PlaceResponse PlacementService::run(const PlaceRequest &Req,
       PlaceResponse R = It->second;
       R.Replayed = true;
       R.QueueSeconds = QueueSeconds;
-      ResultHits.fetch_add(1, std::memory_order_relaxed);
-      Served.fetch_add(1, std::memory_order_relaxed);
+      ResultHits.inc();
+      Served.inc();
       noteCompleted(QueueSeconds + RunTimer.elapsedSeconds());
       return R;
     }
   }
 
-  PlaceResponse R = execute(Req, Cancel);
+  // The tracer lives exactly as long as the pipeline run: execute() returns
+  // only after placeSignals' pool tasks joined, which is the quiescence the
+  // export below requires.
+  std::unique_ptr<obs::Tracer> Tracer;
+  if (Req.WantTrace)
+    Tracer = std::make_unique<obs::Tracer>();
+
+  PlaceResponse R = execute(Req, Cancel, Tracer.get());
   // Total wait = scheduler queue + budget contention inside execute().
   R.QueueSeconds += QueueSeconds;
+  if (Tracer)
+    R.TraceJson = Tracer->exportChromeJson();
 
   // Resident-store lifecycle: a long-lived daemon must enforce its size
   // policy while serving, not only at exit — otherwise the warm tier grows
   // without bound for the process lifetime. Compaction is batched (every
   // CompactEvery executed requests) because it takes the store's exclusive
   // lock and rewrites the log.
-  if (Opts.Eviction.enabled() &&
-      Executed.fetch_add(1, std::memory_order_relaxed) % CompactEvery ==
-          CompactEvery - 1)
+  if (Executed.inc() % CompactEvery == 0 && Opts.Eviction.enabled())
     compactStore();
 
   // Only Ok responses enter the replay cache — a DeadlineExceeded answer
@@ -120,42 +178,27 @@ PlaceResponse PlacementService::run(const PlaceRequest &Req,
       }
     }
   }
-  Served.fetch_add(1, std::memory_order_relaxed);
+  Served.inc();
   if (R.Status == ResponseStatus::DeadlineExceeded)
-    CancelledRunning.fetch_add(1, std::memory_order_relaxed);
+    CancelledRunning.inc();
   else if (R.Status == ResponseStatus::Ok)
     noteCompleted(QueueSeconds + RunTimer.elapsedSeconds());
   return R;
 }
 
 void PlacementService::noteCompleted(double LatencySeconds) {
-  Completed.fetch_add(1, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> Lock(LatencyMu);
-  Latencies.push_back(LatencySeconds);
-  while (Latencies.size() > LatencyWindow)
-    Latencies.pop_front();
+  Completed.inc();
+  Latency.observe(LatencySeconds);
 }
 
 void PlacementService::latencyPercentiles(double &P50, double &P99) const {
-  std::vector<double> Sample;
-  {
-    std::lock_guard<std::mutex> Lock(LatencyMu);
-    Sample.assign(Latencies.begin(), Latencies.end());
-  }
-  P50 = P99 = 0;
-  if (Sample.empty())
-    return;
-  auto Nth = [&Sample](double Q) {
-    size_t I = static_cast<size_t>(Q * static_cast<double>(Sample.size() - 1));
-    std::nth_element(Sample.begin(), Sample.begin() + I, Sample.end());
-    return Sample[I];
-  };
-  P50 = Nth(0.5);
-  P99 = Nth(0.99);
+  P50 = Latency.percentile(0.5);
+  P99 = Latency.percentile(0.99);
 }
 
 PlaceResponse PlacementService::execute(const PlaceRequest &Req,
-                                        support::CancelToken *Cancel) {
+                                        support::CancelToken *Cancel,
+                                        obs::Tracer *Trace) {
   PlaceResponse R;
   WallTimer Timer;
 
@@ -163,14 +206,18 @@ PlaceResponse PlacementService::execute(const PlaceRequest &Req,
   solver::SolverKind Kind = solver::parseSolverKind(Req.Solver);
   logic::TermContext C;
   DiagnosticEngine Diags;
+  obs::Span ParseSpan(Trace, "parse");
   std::unique_ptr<frontend::Monitor> M = frontend::parseMonitor(Req.Source,
                                                                 Diags);
+  ParseSpan.finish();
   if (!M) {
     R.Status = ResponseStatus::ParseError;
     R.Error = Diags.str();
     return R;
   }
+  obs::Span SemaSpan(Trace, "sema");
   std::unique_ptr<frontend::SemaInfo> Sema = frontend::analyze(*M, C, Diags);
+  SemaSpan.finish();
   if (!Sema) {
     R.Status = ResponseStatus::ParseError;
     R.Error = Diags.str();
@@ -223,6 +270,7 @@ PlaceResponse PlacementService::execute(const PlaceRequest &Req,
   // at Jobs == 1).
   POpts.WorkerSolvers = solver::SolverFactory(Kind);
   POpts.Cancel = Cancel;
+  POpts.Trace = Trace;
 
   core::PlacementResult Result = core::placeSignals(C, *Sema, Rig.solver(),
                                                     POpts);
@@ -250,6 +298,7 @@ PlaceResponse PlacementService::execute(const PlaceRequest &Req,
     return R;
   }
 
+  obs::Span EmitSpan(Trace, "emit");
   if (Req.Emit == "cpp")
     R.Artifact = codegen::emitCpp(Result);
   else if (Req.Emit == "java")
@@ -258,6 +307,7 @@ PlaceResponse PlacementService::execute(const PlaceRequest &Req,
     R.Artifact = codegen::printTargetIr(Result);
   else
     R.Artifact = Result.summary();
+  EmitSpan.finish();
   R.DecisionSummary = Result.decisionSummary();
   R.SolverName = Rig.solver().name();
 
@@ -307,6 +357,15 @@ Server::~Server() {
 #ifndef _WIN32
 
 bool Server::start(std::string *Error) {
+  if (!Opts.RequestLogPath.empty()) {
+    RequestLog.open(Opts.RequestLogPath, std::ios::app);
+    if (!RequestLog) {
+      if (Error)
+        *Error = "cannot open request log " + Opts.RequestLogPath + ": " +
+                 std::strerror(errno);
+      return false;
+    }
+  }
   ListenFd = listenUnix(Opts.SocketPath, /*Backlog=*/64, Error);
   if (ListenFd < 0)
     return false;
@@ -379,6 +438,8 @@ void Server::handlePlace(int Fd, const std::vector<uint8_t> &Payload) {
     PlaceResponse R;
     R.Status = ResponseStatus::Malformed;
     R.Error = "malformed PlaceRequest payload";
+    R.TraceId = TraceIds.fetch_add(1, std::memory_order_relaxed) + 1;
+    logRequest(R.TraceId, nullptr, R, 0);
     sendPlaceResponse(Fd, R);
     return;
   }
@@ -446,7 +507,47 @@ void Server::handlePlace(int Fd, const std::vector<uint8_t> &Payload) {
       R.Error = "daemon shut down before the request ran";
     }
   }
+  // The trace id is assigned at answer time (monotonic, covers rejected
+  // and drained requests too) so every response — and every request-log
+  // line — carries one.
+  R.TraceId = TraceIds.fetch_add(1, std::memory_order_relaxed) + 1;
+  logRequest(R.TraceId, &Req, R, DeadlineMs);
   sendPlaceResponse(Fd, R);
+}
+
+void Server::logRequest(uint64_t TraceId, const PlaceRequest *Req,
+                        const PlaceResponse &R, uint64_t DeadlineMs) {
+  if (!RequestLog.is_open())
+    return;
+  // One self-contained JSON object per line (JSONL): greppable live,
+  // parseable after the fact. Fixed "%.6f" for seconds keeps lines stable
+  // across platforms.
+  char Buf[128];
+  std::string Line = "{\"trace_id\":" + std::to_string(TraceId);
+  Line += ",\"outcome\":\"";
+  Line += statusName(R.Status);
+  Line += "\"";
+  std::snprintf(Buf, sizeof(Buf),
+                ",\"queue_seconds\":%.6f,\"run_seconds\":%.6f",
+                R.QueueSeconds, R.AnalysisSeconds);
+  Line += Buf;
+  Line += ",\"deadline_ms\":" + std::to_string(DeadlineMs);
+  Line += ",\"jobs_leased\":" + std::to_string(R.JobsUsed);
+  Line += ",\"solver_queries\":" + std::to_string(R.SolverQueries);
+  Line += ",\"cache_hits\":" + std::to_string(R.CacheHits);
+  Line += ",\"cache_misses\":" + std::to_string(R.CacheMisses);
+  Line += ",\"shared_hits\":" + std::to_string(R.SharedHits);
+  Line += ",\"shared_misses\":" + std::to_string(R.SharedMisses);
+  Line += R.Replayed ? ",\"replayed\":true" : ",\"replayed\":false";
+  Line += R.TraceJson.empty() ? ",\"traced\":false" : ",\"traced\":true";
+  if (Req) {
+    Line += ",\"emit\":\"" + obs::jsonEscape(Req->Emit) + "\"";
+    Line += ",\"solver\":\"" + obs::jsonEscape(Req->Solver) + "\"";
+  }
+  Line += "}\n";
+  std::lock_guard<std::mutex> Lock(LogMu);
+  RequestLog << Line;
+  RequestLog.flush(); // a crashed daemon must not owe anyone log lines
 }
 
 void Server::connectionLoop(int Fd) {
@@ -462,6 +563,13 @@ void Server::connectionLoop(int Fd) {
       std::vector<uint8_t> Out;
       S.encode(Out);
       if (!sendFrame(Fd, MsgType::StatusResponse, Out))
+        break;
+    } else if (Type == MsgType::MetricsRequest) {
+      MetricsResponse MR;
+      MR.Text = metricsText();
+      std::vector<uint8_t> Out;
+      MR.encode(Out);
+      if (!sendFrame(Fd, MsgType::MetricsResponse, Out))
         break;
     } else if (Type == MsgType::ShutdownRequest) {
       ShutdownRequest SR;
@@ -578,6 +686,8 @@ void Server::acceptLoop() {}
 void Server::connectionLoop(int) {}
 void Server::handlePlace(int, const std::vector<uint8_t> &) {}
 bool Server::sendPlaceResponse(int, const PlaceResponse &) { return false; }
+void Server::logRequest(uint64_t, const PlaceRequest *, const PlaceResponse &,
+                        uint64_t) {}
 void Server::requestShutdown(bool) { ShutdownFlagged.store(true); }
 void Server::wait() {}
 
@@ -617,4 +727,45 @@ StatusResponse Server::status() const {
   S.UptimeSeconds = Uptime.elapsedSeconds();
   S.Draining = Sched->shuttingDown();
   return S;
+}
+
+std::string Server::metricsText() {
+  // The core's counters/histogram are live in the registry; point-in-time
+  // values owned elsewhere (scheduler atomics, budget, store, the uptime
+  // clock) are surfaced as gauges refreshed at render time — the scheduler
+  // keeps its own deterministic accounting and the registry mirrors it
+  // rather than owning it.
+  obs::Registry &Reg = Core.metrics();
+  SchedulerStats Sc = Sched->stats();
+  Reg.gauge("expressod_requests_active", "Placements running now")
+      .set(static_cast<double>(Sc.ActiveNow));
+  Reg.gauge("expressod_requests_queued", "Requests admitted, not yet running")
+      .set(static_cast<double>(Sc.QueuedNow));
+  Reg.gauge("expressod_requests_submitted", "Requests offered to admission")
+      .set(static_cast<double>(Sc.Submitted));
+  Reg.gauge("expressod_requests_rejected", "Admission rejections (total)")
+      .set(static_cast<double>(Sc.Rejected));
+  Reg.gauge("expressod_requests_rejected_full", "Rejected: queue at capacity")
+      .set(static_cast<double>(Sc.RejectedFull));
+  Reg.gauge("expressod_requests_rejected_draining",
+            "Rejected: daemon shutting down")
+      .set(static_cast<double>(Sc.RejectedDraining));
+  Reg.gauge("expressod_requests_expired_queued",
+            "Deadlines that fired while still queued")
+      .set(static_cast<double>(Sc.ExpiredQueued));
+  Reg.gauge("expressod_jobs_budget", "Global worker-slot budget")
+      .set(static_cast<double>(Core.budget().total()));
+  Reg.gauge("expressod_jobs_available", "Worker slots currently free")
+      .set(static_cast<double>(Core.budget().available()));
+  if (persist::QueryStore *St = Core.store()) {
+    Reg.gauge("expressod_store_records", "Shared query-store records")
+        .set(static_cast<double>(St->size()));
+    Reg.gauge("expressod_store_evicted", "Records evicted by compaction")
+        .set(static_cast<double>(St->stats().evicted()));
+  }
+  Reg.gauge("expressod_protocol_errors", "Malformed frames/payloads seen")
+      .set(static_cast<double>(ProtocolErrors.load(std::memory_order_relaxed)));
+  Reg.gauge("expressod_uptime_seconds", "Seconds since daemon start")
+      .set(Uptime.elapsedSeconds());
+  return Reg.renderText();
 }

@@ -45,6 +45,7 @@
 #ifndef EXPRESSO_SERVICE_SERVER_H
 #define EXPRESSO_SERVICE_SERVER_H
 
+#include "obs/Metrics.h"
 #include "persist/QueryStore.h"
 #include "service/Protocol.h"
 #include "service/Scheduler.h"
@@ -54,6 +55,7 @@
 
 #include <atomic>
 #include <deque>
+#include <fstream>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -62,6 +64,9 @@
 #include <vector>
 
 namespace expresso {
+namespace obs {
+class Tracer;
+}
 namespace service {
 
 /// Configuration shared by expressod, the bench harness's --serve mode, and
@@ -86,6 +91,11 @@ struct ServerOptions {
   /// DeadlineMs == 0); 0 = no default. A request's own deadline always
   /// wins.
   uint64_t DefaultDeadlineMs = 0;
+  /// Structured request log: append one JSON object per served request
+  /// (monotonic trace id — echoed in PlaceResponse::TraceId — outcome,
+  /// queue wait, run time, deadline budget, cache hit counts, jobs
+  /// leased). Empty disables. The expressod --request-log flag.
+  std::string RequestLogPath;
 };
 
 /// The socket-free execution core (tests and the bench harness drive it
@@ -107,20 +117,18 @@ public:
   const std::string &profile() const { return Profile; }
   persist::QueryStore *store() { return Store.get(); }
   support::JobBudget &budget() { return Budget; }
-  uint64_t resultCacheHits() const {
-    return ResultHits.load(std::memory_order_relaxed);
-  }
-  uint64_t requestsServed() const {
-    return Served.load(std::memory_order_relaxed);
-  }
+  /// The unified metrics registry (outcome counters + the latency
+  /// histogram live here; the Server layers scheduler/store/uptime gauges
+  /// on top when rendering the MetricsResponse dump).
+  obs::Registry &metrics() { return Reg; }
+  uint64_t resultCacheHits() const { return ResultHits.value(); }
+  uint64_t requestsServed() const { return Served.value(); }
   /// Requests that produced a real answer (Ok, replay hits included).
-  uint64_t requestsCompleted() const {
-    return Completed.load(std::memory_order_relaxed);
-  }
+  uint64_t requestsCompleted() const { return Completed.value(); }
   /// Requests whose deadline fired mid-placement (the pipeline wound down
   /// cooperatively and answered DeadlineExceeded).
   uint64_t requestsCancelledRunning() const {
-    return CancelledRunning.load(std::memory_order_relaxed);
+    return CancelledRunning.value();
   }
   /// Admission-to-answer latency percentiles over a sliding window of
   /// completed requests (both 0 until anything completes).
@@ -132,7 +140,8 @@ public:
   void compactStore();
 
 private:
-  PlaceResponse execute(const PlaceRequest &Req, support::CancelToken *Cancel);
+  PlaceResponse execute(const PlaceRequest &Req, support::CancelToken *Cancel,
+                        obs::Tracer *Trace);
   static std::string resultCacheKey(const PlaceRequest &Req);
   void noteCompleted(double LatencySeconds);
 
@@ -147,18 +156,22 @@ private:
   std::string Profile;
   std::shared_ptr<persist::QueryStore> Store;
   support::JobBudget Budget;
-  std::atomic<uint64_t> Served{0};
-  std::atomic<uint64_t> Executed{0}; ///< requests that ran the pipeline
-  std::atomic<uint64_t> ResultHits{0};
-  std::atomic<uint64_t> Completed{0};
-  std::atomic<uint64_t> CancelledRunning{0};
+
+  /// Unified accounting: the named counters subsume the previous ad-hoc
+  /// outcome atomics, and Latency subsumes the hand-rolled sliding window
+  /// (same 512-entry window, same percentile math — see obs/Metrics.h —
+  /// so StatusResponse's p50/p99 are bit-identical to before).
+  obs::Registry Reg;
+  obs::Counter &Served;
+  obs::Counter &Executed; ///< requests that ran the pipeline
+  obs::Counter &ResultHits;
+  obs::Counter &Completed;
+  obs::Counter &CancelledRunning;
+  obs::Histogram &Latency; ///< admission-to-answer, completed requests
 
   std::mutex ResultMu;
   std::unordered_map<std::string, PlaceResponse> ResultCache;
   std::deque<std::string> ResultOrder; ///< FIFO eviction at ResultCacheCap
-
-  mutable std::mutex LatencyMu;
-  std::deque<double> Latencies; ///< last LatencyWindow completed requests
 };
 
 /// The daemon: socket front end over PlacementService + RequestScheduler.
@@ -192,16 +205,32 @@ public:
   PlacementService &service() { return Core; }
   const std::string &socketPath() const { return Opts.SocketPath; }
 
+  /// The daemon's full metrics dump (MetricsResponse::Text): the core's
+  /// registry plus scheduler/budget/store/uptime gauges refreshed at
+  /// render time.
+  std::string metricsText();
+
 private:
   void acceptLoop();
   void connectionLoop(int Fd);
   void handlePlace(int Fd, const std::vector<uint8_t> &Payload);
   bool sendPlaceResponse(int Fd, const PlaceResponse &R);
+  /// Appends one JSON object to the request log (no-op when disabled).
+  /// \p Req is null for requests that failed to decode.
+  void logRequest(uint64_t TraceId, const PlaceRequest *Req,
+                  const PlaceResponse &R, uint64_t DeadlineMs);
 
   ServerOptions Opts;
   PlacementService Core;
   std::unique_ptr<RequestScheduler> Sched;
   WallTimer Uptime;
+
+  /// Monotonic per-request id, echoed in PlaceResponse::TraceId and the
+  /// request log so one request joins across response, log line, and an
+  /// attached trace.
+  std::atomic<uint64_t> TraceIds{0};
+  std::mutex LogMu;
+  std::ofstream RequestLog; ///< --request-log sink; one JSON object per line
 
   int ListenFd = -1;
   std::thread Acceptor;

@@ -7,12 +7,29 @@
 
 #include "solver/CachingSolver.h"
 
+#include "obs/Trace.h"
 #include "persist/QueryStore.h"
 #include "persist/TermCodec.h"
 
 using namespace expresso;
 using namespace expresso::solver;
 using namespace expresso::logic;
+
+namespace {
+
+const char *answerName(Answer A) {
+  switch (A) {
+  case Answer::Sat:
+    return "sat";
+  case Answer::Unsat:
+    return "unsat";
+  case Answer::Unknown:
+    break;
+  }
+  return "unknown";
+}
+
+} // namespace
 
 std::unique_ptr<CachingSolver>
 CachingSolver::create(TermContext &C, std::unique_ptr<SmtSolver> Backend) {
@@ -28,7 +45,8 @@ CachingSolver::Shard &CachingSolver::shardFor(const Term *F) {
 }
 
 CheckResult CachingSolver::computeOwned(const Term *F,
-                                        const ComputeFn &Compute) {
+                                        const ComputeFn &Compute,
+                                        obs::Span *Q) {
   CheckResult R;
   if (persist::QueryStore *QS = Store.get()) {
     // Second tier: probe the persistent store by the formula's canonical
@@ -40,8 +58,14 @@ CheckResult CachingSolver::computeOwned(const Term *F,
     std::string Key = persist::encodeTermKey(F);
     if (QS->lookup(Key, R)) {
       DiskHits.fetch_add(1, std::memory_order_relaxed);
+      if (Q)
+        Q->arg("tier", "disk");
     } else {
       DiskMisses.fetch_add(1, std::memory_order_relaxed);
+      if (Q && Q->enabled()) {
+        Q->arg("tier", "solve");
+        Q->arg("backend", Backend->name());
+      }
       R = Compute(F);
       // Publication gate: a result computed under an expired token is a
       // cancellation artifact (Unknown), not the formula's answer — keep
@@ -50,6 +74,10 @@ CheckResult CachingSolver::computeOwned(const Term *F,
         QS->append(Key, R);
     }
   } else {
+    if (Q && Q->enabled()) {
+      Q->arg("tier", "solve");
+      Q->arg("backend", Backend->name());
+    }
     R = Compute(F);
   }
   return R;
@@ -57,6 +85,7 @@ CheckResult CachingSolver::computeOwned(const Term *F,
 
 CheckResult CachingSolver::lookupOrCompute(const Term *F,
                                            const ComputeFn &Compute) {
+  obs::Span Q(Trace, "solver.query");
   ++Queries;
   Shard &S = shardFor(F);
   std::promise<CheckResult> Promise;
@@ -79,8 +108,14 @@ CheckResult CachingSolver::lookupOrCompute(const Term *F,
       Misses.fetch_add(1, std::memory_order_relaxed);
     }
   }
-  if (!Owner)
-    return Future.get();
+  if (!Owner) {
+    CheckResult R = Future.get();
+    if (Q.enabled()) {
+      Q.arg("tier", "memo");
+      Q.arg("answer", answerName(R.TheAnswer));
+    }
+    return R;
+  }
 
   // Compute outside the shard lock so other formulas in this shard proceed.
   // Unknown is not a semantic answer (a timeout-ish backend could do better
@@ -88,7 +123,7 @@ CheckResult CachingSolver::lookupOrCompute(const Term *F,
   // deterministically reproduce it, so caching Unknown too avoids pointless
   // repeat work.
   try {
-    Promise.set_value(computeOwned(F, Compute));
+    Promise.set_value(computeOwned(F, Compute, &Q));
   } catch (...) {
     // Unpoison the entry so a later ask retries, and propagate the error to
     // any concurrent waiters before rethrowing to our caller.
@@ -99,7 +134,10 @@ CheckResult CachingSolver::lookupOrCompute(const Term *F,
     Promise.set_exception(std::current_exception());
     throw;
   }
-  return Future.get();
+  CheckResult R = Future.get();
+  if (Q.enabled())
+    Q.arg("answer", answerName(R.TheAnswer));
+  return R;
 }
 
 CheckResult CachingSolver::lookupOrCompute(const Term *F,
@@ -112,9 +150,11 @@ std::vector<CheckResult>
 CachingSolver::lookupOrComputeBatch(const std::vector<const Term *> &Fs,
                                     const BatchComputeFn &Compute) {
   const size_t N = Fs.size();
+  obs::Span BatchSpan(Trace, "solver.batch");
   std::vector<std::shared_future<CheckResult>> Futures(N);
   std::vector<std::promise<CheckResult>> Promises(N);
   std::vector<char> Owner(N, 0);
+  size_t OwnedCount = 0; // span bookkeeping only; counters stay atomic
 
   // Phase 1: classify strictly in order. Duplicates within the batch find
   // the first occurrence's in-flight entry and count as hits — exactly what
@@ -130,6 +170,7 @@ CachingSolver::lookupOrComputeBatch(const std::vector<const Term *> &Fs,
       Hits.fetch_add(1, std::memory_order_relaxed);
     } else {
       Owner[I] = 1;
+      ++OwnedCount;
       Futures[I] = Promises[I].get_future().share();
       S.Map.emplace(Fs[I], Futures[I]);
       Misses.fetch_add(1, std::memory_order_relaxed);
@@ -165,6 +206,16 @@ CachingSolver::lookupOrComputeBatch(const std::vector<const Term *> &Fs,
       }
       Residual.push_back(Fs[I]);
       ResidualIdx.push_back(I);
+    }
+
+    if (BatchSpan.enabled()) {
+      BatchSpan.arg("n", static_cast<uint64_t>(N));
+      BatchSpan.arg("memo_hits", static_cast<uint64_t>(N - OwnedCount));
+      BatchSpan.arg("disk_hits",
+                    static_cast<uint64_t>(OwnedCount - Residual.size()));
+      BatchSpan.arg("solved", static_cast<uint64_t>(Residual.size()));
+      if (!Residual.empty())
+        BatchSpan.arg("backend", Backend->name());
     }
 
     // Phase 3: one compute call over the residual, then write-through and

@@ -59,6 +59,10 @@
 #include <vector>
 
 namespace expresso {
+namespace obs {
+class Span;
+class Tracer;
+}
 namespace persist {
 class QueryStore;
 }
@@ -165,6 +169,19 @@ public:
   }
   persist::QueryStore *store() const { return Store.get(); }
 
+  /// Attaches (or detaches, with null) a span tracer: every lookup then
+  /// records one "solver.query" span (batches record one "solver.batch")
+  /// carrying its cache-tier outcome — "memo" (answered by the in-memory
+  /// table, in-flight waits included), "disk" (persistent store), or
+  /// "solve" (computed on a backend, with the backend's name) — plus the
+  /// answer. Tracing reads counters and clocks only: it never touches the
+  /// memo, the store, or any stat, so traced and untraced runs are
+  /// byte-identical (the obs determinism contract). Not owned; callers
+  /// must detach before the tracer dies (placeSignals does, via a scope
+  /// guard).
+  void setTracer(obs::Tracer *T) { Trace = T; }
+  obs::Tracer *tracer() const { return Trace; }
+
   /// A per-worker handle onto this memo table. The session shares (and
   /// populates) the cache but discharges misses on \p WorkerBackend, which
   /// it owns — so placement workers never touch the primary backend. The
@@ -199,8 +216,10 @@ private:
 
   /// Probes the persistent tier for the owning miss of \p F (counting disk
   /// hit/miss) and computes + writes through on a store miss. Shared by the
-  /// single and batched owner paths.
-  CheckResult computeOwned(const logic::Term *F, const ComputeFn &Compute);
+  /// single and batched owner paths. \p Q (may be null) is the caller's
+  /// query span; the tier outcome is recorded onto it.
+  CheckResult computeOwned(const logic::Term *F, const ComputeFn &Compute,
+                           obs::Span *Q = nullptr);
 
   static constexpr size_t NumShards = 16;
   struct Shard {
@@ -213,6 +232,7 @@ private:
 
   std::unique_ptr<SmtSolver> Owned; ///< null when decorating a borrowed ref
   SmtSolver *Backend = nullptr;
+  obs::Tracer *Trace = nullptr; ///< not owned; null = tracing off
   std::shared_ptr<persist::QueryStore> Store; ///< second tier; may be null
   std::array<Shard, NumShards> Shards;
   std::atomic<uint64_t> Hits{0};

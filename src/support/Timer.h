@@ -6,8 +6,14 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A tiny steady-clock stopwatch used by the Table-1 analysis-time bench and
-/// the saturation harness.
+/// A tiny steady-clock stopwatch used by the Table-1 analysis-time bench,
+/// the saturation harness, the daemon's latency accounting, and the obs
+/// tracer. The clock choice is a contract, not an implementation detail:
+/// every `*Seconds` stat in the system (InvariantSeconds,
+/// PlacementSeconds, QueueSeconds, AnalysisSeconds, span durations) is a
+/// difference of WallTimer::Clock readings, and std::chrono::steady_clock
+/// is monotonic — so none of them can go negative or jump when the system
+/// wall clock is adjusted (NTP step, manual set, DST).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -21,6 +27,15 @@ namespace expresso {
 /// Measures elapsed wall-clock time from construction or the last restart().
 class WallTimer {
 public:
+  /// The one clock all timing in the system derives from. Monotonic
+  /// (steady_clock) by contract — see the file comment. obs::Tracer stamps
+  /// span timestamps from this same clock so trace durations line up with
+  /// the `*Seconds` stats.
+  using Clock = std::chrono::steady_clock;
+  static_assert(Clock::is_steady,
+                "WallTimer's clock must be monotonic: every *Seconds stat "
+                "and span duration is a difference of its readings");
+
   WallTimer() : Start(Clock::now()) {}
 
   void restart() { Start = Clock::now(); }
@@ -32,7 +47,6 @@ public:
   double elapsedMillis() const { return elapsedSeconds() * 1000.0; }
 
 private:
-  using Clock = std::chrono::steady_clock;
   Clock::time_point Start;
 };
 

@@ -26,6 +26,7 @@
 #include "core/SignalPlacement.h"
 #include "frontend/Parser.h"
 #include "logic/Printer.h"
+#include "obs/Trace.h"
 #include "persist/QueryStore.h"
 #include "service/Client.h"
 #include "solver/SolverRig.h"
@@ -87,6 +88,16 @@ void printUsage() {
       "                               deadline). With --connect the daemon\n"
       "                               enforces it and answers\n"
       "                               DeadlineExceeded\n"
+      "  --trace-out=FILE             write a Chrome trace_event JSON of\n"
+      "                               this run (phase spans, Houdini\n"
+      "                               rounds, per-CCR placement, solver\n"
+      "                               queries with cache tier); load in\n"
+      "                               Perfetto/chrome://tracing or summarize\n"
+      "                               with scripts/trace_summary.py. With\n"
+      "                               --connect the daemon records the\n"
+      "                               trace and ships it back. Tracing\n"
+      "                               never changes the artifact or any\n"
+      "                               counter\n"
       "\n"
       "daemon client mode (the spec is analyzed by a resident expressod\n"
       "with shared warm caches; artifacts stay byte-identical to local\n"
@@ -96,6 +107,9 @@ void printUsage() {
       "  --no-result-cache            bypass the daemon's whole-response\n"
       "                               replay cache (query store still warm)\n"
       "  --daemon-status              print daemon status and exit\n"
+      "  --daemon-metrics             print the daemon's metrics registry\n"
+      "                               (counters, gauges, latency histogram)\n"
+      "                               as stable text and exit\n"
       "  --shutdown[=drain|now]       ask the daemon to exit (default:\n"
       "                               drain queued work first)\n"
       "\n"
@@ -116,6 +130,18 @@ unsigned parseJobs(const char *Value) {
     return support::ThreadPool::defaultWorkers();
   int N = std::atoi(Value);
   return N > 0 ? static_cast<unsigned>(N) : 0;
+}
+
+/// Writes a Chrome trace JSON blob to \p Path. False with a diagnostic
+/// printed.
+bool writeTraceFile(const std::string &Path, const std::string &Json) {
+  std::ofstream Out(Path, std::ios::trunc);
+  if (!Out) {
+    std::fprintf(stderr, "cannot write trace file %s\n", Path.c_str());
+    return false;
+  }
+  Out << Json;
+  return true;
 }
 
 /// Reads a spec from a benchmark name, a path, or "-" (stdin). Returns
@@ -518,7 +544,7 @@ int specgenMain(int Argc, char **Argv) {
 /// byte-identical to a local run; the trailer reports daemon-side stats.
 int runConnected(const std::string &SocketPath,
                  const service::PlaceRequest &Req, const std::string &Emit,
-                 double DeadlineSeconds) {
+                 double DeadlineSeconds, const std::string &TraceOutPath) {
   std::string Error;
   std::unique_ptr<service::ServiceClient> Client =
       service::ServiceClient::connect(SocketPath, &Error);
@@ -592,6 +618,34 @@ int runConnected(const std::string &SocketPath,
     std::printf("  placement jobs:       %u\n", R.JobsUsed);
     std::printf("  replayed:             %s\n", R.Replayed ? "yes" : "no");
   }
+  if (!TraceOutPath.empty()) {
+    if (R.TraceJson.empty()) {
+      std::fprintf(stderr, "expressod returned no trace (pre-v3 daemon?)\n");
+    } else {
+      if (!writeTraceFile(TraceOutPath, R.TraceJson))
+        return 1;
+      std::fprintf(stderr, "trace %llu written to %s\n",
+                   static_cast<unsigned long long>(R.TraceId),
+                   TraceOutPath.c_str());
+    }
+  }
+  return 0;
+}
+
+int runDaemonMetrics(const std::string &SocketPath) {
+  std::string Error;
+  std::unique_ptr<service::ServiceClient> Client =
+      service::ServiceClient::connect(SocketPath, &Error);
+  if (!Client) {
+    std::fprintf(stderr, "cannot reach expressod: %s\n", Error.c_str());
+    return 1;
+  }
+  std::string Text;
+  if (!Client->metrics(Text, &Error)) {
+    std::fprintf(stderr, "expressod metrics failed: %s\n", Error.c_str());
+    return 1;
+  }
+  std::fputs(Text.c_str(), stdout);
   return 0;
 }
 
@@ -680,9 +734,11 @@ int main(int Argc, char **Argv) {
   service::Priority Prio = service::Priority::Normal;
   bool NoResultCache = false;
   bool WantDaemonStatus = false;
+  bool WantDaemonMetrics = false;
   bool WantShutdown = false;
   bool ShutdownDrain = true;
   double DeadlineSeconds = 0;
+  std::string TraceOutPath;
 
   for (int I = 1; I < Argc; ++I) {
     const char *Arg = Argv[I];
@@ -749,8 +805,16 @@ int main(int Argc, char **Argv) {
       }
     } else if (std::strcmp(Arg, "--no-result-cache") == 0) {
       NoResultCache = true;
+    } else if (std::strncmp(Arg, "--trace-out=", 12) == 0) {
+      TraceOutPath = Arg + 12;
+      if (TraceOutPath.empty()) {
+        std::fprintf(stderr, "--trace-out expects a file path\n");
+        return 1;
+      }
     } else if (std::strcmp(Arg, "--daemon-status") == 0) {
       WantDaemonStatus = true;
+    } else if (std::strcmp(Arg, "--daemon-metrics") == 0) {
+      WantDaemonMetrics = true;
     } else if (std::strncmp(Arg, "--shutdown", 10) == 0) {
       WantShutdown = true;
       if (Arg[10] == '=') {
@@ -798,14 +862,17 @@ int main(int Argc, char **Argv) {
   }
 
   // Daemon control verbs need only the socket.
-  if (WantDaemonStatus || WantShutdown) {
+  if (WantDaemonStatus || WantDaemonMetrics || WantShutdown) {
     if (ConnectPath.empty()) {
-      std::fprintf(stderr, "--daemon-status/--shutdown require "
-                           "--connect=SOCKET\n");
+      std::fprintf(stderr, "--daemon-status/--daemon-metrics/--shutdown "
+                           "require --connect=SOCKET\n");
       return 1;
     }
-    return WantDaemonStatus ? runDaemonStatus(ConnectPath)
-                            : runDaemonShutdown(ConnectPath, ShutdownDrain);
+    if (WantDaemonStatus)
+      return runDaemonStatus(ConnectPath);
+    if (WantDaemonMetrics)
+      return runDaemonMetrics(ConnectPath);
+    return runDaemonShutdown(ConnectPath, ShutdownDrain);
   }
 
   // Load the monitor source.
@@ -831,19 +898,28 @@ int main(int Argc, char **Argv) {
     Req.Prio = Prio;
     Req.BypassResultCache = NoResultCache;
     Req.DeadlineMs = static_cast<uint64_t>(DeadlineSeconds * 1000.0);
-    return runConnected(ConnectPath, Req, EmitKind, DeadlineSeconds);
+    Req.WantTrace = !TraceOutPath.empty();
+    return runConnected(ConnectPath, Req, EmitKind, DeadlineSeconds,
+                        TraceOutPath);
   }
 
   // Pipeline: parse -> sema -> invariant -> placement.
+  std::unique_ptr<obs::Tracer> Tracer;
+  if (!TraceOutPath.empty())
+    Tracer = std::make_unique<obs::Tracer>();
   WallTimer Timer;
   DiagnosticEngine Diags;
+  obs::Span ParseSpan(Tracer.get(), "parse");
   auto M = frontend::parseMonitor(Source, Diags);
+  ParseSpan.finish();
   if (!M) {
     std::fprintf(stderr, "%s", Diags.str().c_str());
     return 1;
   }
   logic::TermContext C;
+  obs::Span SemaSpan(Tracer.get(), "sema");
   auto Sema = frontend::analyze(*M, C, Diags);
+  SemaSpan.finish();
   if (!Sema) {
     std::fprintf(stderr, "%s", Diags.str().c_str());
     return 1;
@@ -891,6 +967,7 @@ int main(int Argc, char **Argv) {
     Deadline.setDeadlineAfterSeconds(DeadlineSeconds);
     Options.Cancel = &Deadline;
   }
+  Options.Trace = Tracer.get();
 
   core::PlacementResult Result =
       core::placeSignals(C, *Sema, PlacementSolver, Options);
@@ -912,6 +989,7 @@ int main(int Argc, char **Argv) {
   if (Store && !Store->readOnly() && Eviction.enabled())
     Store->compact();
 
+  obs::Span EmitSpan(Tracer.get(), "emit");
   if (EmitKind == "cpp") {
     std::fputs(codegen::emitCpp(Result).c_str(), stdout);
   } else if (EmitKind == "java") {
@@ -977,5 +1055,8 @@ int main(int Argc, char **Argv) {
                   WS.BusySeconds);
     }
   }
+  EmitSpan.finish();
+  if (Tracer && !writeTraceFile(TraceOutPath, Tracer->exportChromeJson()))
+    return 1;
   return 0;
 }

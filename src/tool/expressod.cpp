@@ -66,6 +66,10 @@ void printUsage() {
       "                           (cooperatively cancelled past it; a\n"
       "                           request's own --deadline always wins;\n"
       "                           default: none)\n"
+      "  --request-log=FILE       append one JSON object per served request\n"
+      "                           (trace id — echoed to the client —\n"
+      "                           outcome, queue/run seconds, deadline\n"
+      "                           budget, cache hits, jobs leased)\n"
       "\n"
       "SIGINT/SIGTERM (or a client shutdown request) drains gracefully:\n"
       "admission stops, queued and in-flight requests finish and respond,\n"
@@ -131,6 +135,12 @@ int main(int Argc, char **Argv) {
         return 1;
       }
       Opts.DefaultDeadlineMs = static_cast<uint64_t>(Seconds * 1000.0);
+    } else if (std::strncmp(Arg, "--request-log=", 14) == 0) {
+      Opts.RequestLogPath = Arg + 14;
+      if (Opts.RequestLogPath.empty()) {
+        std::fprintf(stderr, "--request-log expects a file path\n");
+        return 1;
+      }
     } else if (std::strcmp(Arg, "--help") == 0 || std::strcmp(Arg, "-h") == 0) {
       printUsage();
       return 0;

@@ -162,6 +162,7 @@ TEST(ServiceTest, PlaceRequestRoundTripsAndRejectsDamage) {
   Req.Prio = Priority::High;
   Req.BypassResultCache = true;
   Req.DeadlineMs = 1500;
+  Req.WantTrace = true;
 
   std::vector<uint8_t> Bytes;
   Req.encode(Bytes);
@@ -176,18 +177,24 @@ TEST(ServiceTest, PlaceRequestRoundTripsAndRejectsDamage) {
   EXPECT_EQ(Out.Prio, Req.Prio);
   EXPECT_EQ(Out.BypassResultCache, Req.BypassResultCache);
   EXPECT_EQ(Out.DeadlineMs, Req.DeadlineMs);
+  EXPECT_EQ(Out.WantTrace, Req.WantTrace);
 
-  // The one prefix that must still decode is the version-1 boundary: the
-  // payload minus the appended DeadlineMs varint is exactly what a v1
-  // client sends, and it reads back as "no deadline".
+  // The prefixes that must still decode are the version boundaries: minus
+  // the v3 WantTrace byte is what a v2 client sends; minus the DeadlineMs
+  // varint as well is what a v1 client sends. Both read back with the
+  // absent tails at their defaults.
   PlaceRequest V1 = Req;
   V1.DeadlineMs = 0;
+  V1.WantTrace = false;
   std::vector<uint8_t> V1Bytes;
   V1.encode(V1Bytes);
-  ASSERT_EQ(V1Bytes.back(), 0u); // DeadlineMs = 0 is a single zero byte
-  const size_t V1Len = V1Bytes.size() - 1;
+  // DeadlineMs = 0 and WantTrace = false are one zero byte each.
+  ASSERT_EQ(V1Bytes.back(), 0u);
+  ASSERT_EQ(V1Bytes[V1Bytes.size() - 2], 0u);
+  const size_t V1Len = V1Bytes.size() - 2;
   ASSERT_TRUE(std::equal(V1Bytes.begin(), V1Bytes.begin() + V1Len,
                          Bytes.begin()));
+  const size_t V2Len = Bytes.size() - 1;
 
   // Every other strict prefix is malformed (fail closed, no partial
   // decodes)…
@@ -196,7 +203,14 @@ TEST(ServiceTest, PlaceRequestRoundTripsAndRejectsDamage) {
     if (Len == V1Len) {
       ASSERT_TRUE(PlaceRequest::decode(Bytes.data(), Len, Trunc));
       EXPECT_EQ(Trunc.DeadlineMs, 0u);
+      EXPECT_FALSE(Trunc.WantTrace);
       EXPECT_EQ(Trunc.Source, Req.Source);
+      continue;
+    }
+    if (Len == V2Len) {
+      ASSERT_TRUE(PlaceRequest::decode(Bytes.data(), Len, Trunc));
+      EXPECT_EQ(Trunc.DeadlineMs, Req.DeadlineMs);
+      EXPECT_FALSE(Trunc.WantTrace);
       continue;
     }
     EXPECT_FALSE(PlaceRequest::decode(Bytes.data(), Len, Trunc))
@@ -223,6 +237,8 @@ TEST(ServiceTest, PlaceResponseRoundTripsAndRejectsTruncation) {
   R.QueueSeconds = 0.5;
   R.JobsUsed = 3;
   R.Replayed = true;
+  R.TraceId = 77;
+  R.TraceJson = "{\"traceEvents\":[]}";
 
   std::vector<uint8_t> Bytes;
   R.encode(Bytes);
@@ -240,10 +256,28 @@ TEST(ServiceTest, PlaceResponseRoundTripsAndRejectsTruncation) {
   EXPECT_DOUBLE_EQ(Out.QueueSeconds, R.QueueSeconds);
   EXPECT_EQ(Out.JobsUsed, R.JobsUsed);
   EXPECT_EQ(Out.Replayed, R.Replayed);
+  EXPECT_EQ(Out.TraceId, R.TraceId);
+  EXPECT_EQ(Out.TraceJson, R.TraceJson);
 
-  for (size_t Len = 0; Len < Bytes.size(); ++Len) {
+  // Truncation is checked on the untraced encoding, whose only decodable
+  // strict prefix is the version-2 boundary (minus the TraceId varint and
+  // the empty TraceJson length byte).
+  PlaceResponse V2 = R;
+  V2.TraceId = 0;
+  V2.TraceJson.clear();
+  std::vector<uint8_t> V2Bytes;
+  V2.encode(V2Bytes);
+  const size_t V2Len = V2Bytes.size() - 2;
+  for (size_t Len = 0; Len < V2Bytes.size(); ++Len) {
     PlaceResponse Trunc;
-    EXPECT_FALSE(PlaceResponse::decode(Bytes.data(), Len, Trunc));
+    if (Len == V2Len) {
+      ASSERT_TRUE(PlaceResponse::decode(V2Bytes.data(), Len, Trunc));
+      EXPECT_EQ(Trunc.TraceId, 0u);
+      EXPECT_TRUE(Trunc.TraceJson.empty());
+      EXPECT_EQ(Trunc.Replayed, R.Replayed);
+      continue;
+    }
+    EXPECT_FALSE(PlaceResponse::decode(V2Bytes.data(), Len, Trunc));
   }
 }
 
